@@ -1,0 +1,34 @@
+//! F5 — recursive fixpoints (paper Example 4.5 at scale): naive vs
+//! semi-naive, chain vs tree shapes.
+
+use co_bench::{chain_family, descendants_program, tree_family};
+use co_engine::{Engine, Guard, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fixpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixpoint/descendants");
+    group.sample_size(10);
+    for (shape, db) in [
+        ("chain30", chain_family(30)),
+        ("chain90", chain_family(90)),
+        ("tree120", tree_family(120, 3)),
+    ] {
+        for (label, strategy) in [
+            ("naive", Strategy::Naive),
+            ("seminaive", Strategy::SemiNaive),
+        ] {
+            let engine = Engine::new(descendants_program())
+                .strategy(strategy)
+                .indexes(false)
+                .guard(Guard::unlimited());
+            group.bench_with_input(BenchmarkId::new(label, shape), &db, |b, db| {
+                b.iter(|| black_box(engine.run(black_box(db)).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixpoint);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! F4 — the paper's join rule (Example 4.2(3)) vs the flat relational
+//! baseline, scan vs indexed.
+
+use co_bench::{join_db, join_db_flat};
+use co_calculus::{apply_rule, apply_rule_with, MatchPolicy};
+use co_engine::index::IndexedPrefilter;
+use co_parser::parse_rule;
+use co_relational::Query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    let rule = parse_rule(
+        "[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
+    )
+    .unwrap();
+    for rows in [30i64, 100, 300] {
+        let db = join_db(rows, rows);
+        let flat = join_db_flat(rows, rows);
+        group.bench_with_input(BenchmarkId::new("calculus-scan", rows), &db, |b, db| {
+            b.iter(|| black_box(apply_rule(&rule, black_box(db), MatchPolicy::Strict)))
+        });
+        let pf = IndexedPrefilter::new(MatchPolicy::Strict);
+        let _ = apply_rule_with(&rule, &db, MatchPolicy::Strict, &pf); // build index
+        group.bench_with_input(BenchmarkId::new("calculus-indexed", rows), &db, |b, db| {
+            b.iter(|| {
+                black_box(apply_rule_with(
+                    &rule,
+                    black_box(db),
+                    MatchPolicy::Strict,
+                    &pf,
+                ))
+            })
+        });
+        let q = Query::rel("r1").join(Query::rel("r2"), [("b", "c")]);
+        group.bench_with_input(
+            BenchmarkId::new("flat-algebra", rows),
+            &flat,
+            |b, flat| b.iter(|| black_box(q.eval(black_box(flat)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

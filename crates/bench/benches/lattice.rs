@@ -1,0 +1,26 @@
+//! F2 — union (lub) and intersection (glb) as a function of set size.
+
+use co_bench::flat_relation;
+use co_object::lattice::{intersect, union};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lattice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice");
+    for n in [10i64, 100, 1_000] {
+        let a = flat_relation(n, n / 2 + 1, "k", "v");
+        let b = flat_relation(n + n / 2, n / 2 + 1, "k", "v");
+        group.bench_with_input(BenchmarkId::new("union", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| union(black_box(a), black_box(b)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("intersect", n),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| intersect(black_box(a), black_box(b))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lattice);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! F3 — selection-formula interpretation vs relation size, scan vs index.
+
+use co_bench::flat_relation;
+use co_calculus::{interpret_with, MatchPolicy, ScanAll};
+use co_engine::index::IndexedPrefilter;
+use co_object::Object;
+use co_parser::parse_formula;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/selection");
+    let sel = parse_formula("[r1: {[a: X, b: 3]}]").unwrap();
+    for rows in [100i64, 1_000, 10_000] {
+        let db = Object::tuple([("r1", flat_relation(rows, 100, "a", "b"))]);
+        group.bench_with_input(BenchmarkId::new("scan", rows), &db, |b, db| {
+            b.iter(|| {
+                black_box(interpret_with(
+                    black_box(&sel),
+                    black_box(db),
+                    MatchPolicy::Strict,
+                    &ScanAll,
+                ))
+            })
+        });
+        let pf = IndexedPrefilter::new(MatchPolicy::Strict);
+        let _ = interpret_with(&sel, &db, MatchPolicy::Strict, &pf); // build index
+        group.bench_with_input(BenchmarkId::new("indexed", rows), &db, |b, db| {
+            b.iter(|| {
+                black_box(interpret_with(
+                    black_box(&sel),
+                    black_box(db),
+                    MatchPolicy::Strict,
+                    &pf,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! F6 — normalization/reduction cost: dominated-heavy vs antichain inputs.
+
+use co_bench::{antichain_set, redundant_set};
+use co_object::Object;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize/set");
+    for n in [10i64, 100, 500] {
+        let red = redundant_set(n);
+        let anti = antichain_set(2 * n);
+        group.bench_with_input(
+            BenchmarkId::new("redundant", 2 * n),
+            &red,
+            |b, elems| b.iter(|| black_box(Object::set(elems.clone()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("antichain", 2 * n),
+            &anti,
+            |b, elems| b.iter(|| black_box(Object::set(elems.clone()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalize);
+criterion_main!(benches);

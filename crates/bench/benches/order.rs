@@ -1,0 +1,36 @@
+//! F1 — sub-object checks (`≤`) as a function of object depth and fanout.
+
+use co_bench::random_objects;
+use co_object::order::le;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order/le");
+    for depth in [2u32, 4, 6] {
+        for fanout in [2usize, 4, 8] {
+            let objs = random_objects(42, depth, fanout, 32);
+            group.bench_with_input(
+                BenchmarkId::new("pairs", format!("d{depth}_f{fanout}")),
+                &objs,
+                |b, objs| {
+                    b.iter(|| {
+                        let mut hits = 0u32;
+                        for x in objs {
+                            for y in objs {
+                                if le(black_box(x), black_box(y)) {
+                                    hits += 1;
+                                }
+                            }
+                        }
+                        hits
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_order);
+criterion_main!(benches);

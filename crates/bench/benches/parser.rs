@@ -1,0 +1,23 @@
+//! F7 — parser throughput on realistic object text.
+
+use co_bench::object_text;
+use co_parser::parse_object;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser");
+    for bytes in [1_000usize, 10_000, 100_000] {
+        let text = object_text(7, bytes);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("parse_object", text.len()),
+            &text,
+            |b, text| b.iter(|| black_box(parse_object(black_box(text)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,285 @@
+//! Reproduces every numbered example of the paper as a printed
+//! expected-vs-computed table (experiments E1–E10 of EXPERIMENTS.md; the
+//! property-test experiments E11/E12 run under `cargo test`).
+//!
+//! Run with `cargo run -p co-bench --bin experiments`.
+
+use co_calculus::{apply_rule, interpret, MatchPolicy};
+use co_engine::{Engine, EngineError, Guard};
+use co_object::lattice::{intersect, union};
+use co_object::order::le;
+use co_object::Object;
+use co_parser::{parse_formula, parse_object, parse_program, parse_rule};
+
+struct Score {
+    pass: usize,
+    fail: usize,
+}
+
+impl Score {
+    fn row(&mut self, label: &str, got: &str, expected: &str) {
+        let ok = got == expected;
+        if ok {
+            self.pass += 1;
+        } else {
+            self.fail += 1;
+        }
+        println!(
+            "  {} {:<42} computed: {:<38} expected: {}",
+            if ok { "✓" } else { "✗" },
+            label,
+            got,
+            expected
+        );
+    }
+
+    fn check(&mut self, label: &str, ok: bool, detail: &str) {
+        if ok {
+            self.pass += 1;
+        } else {
+            self.fail += 1;
+        }
+        println!("  {} {:<42} {}", if ok { "✓" } else { "✗" }, label, detail);
+    }
+}
+
+fn obj(s: &str) -> Object {
+    parse_object(s).unwrap_or_else(|e| panic!("bad object {s}: {e}"))
+}
+
+fn main() {
+    let mut score = Score { pass: 0, fail: 0 };
+
+    println!("E1 — Example 2.1: the object forms");
+    for src in [
+        "john",
+        "25",
+        "{john, mary, susan}",
+        "[name: peter, age: 25]",
+        "[name: [first: john, last: doe], age: 25]",
+        "{[name: peter], [name: john, age: 7], [name: mary, address: austin]}",
+        "{[name: peter, children: {max, susan}], [name: mary, children: {}]}",
+        "[r1: {[name: peter, age: 25]}, r2: {[name: mary, address: paris]}]",
+    ] {
+        let o = obj(src);
+        score.check(src, parse_object(&o.to_string()).as_ref() == Ok(&o), "parses + round-trips");
+    }
+
+    println!("\nE2 — Example 2.2: equality identities");
+    for (l, r) in [
+        ("[a: 1, b: 2]", "[b: 2, a: 1]"),
+        ("[a: 1, b: 2]", "[a: 1, b: 2, c: bot]"),
+        ("{1, 2, 3}", "{2, 3, 1}"),
+        ("{1, 1}", "{1}"),
+        ("[a: {top}, b: 2]", "top"),
+    ] {
+        score.row(&format!("{l} = {r}"), &(obj(l) == obj(r)).to_string(), "true");
+    }
+    for (l, r) in [("[a: 7]", "7"), ("{7}", "7"), ("[a: 7]", "{7}")] {
+        score.row(&format!("{l} ≠ {r}"), &(obj(l) != obj(r)).to_string(), "true");
+    }
+
+    println!("\nE3 — Example 3.1: the sub-object relationship");
+    for (s, b, expected) in [
+        ("[a: 1, b: 2]", "[a: 1, b: 2, c: 3]", true),
+        ("{1, 2, 3}", "{1, 2, 3, 4}", true),
+        (
+            "{[a: 1], [a: 2, b: 3]}",
+            "{[a: 1, b: 2], [a: 2, b: 3], [a: 5, b: 5, c: 5]}",
+            true,
+        ),
+        ("[a: {1}, b: 2]", "[a: {1, 2}, b: 2]", true),
+        ("1", "[a: 1, b: 2]", false),
+        ("1", "{1, 2, 3}", false),
+    ] {
+        score.row(
+            &format!("{s} ≤ {b}"),
+            &le(&obj(s), &obj(b)).to_string(),
+            &expected.to_string(),
+        );
+    }
+
+    println!("\nE4 — Example 3.2: reduction repairs anti-symmetry");
+    let o1 = obj("{[a1: 3, a2: 5], [a1: 3]}");
+    let o2 = obj("{[a1: 3, a2: 5]}");
+    score.check(
+        "reduced([a1:3,a2:5],[a1:3]) = {[a1:3,a2:5]}",
+        o1 == o2,
+        &format!("constructor reduced to {o1}"),
+    );
+
+    println!("\nE5 — Examples 3.3: union is the lub");
+    for (l, r, e) in [
+        ("[a: 1, b: 2]", "[b: 2, c: 3]", "[a: 1, b: 2, c: 3]"),
+        ("[a: 1]", "[b: 2, c: 3]", "[a: 1, b: 2, c: 3]"),
+        ("[a: 1, b: 2]", "[b: 3, c: 4]", "top"),
+        ("{1, 2}", "{2, 3}", "{1, 2, 3}"),
+        ("1", "2", "top"),
+        ("[a: 1, b: 2]", "{1, 2, 3}", "top"),
+        ("[a: 1, b: {2, 3}]", "[b: {3, 4}, c: 5]", "[a: 1, b: {2, 3, 4}, c: 5]"),
+    ] {
+        score.row(
+            &format!("{l} ∪ {r}"),
+            &union(&obj(l), &obj(r)).to_string(),
+            &obj(e).to_string(),
+        );
+    }
+
+    println!("\nE6 — Examples 3.4: intersection is the glb");
+    for (l, r, e) in [
+        ("[a: 1, b: 2]", "[b: 2, c: 3]", "[b: 2]"),
+        ("[a: 1]", "[b: 2, c: 3]", "[]"),
+        ("[a: 1, b: 2]", "[b: 3, c: 4]", "[]"),
+        ("{1, 2}", "{2, 3}", "{2}"),
+        ("1", "2", "bot"),
+        ("[a: 1, b: 2]", "{1, 2, 3}", "bot"),
+        ("[a: 1, b: {2, 3}]", "[b: {3, 4}, c: 5]", "[b: {3}]"),
+    ] {
+        score.row(
+            &format!("{l} ∩ {r}"),
+            &intersect(&obj(l), &obj(r)).to_string(),
+            &obj(e).to_string(),
+        );
+    }
+
+    println!("\nE7 — Example 4.1: interpretations of well-formed formulae");
+    let db = obj(
+        "[r1: {[a: 1, b: 10], [a: 2, b: 20], [a: 3, b: 30]},
+          r2: {[c: 10, d: 100], [c: 20, d: 200], [c: 99, d: 999]}]",
+    );
+    for (f_src, expected) in [
+        (
+            "[r1: {[a: X, b: 10]}]",
+            "[r1: {[a: 1, b: 10]}]",
+        ),
+        (
+            "[r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]",
+            "[r1: {[a: 1, b: 10], [a: 2, b: 20]}, r2: {[c: 10, d: 100], [c: 20, d: 200]}]",
+        ),
+        (
+            "[r1: {[a: 1, b: Y]}, r2: {[c: Y, d: Z]}]",
+            "[r1: {[a: 1, b: 10]}, r2: {[c: 10, d: 100]}]",
+        ),
+    ] {
+        let f = parse_formula(f_src).unwrap();
+        score.row(
+            f_src,
+            &interpret(&f, &db, MatchPolicy::Strict).to_string(),
+            &obj(expected).to_string(),
+        );
+    }
+    let db4 = obj("[r1: {1, 2, 3}, r2: {2, 3, 4}]");
+    let f4 = parse_formula("[r1: {X}, r2: {X}]").unwrap();
+    score.row(
+        "[r1: {X}, r2: {X}] (intersection)",
+        &interpret(&f4, &db4, MatchPolicy::Strict).to_string(),
+        &obj("[r1: {2, 3}, r2: {2, 3}]").to_string(),
+    );
+    for f_src in ["[r1: X, r2: Y]", "[r1: {X}, r2: {Y}]"] {
+        let f = parse_formula(f_src).unwrap();
+        score.row(
+            &format!("{f_src} (both relations)"),
+            &interpret(&f, &db, MatchPolicy::Strict).to_string(),
+            &db.to_string(),
+        );
+    }
+
+    println!("\nE8 — Example 4.2: rule effects (strict policy = paper prose)");
+    let db_sel = obj("[r1: {[a: 1, b: b], [a: 2, b: c], [a: 3, b: b]}]");
+    for (r_src, base, expected) in [
+        (
+            "[r: {[c: X]}] :- [r1: {[a: X, b: b]}].",
+            &db_sel,
+            "[r: {[c: 1], [c: 3]}]",
+        ),
+        ("[r: {X}] :- [r1: {[a: X, b: b]}].", &db_sel, "[r: {1, 3}]"),
+        (
+            "[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
+            &db,
+            "[r: {[a: 1, d: 100], [a: 2, d: 200]}]",
+        ),
+        (
+            "[r: {[a1: X, a2: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
+            &db,
+            "[r: {[a1: 1, a2: 100], [a1: 2, a2: 200]}]",
+        ),
+        (
+            "[r: {X}] :- [r1: {X}, r2: {X}].",
+            &db4,
+            "[r: {2, 3}]",
+        ),
+        ("{X} :- [r1: {X}, r2: {X}].", &db4, "{2, 3}"),
+    ] {
+        let r = parse_rule(r_src).unwrap();
+        score.row(
+            r_src,
+            &apply_rule(&r, base, MatchPolicy::Strict).to_string(),
+            &obj(expected).to_string(),
+        );
+    }
+    // The Definition 4.4 anomaly (DESIGN.md §3.3).
+    let join = parse_rule(
+        "[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
+    )
+    .unwrap();
+    let literal_pairs = apply_rule(&join, &db, MatchPolicy::Literal)
+        .dot("r")
+        .as_set()
+        .map(|s| s.len())
+        .unwrap_or(0);
+    score.check(
+        "Literal policy join (Def 4.4 verbatim)",
+        literal_pairs == 9,
+        &format!("{literal_pairs} pairs = 3×3 cross product (the documented anomaly)"),
+    );
+
+    println!("\nE9 — Example 4.5: descendants of abraham (closure exists)");
+    let family = obj(
+        "[family: {[name: abraham, children: {[name: isaac]}],
+                   [name: isaac,   children: {[name: esau], [name: jacob]}]}]",
+    );
+    let program = parse_program(
+        "[doa: {abraham}].
+         [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+    )
+    .unwrap();
+    match Engine::new(program).run(&family) {
+        Ok(out) => score.row(
+            "closure.doa",
+            &out.database.dot("doa").to_string(),
+            &obj("{abraham, isaac, esau, jacob}").to_string(),
+        ),
+        Err(e) => score.check("closure.doa", false, &e.to_string()),
+    }
+
+    println!("\nE10 — Example 4.6: infinite lists (no closure; guarded)");
+    let diverging = parse_program(
+        "[list: {1}].
+         [list: {[head: 1, tail: X]}] :- [list: {X}].",
+    )
+    .unwrap();
+    let result = Engine::new(diverging)
+        .guard(Guard {
+            max_iterations: 64,
+            max_depth: 32,
+            ..Guard::default()
+        })
+        .run(&obj("[list: {}]"));
+    match result {
+        Err(EngineError::Diverged { reason, stats, .. }) => score.check(
+            "divergence detected",
+            true,
+            &format!("after {} iterations: {reason}", stats.iterations),
+        ),
+        Ok(_) => score.check("divergence detected", false, "unexpected convergence"),
+    }
+
+    println!(
+        "\n==> {} checks passed, {} failed",
+        score.pass, score.fail
+    );
+    println!("(E11/E12 — the theorem property suites — run under `cargo test --workspace`.)");
+    if score.fail > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Generates the measured figure series F1–F7 of EXPERIMENTS.md as CSV on
+//! stdout (one block per figure). Criterion (`cargo bench`) produces the
+//! statistically rigorous versions; this binary produces quick single-shot
+//! series for the EXPERIMENTS.md tables.
+//!
+//! Run with `cargo run -p co-bench --release --bin figures`.
+
+use co_bench::*;
+use co_calculus::{interpret_with, matches, MatchPolicy, ScanAll};
+use co_engine::{Engine, Guard, Strategy};
+use co_object::lattice::{intersect, union};
+use co_object::order::le;
+use co_object::Object;
+use co_parser::{parse_formula, parse_object};
+use co_relational::Query;
+use std::time::Instant;
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Repeats until ~20ms elapsed, reporting mean ms per call.
+fn bench_ms(mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    f();
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while start.elapsed().as_secs_f64() < 0.02 {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn main() {
+    println!("# F1 — sub-object check vs depth/fanout");
+    println!("figure,depth,fanout,mean_ms_per_1k_pairs");
+    for depth in [2u32, 3, 4, 5, 6] {
+        for fanout in [2usize, 4, 8] {
+            let objs = random_objects(42, depth, fanout, 40);
+            let ms = bench_ms(|| {
+                for a in &objs {
+                    for b in &objs {
+                        std::hint::black_box(le(a, b));
+                    }
+                }
+            });
+            println!("F1,{depth},{fanout},{:.4}", ms / 1.6);
+        }
+    }
+
+    println!("\n# F2 — union/intersection vs set size");
+    println!("figure,op,set_size,mean_ms");
+    for n in [10i64, 100, 1_000, 10_000] {
+        let a = flat_relation(n, n / 2 + 1, "k", "v");
+        let b = flat_relation(n + n / 2, n / 2 + 1, "k", "v");
+        let u = bench_ms(|| {
+            std::hint::black_box(union(&a, &b));
+        });
+        println!("F2,union,{n},{u:.4}");
+        // Definition 3.5 makes set intersection inherently pairwise
+        // (O(n·m) glbs); cap the sweep where the quadratic growth is
+        // already unambiguous.
+        if n <= 3_000 {
+            let i = bench_ms(|| {
+                std::hint::black_box(intersect(&a, &b));
+            });
+            println!("F2,intersect,{n},{i:.4}");
+        }
+    }
+
+    println!("\n# F3 — selection interpretation vs relation size: scan vs index");
+    println!("figure,mode,rows,mean_ms");
+    let sel = parse_formula("[r1: {[a: X, b: 3]}]").unwrap();
+    for rows in [100i64, 1_000, 10_000, 100_000] {
+        let db = Object::tuple([("r1", flat_relation(rows, 100, "a", "b"))]);
+        let scan = bench_ms(|| {
+            std::hint::black_box(interpret_with(&sel, &db, MatchPolicy::Strict, &ScanAll));
+        });
+        let pf = co_engine::index::IndexedPrefilter::new(MatchPolicy::Strict);
+        // Build the index once (as the engine would), then measure probes.
+        let _ = interpret_with(&sel, &db, MatchPolicy::Strict, &pf);
+        let indexed = bench_ms(|| {
+            std::hint::black_box(interpret_with(&sel, &db, MatchPolicy::Strict, &pf));
+        });
+        println!("F3,scan,{rows},{scan:.4}");
+        println!("F3,indexed,{rows},{indexed:.4}");
+    }
+
+    println!("\n# F4 — join: calculus scan vs calculus indexed vs flat algebra");
+    println!("figure,mode,rows,mean_ms,result_rows");
+    let join_rule = co_parser::parse_rule(
+        "[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
+    )
+    .unwrap();
+    for rows in [30i64, 100, 300, 1_000] {
+        let classes = rows; // key-to-key join: |result| ≈ rows.
+        let db = join_db(rows, classes);
+        let flat = join_db_flat(rows, classes);
+        let out_scan = co_calculus::apply_rule(&join_rule, &db, MatchPolicy::Strict);
+        let result_rows = out_scan.dot("r").as_set().map(|s| s.len()).unwrap_or(0);
+        let scan = bench_ms(|| {
+            std::hint::black_box(co_calculus::apply_rule(&join_rule, &db, MatchPolicy::Strict));
+        });
+        let pf = co_engine::index::IndexedPrefilter::new(MatchPolicy::Strict);
+        let _ = co_calculus::apply_rule_with(&join_rule, &db, MatchPolicy::Strict, &pf);
+        let indexed = bench_ms(|| {
+            std::hint::black_box(co_calculus::apply_rule_with(
+                &join_rule,
+                &db,
+                MatchPolicy::Strict,
+                &pf,
+            ));
+        });
+        let q = Query::rel("r1").join(Query::rel("r2"), [("b", "c")]);
+        let algebra = bench_ms(|| {
+            std::hint::black_box(q.eval(&flat).unwrap());
+        });
+        println!("F4,calculus-scan,{rows},{scan:.4},{result_rows}");
+        println!("F4,calculus-indexed,{rows},{indexed:.4},{result_rows}");
+        println!("F4,flat-algebra,{rows},{algebra:.4},{result_rows}");
+    }
+
+    println!("\n# F5 — transitive closure: naive vs semi-naive (chain & tree)");
+    println!("figure,shape,strategy,people,total_ms,iterations");
+    type FamilyBuilder = fn(usize) -> Object;
+    let shapes: [(&str, FamilyBuilder); 2] =
+        [("chain", chain_family), ("tree", |n| tree_family(n, 3))];
+    for (shape, db_of) in shapes {
+        for n in [20usize, 60, 180] {
+            let db = db_of(n);
+            for (label, strategy) in
+                [("naive", Strategy::Naive), ("semi-naive", Strategy::SemiNaive)]
+            {
+                let engine = Engine::new(descendants_program())
+                    .strategy(strategy)
+                    .indexes(false)
+                    .guard(Guard::unlimited());
+                let (out, ms) = time_ms(|| engine.run(&db).expect("converges"));
+                println!(
+                    "F5,{shape},{label},{n},{ms:.2},{}",
+                    out.stats.iterations
+                );
+            }
+        }
+    }
+
+    println!("\n# F6 — reduction cost: redundant vs antichain element mixes");
+    println!("figure,mix,elements,mean_ms");
+    for n in [10i64, 100, 1_000] {
+        let red = redundant_set(n);
+        let anti = antichain_set(2 * n);
+        let r = bench_ms(|| {
+            std::hint::black_box(Object::set(red.clone()));
+        });
+        let a = bench_ms(|| {
+            std::hint::black_box(Object::set(anti.clone()));
+        });
+        println!("F6,redundant,{},{r:.4}", 2 * n);
+        println!("F6,antichain,{},{a:.4}", 2 * n);
+    }
+
+    println!("\n# F7 — parser throughput");
+    println!("figure,bytes,mean_ms,mbytes_per_s");
+    for bytes in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let text = object_text(7, bytes);
+        let ms = bench_ms(|| {
+            std::hint::black_box(parse_object(&text).expect("parses"));
+        });
+        println!(
+            "F7,{},{ms:.4},{:.2}",
+            text.len(),
+            text.len() as f64 / 1e6 / (ms / 1e3)
+        );
+    }
+
+    // Sanity: scan and indexed matching agree on a spot check.
+    let db = join_db(100, 10);
+    let f = parse_formula("[r1: {[a: X, b: 3]}]").unwrap();
+    assert_eq!(
+        matches(&f, &db, MatchPolicy::Strict).len(),
+        10,
+        "spot check failed"
+    );
+    eprintln!("figures generated; paste into EXPERIMENTS.md");
+}

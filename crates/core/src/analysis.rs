@@ -1,0 +1,277 @@
+//! Static analysis of rule programs.
+//!
+//! The paper observes (after Theorem 4.1) that "in some cases such a
+//! minimal fixpoint exists; in some others it does not (in which case the
+//! series converges toward an infinite object)" — but offers no criterion.
+//! This module provides the conservative syntactic analyses a practical
+//! engine wants before running a program:
+//!
+//! - a **dependency graph** between rules over top-level attributes
+//!   ("predicates" in Datalog terms), with recursion detection;
+//! - a **divergence-risk** check: a recursive rule whose head embeds a
+//!   recursion-carrying variable *strictly deeper* than the body reads it
+//!   (Example 4.6's `[list: {[head: 1, tail: X]}] :- [list: {X}]` grows the
+//!   term at every step). Programs free of such growth cannot build
+//!   unboundedly deep objects and — over a fixed atom universe — terminate.
+//!
+//! Both analyses are conservative: `diverging` risk does not prove
+//! divergence, and its absence does not bound *width* growth, only depth.
+
+use crate::{Formula, Program, Var};
+use co_object::Attr;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The variable occurrence depth profile of a formula: for each variable,
+/// the minimum constructor depth at which it occurs.
+fn var_depths(f: &Formula, depth: usize, out: &mut FxHashMap<Var, usize>) {
+    match f {
+        Formula::Bottom | Formula::Atom(_) => {}
+        Formula::Var(v) => {
+            let d = out.entry(*v).or_insert(depth);
+            *d = (*d).min(depth);
+        }
+        Formula::Tuple(entries) => {
+            for (_, w) in entries {
+                var_depths(w, depth + 1, out);
+            }
+        }
+        Formula::Set(members) => {
+            for w in members {
+                var_depths(w, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Top-level attributes a formula touches (the "predicates" it reads or
+/// writes). A bare set/variable formula touches the anonymous root, which
+/// we model as `None`.
+fn top_attrs(f: &Formula) -> Vec<Option<Attr>> {
+    match f {
+        Formula::Tuple(entries) => entries.iter().map(|(a, _)| Some(*a)).collect(),
+        Formula::Bottom | Formula::Atom(_) => Vec::new(),
+        _ => vec![None],
+    }
+}
+
+/// The result of analysing a program.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// For each rule index: the rule indices it depends on (reads what
+    /// they write).
+    pub dependencies: Vec<Vec<usize>>,
+    /// Rule indices that participate in a dependency cycle (including
+    /// self-recursion).
+    pub recursive_rules: Vec<usize>,
+    /// Rule indices flagged as divergence risks: recursive and growing
+    /// (see [`rule_grows`]).
+    pub divergence_risks: Vec<usize>,
+}
+
+impl Analysis {
+    /// True when no rule is recursive: the fixpoint closes in at most
+    /// `|rules| + 1` iterations.
+    pub fn is_nonrecursive(&self) -> bool {
+        self.recursive_rules.is_empty()
+    }
+
+    /// True when no recursive rule grows its recursion variables: the
+    /// closure cannot build unboundedly *deep* objects.
+    pub fn is_depth_bounded(&self) -> bool {
+        self.divergence_risks.is_empty()
+    }
+}
+
+/// Does `rule` embed any body variable strictly deeper in its head than
+/// the (deepest) body occurrence that binds it? Such rules can pump
+/// structure — the Example 4.6 signature.
+pub fn rule_grows(rule: &crate::Rule) -> bool {
+    let mut body_depths = FxHashMap::default();
+    var_depths(rule.body(), 0, &mut body_depths);
+    let mut head_depths = FxHashMap::default();
+    var_depths(rule.head(), 0, &mut head_depths);
+    head_depths.iter().any(|(v, head_d)| {
+        body_depths
+            .get(v)
+            .map(|body_d| head_d > body_d)
+            .unwrap_or(false)
+    })
+}
+
+/// Analyses `program`: dependency graph, recursion, divergence risks.
+pub fn analyse(program: &Program) -> Analysis {
+    let rules = program.rules();
+    let n = rules.len();
+    let writes: Vec<FxHashSet<Option<Attr>>> = rules
+        .iter()
+        .map(|r| top_attrs(r.head()).into_iter().collect())
+        .collect();
+    let reads: Vec<FxHashSet<Option<Attr>>> = rules
+        .iter()
+        .map(|r| top_attrs(r.body()).into_iter().collect())
+        .collect();
+
+    let mut dependencies: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for (j, w) in writes.iter().enumerate() {
+            // Rule i depends on rule j when i reads something j writes.
+            // `None` (anonymous root output) conservatively collides with
+            // everything.
+            let collide = reads[i]
+                .iter()
+                .any(|r| r.is_none() || w.contains(r) || w.contains(&None));
+            if collide && !reads[i].is_empty() {
+                dependencies[i].push(j);
+            }
+        }
+    }
+
+    // A rule is recursive when it can reach itself in the dependency graph.
+    let mut recursive_rules = Vec::new();
+    for start in 0..n {
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = dependencies[start].clone();
+        let mut reachable_self = false;
+        while let Some(x) = stack.pop() {
+            if x == start {
+                reachable_self = true;
+                break;
+            }
+            if !seen[x] {
+                seen[x] = true;
+                stack.extend(dependencies[x].iter().copied());
+            }
+        }
+        if reachable_self {
+            recursive_rules.push(start);
+        }
+    }
+
+    let divergence_risks = recursive_rules
+        .iter()
+        .copied()
+        .filter(|&i| rule_grows(&rules[i]))
+        .collect();
+
+    Analysis {
+        dependencies,
+        recursive_rules,
+        divergence_risks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{wff, Rule};
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    fn descendants() -> Program {
+        Program::from_rules([
+            Rule::fact(wff!([doa: {abraham}])).unwrap(),
+            Rule::new(
+                wff!([doa: {(x())}]),
+                wff!([family: {[name: (y()), children: {[name: (x())]}]}, doa: {(y())}]),
+            )
+            .unwrap(),
+        ])
+    }
+
+    fn infinite_lists() -> Program {
+        Program::from_rules([
+            Rule::fact(wff!([list: {1}])).unwrap(),
+            Rule::new(
+                wff!([list: {[head: 1, tail: (x())]}]),
+                wff!([list: {(x())}]),
+            )
+            .unwrap(),
+        ])
+    }
+
+    #[test]
+    fn nonrecursive_program() {
+        let p = Program::from_rules([
+            Rule::new(wff!([out: {(x())}]), wff!([src: {(x())}])).unwrap()
+        ]);
+        let a = analyse(&p);
+        assert!(a.is_nonrecursive());
+        assert!(a.is_depth_bounded());
+        assert!(a.dependencies[0].is_empty());
+    }
+
+    #[test]
+    fn descendants_is_recursive_but_depth_bounded() {
+        let a = analyse(&descendants());
+        assert_eq!(a.recursive_rules, vec![1]);
+        assert!(!a.is_nonrecursive());
+        // X occurs at depth 3 in the body, depth 2 in the head: the head
+        // does NOT deepen it — no divergence risk.
+        assert!(a.is_depth_bounded());
+    }
+
+    #[test]
+    fn example_4_6_is_flagged_as_divergence_risk() {
+        let a = analyse(&infinite_lists());
+        assert_eq!(a.recursive_rules, vec![1]);
+        assert_eq!(a.divergence_risks, vec![1]);
+        assert!(!a.is_depth_bounded());
+    }
+
+    #[test]
+    fn rule_growth_detection() {
+        // Head puts X one level deeper than the body reads it.
+        let grows = Rule::new(
+            wff!([r: {{(x())}}]),
+            wff!([r: {(x())}]),
+        )
+        .unwrap();
+        assert!(rule_grows(&grows));
+        // Same depth: no growth.
+        let level = Rule::new(wff!([r: {(x())}]), wff!([s: {(x())}])).unwrap();
+        assert!(!rule_grows(&level));
+        // Head SHALLOWER than body: projection, no growth.
+        let shrinks = Rule::new(
+            wff!({(x())}),
+            wff!([r: {[a: (x())]}]),
+        )
+        .unwrap();
+        assert!(!rule_grows(&shrinks));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let p = Program::from_rules([
+            Rule::new(wff!([p: {(x())}]), wff!([q: {(x())}])).unwrap(),
+            Rule::new(wff!([q: {(x())}]), wff!([p: {(x())}])).unwrap(),
+        ]);
+        let a = analyse(&p);
+        assert_eq!(a.recursive_rules, vec![0, 1]);
+        assert!(a.is_depth_bounded());
+    }
+
+    #[test]
+    fn facts_do_not_create_dependencies() {
+        let a = analyse(&descendants());
+        assert!(a.dependencies[0].is_empty()); // the fact reads nothing
+        assert!(a.dependencies[1].contains(&0)); // the rule reads doa
+        assert!(a.dependencies[1].contains(&1));
+    }
+
+    #[test]
+    fn bare_set_heads_collide_conservatively() {
+        // {X} :- [r: {X}] writes the anonymous root: everything reading
+        // anything depends on it.
+        let p = Program::from_rules([
+            Rule::new(wff!({(x())}), wff!([r: {(x())}])).unwrap(),
+            Rule::new(wff!([s: {(x())}]), wff!([t: {(x())}])).unwrap(),
+        ]);
+        let a = analyse(&p);
+        assert!(a.dependencies[1].contains(&0));
+    }
+}

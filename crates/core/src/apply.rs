@@ -1,0 +1,271 @@
+//! Rule application (paper Definition 4.4):
+//!
+//! > `r(O) = ∪ { σφ | σ such that σφ' ≤ O }`
+//!
+//! Unlike interpretation, a rule can *generate new structure*: the head may
+//! rename attributes, drop them, introduce constants, or re-nest bindings.
+//! Monotonicity (Lemma 4.1) still holds — checked by the property tests in
+//! `tests/calculus_semantics.rs`.
+
+use crate::matcher::{match_with, MatchPolicy, MatchStats, Prefilter, ScanAll};
+use crate::{Program, Rule, Substitution};
+use co_object::lattice::{union, union_many};
+use co_object::Object;
+
+/// `r(O)` — the effect of one rule on an object (Definition 4.4).
+///
+/// ```
+/// use co_calculus::{apply_rule, wff, MatchPolicy, Rule, Var};
+/// use co_object::obj;
+///
+/// // Example 4.2(2): [R: {X}] :- [R1: {[A: X, B: b]}]
+/// // "Selection of R1 on B = b, projection on A, assignment to R."
+/// let x = Var::new("X");
+/// let r = Rule::new(wff!([r: {(x)}]), wff!([r1: {[a: (x), b: b]}])).unwrap();
+/// let db = obj!([r1: {[a: 1, b: b], [a: 2, b: c]}]);
+/// assert_eq!(apply_rule(&r, &db, MatchPolicy::Strict), obj!([r: {1}]));
+/// ```
+pub fn apply_rule(rule: &Rule, o: &Object, policy: MatchPolicy) -> Object {
+    apply_rule_with(rule, o, policy, &ScanAll).0
+}
+
+/// [`apply_rule`] with an explicit prefilter and statistics.
+pub fn apply_rule_with(
+    rule: &Rule,
+    o: &Object,
+    policy: MatchPolicy,
+    prefilter: &dyn Prefilter,
+) -> (Object, MatchStats) {
+    let (substs, stats) = match_with(rule.body(), o, policy, prefilter);
+    let result = union_many(substs.iter().map(|s| rule.head().instantiate(s)));
+    (result, stats)
+}
+
+/// The derivations of one rule application: each satisfying substitution
+/// paired with the head instantiation it contributes.
+pub fn derivations(
+    rule: &Rule,
+    o: &Object,
+    policy: MatchPolicy,
+) -> Vec<(Substitution, Object)> {
+    match_with(rule.body(), o, policy, &ScanAll)
+        .0
+        .into_iter()
+        .map(|s| {
+            let h = rule.head().instantiate(&s);
+            (s, h)
+        })
+        .collect()
+}
+
+/// `R(O) = ∪ { r(O) | r ∈ R }` — the one-step consequence operator of a
+/// rule set (used by Definition 4.5's closure condition `R(O) ≤ O`).
+pub fn apply_program(program: &Program, o: &Object, policy: MatchPolicy) -> Object {
+    apply_program_with(program, o, policy, &ScanAll).0
+}
+
+/// [`apply_program`] with an explicit prefilter and statistics.
+pub fn apply_program_with(
+    program: &Program,
+    o: &Object,
+    policy: MatchPolicy,
+    prefilter: &dyn Prefilter,
+) -> (Object, MatchStats) {
+    let mut acc = Object::Bottom;
+    let mut stats = MatchStats::default();
+    for r in program.rules() {
+        let (contribution, s) = apply_rule_with(r, o, policy, prefilter);
+        stats.merge(s);
+        acc = union(&acc, &contribution);
+    }
+    (acc, stats)
+}
+
+/// Definition 4.5: `O` is closed under `r` when `r(O) ≤ O`.
+pub fn is_closed_under_rule(rule: &Rule, o: &Object, policy: MatchPolicy) -> bool {
+    co_object::order::le(&apply_rule(rule, o, policy), o)
+}
+
+/// Definition 4.5: `O` is closed under `R` when it is closed under every
+/// rule of `R`.
+pub fn is_closed_under(program: &Program, o: &Object, policy: MatchPolicy) -> bool {
+    program
+        .rules()
+        .iter()
+        .all(|r| is_closed_under_rule(r, o, policy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{wff, Var};
+    use co_object::obj;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+    fn z() -> Var {
+        Var::new("Z")
+    }
+
+    fn rel_db() -> Object {
+        obj!([
+            r1: {[a: 1, b: 10], [a: 2, b: 20], [a: 3, b: 30]},
+            r2: {[c: 10, d: 100], [c: 20, d: 200], [c: 99, d: 999]}
+        ])
+    }
+
+    #[test]
+    fn example_4_2_1_selection_projection_rename() {
+        // [R: {[C: X]}] :- [R1: {[A: X, B: b]}]
+        let db = obj!([r1: {[a: 1, b: b], [a: 2, b: c], [a: 3, b: b]}]);
+        let r = Rule::new(wff!([r: {[c: (x())]}]), wff!([r1: {[a: (x()), b: b]}])).unwrap();
+        assert_eq!(
+            apply_rule(&r, &db, MatchPolicy::Strict),
+            obj!([r: {[c: 1], [c: 3]}])
+        );
+    }
+
+    #[test]
+    fn example_4_2_2_projection_to_set_of_atoms() {
+        // [R: {X}] :- [R1: {[A: X, B: b]}]
+        let db = obj!([r1: {[a: 1, b: b], [a: 2, b: c]}]);
+        let r = Rule::new(wff!([r: {(x())}]), wff!([r1: {[a: (x()), b: b]}])).unwrap();
+        assert_eq!(apply_rule(&r, &db, MatchPolicy::Strict), obj!([r: {1}]));
+    }
+
+    #[test]
+    fn example_4_2_3_join() {
+        // [R: {[A: X, D: Z]}] :- [R1: {[A:X, B:Y]}, R2: {[C:Y, D:Z]}]
+        let r = Rule::new(
+            wff!([r: {[a: (x()), d: (z())]}]),
+            wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y()), d: (z())]}]),
+        )
+        .unwrap();
+        let out = apply_rule(&r, &rel_db(), MatchPolicy::Strict);
+        // Join on B = C keeps (1,100) and (2,200) — NOT the cross product.
+        assert_eq!(out, obj!([r: {[a: 1, d: 100], [a: 2, d: 200]}]));
+    }
+
+    #[test]
+    fn join_under_literal_policy_degenerates_to_cross_product() {
+        // The DESIGN.md §3.3 anomaly, pinned as a test: Definition 4.4
+        // verbatim admits Y ↦ ⊥, which erases the join condition.
+        let r = Rule::new(
+            wff!([r: {[a: (x()), d: (z())]}]),
+            wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y()), d: (z())]}]),
+        )
+        .unwrap();
+        let out = apply_rule(&r, &rel_db(), MatchPolicy::Literal);
+        let rset = out.dot("r").as_set().unwrap();
+        // 3 × 3 pairs.
+        assert_eq!(rset.len(), 9);
+    }
+
+    #[test]
+    fn example_4_2_4_join_with_renaming() {
+        // [R: {[A1: X, A2: Z]}] :- same body.
+        let r = Rule::new(
+            wff!([r: {[a1: (x()), a2: (z())]}]),
+            wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y()), d: (z())]}]),
+        )
+        .unwrap();
+        assert_eq!(
+            apply_rule(&r, &rel_db(), MatchPolicy::Strict),
+            obj!([r: {[a1: 1, a2: 100], [a1: 2, a2: 200]}])
+        );
+    }
+
+    #[test]
+    fn example_4_2_5_intersection() {
+        // [R: {X}] :- [R1: {X}, R2: {X}]
+        let db = obj!([r1: {1, 2, 3}, r2: {2, 3, 4}]);
+        let r = Rule::new(wff!([r: {(x())}]), wff!([r1: {(x())}, r2: {(x())}])).unwrap();
+        assert_eq!(apply_rule(&r, &db, MatchPolicy::Strict), obj!([r: {2, 3}]));
+    }
+
+    #[test]
+    fn example_4_2_6_intersection_to_bare_set() {
+        // {X} :- [R1: {X}, R2: {X}] — "simply generating a set".
+        let db = obj!([r1: {1, 2, 3}, r2: {2, 3, 4}]);
+        let r = Rule::new(wff!({(x())}), wff!([r1: {(x())}, r2: {(x())}])).unwrap();
+        assert_eq!(apply_rule(&r, &db, MatchPolicy::Strict), obj!({2, 3}));
+    }
+
+    #[test]
+    fn example_4_2_7_intersection_after_renaming() {
+        // {[A1: X, A2: Y]} :- [R1: {[A:X, B:Y]}, R2: {[C:X, D:Y]}]
+        let db = obj!([
+            r1: {[a: 1, b: 2], [a: 5, b: 6]},
+            r2: {[c: 1, d: 2], [c: 7, d: 8]}
+        ]);
+        let r = Rule::new(
+            wff!({[a1: (x()), a2: (y())]}),
+            wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (x()), d: (y())]}]),
+        )
+        .unwrap();
+        assert_eq!(
+            apply_rule(&r, &db, MatchPolicy::Strict),
+            obj!({[a1: 1, a2: 2]})
+        );
+    }
+
+    #[test]
+    fn facts_contribute_their_head() {
+        let f = Rule::fact(wff!([doa: {abraham}])).unwrap();
+        assert_eq!(
+            apply_rule(&f, &Object::Bottom, MatchPolicy::Strict),
+            obj!([doa: {abraham}])
+        );
+    }
+
+    #[test]
+    fn rule_with_no_matches_yields_bottom() {
+        let r = Rule::new(wff!([r: {(x())}]), wff!([nope: {(x())}])).unwrap();
+        assert_eq!(apply_rule(&r, &rel_db(), MatchPolicy::Strict), Object::Bottom);
+    }
+
+    #[test]
+    fn program_application_unions_rule_effects() {
+        let p = Program::from_rules([
+            Rule::fact(wff!([out: {0}])).unwrap(),
+            Rule::new(wff!([out: {(x())}]), wff!([r1: {[a: (x()), b: 10]}])).unwrap(),
+        ]);
+        assert_eq!(
+            apply_program(&p, &rel_db(), MatchPolicy::Strict),
+            obj!([out: {0, 1}])
+        );
+    }
+
+    #[test]
+    fn closedness_checks() {
+        let p = Program::from_rules([
+            Rule::new(wff!([r1: {(x())}]), wff!([r1: {(x())}])).unwrap()
+        ]);
+        // Any database is closed under the identity-ish rule: it re-derives
+        // a sub-object of r1.
+        assert!(is_closed_under(&p, &rel_db(), MatchPolicy::Strict));
+
+        let gen = Program::from_rules([
+            Rule::new(wff!([r2: {(x())}]), wff!([r1: {(x())}])).unwrap()
+        ]);
+        let db = obj!([r1: {1}, r2: {}]);
+        assert!(!is_closed_under(&gen, &db, MatchPolicy::Strict));
+        let closed = obj!([r1: {1}, r2: {1}]);
+        assert!(is_closed_under(&gen, &closed, MatchPolicy::Strict));
+    }
+
+    #[test]
+    fn derivations_expose_substitutions() {
+        let db = obj!([r1: {1, 2}]);
+        let r = Rule::new(wff!([r: {(x())}]), wff!([r1: {(x())}])).unwrap();
+        let ds = derivations(&r, &db, MatchPolicy::Strict);
+        assert_eq!(ds.len(), 2);
+        for (s, h) in &ds {
+            assert_eq!(&r.head().instantiate(s), h);
+        }
+    }
+}

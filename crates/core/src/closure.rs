@@ -1,0 +1,340 @@
+//! Closure of an object under a rule set (paper Definitions 4.5/4.6,
+//! Theorem 4.1) — the *reference* fixpoint implementation.
+//!
+//! This module is the executable specification: simple, obviously-correct
+//! naive iteration. The production engine (`co-engine`) implements the same
+//! semantics with semi-naive evaluation, indexes, and richer guards, and is
+//! differentially tested against this one.
+//!
+//! # Iteration modes
+//!
+//! Theorem 4.1 iterates `On = R(On-1)` from `O1 = O`. Taken literally that
+//! series is not monotone for rule sets that do not re-derive their input
+//! (a lone projection rule maps the database to just its output relation,
+//! and the next step maps *that* to ⊥). The closure the paper wants — "the
+//! unique minimal object closed under R" that contains the database of
+//! Example 4.5 — is the limit of the **inflationary** series
+//! `On = On-1 ∪ R(On-1)`, i.e. the least fixpoint of the monotone,
+//! inflationary map `O ↦ O ∪ R(O)` above `O` (Tarski/Kleene; the lattice
+//! structure of Theorem 3.6 is what makes this well-defined). Both modes are
+//! provided; `Inflationary` is the default. See DESIGN.md §3.4.
+
+use crate::apply::apply_program;
+use crate::matcher::MatchPolicy;
+use crate::{CalculusError, Program};
+use co_object::lattice::union;
+use co_object::{measure, Object};
+
+/// How to iterate towards the closure (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ClosureMode {
+    /// `On = On-1 ∪ R(On-1)` — monotone series converging to the least
+    /// fixpoint above the initial object. The default.
+    #[default]
+    Inflationary,
+    /// `On = R(On-1)` — Theorem 4.1 verbatim. May oscillate or lose the
+    /// initial object for programs that do not re-derive their input.
+    PaperLiteral,
+}
+
+/// Guard limits for closure computation. Example 4.6 shows rule sets with
+/// no (finite) closure; guards turn that divergence into an error carrying
+/// the partial result.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosureLimits {
+    /// Maximum number of iterations before giving up.
+    pub max_iterations: u64,
+    /// Maximum database size (node count) before giving up.
+    pub max_size: u64,
+    /// Maximum database depth before giving up.
+    pub max_depth: u64,
+}
+
+impl Default for ClosureLimits {
+    fn default() -> Self {
+        ClosureLimits {
+            max_iterations: 10_000,
+            max_size: 10_000_000,
+            max_depth: 10_000,
+        }
+    }
+}
+
+/// The result of a converged closure computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Closure {
+    /// The closed object (for `Inflationary`, the minimal closed object
+    /// containing the input).
+    pub object: Object,
+    /// Number of applications of `R` performed (including the one that
+    /// confirmed the fixpoint).
+    pub iterations: u64,
+}
+
+/// Computes the closure of `db` under `program`.
+///
+/// ```
+/// use co_calculus::{closure, wff, ClosureLimits, ClosureMode, MatchPolicy,
+///                   Program, Rule, Var};
+/// use co_object::obj;
+///
+/// // Example 4.5: descendants of abraham.
+/// let x = Var::new("X");
+/// let y = Var::new("Y");
+/// let program = Program::from_rules([
+///     Rule::fact(wff!([doa: {abraham}])).unwrap(),
+///     Rule::new(
+///         wff!([doa: {(x)}]),
+///         wff!([family: {[name: (y), children: {[name: (x)]}]}, doa: {(y)}]),
+///     )
+///     .unwrap(),
+/// ]);
+/// let db = obj!([family: {
+///     [name: abraham, children: {[name: isaac]}],
+///     [name: isaac, children: {[name: esau], [name: jacob]}]
+/// }]);
+/// let c = closure(
+///     &program, &db,
+///     ClosureMode::Inflationary, MatchPolicy::Strict, ClosureLimits::default(),
+/// ).unwrap();
+/// assert_eq!(
+///     c.object.dot("doa"),
+///     &obj!({abraham, isaac, esau, jacob})
+/// );
+/// ```
+pub fn closure(
+    program: &Program,
+    db: &Object,
+    mode: ClosureMode,
+    policy: MatchPolicy,
+    limits: ClosureLimits,
+) -> Result<Closure, CalculusError> {
+    let mut current = db.clone();
+    for iteration in 1..=limits.max_iterations {
+        let applied = apply_program(program, &current, policy);
+        let next = match mode {
+            ClosureMode::Inflationary => union(&current, &applied),
+            ClosureMode::PaperLiteral => applied,
+        };
+        if next == current {
+            return Ok(Closure {
+                object: current,
+                iterations: iteration,
+            });
+        }
+        if measure::size(&next) > limits.max_size {
+            return Err(CalculusError::Diverged {
+                iterations: iteration,
+                reason: format!("database size exceeded {}", limits.max_size),
+                partial: Box::new(next),
+            });
+        }
+        if let Some(d) = measure::depth(&next).finite() {
+            if d > limits.max_depth {
+                return Err(CalculusError::Diverged {
+                    iterations: iteration,
+                    reason: format!("database depth exceeded {}", limits.max_depth),
+                    partial: Box::new(next),
+                });
+            }
+        }
+        current = next;
+    }
+    Err(CalculusError::Diverged {
+        iterations: limits.max_iterations,
+        reason: format!("no fixpoint within {} iterations", limits.max_iterations),
+        partial: Box::new(current),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::is_closed_under;
+    use crate::{wff, Rule, Var};
+    use co_object::obj;
+    use co_object::order::le;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    fn genealogy_db() -> Object {
+        obj!([family: {
+            [name: abraham, children: {[name: isaac]}],
+            [name: isaac, children: {[name: esau], [name: jacob]}],
+            [name: jacob, children: {[name: joseph], [name: judah]}],
+            [name: nahor, children: {[name: bethuel]}]
+        }])
+    }
+
+    fn descendants_program() -> Program {
+        Program::from_rules([
+            Rule::fact(wff!([doa: {abraham}])).unwrap(),
+            Rule::new(
+                wff!([doa: {(x())}]),
+                wff!([family: {[name: (y()), children: {[name: (x())]}]}, doa: {(y())}]),
+            )
+            .unwrap(),
+        ])
+    }
+
+    #[test]
+    fn example_4_5_descendants_of_abraham() {
+        let c = closure(
+            &descendants_program(),
+            &genealogy_db(),
+            ClosureMode::Inflationary,
+            MatchPolicy::Strict,
+            ClosureLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            c.object.dot("doa"),
+            &obj!({abraham, isaac, esau, jacob, joseph, judah})
+        );
+        // nahor's line is unreachable from abraham.
+        assert!(!c
+            .object
+            .dot("doa")
+            .as_set()
+            .unwrap()
+            .contains(&obj!(bethuel)));
+        // The result is closed and contains the input (Definition 4.6).
+        assert!(is_closed_under(&descendants_program(), &c.object, MatchPolicy::Strict));
+        assert!(le(&genealogy_db(), &c.object));
+    }
+
+    #[test]
+    fn closure_is_minimal_among_closed_supersets() {
+        // Adding anything the program derives does not change the closure;
+        // the closure is below any closed object containing the input.
+        let c = closure(
+            &descendants_program(),
+            &genealogy_db(),
+            ClosureMode::Inflationary,
+            MatchPolicy::Strict,
+            ClosureLimits::default(),
+        )
+        .unwrap();
+        // A strictly larger closed object.
+        let bigger = union(&c.object, &obj!([doa: {extra_person}]));
+        assert!(is_closed_under(&descendants_program(), &bigger, MatchPolicy::Strict));
+        assert!(le(&c.object, &bigger));
+        assert_ne!(c.object, bigger);
+    }
+
+    #[test]
+    fn example_4_6_infinite_lists_diverge() {
+        // [list: {1}].
+        // [list: {[head: 1, tail: X]}] :- [list: {X}].
+        let program = Program::from_rules([
+            Rule::fact(wff!([list: {1}])).unwrap(),
+            Rule::new(
+                wff!([list: {[head: 1, tail: (x())]}]),
+                wff!([list: {(x())}]),
+            )
+            .unwrap(),
+        ]);
+        let r = closure(
+            &program,
+            &obj!([list: {}]),
+            ClosureMode::Inflationary,
+            MatchPolicy::Strict,
+            ClosureLimits {
+                max_iterations: 50,
+                max_depth: 30,
+                ..ClosureLimits::default()
+            },
+        );
+        match r {
+            Err(CalculusError::Diverged { iterations, partial, .. }) => {
+                assert!(iterations > 1);
+                // The partial result contains ever-deeper lists.
+                assert!(measure::size(&partial) > 3);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_recursive_program_converges_in_two_steps() {
+        let p = Program::from_rules([
+            Rule::new(wff!([out: {(x())}]), wff!([src: {(x())}])).unwrap()
+        ]);
+        let db = obj!([src: {1, 2}]);
+        let c = closure(
+            &p,
+            &db,
+            ClosureMode::Inflationary,
+            MatchPolicy::Strict,
+            ClosureLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(c.object, obj!([src: {1, 2}, out: {1, 2}]));
+        assert_eq!(c.iterations, 2);
+    }
+
+    #[test]
+    fn paper_literal_mode_agrees_when_rules_rederive_input() {
+        // The descendants program re-derives nothing about `family`, so
+        // PaperLiteral drops the family relation: its fixpoint (if reached)
+        // differs. Demonstrate on a self-rederiving program instead.
+        let p = Program::from_rules([
+            Rule::new(wff!([r: {(x())}]), wff!([r: {(x())}])).unwrap(),
+            Rule::new(wff!([r: {2}]), wff!([r: {1}])).unwrap(),
+        ]);
+        let db = obj!([r: {1}]);
+        let inflationary = closure(
+            &p, &db, ClosureMode::Inflationary, MatchPolicy::Strict, ClosureLimits::default(),
+        )
+        .unwrap();
+        let literal = closure(
+            &p, &db, ClosureMode::PaperLiteral, MatchPolicy::Strict, ClosureLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(inflationary.object, obj!([r: {1, 2}]));
+        assert_eq!(literal.object, inflationary.object);
+    }
+
+    #[test]
+    fn paper_literal_mode_can_lose_the_input() {
+        // A lone projection rule: PaperLiteral's second iterate forgets r1.
+        let p = Program::from_rules([
+            Rule::new(wff!([out: {(x())}]), wff!([r1: {(x())}])).unwrap()
+        ]);
+        let db = obj!([r1: {1}]);
+        let r = closure(
+            &p,
+            &db,
+            ClosureMode::PaperLiteral,
+            MatchPolicy::Strict,
+            ClosureLimits {
+                max_iterations: 10,
+                ..ClosureLimits::default()
+            },
+        );
+        // O2 = [out: {1}], O3 = ⊥, O4 = ⊥ = O3 → converges to ⊥,
+        // which does NOT contain the input database.
+        let c = r.unwrap();
+        assert_eq!(c.object, Object::Bottom);
+        assert!(!le(&db, &c.object));
+    }
+
+    #[test]
+    fn empty_program_closes_immediately() {
+        let c = closure(
+            &Program::new(),
+            &obj!([r: {1}]),
+            ClosureMode::Inflationary,
+            MatchPolicy::Strict,
+            ClosureLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(c.object, obj!([r: {1}]));
+        assert_eq!(c.iterations, 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for the calculus.
+
+use crate::Var;
+use co_object::{Attr, Object};
+use std::fmt;
+
+/// Errors produced when building formulae/rules or computing closures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CalculusError {
+    /// A tuple formula used the same attribute twice (Definition 4.1(iii)
+    /// requires distinct attribute names).
+    DuplicateAttribute(Attr),
+    /// A rule head used a variable that does not occur in the body
+    /// (violates Definition 4.3).
+    HeadVariableNotInBody(Var),
+    /// Closure iteration exceeded its limits — the program likely has no
+    /// finite closure (paper Example 4.6).
+    Diverged {
+        /// Iterations performed before giving up.
+        iterations: u64,
+        /// Human-readable description of the exceeded limit.
+        reason: String,
+        /// The last database state computed.
+        partial: Box<Object>,
+    },
+}
+
+impl fmt::Display for CalculusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalculusError::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute `{a}` in tuple formula")
+            }
+            CalculusError::HeadVariableNotInBody(v) => write!(
+                f,
+                "head variable `{v}` does not occur in the rule body (Definition 4.3)"
+            ),
+            CalculusError::Diverged {
+                iterations, reason, ..
+            } => write!(
+                f,
+                "closure did not converge after {iterations} iterations: {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CalculusError {}

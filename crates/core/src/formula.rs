@@ -1,0 +1,328 @@
+//! Well-formed formulae (paper Definition 4.1).
+//!
+//! A wff has exactly the syntax of an object, except that variables may
+//! stand anywhere an object could (Prolog convention: `X`, `Y`, … are
+//! variables; `john`, `25` are constants). We extend Definition 4.1 with an
+//! explicit `⊥` formula so that *facts* — rules written `head.` in Example
+//! 4.5 — are representable as rules whose body is ⊥ (see DESIGN.md §3.5):
+//! `σ⊥ = ⊥ ≤ O` holds for every database, so a fact fires unconditionally.
+
+use crate::{CalculusError, Substitution, Var};
+use co_object::{Atom, Attr, Object};
+use std::fmt;
+
+/// A well-formed formula (Definition 4.1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// The ⊥ constant (extension; bodies of facts).
+    Bottom,
+    /// A variable.
+    Var(Var),
+    /// An atomic constant.
+    Atom(Atom),
+    /// A tuple formula `[a1: w1, …, an: wn]` with distinct attributes,
+    /// kept sorted by attribute id.
+    Tuple(Vec<(Attr, Formula)>),
+    /// A set formula `{w1, …, wn}`.
+    Set(Vec<Formula>),
+}
+
+impl Formula {
+    /// Builds a variable formula.
+    pub fn var(name: impl Into<Var>) -> Formula {
+        Formula::Var(name.into())
+    }
+
+    /// Builds an atomic constant formula.
+    pub fn atom(a: impl Into<Atom>) -> Formula {
+        Formula::Atom(a.into())
+    }
+
+    /// Builds a tuple formula, sorting entries by attribute and rejecting
+    /// duplicate attribute names (Definition 4.1(iii) requires them
+    /// distinct).
+    pub fn tuple<I, A>(entries: I) -> Result<Formula, CalculusError>
+    where
+        I: IntoIterator<Item = (A, Formula)>,
+        A: Into<Attr>,
+    {
+        let mut v: Vec<(Attr, Formula)> =
+            entries.into_iter().map(|(a, f)| (a.into(), f)).collect();
+        v.sort_by_key(|(a, _)| *a);
+        for w in v.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(CalculusError::DuplicateAttribute(w[0].0));
+            }
+        }
+        Ok(Formula::Tuple(v))
+    }
+
+    /// Builds a set formula.
+    pub fn set<I>(members: I) -> Formula
+    where
+        I: IntoIterator<Item = Formula>,
+    {
+        Formula::Set(members.into_iter().collect())
+    }
+
+    /// Converts a ground object into the formula that denotes it.
+    /// (Every object is a wff; Definition 4.1(ii)–(iv).)
+    pub fn from_object(o: &Object) -> Formula {
+        match o {
+            Object::Bottom => Formula::Bottom,
+            // ⊤ has no formula syntax in the paper; represent it as a
+            // constant via the atom escape hatch is impossible, so reuse
+            // Bottom..Top mapping is *not* allowed — callers converting
+            // databases to formulas never see ⊤ (it poisons whole objects).
+            Object::Top => unreachable!("⊤ cannot appear inside a canonical object"),
+            Object::Atom(a) => Formula::Atom(a.clone()),
+            Object::Tuple(t) => Formula::Tuple(
+                t.iter()
+                    .map(|(a, v)| (*a, Formula::from_object(v)))
+                    .collect(),
+            ),
+            Object::Set(s) => Formula::Set(s.iter().map(Formula::from_object).collect()),
+        }
+    }
+
+    /// The set of variables occurring in the formula, in first-occurrence
+    /// order.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Formula::Bottom | Formula::Atom(_) => {}
+            Formula::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Formula::Tuple(entries) => {
+                for (_, f) in entries {
+                    f.collect_vars(out);
+                }
+            }
+            Formula::Set(members) => {
+                for f in members {
+                    f.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// True when the formula contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Formula::Bottom | Formula::Atom(_) => true,
+            Formula::Var(_) => false,
+            Formula::Tuple(entries) => entries.iter().all(|(_, f)| f.is_ground()),
+            Formula::Set(members) => members.iter().all(Formula::is_ground),
+        }
+    }
+
+    /// Instantiation `σE` (paper, before Definition 4.2): replaces each
+    /// variable by its binding and evaluates the constructors, normalizing
+    /// as objects always do. Variables absent from `σ` instantiate to ⊤ —
+    /// the maximally permissive reading; matchers always produce total
+    /// substitutions, so this matters only for hand-built σ.
+    pub fn instantiate(&self, subst: &Substitution) -> Object {
+        match self {
+            Formula::Bottom => Object::Bottom,
+            Formula::Atom(a) => Object::Atom(a.clone()),
+            Formula::Var(v) => subst.get(*v).cloned().unwrap_or(Object::Top),
+            Formula::Tuple(entries) => Object::tuple(
+                entries
+                    .iter()
+                    .map(|(a, f)| (*a, f.instantiate(subst))),
+            ),
+            Formula::Set(members) => {
+                Object::set(members.iter().map(|f| f.instantiate(subst)))
+            }
+        }
+    }
+
+    /// Number of syntax nodes — used by evaluation statistics.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Bottom | Formula::Atom(_) | Formula::Var(_) => 1,
+            Formula::Tuple(entries) => 1 + entries.iter().map(|(_, f)| f.size()).sum::<usize>(),
+            Formula::Set(members) => 1 + members.iter().map(Formula::size).sum::<usize>(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Bottom => write!(f, "bot"),
+            Formula::Var(v) => write!(f, "{v}"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Tuple(entries) => {
+                // Like object display: order by attribute name so rendering
+                // does not depend on process-local interning order.
+                let mut by_name: Vec<&(Attr, Formula)> = entries.iter().collect();
+                by_name.sort_by_key(|(a, _)| a.name());
+                write!(f, "[")?;
+                for (i, (a, w)) in by_name.into_iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}: {w}", co_object::display::attr_name(*a))?;
+                }
+                write!(f, "]")
+            }
+            Formula::Set(members) => {
+                write!(f, "{{")?;
+                for (i, w) in members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Builds a [`Formula`] with object-like literal syntax.
+///
+/// Identifiers starting with an upper-case letter are **variables** (the
+/// paper's Prolog convention); lower-case identifiers are string constants.
+///
+/// ```
+/// use co_calculus::{wff, Formula, Var};
+///
+/// let f = wff!([r1: {[a: (Var::new("X")), b: b]}]);
+/// assert_eq!(f.variables(), vec![Var::new("X")]);
+/// ```
+///
+/// Note: macro_rules cannot inspect identifier case, so variables are
+/// spliced explicitly with `(Var::new("X"))` or via [`Formula::var`]; the
+/// text parser in `co-parser` applies the case convention automatically.
+#[macro_export]
+macro_rules! wff {
+    (bot) => { $crate::Formula::Bottom };
+    ([ $($key:ident : $value:tt),* $(,)? ]) => {{
+        let entries: ::std::vec::Vec<(::co_object::Attr, $crate::Formula)> =
+            ::std::vec![ $( (::co_object::Attr::new(stringify!($key)), $crate::wff!($value)) ),* ];
+        $crate::Formula::tuple(entries).expect("duplicate attribute in wff! literal")
+    }};
+    ({ $($elem:tt),* $(,)? }) => {{
+        let members: ::std::vec::Vec<$crate::Formula> = ::std::vec![ $( $crate::wff!($elem) ),* ];
+        $crate::Formula::set(members)
+    }};
+    (( $e:expr )) => { $crate::formula::IntoFormula::into_formula($e) };
+    ($lit:literal) => { $crate::Formula::Atom(::co_object::Atom::from($lit)) };
+    ($id:ident) => { $crate::Formula::Atom(::co_object::Atom::str(stringify!($id))) };
+}
+
+/// Conversion into [`Formula`] for splicing into [`wff!`](crate::wff).
+pub trait IntoFormula {
+    /// Converts `self` into a formula.
+    fn into_formula(self) -> Formula;
+}
+
+impl IntoFormula for Formula {
+    fn into_formula(self) -> Formula {
+        self
+    }
+}
+
+impl IntoFormula for &Formula {
+    fn into_formula(self) -> Formula {
+        self.clone()
+    }
+}
+
+impl IntoFormula for Var {
+    fn into_formula(self) -> Formula {
+        Formula::Var(self)
+    }
+}
+
+impl IntoFormula for &Object {
+    fn into_formula(self) -> Formula {
+        Formula::from_object(self)
+    }
+}
+
+impl IntoFormula for Atom {
+    fn into_formula(self) -> Formula {
+        Formula::Atom(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::obj;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {(x())}]);
+        assert_eq!(f.variables(), vec![x(), y()]);
+        assert!(!f.is_ground());
+        assert!(wff!([a: 1, b: {2}]).is_ground());
+    }
+
+    #[test]
+    fn tuple_formula_rejects_duplicate_attributes() {
+        let r = Formula::tuple([("a", wff!(1)), ("a", wff!(2))]);
+        assert!(matches!(r, Err(CalculusError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn instantiation_normalizes_like_objects() {
+        let f = wff!([a: (x()), b: 2]);
+        // X ↦ ⊥ drops the attribute.
+        let s = Substitution::single(x(), Object::Bottom);
+        assert_eq!(f.instantiate(&s), obj!([b: 2]));
+        // X ↦ ⊤ poisons the tuple.
+        let s = Substitution::single(x(), Object::Top);
+        assert_eq!(f.instantiate(&s), Object::Top);
+        // Ordinary binding.
+        let s = Substitution::single(x(), obj!({1, 2}));
+        assert_eq!(f.instantiate(&s), obj!([a: {1, 2}, b: 2]));
+    }
+
+    #[test]
+    fn instantiation_of_set_formulas_reduces() {
+        let f = wff!({(x()), (y())});
+        let s = Substitution::from_pairs([(x(), obj!([a: 1])), (y(), obj!([a: 1, b: 2]))]);
+        assert_eq!(f.instantiate(&s), obj!({[a: 1, b: 2]}));
+    }
+
+    #[test]
+    fn from_object_round_trips_through_instantiation() {
+        let o = obj!([r: {[a: 1], [b: {2, 3}]}, n: 5]);
+        let f = Formula::from_object(&o);
+        assert!(f.is_ground());
+        assert_eq!(f.instantiate(&Substitution::empty()), o);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let f = wff!([r1: {[a: (x()), b: b]}]);
+        assert_eq!(f.to_string(), "[r1: {[a: X, b: b]}]");
+        assert_eq!(wff!(bot).to_string(), "bot");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(wff!(1).size(), 1);
+        // tuple + atom 1 + set + atom 2 + var X = 5 nodes.
+        assert_eq!(wff!([a: 1, b: {2, (x())}]).size(), 5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Interpretation of well-formed formulae (paper Definition 4.2):
+//!
+//! > `E(O) = ∪ { σE | σ such that σE ≤ O }`
+//!
+//! The interpretation *extracts* data: since each instantiation is a
+//! sub-object of `O` and union is the lub, `E(O) ≤ O` always — "a
+//! well-formed formula can extract data from an object but never generate
+//! new data".
+
+use crate::matcher::{match_with, MatchPolicy, MatchStats, Prefilter, ScanAll};
+use crate::{Formula, Substitution};
+use co_object::lattice::union_many;
+use co_object::Object;
+
+/// `E(O)` under the given policy (see [`MatchPolicy`]).
+///
+/// ```
+/// use co_calculus::{interpret, wff, MatchPolicy, Var};
+/// use co_object::obj;
+///
+/// // Example 4.1(1): [R1: {[A: X, B: b]}] — "relation R1 selected on
+/// // attribute B = b" (projected on A and B).
+/// let db = obj!([r1: {[a: 1, b: b], [a: 2, b: c]}]);
+/// let f = wff!([r1: {[a: (Var::new("X")), b: b]}]);
+/// assert_eq!(
+///     interpret(&f, &db, MatchPolicy::Strict),
+///     obj!([r1: {[a: 1, b: b]}])
+/// );
+/// ```
+pub fn interpret(f: &Formula, o: &Object, policy: MatchPolicy) -> Object {
+    interpret_with(f, o, policy, &ScanAll).0
+}
+
+/// [`interpret`] with an explicit prefilter and statistics.
+pub fn interpret_with(
+    f: &Formula,
+    o: &Object,
+    policy: MatchPolicy,
+    prefilter: &dyn Prefilter,
+) -> (Object, MatchStats) {
+    let (substs, stats) = match_with(f, o, policy, prefilter);
+    let result = union_many(substs.iter().map(|s| f.instantiate(s)));
+    (result, stats)
+}
+
+/// The matches of `f` against `o` paired with their instantiations —
+/// the "certificates" of an interpretation, useful for tracing and tests.
+pub fn certificates(
+    f: &Formula,
+    o: &Object,
+    policy: MatchPolicy,
+) -> Vec<(Substitution, Object)> {
+    match_with(f, o, policy, &ScanAll)
+        .0
+        .into_iter()
+        .map(|s| {
+            let inst = f.instantiate(&s);
+            (s, inst)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{wff, Var};
+    use co_object::obj;
+    use co_object::order::le;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+    fn z() -> Var {
+        Var::new("Z")
+    }
+
+    /// The database used for the Example 4.1 walkthrough in Section 4.
+    fn sample_db() -> Object {
+        obj!([
+            r1: {[a: 1, b: 10], [a: 2, b: 20], [a: 3, b: 30]},
+            r2: {[c: 10, d: 100], [c: 20, d: 200], [c: 99, d: 999]}
+        ])
+    }
+
+    #[test]
+    fn interpretation_is_a_subobject_of_the_database() {
+        let db = sample_db();
+        for f in [
+            wff!([r1: {[a: (x()), b: (y())]}]),
+            wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y()), d: (z())]}]),
+            wff!([r1: (x()), r2: (y())]),
+            wff!([r1: {(x())}, r2: {(y())}]),
+        ] {
+            for policy in [MatchPolicy::Strict, MatchPolicy::Literal] {
+                let e = interpret(&f, &db, policy);
+                assert!(le(&e, &db), "E(O) = {e} not ≤ O for {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_match_interprets_to_bottom() {
+        let db = sample_db();
+        let f = wff!([r9: {(x())}]);
+        assert_eq!(interpret(&f, &db, MatchPolicy::Strict), Object::Bottom);
+    }
+
+    #[test]
+    fn example_4_1_2_semijoin_projection() {
+        // [R1: {[A:X,B:Y]}, R2: {[C:Y,D:Z]}] — per the paper's prose: R1
+        // projected on A,B and R2 projected on C,D such that each kept
+        // B-value has a matching C-value (and vice versa).
+        let db = sample_db();
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y()), d: (z())]}]);
+        let e = interpret(&f, &db, MatchPolicy::Strict);
+        assert_eq!(
+            e,
+            obj!([
+                r1: {[a: 1, b: 10], [a: 2, b: 20]},
+                r2: {[c: 10, d: 100], [c: 20, d: 200]}
+            ])
+        );
+    }
+
+    #[test]
+    fn example_4_1_4_intersection() {
+        // [R1: {X}, R2: {X}] — intersection of R1 and R2.
+        let db = obj!([r1: {1, 2, 3}, r2: {2, 3, 4}]);
+        let f = wff!([r1: {(x())}, r2: {(x())}]);
+        let e = interpret(&f, &db, MatchPolicy::Strict);
+        assert_eq!(e, obj!([r1: {2, 3}, r2: {2, 3}]));
+    }
+
+    #[test]
+    fn example_4_1_6_whole_relations() {
+        // [R1: X, R2: Y] — "relations R1 and R2".
+        let db = sample_db();
+        let f = wff!([r1: (x()), r2: (y())]);
+        let e = interpret(&f, &db, MatchPolicy::Strict);
+        assert_eq!(e, db);
+    }
+
+    #[test]
+    fn example_4_1_7_element_unions() {
+        // [R1: {X}, R2: {Y}] — also "relations R1 and R2": the union over
+        // all element pairs rebuilds both sets.
+        let db = sample_db();
+        let f = wff!([r1: {(x())}, r2: {(y())}]);
+        let e = interpret(&f, &db, MatchPolicy::Strict);
+        assert_eq!(e, db);
+    }
+
+    #[test]
+    fn literal_policy_keeps_unmatched_projections() {
+        // With Literal, a non-joining R1 tuple still contributes its
+        // A-projection (Y ↦ ⊥ erases the B attribute) — the discrepancy
+        // documented in DESIGN.md §3.3.
+        let db = obj!([r1: {[a: 1, b: 10], [a: 7, b: 77]}, r2: {[c: 10, d: 100]}]);
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y()), d: (z())]}]);
+        let strict = interpret(&f, &db, MatchPolicy::Strict);
+        assert_eq!(
+            strict,
+            obj!([r1: {[a: 1, b: 10]}, r2: {[c: 10, d: 100]}])
+        );
+        let literal = interpret(&f, &db, MatchPolicy::Literal);
+        // [a: 7] survives in r1; the bare [d: 100] projection in r2 is
+        // absorbed by [c: 10, d: 100] under set reduction.
+        assert_eq!(
+            literal,
+            obj!([r1: {[a: 1, b: 10], [a: 7]}, r2: {[c: 10, d: 100]}])
+        );
+    }
+
+    #[test]
+    fn certificates_pair_substitutions_with_instantiations() {
+        let db = obj!([r1: {1, 2}]);
+        let f = wff!([r1: {(x())}]);
+        let certs = certificates(&f, &db, MatchPolicy::Strict);
+        assert_eq!(certs.len(), 2);
+        for (s, inst) in &certs {
+            assert_eq!(&f.instantiate(s), inst);
+            assert!(le(inst, &db));
+        }
+    }
+
+    #[test]
+    fn ground_formula_interprets_to_itself_or_bottom() {
+        let db = obj!([r1: {1, 2}]);
+        assert_eq!(
+            interpret(&wff!([r1: {1}]), &db, MatchPolicy::Strict),
+            obj!([r1: {1}])
+        );
+        assert_eq!(
+            interpret(&wff!([r1: {5}]), &db, MatchPolicy::Strict),
+            Object::Bottom
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! # co-calculus — the object calculus
+//!
+//! This crate implements Section 4 of Bancilhon & Khoshafian, *A Calculus
+//! for Complex Objects* — the paper's primary contribution:
+//!
+//! - [`Formula`] — well-formed formulae (Definition 4.1): object syntax
+//!   plus variables (and a ⊥ formula so facts are representable);
+//! - [`Substitution`] — maps from variables to complex objects;
+//! - [`matcher`] — enumeration of the substitutions `σ` with `σE ≤ O`,
+//!   with maximal bindings computed as lattice glbs, under two policies
+//!   ([`MatchPolicy::Strict`] / [`MatchPolicy::Literal`], see DESIGN.md);
+//! - [`interpret`] — `E(O) = ∪ {σE : σE ≤ O}` (Definition 4.2);
+//! - [`Rule`]/[`Program`] and [`apply_rule`]/[`apply_program`] —
+//!   Definitions 4.3/4.4;
+//! - [`closure`] — Definitions 4.5/4.6 and Theorem 4.1, as a reference
+//!   naive-iteration implementation with divergence guards (the production
+//!   engine lives in `co-engine`).
+//!
+//! ## Example: the paper's join rule
+//!
+//! ```
+//! use co_calculus::{apply_rule, wff, MatchPolicy, Rule, Var};
+//! use co_object::obj;
+//!
+//! let (x, y, z) = (Var::new("X"), Var::new("Y"), Var::new("Z"));
+//! // Example 4.2(3): join R1 and R2 on B = C, project to A and D.
+//! let rule = Rule::new(
+//!     wff!([r: {[a: (x), d: (z)]}]),
+//!     wff!([r1: {[a: (x), b: (y)]}, r2: {[c: (y), d: (z)]}]),
+//! )
+//! .unwrap();
+//! let db = obj!([
+//!     r1: {[a: 1, b: 10], [a: 2, b: 20]},
+//!     r2: {[c: 10, d: 100], [c: 30, d: 300]}
+//! ]);
+//! assert_eq!(
+//!     apply_rule(&rule, &db, MatchPolicy::Strict),
+//!     obj!([r: {[a: 1, d: 100]}])
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod apply;
+mod closure;
+mod error;
+pub mod formula;
+pub mod interp;
+pub mod matcher;
+mod rule;
+mod subst;
+mod var;
+
+pub use analysis::{analyse, Analysis};
+pub use apply::{
+    apply_program, apply_program_with, apply_rule, apply_rule_with, derivations,
+    is_closed_under, is_closed_under_rule,
+};
+pub use closure::{closure, Closure, ClosureLimits, ClosureMode};
+pub use error::CalculusError;
+pub use formula::{Formula, IntoFormula};
+pub use interp::{certificates, interpret, interpret_with};
+pub use matcher::{match_with, matches, MatchPolicy, MatchStats, Prefilter, ScanAll};
+pub use rule::{Program, Rule};
+pub use subst::Substitution;
+pub use var::Var;

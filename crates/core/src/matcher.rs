@@ -1,0 +1,524 @@
+//! The matcher: enumerating the substitutions `σ` with `σE ≤ O`.
+//!
+//! # Algorithm
+//!
+//! `σE ≤ O` decomposes by the structure of `E` (Definition 3.1):
+//!
+//! - constants must equal the corresponding part of `O` (or the part is ⊤);
+//! - a tuple formula walks attribute-wise into `O` (missing attributes read
+//!   as ⊥ — a dead end for every formula shape except variables and ⊥);
+//! - a **set formula member picks a witness element** of the corresponding
+//!   set in `O` — the only source of nondeterminism;
+//! - a variable occurrence `X` against part `U` contributes the constraint
+//!   `σX ≤ U`.
+//!
+//! For a fixed assignment of witnesses (a *choice function*), the variable
+//! constraints `σX ≤ U₁, …, σX ≤ Uₖ` have the maximal solution
+//! `σX = U₁ ∩ … ∩ Uₖ` — this is where the lattice structure (Theorem 3.6)
+//! does real work. The matcher backtracks over choice functions,
+//! accumulating per-variable glbs with an undo trail, and emits one maximal
+//! substitution per choice function, deduplicated.
+//!
+//! Every satisfying substitution is pointwise below one of the emitted ones,
+//! and instantiation is monotone, so unions over the emitted substitutions
+//! (Definitions 4.2 and 4.4) equal unions over *all* satisfying
+//! substitutions. The property tests in this module and in
+//! `tests/calculus_semantics.rs` check exactly this soundness/maximality
+//! contract.
+//!
+//! # Policies
+//!
+//! [`MatchPolicy::Literal`] keeps every emitted substitution — Definition
+//! 4.4 verbatim. [`MatchPolicy::Strict`] (the default) additionally drops
+//! substitutions that bind a variable to ⊥, matching the paper's prose
+//! semantics for its §4 examples (see DESIGN.md §3.3 for the join anomaly
+//! that motivates this).
+
+use crate::{Formula, Substitution, Var};
+use co_object::lattice::intersect;
+use co_object::{Object, Set};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Which substitutions count as matches (see module docs and DESIGN.md §3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MatchPolicy {
+    /// Discard substitutions binding any variable to ⊥. Matches the paper's
+    /// prose semantics (joins join, selections on a missing attribute fail).
+    #[default]
+    Strict,
+    /// Definition 4.4 verbatim: ⊥ bindings allowed.
+    Literal,
+}
+
+/// A prefilter can narrow the witness candidates the matcher tries for a
+/// set-formula member — the hook through which `co-engine` plugs in
+/// attribute-value indexes. Implementations must be **sound**: the returned
+/// candidate index list must contain every element the member could match
+/// under the current bindings. `None` means "no information, try all".
+pub trait Prefilter {
+    /// Candidate element indices of `set` for matching `member`, given a
+    /// lookup for the variable bindings accumulated so far.
+    fn candidates(
+        &self,
+        set: &Set,
+        member: &Formula,
+        bindings: &dyn Fn(Var) -> Option<Object>,
+    ) -> Option<Vec<usize>>;
+}
+
+/// The trivial prefilter: always scan.
+pub struct ScanAll;
+
+impl Prefilter for ScanAll {
+    fn candidates(
+        &self,
+        _set: &Set,
+        _member: &Formula,
+        _bindings: &dyn Fn(Var) -> Option<Object>,
+    ) -> Option<Vec<usize>> {
+        None
+    }
+}
+
+/// Running statistics of a match run, for the engine's reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Witness candidates tried across all choice points.
+    pub candidates_tried: u64,
+    /// Substitutions emitted before deduplication and policy filtering.
+    pub raw_matches: u64,
+    /// Substitutions surviving deduplication and policy filtering.
+    pub matches: u64,
+}
+
+impl MatchStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: MatchStats) {
+        self.candidates_tried += other.candidates_tried;
+        self.raw_matches += other.raw_matches;
+        self.matches += other.matches;
+    }
+}
+
+/// One conjunctive sub-goal. `Copy` (all references) so the search can push
+/// goals back verbatim when unwinding, keeping sibling alternatives sound.
+#[derive(Clone, Copy)]
+enum Goal<'a> {
+    /// `σf ≤ o`, structurally.
+    Sub(&'a Formula, &'a Object),
+    /// Remaining members of a set formula, each needing a witness in `set`.
+    Members(&'a [Formula], &'a Set),
+}
+
+struct Search<'a> {
+    policy: MatchPolicy,
+    prefilter: &'a dyn Prefilter,
+    bindings: FxHashMap<Var, Object>,
+    trail: Vec<(Var, Option<Object>)>,
+    out: FxHashSet<Substitution>,
+    vars: &'a [Var],
+    stats: MatchStats,
+}
+
+impl<'a> Search<'a> {
+    fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let (v, old) = self.trail.pop().expect("trail underflow");
+            match old {
+                Some(o) => {
+                    self.bindings.insert(v, o);
+                }
+                None => {
+                    self.bindings.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Meets `v`'s binding with `o`, recording the old value on the trail;
+    /// returns the new binding.
+    fn meet(&mut self, v: Var, o: &Object) -> Object {
+        let old = self.bindings.get(&v).cloned();
+        let new = match &old {
+            Some(cur) => intersect(cur, o),
+            None => o.clone(),
+        };
+        self.trail.push((v, old));
+        self.bindings.insert(v, new.clone());
+        new
+    }
+
+    fn emit(&mut self) {
+        self.stats.raw_matches += 1;
+        let subst = Substitution::from_pairs(self.vars.iter().map(|v| {
+            (
+                *v,
+                // Unconstrained variables (only possible via ⊤ parts of the
+                // database) get the maximal binding ⊤.
+                self.bindings.get(v).cloned().unwrap_or(Object::Top),
+            )
+        }));
+        if self.policy == MatchPolicy::Strict && subst.has_bottom_binding() {
+            return;
+        }
+        self.out.insert(subst);
+    }
+
+    /// Depth-first search over the conjunctive goal stack. On return the
+    /// stack and the binding map are exactly as on entry (the trail restores
+    /// bindings at each choice point; goals are pushed back verbatim).
+    fn solve(&mut self, stack: &mut Vec<Goal<'a>>) {
+        let Some(goal) = stack.pop() else {
+            self.emit();
+            return;
+        };
+        match goal {
+            Goal::Sub(f, o) => self.solve_sub(f, o, stack),
+            Goal::Members(ms, s) => self.solve_members(ms, s, stack),
+        }
+        stack.push(goal);
+    }
+
+    fn solve_sub(&mut self, f: &'a Formula, o: &'a Object, stack: &mut Vec<Goal<'a>>) {
+        match (f, o) {
+            // σ⊥ = ⊥ ≤ anything.
+            (Formula::Bottom, _) => self.solve(stack),
+            // Everything is ≤ ⊤: variables below stay unconstrained.
+            (_, Object::Top) => self.solve(stack),
+            (Formula::Var(v), _) => {
+                let mark = self.mark();
+                let new = self.meet(*v, o);
+                // A ⊥ binding only shrinks further; under Strict it can
+                // never reach an emitted substitution, so prune here.
+                if !(self.policy == MatchPolicy::Strict && new.is_bottom()) {
+                    self.solve(stack);
+                }
+                self.undo_to(mark);
+            }
+            (Formula::Atom(a), Object::Atom(b)) if a == b => self.solve(stack),
+            (Formula::Tuple(entries), Object::Tuple(_)) => {
+                let depth = stack.len();
+                for (attr, fe) in entries {
+                    // Missing attributes read as ⊥; only ⊥/variable formulas
+                    // survive a ⊥ part, which the arms above handle.
+                    stack.push(Goal::Sub(fe, o.dot(*attr)));
+                }
+                self.solve(stack);
+                stack.truncate(depth);
+            }
+            (Formula::Set(members), Object::Set(s)) => {
+                let depth = stack.len();
+                stack.push(Goal::Members(members.as_slice(), s));
+                self.solve(stack);
+                stack.truncate(depth);
+            }
+            // Structural mismatch (atom vs tuple, tuple vs ⊥, …): no match.
+            _ => {}
+        }
+    }
+
+    fn solve_members(&mut self, members: &'a [Formula], set: &'a Set, stack: &mut Vec<Goal<'a>>) {
+        let Some((first, rest)) = members.split_first() else {
+            self.solve(stack);
+            return;
+        };
+        let candidates = {
+            let bindings = &self.bindings;
+            let lookup = |v: Var| bindings.get(&v).cloned();
+            self.prefilter.candidates(set, first, &lookup)
+        };
+        match candidates {
+            Some(idxs) => {
+                for i in idxs {
+                    if let Some(e) = set.elements().get(i) {
+                        self.try_witness(first, rest, set, e, stack);
+                    }
+                }
+            }
+            None => {
+                // Iterate by index rather than `set.iter()` so the borrow of
+                // `set` is independent of the loop body.
+                for e in set.elements() {
+                    self.try_witness(first, rest, set, e, stack);
+                }
+            }
+        }
+    }
+
+    fn try_witness(
+        &mut self,
+        first: &'a Formula,
+        rest: &'a [Formula],
+        set: &'a Set,
+        e: &'a Object,
+        stack: &mut Vec<Goal<'a>>,
+    ) {
+        self.stats.candidates_tried += 1;
+        let mark = self.mark();
+        let depth = stack.len();
+        stack.push(Goal::Members(rest, set));
+        stack.push(Goal::Sub(first, e));
+        self.solve(stack);
+        stack.truncate(depth);
+        self.undo_to(mark);
+    }
+}
+
+/// Enumerates the (maximal, deduplicated) substitutions `σ` with `σf ≤ o`,
+/// under `policy`, consulting `prefilter` at set-member choice points.
+///
+/// The returned substitutions are total over `f.variables()` and sorted in a
+/// deterministic order.
+pub fn match_with(
+    f: &Formula,
+    o: &Object,
+    policy: MatchPolicy,
+    prefilter: &dyn Prefilter,
+) -> (Vec<Substitution>, MatchStats) {
+    let vars = f.variables();
+    let mut search = Search {
+        policy,
+        prefilter,
+        bindings: FxHashMap::default(),
+        trail: Vec::new(),
+        out: FxHashSet::default(),
+        vars: &vars,
+        stats: MatchStats::default(),
+    };
+    let mut stack = Vec::new();
+    stack.push(Goal::Sub(f, o));
+    search.solve(&mut stack);
+    search.stats.matches = search.out.len() as u64;
+    let mut result: Vec<Substitution> = search.out.into_iter().collect();
+    result.sort_by(|a, b| a.iter().cmp(b.iter()));
+    (result, search.stats)
+}
+
+/// [`match_with`] with the scan-everything prefilter.
+pub fn matches(f: &Formula, o: &Object, policy: MatchPolicy) -> Vec<Substitution> {
+    match_with(f, o, policy, &ScanAll).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wff;
+    use co_object::obj;
+    use co_object::order::le;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+    fn z() -> Var {
+        Var::new("Z")
+    }
+
+    #[test]
+    fn ground_formula_matches_iff_le() {
+        let db = obj!([r1: {1, 2}]);
+        assert_eq!(matches(&wff!([r1: {1}]), &db, MatchPolicy::Strict).len(), 1);
+        assert_eq!(matches(&wff!([r1: {3}]), &db, MatchPolicy::Strict).len(), 0);
+        assert_eq!(matches(&wff!(bot), &db, MatchPolicy::Strict).len(), 1);
+    }
+
+    #[test]
+    fn variable_binds_to_part() {
+        let db = obj!([r1: {1, 2}]);
+        let f = wff!([r1: (x())]);
+        let ms = matches(&f, &db, MatchPolicy::Strict);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x()), Some(&obj!({1, 2})));
+    }
+
+    #[test]
+    fn set_member_variable_enumerates_elements() {
+        let db = obj!([r1: {1, 2, 3}]);
+        let f = wff!([r1: {(x())}]);
+        let ms = matches(&f, &db, MatchPolicy::Strict);
+        let bound: Vec<&Object> = ms.iter().map(|s| s.get(x()).unwrap()).collect();
+        assert_eq!(bound.len(), 3);
+        assert!(bound.contains(&&obj!(1)));
+        assert!(bound.contains(&&obj!(2)));
+        assert!(bound.contains(&&obj!(3)));
+    }
+
+    #[test]
+    fn selection_pattern_example_4_1_1() {
+        // [R1: {[A: X, B: b]}] — select R1 tuples with B = b, bind X to A.
+        let db = obj!([r1: {[a: 1, b: b], [a: 2, b: c], [a: 3, b: b]}]);
+        let f = wff!([r1: {[a: (x()), b: b]}]);
+        let ms = matches(&f, &db, MatchPolicy::Strict);
+        let bound: Vec<&Object> = ms.iter().map(|s| s.get(x()).unwrap()).collect();
+        assert_eq!(bound.len(), 2);
+        assert!(bound.contains(&&obj!(1)));
+        assert!(bound.contains(&&obj!(3)));
+    }
+
+    #[test]
+    fn shared_variable_joins_via_glb() {
+        // [R1: {[a: X]}, R2: {[b: X]}] — X must fit both sides.
+        let db = obj!([r1: {[a: 1], [a: 2]}, r2: {[b: 2], [b: 3]}]);
+        let f = wff!([r1: {[a: (x())]}, r2: {[b: (x())]}]);
+        let strict = matches(&f, &db, MatchPolicy::Strict);
+        assert_eq!(strict.len(), 1);
+        assert_eq!(strict[0].get(x()), Some(&obj!(2)));
+        // Literal keeps the ⊥-joined pairs too: (1,2),(1,3),(2,3) give
+        // X = ⊥ (deduplicated to one substitution), plus (2,2) gives X = 2.
+        let literal = matches(&f, &db, MatchPolicy::Literal);
+        assert_eq!(literal.len(), 2);
+        assert!(literal.iter().any(|s| s.get(x()) == Some(&Object::Bottom)));
+        assert!(literal.iter().any(|s| s.get(x()) == Some(&obj!(2))));
+    }
+
+    #[test]
+    fn join_binds_through_two_relations() {
+        // Example 4.2(3) body: [R1: {[A:X, B:Y]}, R2: {[C:Y, D:Z]}].
+        let db = obj!([
+            r1: {[a: 1, b: 10], [a: 2, b: 20]},
+            r2: {[c: 10, d: 100], [c: 30, d: 300]}
+        ]);
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y()), d: (z())]}]);
+        let ms = matches(&f, &db, MatchPolicy::Strict);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x()), Some(&obj!(1)));
+        assert_eq!(ms[0].get(y()), Some(&obj!(10)));
+        assert_eq!(ms[0].get(z()), Some(&obj!(100)));
+    }
+
+    #[test]
+    fn missing_attribute_fails_constants_but_not_variables() {
+        let db = obj!([r1: {[a: 1]}]);
+        // Constant against missing attribute: no match.
+        assert!(matches(&wff!([r1: {[b: 5]}]), &db, MatchPolicy::Strict).is_empty());
+        // Variable against missing attribute: binds ⊥ — dropped by Strict,
+        // kept by Literal.
+        let f = wff!([r1: {[b: (x())]}]);
+        assert!(matches(&f, &db, MatchPolicy::Strict).is_empty());
+        let lit = matches(&f, &db, MatchPolicy::Literal);
+        assert_eq!(lit.len(), 1);
+        assert_eq!(lit[0].get(x()), Some(&Object::Bottom));
+    }
+
+    #[test]
+    fn empty_set_formula_matches_any_set() {
+        let db = obj!([r1: {1}]);
+        assert_eq!(matches(&wff!([r1: {}]), &db, MatchPolicy::Strict).len(), 1);
+        // But not a non-set.
+        let db2 = obj!([r1: 5]);
+        assert!(matches(&wff!([r1: {}]), &db2, MatchPolicy::Strict).is_empty());
+    }
+
+    #[test]
+    fn set_member_formula_against_empty_set_fails() {
+        let db = obj!([r1: {}]);
+        assert!(matches(&wff!([r1: {(x())}]), &db, MatchPolicy::Strict).is_empty());
+    }
+
+    #[test]
+    fn two_members_can_share_a_witness() {
+        // {X, Y} against {1}: both members choose the single element.
+        let db = obj!({1});
+        let f = wff!({(x()), (y())});
+        let ms = matches(&f, &db, MatchPolicy::Strict);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x()), Some(&obj!(1)));
+        assert_eq!(ms[0].get(y()), Some(&obj!(1)));
+    }
+
+    #[test]
+    fn sibling_constraints_hold_across_backtracking() {
+        // Regression guard for the goal-stack restore logic: the shared Y
+        // constraint must be re-checked for every witness choice of the
+        // first member.
+        let db = obj!([r1: {[a: 1, k: 7], [a: 2, k: 8]}, r2: {[b: 7]}]);
+        let f = wff!([r1: {[a: (x()), k: (y())]}, r2: {[b: (y())]}]);
+        let ms = matches(&f, &db, MatchPolicy::Strict);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x()), Some(&obj!(1)));
+        assert_eq!(ms[0].get(y()), Some(&obj!(7)));
+    }
+
+    #[test]
+    fn nested_set_formulas() {
+        // Example 4.5's body shape: nested set matching two levels deep.
+        let db = obj!([family: {
+            [name: abraham, children: {[name: isaac]}],
+            [name: isaac, children: {[name: esau], [name: jacob]}]
+        }]);
+        let f = wff!([family: {[name: (y()), children: {[name: (x())]}]}]);
+        let ms = matches(&f, &db, MatchPolicy::Strict);
+        let pairs: Vec<(String, String)> = ms
+            .iter()
+            .map(|s| {
+                (
+                    s.get(y()).unwrap().to_string(),
+                    s.get(x()).unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&("abraham".into(), "isaac".into())));
+        assert!(pairs.contains(&("isaac".into(), "esau".into())));
+        assert!(pairs.contains(&("isaac".into(), "jacob".into())));
+    }
+
+    #[test]
+    fn matching_against_top_leaves_variables_unconstrained() {
+        let db = obj!([r1: top]);
+        let f = wff!([r1: {[a: (x())]}]);
+        let ms = matches(&f, &db, MatchPolicy::Strict);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x()), Some(&Object::Top));
+    }
+
+    #[test]
+    fn soundness_every_emitted_substitution_satisfies_le() {
+        let db = obj!([
+            r1: {[a: 1, b: 10], [a: 2, b: 20], [a: 2]},
+            r2: {[c: 10], [c: 20, d: 5]}
+        ]);
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y())]}]);
+        for policy in [MatchPolicy::Strict, MatchPolicy::Literal] {
+            for s in matches(&f, &db, policy) {
+                let inst = f.instantiate(&s);
+                assert!(le(&inst, &db), "σE = {inst} is not ≤ db for σ = {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_choice_functions_dedupe() {
+        // Two members matching the same element produce one substitution,
+        // not |choices|².
+        let db = obj!({[a: 1]});
+        let f = wff!({[a: (x())], [a: (x())]});
+        assert_eq!(matches(&f, &db, MatchPolicy::Strict).len(), 1);
+    }
+
+    #[test]
+    fn variable_repeated_across_tuple_positions_takes_glb() {
+        let db = obj!([p: {1, 2}, q: {1, 3}]);
+        let f = wff!([p: (x()), q: (x())]);
+        let ms = matches(&f, &db, MatchPolicy::Strict);
+        assert_eq!(ms.len(), 1);
+        // X ≤ {1,2} and X ≤ {1,3}: maximal X is the glb {1}.
+        assert_eq!(ms[0].get(x()), Some(&obj!({1})));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let db = obj!([r1: {1, 2, 3}]);
+        let f = wff!([r1: {(x())}]);
+        let (ms, stats) = match_with(&f, &db, MatchPolicy::Strict, &ScanAll);
+        assert_eq!(ms.len(), 3);
+        assert_eq!(stats.candidates_tried, 3);
+        assert_eq!(stats.matches, 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! Rules and programs (paper Definition 4.3).
+//!
+//! A rule is a pair `(φ :- φ')` of well-formed formulae where the variables
+//! of the head `φ` are a subset of the variables of the body `φ'`. A *fact*
+//! is a rule whose body is the ⊥ formula (always satisfied — see DESIGN.md
+//! §3.5); the parser writes facts as a bare `head.`.
+
+use crate::{CalculusError, Formula, Var};
+use std::fmt;
+
+/// A rule `head :- body` (Definition 4.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    head: Formula,
+    body: Formula,
+}
+
+impl Rule {
+    /// Builds a rule, checking the safety condition of Definition 4.3:
+    /// every head variable must occur in the body.
+    pub fn new(head: Formula, body: Formula) -> Result<Rule, CalculusError> {
+        let body_vars = body.variables();
+        for v in head.variables() {
+            if !body_vars.contains(&v) {
+                return Err(CalculusError::HeadVariableNotInBody(v));
+            }
+        }
+        Ok(Rule { head, body })
+    }
+
+    /// Builds a fact: a rule with body ⊥, which fires unconditionally.
+    /// The head must be ground.
+    pub fn fact(head: Formula) -> Result<Rule, CalculusError> {
+        Rule::new(head, Formula::Bottom)
+    }
+
+    /// The rule head.
+    pub fn head(&self) -> &Formula {
+        &self.head
+    }
+
+    /// The rule body.
+    pub fn body(&self) -> &Formula {
+        &self.body
+    }
+
+    /// True when the body is ⊥ (a fact).
+    pub fn is_fact(&self) -> bool {
+        self.body == Formula::Bottom
+    }
+
+    /// The variables of the body (a superset of the head's).
+    pub fn variables(&self) -> Vec<Var> {
+        self.body.variables()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fact() {
+            write!(f, "{}.", self.head)
+        } else {
+            write!(f, "{} :- {}.", self.head, self.body)
+        }
+    }
+}
+
+/// A set of rules evaluated together (the `R` of Definitions 4.5/4.6).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    rules: Vec<Rule>,
+}
+
+impl Program {
+    /// The empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Builds a program from rules.
+    pub fn from_rules<I>(rules: I) -> Program
+    where
+        I: IntoIterator<Item = Rule>,
+    {
+        Program {
+            rules: rules.into_iter().collect(),
+        }
+    }
+
+    /// Adds a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// The rules, in declaration order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// True when any rule is recursive in the syntactic sense that a
+    /// tuple attribute mentioned in its head also appears in some rule
+    /// body of the program. A cheap, conservative signal used by callers
+    /// to decide whether fixpoint iteration may take more than one step.
+    pub fn looks_recursive(&self) -> bool {
+        fn top_attrs(f: &Formula, out: &mut Vec<co_object::Attr>) {
+            if let Formula::Tuple(entries) = f {
+                for (a, _) in entries {
+                    if !out.contains(a) {
+                        out.push(*a);
+                    }
+                }
+            }
+        }
+        let mut head_attrs = Vec::new();
+        let mut body_attrs = Vec::new();
+        for r in &self.rules {
+            top_attrs(r.head(), &mut head_attrs);
+            top_attrs(r.body(), &mut body_attrs);
+        }
+        head_attrs.iter().any(|a| body_attrs.contains(a))
+    }
+}
+
+impl FromIterator<Rule> for Program {
+    fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Self {
+        Program::from_rules(iter)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wff;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    #[test]
+    fn safety_condition_enforced() {
+        // Head variable Y not in body: rejected.
+        let bad = Rule::new(wff!([r: {(y())}]), wff!([r1: {(x())}]));
+        assert!(matches!(bad, Err(CalculusError::HeadVariableNotInBody(v)) if v == y()));
+        // Subset is fine (head may use fewer variables).
+        let ok = Rule::new(wff!([r: {(x())}]), wff!([r1: {(x()), (y())}]));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn facts_fire_unconditionally() {
+        let f = Rule::fact(wff!([doa: {abraham}])).unwrap();
+        assert!(f.is_fact());
+        assert_eq!(f.to_string(), "[doa: {abraham}].");
+    }
+
+    #[test]
+    fn fact_with_variables_is_rejected() {
+        assert!(Rule::fact(wff!([doa: {(x())}])).is_err());
+    }
+
+    #[test]
+    fn display_rule() {
+        let r = Rule::new(wff!([r: {(x())}]), wff!([r1: {(x())}])).unwrap();
+        assert_eq!(r.to_string(), "[r: {X}] :- [r1: {X}].");
+    }
+
+    #[test]
+    fn program_collects_rules() {
+        let p: Program = [
+            Rule::fact(wff!([doa: {abraham}])).unwrap(),
+            Rule::new(wff!([doa: {(x())}]), wff!([doa: {(x())}])).unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(p.looks_recursive());
+    }
+
+    #[test]
+    fn non_recursive_program_detected() {
+        let p = Program::from_rules([
+            Rule::new(wff!([out: {(x())}]), wff!([src: {(x())}])).unwrap()
+        ]);
+        assert!(!p.looks_recursive());
+    }
+}

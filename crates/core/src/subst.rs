@@ -1,0 +1,187 @@
+//! Substitutions `σ = {O1/X1, …, On/Xn}` (paper, Section 4).
+
+use crate::Var;
+use co_object::Object;
+use smallvec::SmallVec;
+use std::fmt;
+
+/// A substitution: a finite map from variables to complex objects.
+///
+/// Stored as a by-variable-sorted inline vector (formulae rarely have more
+/// than a handful of variables), which makes substitutions `Eq + Hash` —
+/// the matcher deduplicates the substitutions produced by different choice
+/// functions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Substitution {
+    entries: SmallVec<[(Var, Object); 4]>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn empty() -> Substitution {
+        Substitution::default()
+    }
+
+    /// A single-binding substitution.
+    pub fn single(v: Var, o: Object) -> Substitution {
+        Substitution {
+            entries: SmallVec::from_iter([(v, o)]),
+        }
+    }
+
+    /// Builds a substitution from (variable, object) pairs. Later pairs for
+    /// the same variable overwrite earlier ones.
+    pub fn from_pairs<I>(pairs: I) -> Substitution
+    where
+        I: IntoIterator<Item = (Var, Object)>,
+    {
+        let mut s = Substitution::empty();
+        for (v, o) in pairs {
+            s.insert(v, o);
+        }
+        s
+    }
+
+    /// The binding of `v`, if any.
+    pub fn get(&self, v: Var) -> Option<&Object> {
+        self.entries
+            .binary_search_by_key(&v, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Inserts or replaces the binding of `v`.
+    pub fn insert(&mut self, v: Var, o: Object) {
+        match self.entries.binary_search_by_key(&v, |(k, _)| *k) {
+            Ok(i) => self.entries[i].1 = o,
+            Err(i) => self.entries.insert(i, (v, o)),
+        }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &Object)> {
+        self.entries.iter().map(|(v, o)| (*v, o))
+    }
+
+    /// True when some binding is ⊥ — the condition the **strict** match
+    /// policy filters out (see DESIGN.md §3.3).
+    pub fn has_bottom_binding(&self) -> bool {
+        self.entries.iter().any(|(_, o)| o.is_bottom())
+    }
+
+    /// Restricts the substitution to the given variables.
+    pub fn restrict(&self, vars: &[Var]) -> Substitution {
+        Substitution {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Pointwise comparison: `self ≤ other` when every binding of `self` is
+    /// a sub-object of `other`'s binding for the same variable.
+    ///
+    /// Meaningful for substitutions over the same variable set (as the
+    /// matcher produces); variables missing from `other` read as ⊤.
+    pub fn le(&self, other: &Substitution) -> bool {
+        for (v, o) in self.iter() {
+            let rhs = other.get(v).cloned().unwrap_or(Object::Top);
+            if !co_object::order::le(o, &rhs) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Substitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, o)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{o}/{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(Var, Object)> for Substitution {
+    fn from_iter<T: IntoIterator<Item = (Var, Object)>>(iter: T) -> Self {
+        Substitution::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::obj;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut s = Substitution::empty();
+        assert!(s.is_empty());
+        s.insert(v("X"), obj!(1));
+        s.insert(v("Y"), obj!(2));
+        s.insert(v("X"), obj!(3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(v("X")), Some(&obj!(3)));
+        assert_eq!(s.get(v("Y")), Some(&obj!(2)));
+        assert_eq!(s.get(v("Z")), None);
+    }
+
+    #[test]
+    fn equality_is_order_independent() {
+        let a = Substitution::from_pairs([(v("X"), obj!(1)), (v("Y"), obj!(2))]);
+        let b = Substitution::from_pairs([(v("Y"), obj!(2)), (v("X"), obj!(1))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bottom_detection() {
+        let s = Substitution::from_pairs([(v("X"), obj!(1)), (v("Y"), Object::Bottom)]);
+        assert!(s.has_bottom_binding());
+        assert!(!Substitution::single(v("X"), obj!(1)).has_bottom_binding());
+    }
+
+    #[test]
+    fn restriction() {
+        let s = Substitution::from_pairs([(v("X"), obj!(1)), (v("Y"), obj!(2))]);
+        let r = s.restrict(&[v("Y")]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(v("Y")), Some(&obj!(2)));
+    }
+
+    #[test]
+    fn pointwise_le() {
+        let small = Substitution::from_pairs([(v("X"), obj!({1}))]);
+        let big = Substitution::from_pairs([(v("X"), obj!({1, 2})), (v("Y"), obj!(3))]);
+        assert!(small.le(&big));
+        assert!(!big.le(&small)); // X ↦ {1,2} is not ≤ X ↦ {1}.
+        assert!(small.le(&small));
+    }
+
+    #[test]
+    fn display() {
+        let s = Substitution::from_pairs([(v("X"), obj!(1))]);
+        assert_eq!(s.to_string(), "{1/X}");
+    }
+}

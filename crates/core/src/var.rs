@@ -1,0 +1,101 @@
+//! Interned variable names.
+//!
+//! The paper adopts "the Prolog notation for variables and constants":
+//! identifiers starting with an upper-case letter are variables. Variables
+//! are interned exactly like attribute names (`co_object::Attr`) so that the
+//! matcher's hot path hashes and compares 4-byte ids.
+
+use rustc_hash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned variable name (e.g. `X`, `Name2`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+struct Interner {
+    names: Vec<Arc<str>>,
+    ids: FxHashMap<Arc<str>, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            ids: FxHashMap::default(),
+        })
+    })
+}
+
+impl Var {
+    /// Interns `name` and returns its handle. Idempotent.
+    pub fn new(name: impl AsRef<str>) -> Var {
+        let name = name.as_ref();
+        {
+            let guard = interner().read().expect("var interner poisoned");
+            if let Some(&id) = guard.ids.get(name) {
+                return Var(id);
+            }
+        }
+        let mut guard = interner().write().expect("var interner poisoned");
+        if let Some(&id) = guard.ids.get(name) {
+            return Var(id);
+        }
+        let id = u32::try_from(guard.names.len()).expect("variable interner overflow");
+        let arc: Arc<str> = Arc::from(name);
+        guard.names.push(arc.clone());
+        guard.ids.insert(arc, id);
+        Var(id)
+    }
+
+    /// The variable's name.
+    pub fn name(self) -> Arc<str> {
+        interner()
+            .read()
+            .expect("var interner poisoned")
+            .names[self.0 as usize]
+            .clone()
+    }
+
+    /// The raw interning id (process-local).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.name())
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(Var::new("X"), Var::new("X"));
+        assert_ne!(Var::new("X"), Var::new("Y"));
+        assert_eq!(&*Var::new("Xyz").name(), "Xyz");
+    }
+
+    #[test]
+    fn display_is_the_name() {
+        assert_eq!(Var::new("Child").to_string(), "Child");
+    }
+}

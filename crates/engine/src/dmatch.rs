@@ -1,0 +1,378 @@
+//! The delta-aware matcher used by semi-naive evaluation.
+//!
+//! Same backtracking algorithm as `co_calculus::matcher` (see its module
+//! docs for the soundness argument), extended with a [`Delta`] overlay
+//! walked in parallel with the database object. The search tracks whether
+//! the current derivation has *touched* any `New` region; substitutions
+//! whose derivations touched only `Clean` regions are skipped — the
+//! identical derivation existed against the previous database state, so the
+//! previous iteration already produced their head contributions.
+//!
+//! The equivalence `semi-naive ≡ naive` is checked property-style in
+//! `tests/engine_equivalence.rs`.
+
+use crate::delta::Delta;
+use co_calculus::{Formula, MatchPolicy, MatchStats, Prefilter, Substitution, Var};
+use co_object::lattice::intersect;
+use co_object::{Object, Set};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// One conjunctive sub-goal with its delta overlay.
+#[derive(Clone, Copy)]
+enum Goal<'a> {
+    Sub(&'a Formula, &'a Object, &'a Delta),
+    Members(&'a [Formula], &'a Set, &'a Delta),
+}
+
+/// Can satisfying this pending goal still touch a changed region?
+///
+/// Deltas produced by [`crate::delta::diff`] are `Clean` exactly when the
+/// whole subtree is unchanged (non-`Clean` nodes always contain dirt), so a
+/// structural check suffices. A `Members` goal with no members left has no
+/// witness choices left to make.
+fn goal_potential(g: &Goal<'_>) -> bool {
+    match g {
+        Goal::Sub(_, _, d) => !matches!(d, Delta::Clean),
+        Goal::Members(ms, _, d) => !ms.is_empty() && !matches!(d, Delta::Clean),
+    }
+}
+
+struct Search<'a> {
+    policy: MatchPolicy,
+    prefilter: &'a dyn Prefilter,
+    bindings: FxHashMap<Var, Object>,
+    trail: Vec<(Var, Option<Object>)>,
+    out: FxHashSet<Substitution>,
+    vars: &'a [Var],
+    dirty: bool,
+    stats: MatchStats,
+}
+
+impl<'a> Search<'a> {
+    fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let (v, old) = self.trail.pop().expect("trail underflow");
+            match old {
+                Some(o) => {
+                    self.bindings.insert(v, o);
+                }
+                None => {
+                    self.bindings.remove(&v);
+                }
+            }
+        }
+    }
+
+    fn meet(&mut self, v: Var, o: &Object) -> Object {
+        let old = self.bindings.get(&v).cloned();
+        let new = match &old {
+            Some(cur) => intersect(cur, o),
+            None => o.clone(),
+        };
+        self.trail.push((v, old));
+        self.bindings.insert(v, new.clone());
+        new
+    }
+
+    fn emit(&mut self) {
+        self.stats.raw_matches += 1;
+        if !self.dirty {
+            // Every region this derivation read was unchanged: the previous
+            // iteration derived the same substitution. Skip.
+            return;
+        }
+        let subst = Substitution::from_pairs(
+            self.vars
+                .iter()
+                .map(|v| (*v, self.bindings.get(v).cloned().unwrap_or(Object::Top))),
+        );
+        if self.policy == MatchPolicy::Strict && subst.has_bottom_binding() {
+            return;
+        }
+        self.out.insert(subst);
+    }
+
+    fn solve(&mut self, stack: &mut Vec<Goal<'a>>) {
+        let Some(goal) = stack.pop() else {
+            self.emit();
+            return;
+        };
+        match goal {
+            Goal::Sub(f, o, d) => self.solve_sub(f, o, d, stack),
+            Goal::Members(ms, s, d) => self.solve_members(ms, s, d, stack),
+        }
+        stack.push(goal);
+    }
+
+    /// Runs `body` with the dirty flag additionally set when this step
+    /// touched a `New` region, restoring the previous flag afterwards so
+    /// dirtiness never leaks into sibling alternatives.
+    fn with_dirty<R>(&mut self, touched_new: bool, body: impl FnOnce(&mut Self) -> R) -> R {
+        let saved = self.dirty;
+        self.dirty |= touched_new;
+        let r = body(self);
+        self.dirty = saved;
+        r
+    }
+
+    fn solve_sub(
+        &mut self,
+        f: &'a Formula,
+        o: &'a Object,
+        d: &'a Delta,
+        stack: &mut Vec<Goal<'a>>,
+    ) {
+        let touched_new = matches!(d, Delta::New);
+        match (f, o) {
+            (Formula::Bottom, _) => self.solve(stack),
+            (_, Object::Top) => self.with_dirty(touched_new, |s| s.solve(stack)),
+            (Formula::Var(v), _) => {
+                let mark = self.mark();
+                let new = self.meet(*v, o);
+                if !(self.policy == MatchPolicy::Strict && new.is_bottom()) {
+                    // Binding to a changed part makes the derivation new —
+                    // even when the delta is a structured Tuple/Set node
+                    // (the variable captures the whole sub-object).
+                    let var_touches_new = !d.is_clean();
+                    self.with_dirty(var_touches_new, |s| s.solve(stack));
+                }
+                self.undo_to(mark);
+            }
+            (Formula::Atom(a), Object::Atom(b)) if a == b => {
+                self.with_dirty(touched_new, |s| s.solve(stack));
+            }
+            (Formula::Tuple(entries), Object::Tuple(_)) => {
+                let depth = stack.len();
+                for (attr, fe) in entries {
+                    stack.push(Goal::Sub(fe, o.dot(*attr), d.attr(*attr)));
+                }
+                self.with_dirty(touched_new, |s| s.solve(stack));
+                stack.truncate(depth);
+            }
+            (Formula::Set(members), Object::Set(s)) => {
+                let depth = stack.len();
+                stack.push(Goal::Members(members.as_slice(), s, d));
+                self.with_dirty(touched_new, |s2| s2.solve(stack));
+                stack.truncate(depth);
+            }
+            _ => {}
+        }
+    }
+
+    fn solve_members(
+        &mut self,
+        members: &'a [Formula],
+        set: &'a Set,
+        d: &'a Delta,
+        stack: &mut Vec<Goal<'a>>,
+    ) {
+        let Some((first, rest)) = members.split_first() else {
+            self.solve(stack);
+            return;
+        };
+
+        // Semi-naive candidate pruning. If the derivation so far is clean
+        // and no *pending* goal can reach a changed region, then only the
+        // choices made from here on can make this derivation new:
+        //
+        // - if this set's delta is `Clean`, nothing below can be new —
+        //   every derivation through it was found last iteration: fail
+        //   fast;
+        // - if this is the *last* member of the set formula, its witness is
+        //   the only remaining chance to touch dirt — restrict candidates
+        //   to the set's dirty elements. (Earlier members cannot be
+        //   restricted: a later member of the same set may still pick a
+        //   dirty witness.)
+        let stack_potential = stack.iter().any(goal_potential);
+        let only_dirty_can_matter = !self.dirty && !stack_potential;
+        if only_dirty_can_matter && matches!(d, Delta::Clean) {
+            return;
+        }
+        let dirty_flags: Option<&[bool]> = match d {
+            Delta::Set(flags) if only_dirty_can_matter && rest.is_empty() => Some(flags),
+            _ => None,
+        };
+        let admissible = |i: usize| dirty_flags.map(|f| f.get(i) == Some(&true)).unwrap_or(true);
+
+        let candidates = {
+            let bindings = &self.bindings;
+            let lookup = |v: Var| bindings.get(&v).cloned();
+            self.prefilter.candidates(set, first, &lookup)
+        };
+        match candidates {
+            Some(idxs) => {
+                for i in idxs {
+                    if !admissible(i) {
+                        continue;
+                    }
+                    if let Some(e) = set.elements().get(i) {
+                        self.try_witness(first, rest, set, d, e, d.element(i), stack);
+                    }
+                }
+            }
+            None => {
+                for (i, e) in set.elements().iter().enumerate() {
+                    if !admissible(i) {
+                        continue;
+                    }
+                    self.try_witness(first, rest, set, d, e, d.element(i), stack);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_witness(
+        &mut self,
+        first: &'a Formula,
+        rest: &'a [Formula],
+        set: &'a Set,
+        set_delta: &'a Delta,
+        e: &'a Object,
+        e_delta: &'a Delta,
+        stack: &mut Vec<Goal<'a>>,
+    ) {
+        self.stats.candidates_tried += 1;
+        let mark = self.mark();
+        let depth = stack.len();
+        stack.push(Goal::Members(rest, set, set_delta));
+        stack.push(Goal::Sub(first, e, e_delta));
+        self.solve(stack);
+        stack.truncate(depth);
+        self.undo_to(mark);
+    }
+}
+
+/// Enumerates the substitutions `σ` with `σf ≤ o` whose derivations touch
+/// at least one `New` region of `delta` — the semi-naive increment.
+pub fn delta_match(
+    f: &Formula,
+    o: &Object,
+    delta: &Delta,
+    policy: MatchPolicy,
+    prefilter: &dyn Prefilter,
+) -> (Vec<Substitution>, MatchStats) {
+    let vars = f.variables();
+    let mut search = Search {
+        policy,
+        prefilter,
+        bindings: FxHashMap::default(),
+        trail: Vec::new(),
+        out: FxHashSet::default(),
+        vars: &vars,
+        dirty: false,
+        stats: MatchStats::default(),
+    };
+    let mut stack = Vec::new();
+    stack.push(Goal::Sub(f, o, delta));
+    search.solve(&mut stack);
+    search.stats.matches = search.out.len() as u64;
+    let mut result: Vec<Substitution> = search.out.into_iter().collect();
+    result.sort_by(|a, b| a.iter().cmp(b.iter()));
+    (result, search.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::diff;
+    use co_calculus::{matches, wff, ScanAll};
+    use co_object::obj;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    fn dm(f: &Formula, o: &Object, d: &Delta) -> Vec<Substitution> {
+        delta_match(f, o, d, MatchPolicy::Strict, &ScanAll).0
+    }
+
+    #[test]
+    fn clean_delta_yields_nothing() {
+        let db = obj!([r: {1, 2, 3}]);
+        let f = wff!([r: {(x())}]);
+        assert!(dm(&f, &db, &Delta::Clean).is_empty());
+    }
+
+    #[test]
+    fn all_new_delta_equals_full_match() {
+        let db = obj!([r1: {[a: 1, b: 10], [a: 2, b: 20]}, r2: {[c: 10]}]);
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y())]}]);
+        let full = matches(&f, &db, MatchPolicy::Strict);
+        let delta_all = dm(&f, &db, &Delta::New);
+        assert_eq!(full, delta_all);
+    }
+
+    #[test]
+    fn only_derivations_touching_new_elements_emit() {
+        let old = obj!([r: {1, 2}]);
+        let new = obj!([r: {1, 2, 3}]);
+        let d = diff(&old, &new);
+        let f = wff!([r: {(x())}]);
+        let ms = dm(&f, &new, &d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x()), Some(&obj!(3)));
+    }
+
+    #[test]
+    fn joins_with_one_new_side_fire() {
+        // New r2 element joins an old r1 element: the derivation touches a
+        // new region, so it must be produced.
+        let old = obj!([r1: {[a: 1, b: 10]}, r2: {[c: 99]}]);
+        let new = obj!([r1: {[a: 1, b: 10]}, r2: {[c: 99], [c: 10]}]);
+        let d = diff(&old, &new);
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y())]}]);
+        let ms = dm(&f, &new, &d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x()), Some(&obj!(1)));
+    }
+
+    #[test]
+    fn old_old_derivations_are_skipped() {
+        let old = obj!([r1: {[a: 1, b: 10]}, r2: {[c: 10]}]);
+        let new = obj!([r1: {[a: 1, b: 10]}, r2: {[c: 10], [c: 77]}]);
+        let d = diff(&old, &new);
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y())]}]);
+        // The only derivation (1,10)↔(c:10) uses exclusively old elements.
+        assert!(dm(&f, &new, &d).is_empty());
+    }
+
+    #[test]
+    fn variable_bound_to_partially_new_region_counts_as_new() {
+        // X captures the whole (grown) relation value: new derivation.
+        let old = obj!([r: {1}]);
+        let new = obj!([r: {1, 2}]);
+        let d = diff(&old, &new);
+        let f = wff!([r: (x())]);
+        let ms = dm(&f, &new, &d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x()), Some(&obj!({1, 2})));
+    }
+
+    #[test]
+    fn facts_never_fire_in_delta_mode() {
+        let db = obj!([r: {1}]);
+        let d = diff(&obj!([r: {}]), &db);
+        assert!(dm(&Formula::Bottom, &db, &d).is_empty());
+    }
+
+    #[test]
+    fn dirty_flag_does_not_leak_across_alternatives() {
+        // First witness (new) emits; second witness (old) must not inherit
+        // the dirty flag from the failed/completed first alternative.
+        let old = obj!([r: {[k: 1, v: 10]}]);
+        let new = obj!([r: {[k: 1, v: 10], [k: 2, v: 20]}]);
+        let d = diff(&old, &new);
+        let f = wff!([r: {[k: (x()), v: (y())]}]);
+        let ms = dm(&f, &new, &d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get(x()), Some(&obj!(2)));
+    }
+}

@@ -1,0 +1,421 @@
+//! The fixpoint engine: orchestrates strategy, policy, indexes, guards,
+//! statistics, and tracing around the calculus semantics.
+
+use crate::delta::{diff, Delta};
+use crate::dmatch::delta_match;
+use crate::index::IndexedPrefilter;
+use crate::{EngineError, EvalStats, Guard, Trace, TraceEvent};
+use co_calculus::{
+    match_with, ClosureMode, MatchPolicy, MatchStats, Prefilter, Program, ScanAll,
+};
+use co_object::lattice::{union, union_many};
+use co_object::{measure, Object};
+use std::time::Instant;
+
+/// Fixpoint iteration strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Re-match every rule body against the whole database each iteration.
+    Naive,
+    /// Match against the delta of the previous iteration (plus the full
+    /// database on the first one). Requires [`ClosureMode::Inflationary`];
+    /// the engine falls back to naive under `PaperLiteral`.
+    #[default]
+    SemiNaive,
+}
+
+/// The result of a successful run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The closed database (for `Inflationary`, the minimal closed object
+    /// above the input).
+    pub database: Object,
+    /// Run statistics.
+    pub stats: EvalStats,
+    /// The execution trace, when tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+/// A configured fixpoint engine.
+///
+/// ```
+/// use co_engine::Engine;
+/// use co_parser::{parse_object, parse_program};
+///
+/// let db = parse_object(
+///     "[family: {[name: abraham, children: {[name: isaac]}],
+///                [name: isaac,   children: {[name: esau], [name: jacob]}]}]",
+/// )
+/// .unwrap();
+/// let program = parse_program(
+///     "[doa: {abraham}].
+///      [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+/// )
+/// .unwrap();
+/// let out = Engine::new(program).run(&db).unwrap();
+/// assert_eq!(
+///     out.database.at_path(&["doa"]).unwrap(),
+///     &parse_object("{abraham, isaac, esau, jacob}").unwrap()
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine {
+    program: Program,
+    strategy: Strategy,
+    mode: ClosureMode,
+    policy: MatchPolicy,
+    guard: Guard,
+    use_indexes: bool,
+    tracing: bool,
+}
+
+impl Engine {
+    /// Creates an engine with the default configuration: semi-naive,
+    /// inflationary, strict matching, indexes on, default guard, no trace.
+    pub fn new(program: Program) -> Engine {
+        Engine {
+            program,
+            strategy: Strategy::default(),
+            mode: ClosureMode::default(),
+            policy: MatchPolicy::default(),
+            guard: Guard::default(),
+            use_indexes: true,
+            tracing: false,
+        }
+    }
+
+    /// Selects the iteration strategy.
+    pub fn strategy(mut self, s: Strategy) -> Engine {
+        self.strategy = s;
+        self
+    }
+
+    /// Selects the closure mode (see `co_calculus::ClosureMode`).
+    pub fn mode(mut self, m: ClosureMode) -> Engine {
+        self.mode = m;
+        self
+    }
+
+    /// Selects the match policy (see `co_calculus::MatchPolicy`).
+    pub fn policy(mut self, p: MatchPolicy) -> Engine {
+        self.policy = p;
+        self
+    }
+
+    /// Installs a resource guard.
+    pub fn guard(mut self, g: Guard) -> Engine {
+        self.guard = g;
+        self
+    }
+
+    /// Enables or disables attribute-value indexes.
+    pub fn indexes(mut self, on: bool) -> Engine {
+        self.use_indexes = on;
+        self
+    }
+
+    /// Enables or disables tracing.
+    pub fn tracing(mut self, on: bool) -> Engine {
+        self.tracing = on;
+        self
+    }
+
+    /// The effective strategy: semi-naive needs monotone growth, which only
+    /// the inflationary mode guarantees.
+    fn effective_strategy(&self) -> Strategy {
+        match (self.strategy, self.mode) {
+            (Strategy::SemiNaive, ClosureMode::PaperLiteral) => Strategy::Naive,
+            (s, _) => s,
+        }
+    }
+
+    /// Runs the engine to the closure of `db` under the program.
+    pub fn run(&self, db: &Object) -> Result<RunOutcome, EngineError> {
+        let start = Instant::now();
+        let strategy = self.effective_strategy();
+        let indexed = IndexedPrefilter::new(self.policy);
+        let scan = ScanAll;
+        let prefilter: &dyn Prefilter = if self.use_indexes { &indexed } else { &scan };
+
+        let mut stats = EvalStats::default();
+        let mut trace = if self.tracing { Some(Trace::new()) } else { None };
+        let mut current = db.clone();
+        let mut delta: Option<Delta> = None; // None = first iteration.
+
+        loop {
+            let iteration = stats.iterations + 1;
+            if iteration > self.guard.max_iterations {
+                return Err(self.diverged(
+                    format!("no fixpoint within {} iterations", self.guard.max_iterations),
+                    current,
+                    stats,
+                    start,
+                ));
+            }
+            if let Some(reason) = self.guard.check_time(start.elapsed()) {
+                return Err(self.diverged(reason, current, stats, start));
+            }
+            if let Some(t) = trace.as_mut() {
+                t.record(TraceEvent::IterationStart { iteration });
+            }
+
+            // Apply every rule, collecting head contributions; union them
+            // in one bulk pass (quadratic-accumulation matters at scale).
+            let mut contributions: Vec<Object> = Vec::new();
+            for (rule_index, rule) in self.program.rules().iter().enumerate() {
+                let (substs, mstats): (Vec<_>, MatchStats) = match (strategy, &delta) {
+                    (Strategy::SemiNaive, Some(d)) => {
+                        delta_match(rule.body(), &current, d, self.policy, prefilter)
+                    }
+                    _ => match_with(rule.body(), &current, self.policy, prefilter),
+                };
+                stats.rule_applications += 1;
+                stats.matching.merge(mstats);
+                for s in &substs {
+                    let contribution = rule.head().instantiate(s);
+                    if let Some(t) = trace.as_mut() {
+                        t.record(TraceEvent::RuleFired {
+                            iteration,
+                            rule_index,
+                            substitution: s.clone(),
+                            contribution: contribution.clone(),
+                        });
+                    }
+                    contributions.push(contribution);
+                }
+            }
+            let applied = union_many(contributions);
+
+            let next = match self.mode {
+                ClosureMode::Inflationary => union(&current, &applied),
+                ClosureMode::PaperLiteral => applied,
+            };
+            let changed = next != current;
+            let size = measure::size(&next);
+            stats.iterations = iteration;
+            stats.sizes.push(size);
+            if let Some(t) = trace.as_mut() {
+                t.record(TraceEvent::IterationEnd {
+                    iteration,
+                    size,
+                    changed,
+                });
+            }
+
+            if !changed {
+                stats.elapsed = start.elapsed();
+                return Ok(RunOutcome {
+                    database: current,
+                    stats,
+                    trace,
+                });
+            }
+            if let Some(reason) = self.guard.check_database(&next) {
+                return Err(self.diverged(reason, next, stats, start));
+            }
+
+            if strategy == Strategy::SemiNaive {
+                delta = Some(diff(&current, &next));
+            }
+            if self.use_indexes {
+                indexed.retain_reachable(&next);
+            }
+            current = next;
+        }
+    }
+
+    fn diverged(
+        &self,
+        reason: String,
+        partial: Object,
+        mut stats: EvalStats,
+        start: Instant,
+    ) -> EngineError {
+        stats.elapsed = start.elapsed();
+        EngineError::Diverged {
+            reason,
+            partial: Box::new(partial),
+            stats: Box::new(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_calculus::{wff, Rule, Var};
+    use co_object::obj;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    fn genealogy_db() -> Object {
+        obj!([family: {
+            [name: abraham, children: {[name: isaac]}],
+            [name: isaac, children: {[name: esau], [name: jacob]}],
+            [name: jacob, children: {[name: joseph], [name: judah]}]
+        }])
+    }
+
+    fn descendants_program() -> Program {
+        Program::from_rules([
+            Rule::fact(wff!([doa: {abraham}])).unwrap(),
+            Rule::new(
+                wff!([doa: {(x())}]),
+                wff!([family: {[name: (y()), children: {[name: (x())]}]}, doa: {(y())}]),
+            )
+            .unwrap(),
+        ])
+    }
+
+    fn expected_descendants() -> Object {
+        obj!({abraham, isaac, esau, jacob, joseph, judah})
+    }
+
+    #[test]
+    fn all_strategy_combinations_agree_on_genealogy() {
+        let db = genealogy_db();
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            for use_indexes in [false, true] {
+                let out = Engine::new(descendants_program())
+                    .strategy(strategy)
+                    .indexes(use_indexes)
+                    .run(&db)
+                    .unwrap();
+                assert_eq!(
+                    out.database.dot("doa"),
+                    &expected_descendants(),
+                    "strategy={strategy:?} indexes={use_indexes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_closure() {
+        let db = genealogy_db();
+        let reference = co_calculus::closure(
+            &descendants_program(),
+            &db,
+            ClosureMode::Inflationary,
+            MatchPolicy::Strict,
+            co_calculus::ClosureLimits::default(),
+        )
+        .unwrap();
+        let out = Engine::new(descendants_program()).run(&db).unwrap();
+        assert_eq!(out.database, reference.object);
+    }
+
+    #[test]
+    fn seminaive_does_less_matching_work_than_naive() {
+        // Build a long chain so the fixpoint needs many iterations.
+        let n = 30;
+        let family = Object::set((0..n).map(|i| {
+            obj!([name: (format!("p{i}")), children: {[name: (format!("p{}", i + 1))]}])
+        }));
+        let db = Object::tuple([("family", family)]);
+        let program = Program::from_rules([
+            Rule::fact(wff!([doa: {p0}])).unwrap(),
+            Rule::new(
+                wff!([doa: {(x())}]),
+                wff!([family: {[name: (y()), children: {[name: (x())]}]}, doa: {(y())}]),
+            )
+            .unwrap(),
+        ]);
+        let naive = Engine::new(program.clone())
+            .strategy(Strategy::Naive)
+            .indexes(false)
+            .run(&db)
+            .unwrap();
+        let semi = Engine::new(program)
+            .strategy(Strategy::SemiNaive)
+            .indexes(false)
+            .run(&db)
+            .unwrap();
+        assert_eq!(naive.database, semi.database);
+        // Same number of iterations, far fewer emitted matches overall.
+        assert_eq!(naive.stats.iterations, semi.stats.iterations);
+        assert!(
+            semi.stats.matching.matches < naive.stats.matching.matches,
+            "semi-naive {} vs naive {}",
+            semi.stats.matching.matches,
+            naive.stats.matching.matches
+        );
+    }
+
+    #[test]
+    fn divergence_is_guarded() {
+        // Paper Example 4.6.
+        let program = Program::from_rules([
+            Rule::fact(wff!([list: {1}])).unwrap(),
+            Rule::new(
+                wff!([list: {[head: 1, tail: (x())]}]),
+                wff!([list: {(x())}]),
+            )
+            .unwrap(),
+        ]);
+        let err = Engine::new(program)
+            .guard(Guard {
+                max_iterations: 40,
+                max_depth: 25,
+                ..Guard::default()
+            })
+            .run(&obj!([list: {}]))
+            .unwrap_err();
+        match err {
+            EngineError::Diverged { reason, partial, stats } => {
+                assert!(reason.contains("depth") || reason.contains("iterations"));
+                assert!(measure::size(&partial) > 1);
+                assert!(stats.iterations > 1);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_literal_mode_forces_naive() {
+        let p = Program::from_rules([
+            Rule::new(wff!([r: {(x())}]), wff!([r: {(x())}])).unwrap()
+        ]);
+        let e = Engine::new(p).mode(ClosureMode::PaperLiteral);
+        assert_eq!(e.effective_strategy(), Strategy::Naive);
+    }
+
+    #[test]
+    fn tracing_records_firings() {
+        let out = Engine::new(descendants_program())
+            .tracing(true)
+            .run(&genealogy_db())
+            .unwrap();
+        let trace = out.trace.unwrap();
+        assert!(trace.firings().count() >= 6);
+        let text = trace.render();
+        assert!(text.contains("iteration 1"));
+        assert!(text.contains("fixpoint"));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let out = Engine::new(descendants_program())
+            .run(&genealogy_db())
+            .unwrap();
+        assert!(out.stats.iterations >= 3);
+        assert_eq!(
+            out.stats.rule_applications,
+            out.stats.iterations * 2 // two rules
+        );
+        assert_eq!(out.stats.sizes.len() as u64, out.stats.iterations);
+        assert!(out.stats.final_size().unwrap() > 0);
+        assert!(out.stats.to_string().contains("iterations"));
+    }
+
+    #[test]
+    fn empty_program_is_a_fixpoint_immediately() {
+        let out = Engine::new(Program::new()).run(&obj!([r: {1}])).unwrap();
+        assert_eq!(out.database, obj!([r: {1}]));
+        assert_eq!(out.stats.iterations, 1);
+    }
+}

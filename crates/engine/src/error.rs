@@ -1,0 +1,34 @@
+//! Engine errors.
+
+use crate::EvalStats;
+use co_object::Object;
+use std::fmt;
+
+/// Errors produced by the fixpoint engine.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The closure computation exceeded its guard limits — the program
+    /// likely has no finite closure (paper Example 4.6).
+    Diverged {
+        /// Which limit was exceeded.
+        reason: String,
+        /// The last database state computed.
+        partial: Box<Object>,
+        /// Statistics up to the point of divergence.
+        stats: Box<EvalStats>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Diverged { reason, stats, .. } => write!(
+                f,
+                "fixpoint diverged after {} iterations: {reason}",
+                stats.iterations
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

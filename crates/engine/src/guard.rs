@@ -1,0 +1,134 @@
+//! Resource guards for fixpoint evaluation.
+//!
+//! Paper Example 4.6 exhibits a rule set whose closure does not exist (the
+//! series "converges toward an infinite object"). Guards bound iterations,
+//! database size, database depth, and wall-clock time, turning divergence
+//! into a reportable [`crate::EngineError::Diverged`] instead of an OOM.
+
+use co_object::{measure, Object};
+use std::time::Duration;
+
+/// Limits applied between fixpoint iterations.
+#[derive(Clone, Copy, Debug)]
+pub struct Guard {
+    /// Maximum number of iterations (applications of `R`).
+    pub max_iterations: u64,
+    /// Maximum database size in nodes (see [`co_object::size`]).
+    pub max_size: u64,
+    /// Maximum database depth (paper Definition 3.2).
+    pub max_depth: u64,
+    /// Optional wall-clock budget for the whole run.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for Guard {
+    fn default() -> Self {
+        Guard {
+            max_iterations: 10_000,
+            max_size: 10_000_000,
+            max_depth: 10_000,
+            time_limit: None,
+        }
+    }
+}
+
+impl Guard {
+    /// A guard that effectively never fires (for trusted programs).
+    pub fn unlimited() -> Guard {
+        Guard {
+            max_iterations: u64::MAX,
+            max_size: u64::MAX,
+            max_depth: u64::MAX,
+            time_limit: None,
+        }
+    }
+
+    /// A tight guard for interactive use.
+    pub fn interactive() -> Guard {
+        Guard {
+            max_iterations: 1_000,
+            max_size: 1_000_000,
+            max_depth: 100,
+            time_limit: Some(Duration::from_secs(10)),
+        }
+    }
+
+    /// Checks the database against the size/depth limits; returns the
+    /// violation description if any.
+    pub fn check_database(&self, db: &Object) -> Option<String> {
+        let size = measure::size(db);
+        if size > self.max_size {
+            return Some(format!(
+                "database size {size} exceeds the limit {}",
+                self.max_size
+            ));
+        }
+        match measure::depth(db) {
+            measure::Depth::Finite(d) if d > self.max_depth => Some(format!(
+                "database depth {d} exceeds the limit {}",
+                self.max_depth
+            )),
+            _ => None,
+        }
+    }
+
+    /// Checks the elapsed time; returns the violation description if any.
+    pub fn check_time(&self, elapsed: Duration) -> Option<String> {
+        match self.time_limit {
+            Some(limit) if elapsed > limit => Some(format!(
+                "wall-clock time {elapsed:?} exceeds the limit {limit:?}"
+            )),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::obj;
+
+    #[test]
+    fn size_limit_fires() {
+        let g = Guard {
+            max_size: 3,
+            ..Guard::default()
+        };
+        assert!(g.check_database(&obj!({1, 2})).is_none()); // 3 nodes
+        assert!(g.check_database(&obj!({1, 2, 3})).is_some()); // 4 nodes
+    }
+
+    #[test]
+    fn depth_limit_fires() {
+        let g = Guard {
+            max_depth: 2,
+            ..Guard::default()
+        };
+        assert!(g.check_database(&obj!({1})).is_none()); // depth 2
+        assert!(g.check_database(&obj!({{1}})).is_some()); // depth 3
+    }
+
+    #[test]
+    fn top_database_never_trips_the_depth_limit_check() {
+        // ⊤ has infinite depth but is a legal (1-node) database.
+        let g = Guard::default();
+        assert!(g.check_database(&Object::Top).is_none());
+    }
+
+    #[test]
+    fn time_limit_fires() {
+        let g = Guard {
+            time_limit: Some(Duration::from_millis(10)),
+            ..Guard::default()
+        };
+        assert!(g.check_time(Duration::from_millis(5)).is_none());
+        assert!(g.check_time(Duration::from_millis(50)).is_some());
+        assert!(Guard::default().check_time(Duration::from_secs(999)).is_none());
+    }
+
+    #[test]
+    fn presets() {
+        assert!(Guard::unlimited().check_database(&obj!({{{{1}}}})).is_none());
+        assert_eq!(Guard::interactive().max_depth, 100);
+    }
+}

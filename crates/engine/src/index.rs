@@ -1,0 +1,323 @@
+//! Attribute-value indexes over set objects.
+//!
+//! Matching a tuple-shaped member formula like `[a: 5, b: Y]` against a
+//! large set is a scan; an index from `(attribute, atomic value)` to element
+//! positions turns the constant (and bound-variable) constraints into hash
+//! probes. This is the classic access-path substrate of a database engine,
+//! adapted to complex objects: indexes are built per *set node*, keyed by
+//! the set's allocation identity (`Arc` pointer), so unchanged relations
+//! keep their index across fixpoint iterations for free.
+//!
+//! Soundness contract (required by [`Prefilter`]): a returned candidate list
+//! contains **every** element the member formula could match. Constant-atom
+//! constraints are exact in every policy (an atom matches only itself — ⊤
+//! cannot occur inside a canonical set). Bound-variable constraints are used
+//! only under [`MatchPolicy::Strict`]: under `Literal`, a variable may bind
+//! ⊥ against a mismatching element, so the probe would be unsound.
+
+use co_calculus::{Formula, MatchPolicy, Prefilter, Var};
+use co_object::{Atom, Attr, Object, Set};
+use rustc_hash::FxHashMap;
+
+/// An index over one set object: `(attr, atom) → positions`.
+#[derive(Debug, Default)]
+pub struct SetIndex {
+    by_attr_atom: FxHashMap<(Attr, Atom), Vec<usize>>,
+}
+
+impl SetIndex {
+    /// Builds the index for `set`: every top-level atomic attribute value of
+    /// every tuple element is indexed.
+    pub fn build(set: &Set) -> SetIndex {
+        let mut by_attr_atom: FxHashMap<(Attr, Atom), Vec<usize>> = FxHashMap::default();
+        for (i, e) in set.elements().iter().enumerate() {
+            if let Object::Tuple(t) = e {
+                for (a, v) in t.entries() {
+                    if let Object::Atom(atom) = v {
+                        by_attr_atom.entry((*a, atom.clone())).or_default().push(i);
+                    }
+                }
+            }
+        }
+        SetIndex { by_attr_atom }
+    }
+
+    /// Positions of elements whose attribute `a` equals `atom`.
+    pub fn probe(&self, a: Attr, atom: &Atom) -> &[usize] {
+        self.by_attr_atom
+            .get(&(a, atom.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct `(attr, atom)` keys.
+    pub fn keys(&self) -> usize {
+        self.by_attr_atom.len()
+    }
+}
+
+/// A registry of [`SetIndex`]es keyed by set identity, with lazy
+/// construction and cross-iteration reuse (unchanged sets keep their `Arc`
+/// and therefore their pointer).
+#[derive(Default)]
+pub struct IndexRegistry {
+    indexes: FxHashMap<usize, SetIndex>,
+    /// Sets smaller than this are scanned — index bookkeeping would cost
+    /// more than it saves.
+    pub min_set_len: usize,
+}
+
+impl IndexRegistry {
+    /// Creates an empty registry with the default size threshold.
+    pub fn new() -> IndexRegistry {
+        IndexRegistry {
+            indexes: FxHashMap::default(),
+            min_set_len: 16,
+        }
+    }
+
+    fn key(set: &Set) -> usize {
+        set.elements().as_ptr() as usize
+    }
+
+    /// Returns (building if necessary) the index for `set`, or `None` for
+    /// sets below the size threshold.
+    pub fn index_for(&mut self, set: &Set) -> Option<&SetIndex> {
+        if set.len() < self.min_set_len {
+            return None;
+        }
+        Some(
+            self.indexes
+                .entry(Self::key(set))
+                .or_insert_with(|| SetIndex::build(set)),
+        )
+    }
+
+    /// Drops indexes for sets no longer reachable from `db` (call once per
+    /// iteration to stop stale pointers from accumulating — and, more
+    /// importantly, from aliasing a *new* allocation at a recycled address).
+    pub fn retain_reachable(&mut self, db: &Object) {
+        let mut live: Vec<usize> = Vec::new();
+        collect_set_keys(db, &mut live);
+        self.indexes.retain(|k, _| live.contains(k));
+    }
+
+    /// Number of materialized indexes.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// True when no index is materialized.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+}
+
+fn collect_set_keys(o: &Object, out: &mut Vec<usize>) {
+    match o {
+        Object::Set(s) => {
+            out.push(s.elements().as_ptr() as usize);
+            for e in s.iter() {
+                collect_set_keys(e, out);
+            }
+        }
+        Object::Tuple(t) => {
+            for (_, v) in t.entries() {
+                collect_set_keys(v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A [`Prefilter`] backed by an [`IndexRegistry`].
+///
+/// Interior mutability (the registry builds indexes lazily during matching)
+/// is confined to a `RefCell`; the matcher is single-threaded.
+pub struct IndexedPrefilter {
+    registry: std::cell::RefCell<IndexRegistry>,
+    policy: MatchPolicy,
+}
+
+impl IndexedPrefilter {
+    /// Creates a prefilter for the given policy.
+    pub fn new(policy: MatchPolicy) -> IndexedPrefilter {
+        IndexedPrefilter {
+            registry: std::cell::RefCell::new(IndexRegistry::new()),
+            policy,
+        }
+    }
+
+    /// See [`IndexRegistry::retain_reachable`].
+    pub fn retain_reachable(&self, db: &Object) {
+        self.registry.borrow_mut().retain_reachable(db);
+    }
+
+    /// Number of materialized indexes (diagnostics).
+    pub fn index_count(&self) -> usize {
+        self.registry.borrow().len()
+    }
+}
+
+impl Prefilter for IndexedPrefilter {
+    fn candidates(
+        &self,
+        set: &Set,
+        member: &Formula,
+        bindings: &dyn Fn(Var) -> Option<Object>,
+    ) -> Option<Vec<usize>> {
+        let Formula::Tuple(entries) = member else {
+            return None;
+        };
+        let mut registry = self.registry.borrow_mut();
+        let index = registry.index_for(set)?;
+        // Probe the most selective constant/bound-atom constraint.
+        let mut best: Option<&[usize]> = None;
+        for (a, f) in entries {
+            let atom = match f {
+                Formula::Atom(atom) => Some(atom.clone()),
+                Formula::Var(v) if self.policy == MatchPolicy::Strict => {
+                    match bindings(*v) {
+                        // Only an *atomic* binding pins the element's value:
+                        // σX already = that atom, and shrinking to ⊥ prunes
+                        // under Strict.
+                        Some(Object::Atom(atom)) => Some(atom),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(atom) = atom {
+                let hits = index.probe(*a, &atom);
+                if best.map(|b| hits.len() < b.len()).unwrap_or(true) {
+                    best = Some(hits);
+                }
+            }
+        }
+        best.map(|b| b.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_calculus::{match_with, matches, wff};
+    use co_object::obj;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    fn big_relation(n: i64) -> Object {
+        Object::set((0..n).map(|i| {
+            Object::tuple([
+                (Attr::new("k"), Object::int(i)),
+                (Attr::new("v"), Object::int(i % 10)),
+            ])
+        }))
+    }
+
+    #[test]
+    fn set_index_probes_exactly() {
+        let rel = big_relation(100);
+        let idx = SetIndex::build(rel.as_set().unwrap());
+        let hits = idx.probe(Attr::new("v"), &Atom::Int(3));
+        assert_eq!(hits.len(), 10);
+        for &i in hits {
+            assert_eq!(
+                rel.as_set().unwrap().elements()[i].dot("v"),
+                &Object::int(3)
+            );
+        }
+        assert!(idx.probe(Attr::new("v"), &Atom::Int(99)).is_empty());
+        assert!(idx.keys() > 0);
+    }
+
+    #[test]
+    fn registry_reuses_indexes_by_pointer() {
+        let rel = big_relation(50);
+        let set = rel.as_set().unwrap();
+        let mut reg = IndexRegistry::new();
+        let p1 = reg.index_for(set).unwrap() as *const SetIndex;
+        let p2 = reg.index_for(set).unwrap() as *const SetIndex;
+        assert_eq!(p1, p2);
+        assert_eq!(reg.len(), 1);
+        // Clones share the Arc — same index.
+        let rel2 = rel.clone();
+        reg.index_for(rel2.as_set().unwrap()).unwrap();
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn small_sets_are_not_indexed() {
+        let rel = big_relation(4);
+        let mut reg = IndexRegistry::new();
+        assert!(reg.index_for(rel.as_set().unwrap()).is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn retain_reachable_evicts_dead_indexes() {
+        let rel = big_relation(50);
+        let mut reg = IndexRegistry::new();
+        reg.index_for(rel.as_set().unwrap()).unwrap();
+        assert_eq!(reg.len(), 1);
+        let other_db = obj!([r: {1}]);
+        reg.retain_reachable(&other_db);
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn indexed_matching_agrees_with_scanning() {
+        let db = Object::tuple([(Attr::new("r"), big_relation(200))]);
+        let f = wff!([r: {[v: 3, k: (x())]}]);
+        let scan = matches(&f, &db, MatchPolicy::Strict);
+        let pf = IndexedPrefilter::new(MatchPolicy::Strict);
+        let (indexed, stats) = match_with(&f, &db, MatchPolicy::Strict, &pf);
+        assert_eq!(scan, indexed);
+        // The index probe must try far fewer candidates than the scan.
+        assert!(stats.candidates_tried <= 20, "tried {}", stats.candidates_tried);
+    }
+
+    #[test]
+    fn indexed_join_with_bound_variable_agrees() {
+        let db = Object::tuple([
+            (Attr::new("r1"), big_relation(100)),
+            (Attr::new("r2"), big_relation(100)),
+        ]);
+        // Y is bound by the first member before the second is matched.
+        let f = wff!([r1: {[k: 5, v: (y())]}, r2: {[v: (y()), k: (x())]}]);
+        let scan = matches(&f, &db, MatchPolicy::Strict);
+        let pf = IndexedPrefilter::new(MatchPolicy::Strict);
+        let (indexed, _) = match_with(&f, &db, MatchPolicy::Strict, &pf);
+        assert_eq!(scan, indexed);
+        assert!(!indexed.is_empty());
+    }
+
+    #[test]
+    fn literal_policy_skips_bound_variable_probes() {
+        // Under Literal, Y↦⊥ joins must survive: the prefilter may only use
+        // constant constraints. Equivalence is the requirement.
+        let db = Object::tuple([
+            (Attr::new("r1"), big_relation(60)),
+            (Attr::new("r2"), big_relation(60)),
+        ]);
+        let f = wff!([r1: {[k: 5, v: (y())]}, r2: {[v: (y()), k: (x())]}]);
+        let scan = matches(&f, &db, MatchPolicy::Literal);
+        let pf = IndexedPrefilter::new(MatchPolicy::Literal);
+        let (indexed, _) = match_with(&f, &db, MatchPolicy::Literal, &pf);
+        assert_eq!(scan, indexed);
+    }
+
+    #[test]
+    fn non_tuple_members_fall_back_to_scan() {
+        let db = Object::tuple([(Attr::new("r"), big_relation(50))]);
+        let f = wff!([r: {(x())}]);
+        let pf = IndexedPrefilter::new(MatchPolicy::Strict);
+        let (indexed, _) = match_with(&f, &db, MatchPolicy::Strict, &pf);
+        assert_eq!(indexed.len(), 50);
+    }
+}

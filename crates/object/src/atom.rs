@@ -1,0 +1,391 @@
+//! Atomic objects (paper Definition 2.1(i)): integers, floats, strings, and
+//! booleans.
+//!
+//! Atoms are totally ordered and hashable so that set objects can keep a
+//! canonical element order and so that equality of atoms (Definition 2.2(i):
+//! "two atomic objects are equal if and only if they are the same") is plain
+//! `==`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A floating-point atom with total equality, ordering, and hashing.
+///
+/// The paper treats floats as opaque atoms compared by identity, so we need
+/// `Eq`/`Ord`/`Hash` — which raw `f64` does not provide. `F64` canonicalizes
+/// the two representations that would otherwise break the `Eq`/`Hash`
+/// contract:
+///
+/// - every NaN is collapsed to one canonical NaN bit pattern, so
+///   `F64::new(f64::NAN) == F64::new(-f64::NAN)`;
+/// - `-0.0` is canonicalized to `+0.0`.
+///
+/// Ordering follows [`f64::total_cmp`], which after canonicalization is
+/// consistent with bit equality.
+#[derive(Clone, Copy)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wraps a float, canonicalizing NaN and negative zero.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            F64(f64::NAN)
+        } else if v == 0.0 {
+            F64(0.0)
+        } else {
+            F64(v)
+        }
+    }
+
+    /// The underlying float value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for F64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_nan() {
+            write!(f, "nan")
+        } else if self.0 == f64::INFINITY {
+            write!(f, "inf")
+        } else if self.0 == f64::NEG_INFINITY {
+            write!(f, "-inf")
+        } else {
+            // `{:?}` is the shortest representation that round-trips and
+            // always contains `.` or an exponent, so the lexer reads it
+            // back as a float (never as an out-of-range integer).
+            write!(f, "{:?}", self.0)
+        }
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(v: f64) -> Self {
+        F64::new(v)
+    }
+}
+
+/// An atomic object: boolean, integer, float, or string
+/// (paper Definition 2.1(i)).
+///
+/// Two atoms are equal iff they are *the same* atom (Definition 2.2(i)); in
+/// particular `Int(1)` and `Float(1.0)` are **different** atoms — the paper
+/// performs no coercion between atom kinds, and neither do we.
+///
+/// The derived `Ord` gives the canonical cross-kind order used to keep set
+/// objects in a deterministic representation:
+/// `Bool < Int < Float < Str`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Atom {
+    /// A boolean atom.
+    Bool(bool),
+    /// A 64-bit signed integer atom.
+    Int(i64),
+    /// A float atom with total order (see [`F64`]).
+    Float(F64),
+    /// A string atom. Stored in an [`Arc`] so cloning atoms (which happens
+    /// constantly in lattice operations) never copies string data.
+    Str(Arc<str>),
+}
+
+impl Atom {
+    /// Builds a string atom.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Atom::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer atom.
+    pub fn int(v: i64) -> Self {
+        Atom::Int(v)
+    }
+
+    /// Builds a float atom (canonicalizing NaN / -0.0, see [`F64`]).
+    pub fn float(v: f64) -> Self {
+        Atom::Float(F64::new(v))
+    }
+
+    /// Builds a boolean atom.
+    pub fn bool(v: bool) -> Self {
+        Atom::Bool(v)
+    }
+
+    /// Returns the string payload if this is a string atom.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Atom::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload if this is an integer atom.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Atom::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is a float atom.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Atom::Float(v) => Some(v.get()),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a boolean atom.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Atom::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A short name for the atom's kind, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Atom::Bool(_) => "bool",
+            Atom::Int(_) => "int",
+            Atom::Float(_) => "float",
+            Atom::Str(_) => "string",
+        }
+    }
+}
+
+/// Words with a reserved meaning in the concrete syntax: they lex as
+/// something other than a string atom, so string atoms spelled like them
+/// must print quoted.
+pub const RESERVED_WORDS: &[&str] = &["bot", "top", "true", "false", "inf", "nan"];
+
+/// True when `s` prints as a bare identifier in the paper's concrete syntax:
+/// a lowercase letter followed by letters, digits, `_`, and not a reserved
+/// word. Anything else must be quoted on output.
+pub fn is_bare_ident(s: &str) -> bool {
+    if RESERVED_WORDS.contains(&s) {
+        return false;
+    }
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// True when `s` can stand bare in *attribute-name* position (attribute
+/// names may start upper- or lowercase — the paper writes `[A: X, B: b]`).
+pub fn is_bare_attr(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Bool(b) => write!(f, "{b}"),
+            Atom::Int(v) => write!(f, "{v}"),
+            Atom::Float(v) => write!(f, "{v}"),
+            Atom::Str(s) => {
+                if is_bare_ident(s) {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "{s:?}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Atom {
+    fn from(v: i64) -> Self {
+        Atom::Int(v)
+    }
+}
+
+impl From<i32> for Atom {
+    fn from(v: i32) -> Self {
+        Atom::Int(v as i64)
+    }
+}
+
+impl From<f64> for Atom {
+    fn from(v: f64) -> Self {
+        Atom::float(v)
+    }
+}
+
+impl From<bool> for Atom {
+    fn from(v: bool) -> Self {
+        Atom::Bool(v)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(v: &str) -> Self {
+        Atom::str(v)
+    }
+}
+
+impl From<String> for Atom {
+    fn from(v: String) -> Self {
+        Atom::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn atoms_equal_iff_same() {
+        assert_eq!(Atom::int(25), Atom::int(25));
+        assert_ne!(Atom::int(25), Atom::int(26));
+        assert_ne!(Atom::int(1), Atom::float(1.0));
+        assert_ne!(Atom::str("john"), Atom::str("mary"));
+        assert_eq!(Atom::str("john"), Atom::str("john"));
+        assert_ne!(Atom::Bool(true), Atom::Bool(false));
+    }
+
+    #[test]
+    fn nan_is_canonical() {
+        let a = Atom::float(f64::NAN);
+        let b = Atom::float(-f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_is_canonical() {
+        let a = Atom::float(0.0);
+        let b = Atom::float(-0.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn float_ordering_is_total() {
+        let mut v = [
+            Atom::float(f64::NAN),
+            Atom::float(1.5),
+            Atom::float(f64::NEG_INFINITY),
+            Atom::float(-2.0),
+            Atom::float(0.0),
+            Atom::float(f64::INFINITY),
+        ];
+        v.sort();
+        assert_eq!(v[0], Atom::float(f64::NEG_INFINITY));
+        assert_eq!(v[1], Atom::float(-2.0));
+        assert_eq!(v[2], Atom::float(0.0));
+        assert_eq!(v[3], Atom::float(1.5));
+        assert_eq!(v[4], Atom::float(f64::INFINITY));
+        assert_eq!(v[5], Atom::float(f64::NAN));
+    }
+
+    #[test]
+    fn cross_kind_order_is_stable() {
+        let mut v = [
+            Atom::str("a"),
+            Atom::float(0.5),
+            Atom::int(3),
+            Atom::Bool(true),
+        ];
+        v.sort();
+        assert!(matches!(v[0], Atom::Bool(_)));
+        assert!(matches!(v[1], Atom::Int(_)));
+        assert!(matches!(v[2], Atom::Float(_)));
+        assert!(matches!(v[3], Atom::Str(_)));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Atom::str("john").to_string(), "john");
+        assert_eq!(Atom::str("John Doe").to_string(), "\"John Doe\"");
+        assert_eq!(Atom::str("Austin").to_string(), "\"Austin\"");
+        assert_eq!(Atom::int(25).to_string(), "25");
+        assert_eq!(Atom::float(2.0).to_string(), "2.0");
+        assert_eq!(Atom::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Atom::int(7).as_int(), Some(7));
+        assert_eq!(Atom::int(7).as_str(), None);
+        assert_eq!(Atom::str("x").as_str(), Some("x"));
+        assert_eq!(Atom::float(1.5).as_float(), Some(1.5));
+        assert_eq!(Atom::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn bare_ident_rules() {
+        assert!(is_bare_ident("john"));
+        assert!(is_bare_ident("john_doe2"));
+        assert!(!is_bare_ident("John"));
+        assert!(!is_bare_ident("2john"));
+        assert!(!is_bare_ident(""));
+        assert!(!is_bare_ident("john doe"));
+        // Reserved words must print quoted to round-trip as strings.
+        assert!(!is_bare_ident("bot"));
+        assert!(!is_bare_ident("true"));
+        assert!(!is_bare_ident("nan"));
+        assert_eq!(Atom::str("top").to_string(), "\"top\"");
+    }
+
+    #[test]
+    fn bare_attr_rules() {
+        assert!(is_bare_attr("name"));
+        assert!(is_bare_attr("A"));
+        assert!(is_bare_attr("R1"));
+        assert!(is_bare_attr("_x"));
+        assert!(!is_bare_attr("2x"));
+        assert!(!is_bare_attr("a b"));
+        assert!(!is_bare_attr(""));
+    }
+}

@@ -1,0 +1,131 @@
+//! Interned attribute names.
+//!
+//! The paper assumes "a countable set of attribute names" that "can be
+//! unambiguously recognized from any other object in the system"
+//! (Section 2). We intern attribute names into `u32` ids in a global,
+//! process-wide table: comparing and hashing attributes is then integer work,
+//! which matters because tuple operations (sub-object checks, union,
+//! intersection) walk attribute lists constantly.
+
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// An interned attribute name.
+///
+/// `Attr` is a copyable 4-byte handle. Two `Attr`s are equal iff their names
+/// are equal. The derived `Ord` orders by interning id, which is stable for
+/// the lifetime of the process and is what keeps tuple entries in canonical
+/// order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr(u32);
+
+struct Interner {
+    names: Vec<Arc<str>>,
+    ids: FxHashMap<Arc<str>, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            ids: FxHashMap::default(),
+        })
+    })
+}
+
+impl Attr {
+    /// Interns `name` and returns its handle. Idempotent.
+    pub fn new(name: impl AsRef<str>) -> Attr {
+        let name = name.as_ref();
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.ids.get(name) {
+                return Attr(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.ids.get(name) {
+            return Attr(id);
+        }
+        let id = u32::try_from(guard.names.len()).expect("attribute interner overflow");
+        let arc: Arc<str> = Arc::from(name);
+        guard.names.push(arc.clone());
+        guard.ids.insert(arc, id);
+        Attr(id)
+    }
+
+    /// The attribute's name.
+    pub fn name(self) -> Arc<str> {
+        interner().read().names[self.0 as usize].clone()
+    }
+
+    /// The raw interning id. Stable within a process; not meaningful across
+    /// processes.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Debug for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Attr({:?})", &*self.name())
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+
+impl From<String> for Attr {
+    fn from(s: String) -> Self {
+        Attr::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Attr::new("name");
+        let b = Attr::new("name");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(&*a.name(), "name");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let a = Attr::new("attr_test_left");
+        let b = Attr::new("attr_test_right");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn display_is_the_name() {
+        assert_eq!(Attr::new("children").to_string(), "children");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Attr::new("concurrent_attr").id()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,157 @@
+//! Ergonomic construction: the [`obj!`](crate::obj) literal macro and the
+//! [`IntoObject`] conversion trait it relies on.
+
+use crate::{Atom, Object};
+
+/// Conversion into [`Object`], used by the [`obj!`](crate::obj) macro for
+/// literals and spliced expressions.
+pub trait IntoObject {
+    /// Converts `self` into an object.
+    fn into_object(self) -> Object;
+}
+
+impl IntoObject for Object {
+    fn into_object(self) -> Object {
+        self
+    }
+}
+
+impl IntoObject for &Object {
+    fn into_object(self) -> Object {
+        self.clone()
+    }
+}
+
+impl IntoObject for Atom {
+    fn into_object(self) -> Object {
+        Object::Atom(self)
+    }
+}
+
+macro_rules! impl_into_object_via_from {
+    ($($t:ty),* $(,)?) => {
+        $(impl IntoObject for $t {
+            fn into_object(self) -> Object {
+                Object::from(self)
+            }
+        })*
+    };
+}
+
+impl_into_object_via_from!(i64, i32, f64, bool, &str, String);
+
+/// Builds an [`Object`](crate::Object) with the paper's literal notation.
+///
+/// | Syntax | Object |
+/// |---|---|
+/// | `obj!(bot)` / `obj!(top)` | ⊥ / ⊤ |
+/// | `obj!(25)`, `obj!(2.5)`, `obj!(true)`, `obj!("a b")` | atoms |
+/// | `obj!(john)` | the string atom `john` (bare identifiers are strings, as in the paper) |
+/// | `obj!([name: peter, age: 25])` | tuple |
+/// | `obj!({1, 2, 3})` | set |
+/// | `obj!((expr))` | splices any `IntoObject` expression |
+///
+/// Nesting works as expected:
+///
+/// ```
+/// use co_object::obj;
+/// let o = obj!([name: [first: john, last: doe], children: {john, mary, susan}]);
+/// assert_eq!(o.dot("name").dot("first"), &obj!(john));
+/// ```
+#[macro_export]
+macro_rules! obj {
+    (bot) => { $crate::Object::Bottom };
+    (top) => { $crate::Object::Top };
+    ([ $($key:ident : $value:tt),* $(,)? ]) => {{
+        let entries: ::std::vec::Vec<($crate::Attr, $crate::Object)> =
+            ::std::vec![ $( ($crate::Attr::new(stringify!($key)), $crate::obj!($value)) ),* ];
+        $crate::Object::tuple(entries)
+    }};
+    ({ $($elem:tt),* $(,)? }) => {{
+        let elems: ::std::vec::Vec<$crate::Object> = ::std::vec![ $( $crate::obj!($elem) ),* ];
+        $crate::Object::set(elems)
+    }};
+    (( $e:expr )) => { $crate::builder::IntoObject::into_object($e) };
+    ($lit:literal) => { $crate::builder::IntoObject::into_object($lit) };
+    ($id:ident) => { $crate::Object::str(stringify!($id)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Attr;
+
+    #[test]
+    fn literals() {
+        assert_eq!(obj!(bot), Object::Bottom);
+        assert_eq!(obj!(top), Object::Top);
+        assert_eq!(obj!(25), Object::int(25));
+        assert_eq!(obj!(2.5), Object::float(2.5));
+        assert_eq!(obj!(true), Object::bool(true));
+        assert_eq!(obj!("hello world"), Object::str("hello world"));
+        assert_eq!(obj!(john), Object::str("john"));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(obj!(-5), Object::int(-5));
+        assert_eq!(obj!(-2.5), Object::float(-2.5));
+    }
+
+    #[test]
+    fn tuples_and_sets() {
+        let t = obj!([name: peter, age: 25]);
+        assert_eq!(t.dot("name"), &Object::str("peter"));
+        assert_eq!(t.dot("age"), &Object::int(25));
+
+        let s = obj!({1, 2, 3});
+        assert_eq!(s.as_set().unwrap().len(), 3);
+
+        assert_eq!(obj!([]), Object::empty_tuple());
+        assert_eq!(obj!({}), Object::empty_set());
+    }
+
+    #[test]
+    fn splicing_expressions() {
+        let inner = Object::set((1..=3).map(Object::int));
+        let o = obj!([xs: (inner.clone()), n: (2 + 1)]);
+        assert_eq!(o.dot("xs"), &inner);
+        assert_eq!(o.dot("n"), &Object::int(3));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let db = obj!([
+            r1: {[name: peter, age: 25], [name: john, age: 7]},
+            r2: {[name: john, address: austin], [name: mary, address: paris]}
+        ]);
+        let r1 = db.dot("r1").as_set().unwrap();
+        assert_eq!(r1.len(), 2);
+        assert_eq!(
+            db.dot("r2"),
+            &Object::set([
+                Object::tuple([
+                    (Attr::new("name"), Object::str("john")),
+                    (Attr::new("address"), Object::str("austin")),
+                ]),
+                Object::tuple([
+                    (Attr::new("name"), Object::str("mary")),
+                    (Attr::new("address"), Object::str("paris")),
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn into_object_impls() {
+        assert_eq!(5i64.into_object(), Object::int(5));
+        assert_eq!(5i32.into_object(), Object::int(5));
+        assert_eq!(1.5f64.into_object(), Object::float(1.5));
+        assert_eq!(false.into_object(), Object::bool(false));
+        assert_eq!("x".into_object(), Object::str("x"));
+        assert_eq!(String::from("x").into_object(), Object::str("x"));
+        assert_eq!(Atom::int(3).into_object(), Object::int(3));
+        let o = Object::int(9);
+        assert_eq!((&o).into_object(), o);
+    }
+}

@@ -1,0 +1,186 @@
+//! Rendering objects in the paper's notation.
+//!
+//! `Display` prints the compact one-line form used throughout the paper
+//! (`[name: peter, age: 25]`, `{1, 2, 3}`, `bot`, `top`); [`pretty`] produces
+//! an indented multi-line layout for large objects.
+//!
+//! Internally tuples are sorted by attribute *id* (interning order, which is
+//! process-local) — printing in that order would make output depend on
+//! interning history. Display therefore orders tuple entries by attribute
+//! **name** and set elements by their rendered text, so the same object
+//! always prints the same way, in every process.
+
+use crate::atom::is_bare_attr;
+use crate::{Attr, Object, Tuple};
+use std::fmt;
+
+/// Renders an attribute name, quoting it when it cannot stand bare.
+pub fn attr_name(a: Attr) -> String {
+    let n = a.name();
+    if is_bare_attr(&n) {
+        n.to_string()
+    } else {
+        format!("{:?}", &*n)
+    }
+}
+
+/// Tuple entries in name order (display order).
+fn entries_by_name(t: &Tuple) -> Vec<(Attr, &Object)> {
+    let mut v: Vec<(Attr, &Object)> = t.entries().iter().map(|(a, o)| (*a, o)).collect();
+    v.sort_by_key(|(a, _)| a.name());
+    v
+}
+
+/// Set elements rendered and sorted lexicographically (display order).
+fn rendered_elements(s: &crate::Set) -> Vec<String> {
+    let mut v: Vec<String> = s.iter().map(|e| e.to_string()).collect();
+    v.sort();
+    v
+}
+
+impl fmt::Display for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Object::Bottom => write!(f, "bot"),
+            Object::Top => write!(f, "top"),
+            Object::Atom(a) => write!(f, "{a}"),
+            Object::Tuple(t) => {
+                write!(f, "[")?;
+                for (i, (a, v)) in entries_by_name(t).into_iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}: {v}", attr_name(a))?;
+                }
+                write!(f, "]")
+            }
+            Object::Set(s) => {
+                write!(f, "{{")?;
+                for (i, e) in rendered_elements(s).into_iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Pretty-prints `o` with indentation, wrapping tuples and sets whose
+/// one-line form would exceed `width` columns.
+pub fn pretty(o: &Object, width: usize) -> String {
+    let mut out = String::new();
+    pretty_into(o, 0, width, &mut out);
+    out
+}
+
+fn pretty_into(o: &Object, indent: usize, width: usize, out: &mut String) {
+    let flat = o.to_string();
+    if indent + flat.len() <= width || matches!(o, Object::Atom(_) | Object::Bottom | Object::Top)
+    {
+        out.push_str(&flat);
+        return;
+    }
+    match o {
+        Object::Tuple(t) => {
+            let entries = entries_by_name(t);
+            out.push('[');
+            push_block(entries.len(), indent, out, |i, out| {
+                let (a, v) = &entries[i];
+                let name = attr_name(*a);
+                out.push_str(&name);
+                out.push_str(": ");
+                pretty_into(v, indent + 2 + name.len() + 2, width, out);
+            });
+            out.push(']');
+        }
+        Object::Set(s) => {
+            // Order large sets the same way Display does: by rendered text.
+            let mut elems: Vec<&Object> = s.iter().collect();
+            elems.sort_by_key(|e| e.to_string());
+            out.push('{');
+            push_block(elems.len(), indent, out, |i, out| {
+                pretty_into(elems[i], indent + 2, width, out);
+            });
+            out.push('}');
+        }
+        _ => out.push_str(&flat),
+    }
+}
+
+fn push_block(
+    n: usize,
+    indent: usize,
+    out: &mut String,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    for i in 0..n {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', indent + 2));
+        item(i, out);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    out.extend(std::iter::repeat_n(' ', indent));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    #[test]
+    fn compact_display_matches_paper_notation() {
+        assert_eq!(obj!(bot).to_string(), "bot");
+        assert_eq!(obj!(top).to_string(), "top");
+        assert_eq!(obj!(25).to_string(), "25");
+        assert_eq!(obj!(john).to_string(), "john");
+        assert_eq!(obj!({}).to_string(), "{}");
+        assert_eq!(obj!([]).to_string(), "[]");
+    }
+
+    #[test]
+    fn tuple_display_orders_attributes_by_name() {
+        // Stable regardless of attribute interning order.
+        let t = obj!([name: peter, age: 25]);
+        assert_eq!(t.to_string(), "[age: 25, name: peter]");
+        let t2 = obj!([age: 25, name: peter]);
+        assert_eq!(t2.to_string(), "[age: 25, name: peter]");
+    }
+
+    #[test]
+    fn set_display_orders_elements_by_rendering() {
+        assert_eq!(obj!({3, 1, 2}).to_string(), "{1, 2, 3}");
+        assert_eq!(
+            obj!({[b: 2], [a: 1]}).to_string(),
+            "{[a: 1], [b: 2]}"
+        );
+    }
+
+    #[test]
+    fn strings_needing_quotes_are_quoted() {
+        assert_eq!(obj!("New York").to_string(), "\"New York\"");
+        assert_eq!(obj!("Austin").to_string(), "\"Austin\"");
+    }
+
+    #[test]
+    fn pretty_keeps_small_objects_flat() {
+        let o = obj!([a: 1, b: 2]);
+        assert_eq!(pretty(&o, 80), o.to_string());
+    }
+
+    #[test]
+    fn pretty_wraps_large_objects() {
+        let o = obj!({
+            [name: peter, children: {max, susan}],
+            [name: john, children: {mary, john, frank}]
+        });
+        let p = pretty(&o, 30);
+        assert!(p.contains('\n'));
+        assert!(p.contains("peter") && p.contains("frank"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Error types for object construction and manipulation.
+
+use crate::Attr;
+use std::fmt;
+
+/// Errors produced when constructing or updating objects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObjectError {
+    /// A tuple literal used the same attribute name twice with different
+    /// values. The paper requires tuple attribute names to be distinct
+    /// (Definition 2.1(iii)).
+    DuplicateAttribute(Attr),
+    /// A path-based operation was applied at a path that does not exist or
+    /// traverses a non-tuple.
+    PathNotFound(String),
+    /// A path-based update expected a particular shape (e.g. a set to insert
+    /// into) and found something else.
+    WrongShape {
+        /// What the operation needed.
+        expected: &'static str,
+        /// What it found, rendered.
+        found: String,
+    },
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute `{a}` with conflicting values in tuple literal")
+            }
+            ObjectError::PathNotFound(p) => write!(f, "path `{p}` not found"),
+            ObjectError::WrongShape { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}

@@ -1,0 +1,155 @@
+//! Structural measures of objects: the paper's **depth** (Definition 3.2,
+//! the induction measure for all of the paper's proofs) plus node counts
+//! used by the engine's resource guards and the benchmarks.
+
+use crate::Object;
+use std::fmt;
+
+/// The depth of an object (paper Definition 3.2).
+///
+/// - `depth(⊥) = 1`, `depth(atom) = 1`;
+/// - `depth([]) = depth({}) = 2`;
+/// - `depth(tuple) = max over attributes + 1`,
+///   `depth(set) = max over elements + 1`;
+/// - `depth(⊤) = ∞`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Depth {
+    /// A finite depth. (`Finite` orders below `Infinite` — derived `Ord` on
+    /// the variant order.)
+    Finite(u64),
+    /// The depth of ⊤.
+    Infinite,
+}
+
+impl Depth {
+    /// Adds one level to a depth (saturating on `Infinite`).
+    pub fn succ(self) -> Depth {
+        match self {
+            Depth::Finite(d) => Depth::Finite(d + 1),
+            Depth::Infinite => Depth::Infinite,
+        }
+    }
+
+    /// The finite value, if any.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Depth::Finite(d) => Some(d),
+            Depth::Infinite => None,
+        }
+    }
+}
+
+impl fmt::Display for Depth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Depth::Finite(d) => write!(f, "{d}"),
+            Depth::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// Computes the paper's depth measure for `o`.
+pub fn depth(o: &Object) -> Depth {
+    match o {
+        Object::Bottom | Object::Atom(_) => Depth::Finite(1),
+        Object::Top => Depth::Infinite,
+        Object::Tuple(t) => t
+            .iter()
+            .map(|(_, v)| depth(v))
+            .max()
+            .unwrap_or(Depth::Finite(1))
+            .succ(),
+        Object::Set(s) => s
+            .iter()
+            .map(depth)
+            .max()
+            .unwrap_or(Depth::Finite(1))
+            .succ(),
+    }
+}
+
+/// Total number of nodes (atoms, ⊥/⊤ leaves, tuple and set constructors) in
+/// the object tree. Used by engine guards to bound database growth.
+pub fn size(o: &Object) -> u64 {
+    match o {
+        Object::Bottom | Object::Atom(_) | Object::Top => 1,
+        Object::Tuple(t) => 1 + t.iter().map(|(_, v)| size(v)).sum::<u64>(),
+        Object::Set(s) => 1 + s.iter().map(size).sum::<u64>(),
+    }
+}
+
+/// Number of atom leaves in the object tree.
+pub fn atom_count(o: &Object) -> u64 {
+    match o {
+        Object::Atom(_) => 1,
+        Object::Bottom | Object::Top => 0,
+        Object::Tuple(t) => t.iter().map(|(_, v)| atom_count(v)).sum(),
+        Object::Set(s) => s.iter().map(atom_count).sum(),
+    }
+}
+
+/// Maximum fanout (tuple width or set cardinality) anywhere in the tree.
+pub fn max_fanout(o: &Object) -> usize {
+    match o {
+        Object::Bottom | Object::Atom(_) | Object::Top => 0,
+        Object::Tuple(t) => t
+            .iter()
+            .map(|(_, v)| max_fanout(v))
+            .max()
+            .unwrap_or(0)
+            .max(t.len()),
+        Object::Set(s) => s.iter().map(max_fanout).max().unwrap_or(0).max(s.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    #[test]
+    fn definition_3_2_base_cases() {
+        assert_eq!(depth(&Object::Bottom), Depth::Finite(1));
+        assert_eq!(depth(&obj!(5)), Depth::Finite(1));
+        assert_eq!(depth(&obj!(john)), Depth::Finite(1));
+        assert_eq!(depth(&Object::empty_set()), Depth::Finite(2));
+        assert_eq!(depth(&Object::empty_tuple()), Depth::Finite(2));
+        assert_eq!(depth(&Object::Top), Depth::Infinite);
+    }
+
+    #[test]
+    fn definition_3_2_recursive_cases() {
+        assert_eq!(depth(&obj!([a: 1, b: 2])), Depth::Finite(2));
+        assert_eq!(depth(&obj!({1, 2, 3})), Depth::Finite(2));
+        assert_eq!(depth(&obj!([a: {1, 2}, b: 2])), Depth::Finite(3));
+        assert_eq!(depth(&obj!({[name: [first: john]]})), Depth::Finite(4));
+    }
+
+    #[test]
+    fn depth_ordering() {
+        assert!(Depth::Finite(5) < Depth::Infinite);
+        assert!(Depth::Finite(2) < Depth::Finite(3));
+        assert_eq!(Depth::Infinite.succ(), Depth::Infinite);
+        assert_eq!(Depth::Finite(1).succ(), Depth::Finite(2));
+        assert_eq!(Depth::Finite(3).finite(), Some(3));
+        assert_eq!(Depth::Infinite.finite(), None);
+    }
+
+    #[test]
+    fn size_counts_every_node() {
+        assert_eq!(size(&obj!(1)), 1);
+        assert_eq!(size(&Object::empty_set()), 1);
+        // {1, 2}: set node + two atoms.
+        assert_eq!(size(&obj!({1, 2})), 3);
+        // [a: {1, 2}, b: 3]: tuple + set + 3 atoms.
+        assert_eq!(size(&obj!([a: {1, 2}, b: 3])), 5);
+    }
+
+    #[test]
+    fn atom_count_and_fanout() {
+        let o = obj!([a: {1, 2, 3}, b: [c: 4]]);
+        assert_eq!(atom_count(&o), 4);
+        assert_eq!(max_fanout(&o), 3);
+        assert_eq!(max_fanout(&obj!(1)), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Path navigation inside complex objects.
+//!
+//! A [`Path`] is a sequence of attribute steps: `O.a.b.c`. Since the paper's
+//! databases are "a single object" — typically a tuple of relations — paths
+//! give the natural way to address a relation (`db.at_path(&["r1"])`) or a
+//! nested component.
+
+use crate::{Attr, Object};
+use std::fmt;
+
+/// A dotted attribute path, e.g. `family.children`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Path(Vec<Attr>);
+
+impl Path {
+    /// The empty path (addresses the object itself).
+    pub fn root() -> Path {
+        Path(Vec::new())
+    }
+
+    /// Builds a path from attribute steps.
+    pub fn new<I, A>(steps: I) -> Path
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        Path(steps.into_iter().map(Into::into).collect())
+    }
+
+    /// Parses a dotted string (`"a.b.c"`) into a path.
+    pub fn parse(s: &str) -> Path {
+        if s.is_empty() {
+            return Path::root();
+        }
+        Path(s.split('.').map(Attr::new).collect())
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, a: impl Into<Attr>) {
+        self.0.push(a.into());
+    }
+
+    /// Removes and returns the last step.
+    pub fn pop(&mut self) -> Option<Attr> {
+        self.0.pop()
+    }
+
+    /// The steps of this path.
+    pub fn steps(&self) -> &[Attr] {
+        &self.0
+    }
+
+    /// True for the root path.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns `self` extended by one step, without mutating.
+    pub fn child(&self, a: impl Into<Attr>) -> Path {
+        let mut p = self.clone();
+        p.push(a);
+        p
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "<root>");
+        }
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Object {
+    /// Follows `path` through nested tuples. Missing attributes read as ⊥
+    /// (the paper's `O.a = ⊥` convention), so this returns ⊥ rather than
+    /// `None` for absent attributes of tuples; `None` is reserved for
+    /// navigating *into* a non-tuple (which is a shape error, not a missing
+    /// value).
+    pub fn get_path(&self, path: &Path) -> Option<&Object> {
+        let mut cur = self;
+        for a in path.steps() {
+            match cur {
+                Object::Tuple(_) | Object::Top => cur = cur.dot(*a),
+                Object::Bottom => return Some(&Object::Bottom),
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Convenience wrapper over [`Object::get_path`] taking attribute names.
+    pub fn at_path(&self, steps: &[&str]) -> Option<&Object> {
+        self.get_path(&Path::new(steps.iter().copied()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    #[test]
+    fn path_construction_and_display() {
+        let p = Path::new(["a", "b"]);
+        assert_eq!(p.to_string(), "a.b");
+        assert_eq!(Path::parse("a.b"), p);
+        assert_eq!(Path::root().to_string(), "<root>");
+        assert!(Path::root().is_root());
+        assert_eq!(Path::parse(""), Path::root());
+        assert_eq!(Path::root().child("x").to_string(), "x");
+    }
+
+    #[test]
+    fn navigation() {
+        let o = obj!([name: [first: john, last: doe], age: 25]);
+        assert_eq!(o.at_path(&["name", "first"]), Some(&obj!(john)));
+        assert_eq!(o.at_path(&["age"]), Some(&obj!(25)));
+        assert_eq!(o.at_path(&[]), Some(&o));
+        // Missing attribute: ⊥, per the paper's convention.
+        assert_eq!(o.at_path(&["address"]), Some(&Object::Bottom));
+        // Navigating *through* a missing attribute keeps yielding ⊥.
+        assert_eq!(o.at_path(&["address", "city"]), Some(&Object::Bottom));
+        // Navigating into an atom is a shape error.
+        assert_eq!(o.at_path(&["age", "year"]), None);
+        // ⊤ projects to ⊤.
+        assert_eq!(Object::Top.at_path(&["anything"]), Some(&Object::Top));
+    }
+}

@@ -1,0 +1,136 @@
+//! Serde support for objects.
+//!
+//! Objects serialize to an adjacently-tagged representation that survives
+//! JSON round-trips, and **re-normalize on deserialization**: whatever a
+//! peer sends, the value you get back satisfies the canonical-form
+//! invariants. Attribute names travel as strings (interning ids are
+//! process-local).
+
+use crate::{Atom, Attr, Object};
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Wire representation. Kept separate from [`Object`] so the canonical-form
+/// invariants never depend on serde input.
+#[derive(Serialize, Deserialize)]
+#[serde(tag = "t", content = "v", rename_all = "snake_case")]
+enum Repr {
+    Bottom,
+    Top,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Tuple(Vec<(String, Repr)>),
+    Set(Vec<Repr>),
+}
+
+fn to_repr(o: &Object) -> Repr {
+    match o {
+        Object::Bottom => Repr::Bottom,
+        Object::Top => Repr::Top,
+        Object::Atom(Atom::Bool(b)) => Repr::Bool(*b),
+        Object::Atom(Atom::Int(i)) => Repr::Int(*i),
+        Object::Atom(Atom::Float(f)) => Repr::Float(f.get()),
+        Object::Atom(Atom::Str(s)) => Repr::Str(s.to_string()),
+        Object::Tuple(t) => Repr::Tuple(
+            t.iter()
+                .map(|(a, v)| (a.name().to_string(), to_repr(v)))
+                .collect(),
+        ),
+        Object::Set(s) => Repr::Set(s.iter().map(to_repr).collect()),
+    }
+}
+
+fn from_repr(r: Repr) -> Result<Object, String> {
+    Ok(match r {
+        Repr::Bottom => Object::Bottom,
+        Repr::Top => Object::Top,
+        Repr::Bool(b) => Object::bool(b),
+        Repr::Int(i) => Object::int(i),
+        Repr::Float(f) => Object::float(f),
+        Repr::Str(s) => Object::Atom(Atom::from(s)),
+        Repr::Tuple(entries) => {
+            let converted: Result<Vec<(Attr, Object)>, String> = entries
+                .into_iter()
+                .map(|(a, v)| Ok((Attr::new(a), from_repr(v)?)))
+                .collect();
+            Object::try_tuple(converted?).map_err(|e| e.to_string())?
+        }
+        Repr::Set(elems) => {
+            let converted: Result<Vec<Object>, String> =
+                elems.into_iter().map(from_repr).collect();
+            Object::set(converted?)
+        }
+    })
+}
+
+impl Serialize for Object {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        to_repr(self).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Object {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = Repr::deserialize(deserializer)?;
+        from_repr(repr).map_err(D::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    fn roundtrip(o: &Object) -> Object {
+        let json = serde_json::to_string(o).unwrap();
+        serde_json::from_str(&json).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_all_shapes() {
+        for o in [
+            Object::Bottom,
+            Object::Top,
+            obj!(42),
+            obj!(2.5),
+            obj!(true),
+            obj!(john),
+            obj!("with space"),
+            obj!([]),
+            obj!({}),
+            obj!([name: [first: john], children: {mary, susan}, age: 25]),
+            obj!({[a: 1], [b: {1, 2}], 3}),
+        ] {
+            assert_eq!(roundtrip(&o), o, "roundtrip failed for {o}");
+        }
+    }
+
+    #[test]
+    fn deserialization_normalizes() {
+        // A wire value with a ⊥ set element and a dominated element must
+        // come back reduced.
+        let json = r#"{"t":"set","v":[
+            {"t":"bottom"},
+            {"t":"tuple","v":[["a",{"t":"int","v":1}]]},
+            {"t":"tuple","v":[["a",{"t":"int","v":1}],["b",{"t":"int","v":2}]]}
+        ]}"#;
+        let o: Object = serde_json::from_str(json).unwrap();
+        assert_eq!(o, obj!({[a: 1, b: 2]}));
+    }
+
+    #[test]
+    fn deserialization_propagates_top() {
+        let json = r#"{"t":"tuple","v":[["a",{"t":"top"}]]}"#;
+        let o: Object = serde_json::from_str(json).unwrap();
+        assert!(o.is_top());
+    }
+
+    #[test]
+    fn conflicting_duplicate_attributes_fail_to_deserialize() {
+        let json = r#"{"t":"tuple","v":[["a",{"t":"int","v":1}],["a",{"t":"int","v":2}]]}"#;
+        let r: Result<Object, _> = serde_json::from_str(json);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Update primitives for complex objects.
+//!
+//! The paper lists updates among its open issues ("we have no primitives for
+//! updating the object space", §5). This module supplies the natural
+//! persistent (copy-on-write) primitives over the canonical representation:
+//! attribute insertion/removal on tuples, element insertion/removal on sets,
+//! and a general path-targeted rewrite. All of them re-establish the
+//! canonical-form invariants (⊤-propagation, reduction, …) because they
+//! rebuild through the normalizing constructors.
+//!
+//! Note that unlike the lattice union, `insert_element` / `with_attr` are
+//! **not** monotone operations — removal obviously is not, and insertion of
+//! a dominated element is a no-op. They are database *maintenance* tools,
+//! not calculus operators.
+
+use crate::{Attr, Object, ObjectError, Path};
+
+impl Object {
+    /// Returns a tuple equal to `self` with attribute `a` set to `v`
+    /// (replacing any previous value). Errors when `self` is not a tuple.
+    pub fn with_attr(&self, a: impl Into<Attr>, v: Object) -> Result<Object, ObjectError> {
+        let t = self.as_tuple().ok_or_else(|| ObjectError::WrongShape {
+            expected: "tuple",
+            found: self.kind_name().to_string(),
+        })?;
+        let a = a.into();
+        let entries = t
+            .entries()
+            .iter()
+            .filter(|(k, _)| *k != a)
+            .cloned()
+            .chain(std::iter::once((a, v)));
+        Object::try_tuple(entries)
+    }
+
+    /// Returns a tuple equal to `self` without attribute `a`.
+    pub fn without_attr(&self, a: impl Into<Attr>) -> Result<Object, ObjectError> {
+        let t = self.as_tuple().ok_or_else(|| ObjectError::WrongShape {
+            expected: "tuple",
+            found: self.kind_name().to_string(),
+        })?;
+        let a = a.into();
+        Object::try_tuple(t.entries().iter().filter(|(k, _)| *k != a).cloned())
+    }
+
+    /// Returns a set equal to `self` with `e` inserted. Because sets are
+    /// reduced, inserting an element dominated by an existing one is a
+    /// no-op, and inserting a dominating element absorbs the dominated ones.
+    pub fn insert_element(&self, e: Object) -> Result<Object, ObjectError> {
+        let s = self.as_set().ok_or_else(|| ObjectError::WrongShape {
+            expected: "set",
+            found: self.kind_name().to_string(),
+        })?;
+        let mut v: Vec<Object> = s.iter().cloned().collect();
+        v.push(e);
+        Ok(Object::set_from_vec(v))
+    }
+
+    /// Returns a set equal to `self` with every element equal to `e`
+    /// removed.
+    pub fn remove_element(&self, e: &Object) -> Result<Object, ObjectError> {
+        let s = self.as_set().ok_or_else(|| ObjectError::WrongShape {
+            expected: "set",
+            found: self.kind_name().to_string(),
+        })?;
+        Ok(Object::set(s.iter().filter(|x| *x != e).cloned()))
+    }
+
+    /// Rewrites the sub-object at `path` with `f`, rebuilding (and
+    /// re-normalizing) the spine. Errors when the path traverses a
+    /// non-tuple or a missing attribute.
+    pub fn update_at(
+        &self,
+        path: &Path,
+        f: impl FnOnce(&Object) -> Object,
+    ) -> Result<Object, ObjectError> {
+        fn go(
+            o: &Object,
+            steps: &[Attr],
+            path: &Path,
+            f: impl FnOnce(&Object) -> Object,
+        ) -> Result<Object, ObjectError> {
+            match steps {
+                [] => Ok(f(o)),
+                [first, rest @ ..] => {
+                    let t = o.as_tuple().ok_or_else(|| {
+                        ObjectError::PathNotFound(path.to_string())
+                    })?;
+                    if !t.contains(*first) {
+                        return Err(ObjectError::PathNotFound(path.to_string()));
+                    }
+                    let new_child = go(t.get(*first), rest, path, f)?;
+                    o.with_attr(*first, new_child)
+                }
+            }
+        }
+        go(self, path.steps(), path, f)
+    }
+
+    /// Replaces the sub-object at `path` with `v`.
+    pub fn set_at(&self, path: &Path, v: Object) -> Result<Object, ObjectError> {
+        self.update_at(path, |_| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    #[test]
+    fn with_attr_inserts_and_replaces() {
+        let t = obj!([a: 1]);
+        assert_eq!(t.with_attr("b", obj!(2)).unwrap(), obj!([a: 1, b: 2]));
+        assert_eq!(t.with_attr("a", obj!(9)).unwrap(), obj!([a: 9]));
+        // Setting to ⊥ removes (canonical form drops ⊥ attributes).
+        assert_eq!(t.with_attr("a", Object::Bottom).unwrap(), obj!([]));
+        // Setting to ⊤ collapses the tuple.
+        assert_eq!(t.with_attr("a", Object::Top).unwrap(), Object::Top);
+        assert!(obj!(5).with_attr("a", obj!(1)).is_err());
+    }
+
+    #[test]
+    fn without_attr() {
+        let t = obj!([a: 1, b: 2]);
+        assert_eq!(t.without_attr("a").unwrap(), obj!([b: 2]));
+        assert_eq!(t.without_attr("zzz").unwrap(), t);
+        assert!(obj!({1}).without_attr("a").is_err());
+    }
+
+    #[test]
+    fn insert_element_respects_reduction() {
+        let s = obj!({[a: 1, b: 2]});
+        // Dominated insertion is a no-op.
+        assert_eq!(s.insert_element(obj!([a: 1])).unwrap(), s);
+        // Dominating insertion absorbs.
+        assert_eq!(
+            s.insert_element(obj!([a: 1, b: 2, c: 3])).unwrap(),
+            obj!({[a: 1, b: 2, c: 3]})
+        );
+        // Incomparable insertion grows the set.
+        assert_eq!(
+            s.insert_element(obj!([z: 9])).unwrap().as_set().unwrap().len(),
+            2
+        );
+        assert!(obj!(1).insert_element(obj!(2)).is_err());
+    }
+
+    #[test]
+    fn remove_element() {
+        let s = obj!({1, 2, 3});
+        assert_eq!(s.remove_element(&obj!(2)).unwrap(), obj!({1, 3}));
+        assert_eq!(s.remove_element(&obj!(9)).unwrap(), s);
+    }
+
+    #[test]
+    fn update_at_rewrites_nested_components() {
+        let db = obj!([r1: {1, 2}, r2: {3}]);
+        let db2 = db
+            .update_at(&Path::parse("r1"), |r1| {
+                r1.insert_element(obj!(9)).unwrap()
+            })
+            .unwrap();
+        assert_eq!(db2, obj!([r1: {1, 2, 9}, r2: {3}]));
+        // Untouched components share structure (cheap Arc clones).
+        assert_eq!(db2.dot("r2"), db.dot("r2"));
+    }
+
+    #[test]
+    fn update_at_errors() {
+        let db = obj!([r1: {1}]);
+        assert!(matches!(
+            db.update_at(&Path::parse("nope"), |o| o.clone()),
+            Err(ObjectError::PathNotFound(_))
+        ));
+        assert!(matches!(
+            db.update_at(&Path::parse("r1.deeper"), |o| o.clone()),
+            Err(ObjectError::PathNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn set_at_replaces() {
+        let db = obj!([r1: {1}]);
+        assert_eq!(
+            db.set_at(&Path::parse("r1"), obj!({7})).unwrap(),
+            obj!([r1: {7}])
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! The parsed syntax tree and its conversions into semantic values.
+//!
+//! One [`Term`] grammar covers both objects and well-formed formulae — the
+//! paper notes the syntax of wffs is "identical to that of objects" up to
+//! the variable/constant convention. Conversion to [`Object`] rejects
+//! variables; conversion to [`Formula`] rejects `top` (Definition 4.1 has
+//! no ⊤ formula) and applies the convention.
+
+use crate::{ParseError, Span};
+use co_calculus::{Formula, Program, Rule, Var};
+use co_object::{Atom, Attr, Object};
+
+/// A parsed term.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Term {
+    /// Node payload.
+    pub kind: TermKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The shape of a parsed term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TermKind {
+    /// `bot`
+    Bottom,
+    /// `top`
+    Top,
+    /// An atomic constant.
+    Atom(Atom),
+    /// An upper-case identifier (variable under the formula reading).
+    Var(String),
+    /// `[a1: t1, …, an: tn]`
+    Tuple(Vec<(String, Term)>),
+    /// `{t1, …, tn}`
+    Set(Vec<Term>),
+}
+
+impl Term {
+    /// Converts to a ground [`Object`]. Errors on variables.
+    pub fn to_object(&self) -> Result<Object, ParseError> {
+        match &self.kind {
+            TermKind::Bottom => Ok(Object::Bottom),
+            TermKind::Top => Ok(Object::Top),
+            TermKind::Atom(a) => Ok(Object::Atom(a.clone())),
+            TermKind::Var(name) => Err(ParseError::new(
+                format!("variable `{name}` not allowed in an object (objects are ground)"),
+                self.span,
+            )),
+            TermKind::Tuple(entries) => {
+                let mut converted: Vec<(Attr, Object)> = Vec::with_capacity(entries.len());
+                for (name, t) in entries {
+                    converted.push((Attr::new(name), t.to_object()?));
+                }
+                Object::try_tuple(converted)
+                    .map_err(|e| ParseError::new(e.to_string(), self.span))
+            }
+            TermKind::Set(elems) => {
+                let converted: Result<Vec<Object>, ParseError> =
+                    elems.iter().map(Term::to_object).collect();
+                Ok(Object::set(converted?))
+            }
+        }
+    }
+
+    /// Converts to a [`Formula`]. Errors on `top` (not a wff per
+    /// Definition 4.1).
+    pub fn to_formula(&self) -> Result<Formula, ParseError> {
+        match &self.kind {
+            TermKind::Bottom => Ok(Formula::Bottom),
+            TermKind::Top => Err(ParseError::new(
+                "`top` is not a well-formed formula (Definition 4.1)",
+                self.span,
+            )),
+            TermKind::Atom(a) => Ok(Formula::Atom(a.clone())),
+            TermKind::Var(name) => Ok(Formula::Var(Var::new(name))),
+            TermKind::Tuple(entries) => {
+                let mut converted: Vec<(Attr, Formula)> = Vec::with_capacity(entries.len());
+                for (name, t) in entries {
+                    converted.push((Attr::new(name), t.to_formula()?));
+                }
+                Formula::tuple(converted).map_err(|e| ParseError::new(e.to_string(), self.span))
+            }
+            TermKind::Set(elems) => {
+                let converted: Result<Vec<Formula>, ParseError> =
+                    elems.iter().map(Term::to_formula).collect();
+                Ok(Formula::set(converted?))
+            }
+        }
+    }
+}
+
+/// A parsed rule `head :- body.` or fact `head.`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleAst {
+    /// Head term.
+    pub head: Term,
+    /// Body term; `None` for facts.
+    pub body: Option<Term>,
+    /// Span of the whole rule.
+    pub span: Span,
+}
+
+impl RuleAst {
+    /// Converts to a semantic [`Rule`], checking Definition 4.3's safety
+    /// condition.
+    pub fn to_rule(&self) -> Result<Rule, ParseError> {
+        let head = self.head.to_formula()?;
+        let body = match &self.body {
+            Some(b) => b.to_formula()?,
+            None => Formula::Bottom,
+        };
+        Rule::new(head, body).map_err(|e| ParseError::new(e.to_string(), self.span))
+    }
+}
+
+/// A parsed program: a sequence of rules.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ProgramAst {
+    /// The rules, in source order.
+    pub rules: Vec<RuleAst>,
+}
+
+impl ProgramAst {
+    /// Converts to a semantic [`Program`].
+    pub fn to_program(&self) -> Result<Program, ParseError> {
+        let rules: Result<Vec<Rule>, ParseError> =
+            self.rules.iter().map(RuleAst::to_rule).collect();
+        Ok(Program::from_rules(rules?))
+    }
+}

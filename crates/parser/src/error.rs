@@ -1,0 +1,101 @@
+//! Parse errors with source locations.
+
+use std::fmt;
+
+/// A half-open byte span into the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Merges two spans into their convex hull.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parse (or lex, or conversion) error, with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates an error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with the offending source line and a caret.
+    pub fn render(&self, source: &str) -> String {
+        let line_text = source.lines().nth(self.span.line.saturating_sub(1) as usize);
+        match line_text {
+            Some(text) => {
+                let caret_pad = " ".repeat(self.span.col.saturating_sub(1) as usize);
+                format!(
+                    "parse error at {}: {}\n  | {}\n  | {}^",
+                    self.span, self.message, text, caret_pad
+                )
+            }
+            None => format!("parse error at {}: {}", self.span, self.message),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span { start: 2, end: 5, line: 1, col: 3 };
+        let b = Span { start: 7, end: 9, line: 1, col: 8 };
+        let m = a.to(b);
+        assert_eq!((m.start, m.end), (2, 9));
+    }
+
+    #[test]
+    fn render_points_at_the_column() {
+        let e = ParseError::new(
+            "unexpected `}`",
+            Span { start: 4, end: 5, line: 1, col: 5 },
+        );
+        let r = e.render("[a: }]");
+        assert!(r.contains("unexpected `}`"));
+        assert!(r.contains("[a: }]"));
+        assert!(r.lines().last().unwrap().ends_with("    ^"));
+    }
+}

@@ -1,0 +1,490 @@
+//! The lexer: source text → [`Token`] stream.
+//!
+//! Follows the paper's Prolog-flavoured conventions: `%` starts a comment to
+//! end of line, identifiers beginning with an upper-case letter (or `_`) are
+//! variables, quoted strings use Rust-style escapes (matching what the
+//! object printer emits), and `bot`/`top`/`true`/`false`/`inf`/`nan` are
+//! keywords.
+
+use crate::{ParseError, Span, Token, TokenKind};
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Lexes `src` into tokens (including a final [`TokenKind::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        let tok = lx.next_token()?;
+        let eof = tok.kind == TokenKind::Eof;
+        out.push(tok);
+        if eof {
+            return Ok(out);
+        }
+    }
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span {
+            start,
+            end: self.pos,
+            line,
+            col,
+        }
+    }
+
+    fn here(&self) -> Span {
+        Span {
+            start: self.pos,
+            end: (self.pos + 1).min(self.bytes.len()),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia();
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let mk = |kind: TokenKind, lx: &Lexer<'_>| Token {
+            kind,
+            span: lx.span_from(start, line, col),
+        };
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: self.here(),
+            });
+        };
+        match b {
+            b'[' => {
+                self.bump();
+                Ok(mk(TokenKind::LBracket, self))
+            }
+            b']' => {
+                self.bump();
+                Ok(mk(TokenKind::RBracket, self))
+            }
+            b'{' => {
+                self.bump();
+                Ok(mk(TokenKind::LBrace, self))
+            }
+            b'}' => {
+                self.bump();
+                Ok(mk(TokenKind::RBrace, self))
+            }
+            b',' => {
+                self.bump();
+                Ok(mk(TokenKind::Comma, self))
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    Ok(mk(TokenKind::ColonDash, self))
+                } else {
+                    Ok(mk(TokenKind::Colon, self))
+                }
+            }
+            b'.' => {
+                self.bump();
+                Ok(mk(TokenKind::Period, self))
+            }
+            b'"' => self.lex_string(start, line, col),
+            b'-' => {
+                self.bump();
+                match self.peek() {
+                    Some(c) if c.is_ascii_digit() => self.lex_number(start, line, col, true),
+                    Some(b'i') | Some(b'n') => {
+                        // -inf / -nan
+                        let word = self.lex_word();
+                        match word.as_str() {
+                            "inf" => Ok(mk(TokenKind::Float(f64::NEG_INFINITY), self)),
+                            "nan" => Ok(mk(TokenKind::Float(f64::NAN), self)),
+                            other => Err(ParseError::new(
+                                format!("unexpected `-{other}`"),
+                                self.span_from(start, line, col),
+                            )),
+                        }
+                    }
+                    _ => Err(ParseError::new(
+                        "`-` must be followed by a number",
+                        self.span_from(start, line, col),
+                    )),
+                }
+            }
+            c if c.is_ascii_digit() => self.lex_number(start, line, col, false),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let word = self.lex_word();
+                let kind = match word.as_str() {
+                    "bot" => TokenKind::Bot,
+                    "top" => TokenKind::Top,
+                    "true" => TokenKind::Bool(true),
+                    "false" => TokenKind::Bool(false),
+                    "inf" => TokenKind::Float(f64::INFINITY),
+                    "nan" => TokenKind::Float(f64::NAN),
+                    _ => {
+                        let first = word.chars().next().expect("word is non-empty");
+                        if first.is_ascii_uppercase() || first == '_' {
+                            TokenKind::Variable(word)
+                        } else {
+                            TokenKind::Ident(word)
+                        }
+                    }
+                };
+                Ok(mk(kind, self))
+            }
+            other => Err(ParseError::new(
+                format!("unexpected character `{}`", other as char),
+                self.here(),
+            )),
+        }
+    }
+
+    fn lex_word(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.pos].to_string()
+    }
+
+    fn lex_number(
+        &mut self,
+        start: usize,
+        line: u32,
+        col: u32,
+        negative: bool,
+    ) -> Result<Token, ParseError> {
+        let digits_start = self.pos;
+        let mut is_float = false;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b) if b.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            // Only treat as exponent when followed by digits (or sign+digits).
+            let next = self.peek2();
+            let exp_digits = match next {
+                Some(b'+') | Some(b'-') => {
+                    matches!(self.bytes.get(self.pos + 2), Some(b) if b.is_ascii_digit())
+                }
+                Some(b) => b.is_ascii_digit(),
+                None => false,
+            };
+            if exp_digits {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = &self.src[digits_start..self.pos];
+        let span = self.span_from(start, line, col);
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|e| ParseError::new(format!("invalid float `{text}`: {e}"), span))?;
+            Ok(Token {
+                kind: TokenKind::Float(if negative { -v } else { v }),
+                span,
+            })
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| ParseError::new(format!("integer `{text}` out of range"), span))?;
+            Ok(Token {
+                kind: TokenKind::Int(if negative { -v } else { v }),
+                span,
+            })
+        }
+    }
+
+    fn lex_string(&mut self, start: usize, line: u32, col: u32) -> Result<Token, ParseError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.bump() else {
+                return Err(ParseError::new(
+                    "unterminated string literal",
+                    self.span_from(start, line, col),
+                ));
+            };
+            match b {
+                b'"' => {
+                    return Ok(Token {
+                        kind: TokenKind::Str(out),
+                        span: self.span_from(start, line, col),
+                    });
+                }
+                b'\\' => {
+                    let Some(esc) = self.bump() else {
+                        return Err(ParseError::new(
+                            "unterminated escape sequence",
+                            self.span_from(start, line, col),
+                        ));
+                    };
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'0' => out.push('\0'),
+                        b'\'' => out.push('\''),
+                        b'u' => {
+                            // \u{HEX}
+                            if self.bump() != Some(b'{') {
+                                return Err(ParseError::new(
+                                    "expected `{` after `\\u`",
+                                    self.here(),
+                                ));
+                            }
+                            let hex_start = self.pos;
+                            while matches!(self.peek(), Some(b) if b != b'}') {
+                                self.bump();
+                            }
+                            let hex = &self.src[hex_start..self.pos];
+                            if self.bump() != Some(b'}') {
+                                return Err(ParseError::new(
+                                    "unterminated `\\u{...}` escape",
+                                    self.here(),
+                                ));
+                            }
+                            let cp = u32::from_str_radix(hex, 16).map_err(|_| {
+                                ParseError::new(
+                                    format!("invalid unicode escape `\\u{{{hex}}}`"),
+                                    self.here(),
+                                )
+                            })?;
+                            let ch = char::from_u32(cp).ok_or_else(|| {
+                                ParseError::new(
+                                    format!("invalid unicode code point U+{cp:X}"),
+                                    self.here(),
+                                )
+                            })?;
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                format!("unknown escape `\\{}`", other as char),
+                                self.here(),
+                            ));
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8: walk back one byte and take the char.
+                    let ch_start = self.pos - 1;
+                    let ch = self.src[ch_start..]
+                        .chars()
+                        .next()
+                        .expect("valid utf-8 source");
+                    for _ in 1..ch.len_utf8() {
+                        self.bump();
+                    }
+                    out.push(ch);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_keywords() {
+        assert_eq!(
+            kinds("[ ] { } : , . :- bot top true false"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Colon,
+                TokenKind::Comma,
+                TokenKind::Period,
+                TokenKind::ColonDash,
+                TokenKind::Bot,
+                TokenKind::Top,
+                TokenKind::Bool(true),
+                TokenKind::Bool(false),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_and_variables() {
+        assert_eq!(
+            kinds("john X Name _tmp r1"),
+            vec![
+                TokenKind::Ident("john".into()),
+                TokenKind::Variable("X".into()),
+                TokenKind::Variable("Name".into()),
+                TokenKind::Variable("_tmp".into()),
+                TokenKind::Ident("r1".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("25 -7 2.5 -0.5 1e3 2.5e-2"),
+            vec![
+                TokenKind::Int(25),
+                TokenKind::Int(-7),
+                TokenKind::Float(2.5),
+                TokenKind::Float(-0.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn special_floats() {
+        let ks = kinds("inf -inf nan");
+        assert_eq!(ks[0], TokenKind::Float(f64::INFINITY));
+        assert_eq!(ks[1], TokenKind::Float(f64::NEG_INFINITY));
+        assert!(matches!(ks[2], TokenKind::Float(v) if v.is_nan()));
+    }
+
+    #[test]
+    fn period_after_number_is_a_rule_terminator() {
+        // `[a: 1].` — the `.` must not be eaten by the number.
+        assert_eq!(
+            kinds("1."),
+            vec![TokenKind::Int(1), TokenKind::Period, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello" "a\"b" "tab\there" "new\nline" "uni\u{1F600}""#),
+            vec![
+                TokenKind::Str("hello".into()),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Str("tab\there".into()),
+                TokenKind::Str("new\nline".into()),
+                TokenKind::Str("uni😀".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_passthrough_in_strings() {
+        assert_eq!(
+            kinds("\"héllo wörld\""),
+            vec![TokenKind::Str("héllo wörld".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a % comment [ { \n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("a\n  bcd").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+        assert_eq!(toks[1].span.start, 4);
+        assert_eq!(toks[1].span.end, 7);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("\"bad \\q escape\"").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+        assert!(lex("- x").is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # co-parser — concrete syntax for complex objects, formulae, and rules
+//!
+//! The paper's Prolog-flavoured notation, as a parser and printer:
+//!
+//! ```text
+//! % objects (ground terms)
+//! [name: [first: john, last: doe], children: {john, mary, susan}]
+//!
+//! % well-formed formulae (uppercase identifiers are variables)
+//! [r1: {[a: X, b: b]}]
+//!
+//! % rules and facts (programs are sequences of these)
+//! [doa: {abraham}].
+//! [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].
+//! ```
+//!
+//! Printing is [`co_object::Object`]'s / [`co_calculus::Formula`]'s
+//! `Display`, which this parser round-trips:
+//! `parse_object(&o.to_string()) == Ok(o)` for every object `o`.
+//!
+//! ```
+//! use co_parser::{parse_object, parse_program};
+//!
+//! let o = parse_object("[name: peter, age: 25]").unwrap();
+//! assert_eq!(co_parser::parse_object(&o.to_string()).unwrap(), o);
+//!
+//! let p = parse_program("[doa: {abraham}].").unwrap();
+//! assert_eq!(p.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod ast;
+mod error;
+mod lexer;
+mod parser;
+mod token;
+
+pub use ast::{ProgramAst, RuleAst, Term, TermKind};
+pub use error::{ParseError, Span};
+pub use lexer::lex;
+pub use parser::{parse_formula, parse_object, parse_program, parse_rule, parse_term};
+pub use token::{Token, TokenKind};

@@ -1,0 +1,407 @@
+//! The recursive-descent parser: tokens → [`Term`]/[`RuleAst`]/[`ProgramAst`].
+//!
+//! Grammar (terminals quoted):
+//!
+//! ```text
+//! program  :=  rule*
+//! rule     :=  term ( ':-' term )? '.'
+//! term     :=  'bot' | 'top' | int | float | string | 'true' | 'false'
+//!           |  ident | variable | tuple | set
+//! tuple    :=  '[' ( pair ( ',' pair )* )? ']'
+//! pair     :=  attrname ':' term
+//! attrname :=  ident | variable | string      % `[A: X]` — attrs may be uppercase
+//! set      :=  '{' ( term ( ',' term )* )? '}'
+//! ```
+
+use crate::lexer::lex;
+use crate::{ParseError, ProgramAst, RuleAst, Term, TermKind, Token, TokenKind};
+use co_object::Atom;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        let t = self.peek().clone();
+        if &t.kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(ParseError::new(
+                format!("expected {kind}, found {}", t.kind),
+                t.span,
+            ))
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Bot => {
+                self.bump();
+                Ok(Term { kind: TermKind::Bottom, span: t.span })
+            }
+            TokenKind::Top => {
+                self.bump();
+                Ok(Term { kind: TermKind::Top, span: t.span })
+            }
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Term { kind: TermKind::Atom(Atom::Int(v)), span: t.span })
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Term { kind: TermKind::Atom(Atom::float(v)), span: t.span })
+            }
+            TokenKind::Bool(b) => {
+                self.bump();
+                Ok(Term { kind: TermKind::Atom(Atom::Bool(b)), span: t.span })
+            }
+            TokenKind::Str(ref s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(Term { kind: TermKind::Atom(Atom::str(s)), span: t.span })
+            }
+            TokenKind::Ident(ref s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(Term { kind: TermKind::Atom(Atom::str(s)), span: t.span })
+            }
+            TokenKind::Variable(ref s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(Term { kind: TermKind::Var(s), span: t.span })
+            }
+            TokenKind::LBracket => self.tuple(),
+            TokenKind::LBrace => self.set(),
+            ref other => Err(ParseError::new(
+                format!("expected a term, found {other}"),
+                t.span,
+            )),
+        }
+    }
+
+    fn attr_name(&mut self) -> Result<String, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(s) | TokenKind::Variable(s) | TokenKind::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            // Keywords may be attribute names too: `[top: 1]` is a tuple
+            // whose attribute happens to be called "top".
+            TokenKind::Bot => {
+                self.bump();
+                Ok("bot".into())
+            }
+            TokenKind::Top => {
+                self.bump();
+                Ok("top".into())
+            }
+            TokenKind::Bool(b) => {
+                self.bump();
+                Ok(b.to_string())
+            }
+            other => Err(ParseError::new(
+                format!("expected an attribute name, found {other}"),
+                t.span,
+            )),
+        }
+    }
+
+    fn tuple(&mut self) -> Result<Term, ParseError> {
+        let open = self.expect(&TokenKind::LBracket)?;
+        let mut entries = Vec::new();
+        if self.peek().kind != TokenKind::RBracket {
+            loop {
+                let name = self.attr_name()?;
+                self.expect(&TokenKind::Colon)?;
+                let value = self.term()?;
+                entries.push((name, value));
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let close = self.expect(&TokenKind::RBracket)?;
+        Ok(Term {
+            kind: TermKind::Tuple(entries),
+            span: open.span.to(close.span),
+        })
+    }
+
+    fn set(&mut self) -> Result<Term, ParseError> {
+        let open = self.expect(&TokenKind::LBrace)?;
+        let mut elems = Vec::new();
+        if self.peek().kind != TokenKind::RBrace {
+            loop {
+                elems.push(self.term()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let close = self.expect(&TokenKind::RBrace)?;
+        Ok(Term {
+            kind: TermKind::Set(elems),
+            span: open.span.to(close.span),
+        })
+    }
+
+    fn rule(&mut self) -> Result<RuleAst, ParseError> {
+        let head = self.term()?;
+        let body = if self.peek().kind == TokenKind::ColonDash {
+            self.bump();
+            Some(self.term()?)
+        } else {
+            None
+        };
+        let period = self.expect(&TokenKind::Period)?;
+        let span = head.span.to(period.span);
+        Ok(RuleAst { head, body, span })
+    }
+
+    fn program(&mut self) -> Result<ProgramAst, ParseError> {
+        let mut rules = Vec::new();
+        while !self.at_eof() {
+            rules.push(self.rule()?);
+        }
+        Ok(ProgramAst { rules })
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        let t = self.peek();
+        if t.kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("unexpected {} after the end of the term", t.kind),
+                t.span,
+            ))
+        }
+    }
+}
+
+fn parser_for(src: &str) -> Result<Parser, ParseError> {
+    Ok(Parser {
+        tokens: lex(src)?,
+        pos: 0,
+    })
+}
+
+/// Parses a single term (no trailing input allowed).
+pub fn parse_term(src: &str) -> Result<Term, ParseError> {
+    let mut p = parser_for(src)?;
+    let t = p.term()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+/// Parses a ground object, e.g. `[name: peter, age: 25]`.
+pub fn parse_object(src: &str) -> Result<co_object::Object, ParseError> {
+    parse_term(src)?.to_object()
+}
+
+/// Parses a well-formed formula, e.g. `[r1: {[a: X, b: b]}]`.
+pub fn parse_formula(src: &str) -> Result<co_calculus::Formula, ParseError> {
+    parse_term(src)?.to_formula()
+}
+
+/// Parses one rule (`head :- body.`) or fact (`head.`).
+pub fn parse_rule(src: &str) -> Result<co_calculus::Rule, ParseError> {
+    let mut p = parser_for(src)?;
+    let r = p.rule()?;
+    p.expect_eof()?;
+    r.to_rule()
+}
+
+/// Parses a program: a sequence of rules and facts.
+pub fn parse_program(src: &str) -> Result<co_calculus::Program, ParseError> {
+    let mut p = parser_for(src)?;
+    p.program()?.to_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_calculus::Var;
+    use co_object::{obj, Object};
+
+    #[test]
+    fn parses_paper_example_2_1_objects() {
+        for (src, expected) in [
+            ("john", obj!(john)),
+            ("25", obj!(25)),
+            ("{john, mary, susan}", obj!({john, mary, susan})),
+            ("[name: peter, age: 25]", obj!([name: peter, age: 25])),
+            (
+                "[name: [first: john, last: doe], age: 25]",
+                obj!([name: [first: john, last: doe], age: 25]),
+            ),
+            (
+                "{[name: peter], [name: john, age: 7], [name: mary, address: austin]}",
+                obj!({[name: peter], [name: john, age: 7], [name: mary, address: austin]}),
+            ),
+            (
+                "[r1: {[name: peter, age: 25]}, r2: {[name: john, address: austin]}]",
+                obj!([r1: {[name: peter, age: 25]}, r2: {[name: john, address: austin]}]),
+            ),
+        ] {
+            assert_eq!(parse_object(src).unwrap(), expected, "source: {src}");
+        }
+    }
+
+    #[test]
+    fn parses_special_objects_and_empties() {
+        assert_eq!(parse_object("bot").unwrap(), Object::Bottom);
+        assert_eq!(parse_object("top").unwrap(), Object::Top);
+        assert_eq!(parse_object("[]").unwrap(), Object::empty_tuple());
+        assert_eq!(parse_object("{}").unwrap(), Object::empty_set());
+    }
+
+    #[test]
+    fn parsing_normalizes() {
+        // ⊥ in a set vanishes; dominated elements reduce; ⊤ propagates.
+        assert_eq!(parse_object("{1, bot}").unwrap(), obj!({1}));
+        assert_eq!(
+            parse_object("{[a: 1], [a: 1, b: 2]}").unwrap(),
+            obj!({[a: 1, b: 2]})
+        );
+        assert_eq!(parse_object("[a: {top}, b: 2]").unwrap(), Object::Top);
+    }
+
+    #[test]
+    fn numbers_strings_bools() {
+        assert_eq!(parse_object("-42").unwrap(), obj!(-42));
+        assert_eq!(parse_object("2.5").unwrap(), obj!(2.5));
+        assert_eq!(parse_object("true").unwrap(), obj!(true));
+        assert_eq!(parse_object("\"New York\"").unwrap(), obj!("New York"));
+    }
+
+    #[test]
+    fn uppercase_attribute_names_allowed() {
+        // The paper writes [Rl: {[A: X, B: b]}] with uppercase attributes.
+        let f = parse_formula("[R1: {[A: X, B: b]}]").unwrap();
+        assert_eq!(f.variables(), vec![Var::new("X")]);
+        // In the object reading, uppercase in attr position is fine but a
+        // bare uppercase value is a variable — rejected.
+        assert!(parse_object("[A: 1]").is_ok());
+        assert!(parse_object("[a: X]").is_err());
+    }
+
+    #[test]
+    fn quoted_attribute_names() {
+        let o = parse_object("[\"weird attr\": 1]").unwrap();
+        assert_eq!(o.dot("weird attr"), &obj!(1));
+        // And they round-trip through display.
+        assert_eq!(parse_object(&o.to_string()).unwrap(), o);
+    }
+
+    #[test]
+    fn keyword_attribute_names() {
+        let o = parse_object("[top: 1, bot: 2, true: 3]").unwrap();
+        assert_eq!(o.dot("top"), &obj!(1));
+        assert_eq!(o.dot("bot"), &obj!(2));
+        assert_eq!(o.dot("true"), &obj!(3));
+    }
+
+    #[test]
+    fn formulas_follow_the_variable_convention() {
+        let f = parse_formula("[r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]").unwrap();
+        assert_eq!(
+            f.variables(),
+            vec![Var::new("X"), Var::new("Y"), Var::new("Z")]
+        );
+    }
+
+    #[test]
+    fn top_is_not_a_formula() {
+        assert!(parse_formula("[a: top]").is_err());
+        assert!(parse_formula("bot").is_ok());
+    }
+
+    #[test]
+    fn rules_and_facts() {
+        let fact = parse_rule("[doa: {abraham}].").unwrap();
+        assert!(fact.is_fact());
+        let rule =
+            parse_rule("[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].")
+                .unwrap();
+        assert!(!rule.is_fact());
+        assert_eq!(rule.variables(), vec![Var::new("Y"), Var::new("X")]);
+    }
+
+    #[test]
+    fn unsafe_rule_rejected_at_parse_time() {
+        let r = parse_rule("[r: {X}] :- [r1: {Y}].");
+        assert!(r.is_err());
+        assert!(r.unwrap_err().message.contains("X"));
+    }
+
+    #[test]
+    fn programs_with_comments() {
+        let p = parse_program(
+            "% descendants of abraham (paper Example 4.5)
+             [doa: {abraham}].
+             [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.rules()[0].is_fact());
+    }
+
+    #[test]
+    fn empty_program() {
+        assert!(parse_program("").unwrap().is_empty());
+        assert!(parse_program("  % just a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let e = parse_object("[a: ]").unwrap_err();
+        assert_eq!(e.span.line, 1);
+        assert_eq!(e.span.col, 5);
+        let e = parse_object("[a: 1] [b: 2]").unwrap_err();
+        assert!(e.message.contains("after the end"));
+    }
+
+    #[test]
+    fn missing_period_is_an_error() {
+        assert!(parse_rule("[r: {X}] :- [r1: {X}]").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_object("{1, 2} extra").is_err());
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        assert!(parse_object("[a: 1, a: 2]").is_err());
+        // Equal duplicate values collapse (object semantics).
+        assert_eq!(parse_object("[a: 1, a: 1]").unwrap(), obj!([a: 1]));
+        // In formulas duplicates are always rejected.
+        assert!(parse_formula("[a: X, a: Y]").is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Tokens of the concrete syntax.
+
+use crate::Span;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.` (rule terminator)
+    Period,
+    /// `:-`
+    ColonDash,
+    /// Lower-case identifier (string constant or attribute name).
+    Ident(String),
+    /// Upper-case / underscore identifier (variable, or attribute name in
+    /// attribute position).
+    Variable(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (also produced by `inf` / `nan` keywords).
+    Float(f64),
+    /// Quoted string literal, unescaped.
+    Str(String),
+    /// `bot`
+    Bot,
+    /// `top`
+    Top,
+    /// `true` / `false`
+    Bool(bool),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Period => write!(f, "`.`"),
+            TokenKind::ColonDash => write!(f, "`:-`"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Variable(s) => write!(f, "variable `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Bot => write!(f, "`bot`"),
+            TokenKind::Top => write!(f, "`top`"),
+            TokenKind::Bool(b) => write!(f, "`{b}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}

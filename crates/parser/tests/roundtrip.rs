@@ -1,0 +1,89 @@
+//! Print → parse round-trip tests: the printer and parser are exact
+//! inverses on canonical values.
+
+use co_calculus::{wff, Formula, Rule, Var};
+use co_object::random::{Generator, Profile};
+use co_parser::{parse_formula, parse_object, parse_program, parse_rule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse ∘ print = id` on random canonical objects.
+    #[test]
+    fn object_display_round_trips(seed in any::<u64>()) {
+        let mut g = Generator::new(seed, Profile::default());
+        for o in g.objects(4) {
+            let printed = o.to_string();
+            let reparsed = parse_object(&printed);
+            prop_assert_eq!(reparsed.as_ref(), Ok(&o), "printed: {}", printed);
+        }
+    }
+
+    /// Pretty-printed objects also round-trip.
+    #[test]
+    fn pretty_round_trips(seed in any::<u64>()) {
+        let mut g = Generator::new(seed, Profile::large());
+        let o = g.object();
+        let printed = co_object::display::pretty(&o, 40);
+        prop_assert_eq!(parse_object(&printed), Ok(o));
+    }
+
+    /// Strings with hostile content survive print → parse.
+    #[test]
+    fn string_atoms_round_trip(s in "\\PC*") {
+        let o = co_object::Object::str(&s);
+        prop_assert_eq!(parse_object(&o.to_string()), Ok(o));
+    }
+
+    /// Integer and float atoms round-trip (including inf/nan spellings).
+    #[test]
+    fn numeric_atoms_round_trip(i in any::<i64>(), f in any::<f64>()) {
+        let oi = co_object::Object::int(i);
+        prop_assert_eq!(parse_object(&oi.to_string()), Ok(oi));
+        let of = co_object::Object::float(f);
+        prop_assert_eq!(parse_object(&of.to_string()), Ok(of));
+    }
+}
+
+#[test]
+fn special_float_spellings_round_trip() {
+    for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+        let o = co_object::Object::float(v);
+        assert_eq!(parse_object(&o.to_string()), Ok(o));
+    }
+}
+
+#[test]
+fn formula_display_round_trips() {
+    let (x, y) = (Var::new("X"), Var::new("Y"));
+    for f in [
+        Formula::Bottom,
+        Formula::var(x),
+        wff!([r1: {[a: (x), b: (y)]}, r2: {[c: (y)]}]),
+        wff!({[a1: (x), a2: (y)]}),
+        wff!([r: {}]),
+    ] {
+        assert_eq!(parse_formula(&f.to_string()), Ok(f.clone()), "formula {f}");
+    }
+}
+
+#[test]
+fn rule_display_round_trips() {
+    for src in [
+        "[doa: {abraham}].",
+        "[doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+        "{[a1: X, a2: Y]} :- [r1: {[a: X, b: Y]}, r2: {[c: X, d: Y]}].",
+    ] {
+        let r: Rule = parse_rule(src).unwrap();
+        assert_eq!(parse_rule(&r.to_string()), Ok(r.clone()), "rule {r}");
+    }
+}
+
+#[test]
+fn program_display_round_trips() {
+    let src = "[doa: {abraham}].
+               [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].";
+    let p = parse_program(src).unwrap();
+    assert_eq!(parse_program(&p.to_string()), Ok(p.clone()));
+}

@@ -1,0 +1,306 @@
+//! The classical (monotone fragment plus difference) relational algebra
+//! over flat relations — the baseline the paper's §4 examples are phrased
+//! against.
+
+use crate::{RelSchema, Relation, RelationalError, Row};
+use co_object::{Atom, Attr};
+
+/// σ — selection by an arbitrary row predicate.
+pub fn select(
+    r: &Relation,
+    pred: impl Fn(&Relation, &Row) -> bool,
+) -> Relation {
+    let mut out = Relation::empty(r.schema().clone());
+    for row in r.rows() {
+        if pred(r, row) {
+            out.insert(row.clone()).expect("same schema");
+        }
+    }
+    out
+}
+
+/// σ_{attr = value} — equality selection.
+pub fn select_eq(r: &Relation, attr: Attr, value: &Atom) -> Result<Relation, RelationalError> {
+    let pos = r.schema().position(attr)?;
+    Ok(select(r, |_, row| &row[pos] == value))
+}
+
+/// π — projection onto `attrs` (duplicates removed by set semantics).
+pub fn project(r: &Relation, attrs: &[Attr]) -> Result<Relation, RelationalError> {
+    let positions: Result<Vec<usize>, _> =
+        attrs.iter().map(|a| r.schema().position(*a)).collect();
+    let positions = positions?;
+    let schema = RelSchema::new(attrs.iter().copied())?;
+    let mut out = Relation::empty(schema);
+    for row in r.rows() {
+        out.insert(positions.iter().map(|&i| row[i].clone()).collect())
+            .expect("schema arity matches positions");
+    }
+    Ok(out)
+}
+
+/// ρ — attribute renaming. `pairs` maps old names to new names.
+pub fn rename(r: &Relation, pairs: &[(Attr, Attr)]) -> Result<Relation, RelationalError> {
+    let new_attrs: Vec<Attr> = r
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| {
+            pairs
+                .iter()
+                .find(|(old, _)| old == a)
+                .map(|(_, new)| *new)
+                .unwrap_or(*a)
+        })
+        .collect();
+    // Validate that every renamed source exists.
+    for (old, _) in pairs {
+        r.schema().position(*old)?;
+    }
+    let schema = RelSchema::new(new_attrs)?;
+    Relation::new(schema, r.rows().cloned())
+}
+
+/// ∪ — union of schema-compatible relations.
+pub fn union(l: &Relation, r: &Relation) -> Result<Relation, RelationalError> {
+    check_same_attrs("union", l, r)?;
+    let reordered = align(r, l.schema())?;
+    let mut out = l.clone();
+    for row in reordered.rows() {
+        out.insert(row.clone()).expect("aligned schema");
+    }
+    Ok(out)
+}
+
+/// ∩ — intersection of schema-compatible relations.
+pub fn intersect(l: &Relation, r: &Relation) -> Result<Relation, RelationalError> {
+    check_same_attrs("intersection", l, r)?;
+    let reordered = align(r, l.schema())?;
+    Ok(select(l, |_, row| reordered.contains(row)))
+}
+
+/// − — difference of schema-compatible relations. Present for baseline
+/// completeness; **not** expressible in the (monotone) calculus, which the
+/// translation layer reports explicitly.
+pub fn difference(l: &Relation, r: &Relation) -> Result<Relation, RelationalError> {
+    check_same_attrs("difference", l, r)?;
+    let reordered = align(r, l.schema())?;
+    Ok(select(l, |_, row| !reordered.contains(row)))
+}
+
+/// × — cartesian product; schemas must be disjoint.
+pub fn product(l: &Relation, r: &Relation) -> Result<Relation, RelationalError> {
+    for a in r.schema().attrs() {
+        if l.schema().attrs().contains(a) {
+            return Err(RelationalError::SchemaMismatch {
+                operation: "product (overlapping schemas)",
+                left: l.schema().to_string(),
+                right: r.schema().to_string(),
+            });
+        }
+    }
+    let schema = RelSchema::new(
+        l.schema()
+            .attrs()
+            .iter()
+            .chain(r.schema().attrs())
+            .copied(),
+    )?;
+    let mut out = Relation::empty(schema);
+    for lrow in l.rows() {
+        for rrow in r.rows() {
+            let mut row = lrow.clone();
+            row.extend(rrow.iter().cloned());
+            out.insert(row).expect("concatenated arity");
+        }
+    }
+    Ok(out)
+}
+
+/// ⋈_{l.a = r.b} — equi-join on the given attribute pairs (hash join).
+/// The result schema is `l`'s attributes followed by `r`'s attributes that
+/// are not join targets; join pairs with equal names keep one copy.
+pub fn equi_join(
+    l: &Relation,
+    r: &Relation,
+    on: &[(Attr, Attr)],
+) -> Result<Relation, RelationalError> {
+    let l_pos: Result<Vec<usize>, _> = on.iter().map(|(a, _)| l.schema().position(*a)).collect();
+    let r_pos: Result<Vec<usize>, _> = on.iter().map(|(_, b)| r.schema().position(*b)).collect();
+    let (l_pos, r_pos) = (l_pos?, r_pos?);
+
+    // Right attributes kept in the output: everything not a join target.
+    let kept: Vec<usize> = (0..r.schema().arity())
+        .filter(|i| !r_pos.contains(i))
+        .collect();
+    let schema = RelSchema::new(
+        l.schema()
+            .attrs()
+            .iter()
+            .copied()
+            .chain(kept.iter().map(|&i| r.schema().attrs()[i])),
+    )?;
+
+    // Build the hash table on the smaller side — here, always on `r` for
+    // simplicity; the benchmarks compare this against the calculus join.
+    let mut table: rustc_hash::FxHashMap<Vec<Atom>, Vec<&Row>> = rustc_hash::FxHashMap::default();
+    for row in r.rows() {
+        let key: Vec<Atom> = r_pos.iter().map(|&i| row[i].clone()).collect();
+        table.entry(key).or_default().push(row);
+    }
+
+    let mut out = Relation::empty(schema);
+    for lrow in l.rows() {
+        let key: Vec<Atom> = l_pos.iter().map(|&i| lrow[i].clone()).collect();
+        if let Some(matches) = table.get(&key) {
+            for rrow in matches {
+                let mut row = lrow.clone();
+                row.extend(kept.iter().map(|&i| rrow[i].clone()));
+                out.insert(row).expect("join arity");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ⋈ — natural join (equi-join on all common attributes; product when the
+/// schemas are disjoint).
+pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation, RelationalError> {
+    let common = l.schema().common(r.schema());
+    if common.is_empty() {
+        return product(l, r);
+    }
+    let on: Vec<(Attr, Attr)> = common.iter().map(|a| (*a, *a)).collect();
+    equi_join(l, r, &on)
+}
+
+fn check_same_attrs(
+    operation: &'static str,
+    l: &Relation,
+    r: &Relation,
+) -> Result<(), RelationalError> {
+    if l.schema().same_attrs(r.schema()) {
+        Ok(())
+    } else {
+        Err(RelationalError::SchemaMismatch {
+            operation,
+            left: l.schema().to_string(),
+            right: r.schema().to_string(),
+        })
+    }
+}
+
+/// Reorders `r`'s columns to match `target`'s attribute order.
+fn align(r: &Relation, target: &RelSchema) -> Result<Relation, RelationalError> {
+    if r.schema() == target {
+        return Ok(r.clone());
+    }
+    let positions: Result<Vec<usize>, _> =
+        target.attrs().iter().map(|a| r.schema().position(*a)).collect();
+    let positions = positions?;
+    let mut out = Relation::empty(target.clone());
+    for row in r.rows() {
+        out.insert(positions.iter().map(|&i| row[i].clone()).collect())
+            .expect("aligned arity");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::int_relation;
+
+    #[test]
+    fn selection() {
+        let r = int_relation(["a", "b"], [[1, 10], [2, 20], [3, 10]]);
+        let s = select_eq(&r, Attr::new("b"), &Atom::Int(10)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(select_eq(&r, Attr::new("z"), &Atom::Int(0)).is_err());
+    }
+
+    #[test]
+    fn projection_removes_duplicates() {
+        let r = int_relation(["a", "b"], [[1, 10], [1, 20], [2, 10]]);
+        let p = project(&r, &[Attr::new("a")]).unwrap();
+        assert_eq!(p.len(), 2);
+        let p2 = project(&r, &[Attr::new("b"), Attr::new("a")]).unwrap();
+        assert_eq!(p2.schema().attrs()[0], Attr::new("b"));
+        assert_eq!(p2.len(), 3);
+    }
+
+    #[test]
+    fn renaming() {
+        let r = int_relation(["a", "b"], [[1, 2]]);
+        let rn = rename(&r, &[(Attr::new("a"), Attr::new("x"))]).unwrap();
+        assert_eq!(rn.schema().attrs(), &[Attr::new("x"), Attr::new("b")]);
+        assert!(rename(&r, &[(Attr::new("z"), Attr::new("w"))]).is_err());
+        // Renaming onto an existing name is a duplicate-schema error.
+        assert!(rename(&r, &[(Attr::new("a"), Attr::new("b"))]).is_err());
+    }
+
+    #[test]
+    fn union_intersection_difference_respect_column_order() {
+        let l = int_relation(["a", "b"], [[1, 2], [3, 4]]);
+        // Same attributes, different order.
+        let r = int_relation(["b", "a"], [[2, 1], [9, 8]]);
+        let u = union(&l, &r).unwrap();
+        assert_eq!(u.len(), 3); // (1,2) present in both after alignment.
+        let i = intersect(&l, &r).unwrap();
+        assert_eq!(i.len(), 1);
+        let d = difference(&l, &r).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&vec![Atom::Int(3), Atom::Int(4)]));
+        let bad = int_relation(["x"], [[1]]);
+        assert!(union(&l, &bad).is_err());
+    }
+
+    #[test]
+    fn product_and_disjointness() {
+        let l = int_relation(["a"], [[1], [2]]);
+        let r = int_relation(["b"], [[10], [20], [30]]);
+        let p = product(&l, &r).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.schema().arity(), 2);
+        assert!(product(&l, &l).is_err());
+    }
+
+    #[test]
+    fn equi_join_matches_paper_example() {
+        // Example 4.2(3): R1(a, b) ⋈_{b=c} R2(c, d) projected naturally.
+        let r1 = int_relation(["a", "b"], [[1, 10], [2, 20], [3, 30]]);
+        let r2 = int_relation(["c", "d"], [[10, 100], [20, 200], [99, 999]]);
+        let j = equi_join(&r1, &r2, &[(Attr::new("b"), Attr::new("c"))]).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(
+            j.schema().attrs(),
+            &[Attr::new("a"), Attr::new("b"), Attr::new("d")]
+        );
+        let ad = project(&j, &[Attr::new("a"), Attr::new("d")]).unwrap();
+        assert!(ad.contains(&vec![Atom::Int(1), Atom::Int(100)]));
+        assert!(ad.contains(&vec![Atom::Int(2), Atom::Int(200)]));
+    }
+
+    #[test]
+    fn natural_join_on_common_attributes() {
+        let l = int_relation(["a", "b"], [[1, 10], [2, 20]]);
+        let r = int_relation(["b", "c"], [[10, 7], [10, 8], [30, 9]]);
+        let j = natural_join(&l, &r).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(
+            j.schema().attrs(),
+            &[Attr::new("a"), Attr::new("b"), Attr::new("c")]
+        );
+        // Disjoint schemas degrade to a product.
+        let d = int_relation(["z"], [[5]]);
+        assert_eq!(natural_join(&l, &d).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn join_with_no_matches_is_empty() {
+        let l = int_relation(["a", "b"], [[1, 10]]);
+        let r = int_relation(["c", "d"], [[99, 0]]);
+        let j = equi_join(&l, &r, &[(Attr::new("b"), Attr::new("c"))]).unwrap();
+        assert!(j.is_empty());
+    }
+}

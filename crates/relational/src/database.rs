@@ -1,0 +1,74 @@
+//! A named collection of flat relations.
+
+use crate::{Relation, RelationalError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A flat relational database: named relations.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Adds (or replaces) a named relation.
+    pub fn insert(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, name: &str) -> Result<&Relation, RelationalError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Iterates `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in self.iter() {
+            writeln!(f, "{name}: {rel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::int_relation;
+
+    #[test]
+    fn insert_get_iterate() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        db.insert("r1", int_relation(["a"], [[1]]));
+        db.insert("r2", int_relation(["b"], [[2]]));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get("r1").unwrap().len(), 1);
+        assert!(db.get("zzz").is_err());
+        let names: Vec<&str> = db.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["r1", "r2"]);
+        assert!(db.to_string().contains("r1"));
+    }
+}

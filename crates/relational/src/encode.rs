@@ -1,0 +1,156 @@
+//! Encoding flat relations as complex objects and back.
+//!
+//! The paper observes that "a relational database is an object":
+//!
+//! ```text
+//! [R1: {[name: peter, age: 25], …}, R2: {…}]
+//! ```
+//!
+//! `encode_*` produce exactly that shape; `decode_*` invert it, rejecting
+//! objects outside the flat fragment (nested values, missing attributes —
+//! i.e. nulls — or non-tuple elements). Decoding is the bridge used by the
+//! differential tests: run a query through the calculus, decode the result,
+//! and compare with the flat algebra's answer.
+
+use crate::{Database, RelSchema, Relation, RelationalError};
+use co_object::{Attr, Object};
+
+/// Encodes one relation as a set object of flat tuples.
+pub fn encode_relation(r: &Relation) -> Object {
+    Object::set(r.rows().map(|row| {
+        Object::tuple(
+            r.schema()
+                .attrs()
+                .iter()
+                .zip(row.iter())
+                .map(|(a, atom)| (*a, Object::Atom(atom.clone()))),
+        )
+    }))
+}
+
+/// Encodes a database as a tuple of set objects: `[r1: {…}, r2: {…}]`.
+pub fn encode_database(db: &Database) -> Object {
+    Object::tuple(
+        db.iter()
+            .map(|(name, rel)| (Attr::new(name), encode_relation(rel))),
+    )
+}
+
+/// Decodes a set object of flat tuples into a relation.
+///
+/// Every element must be a tuple over the same attribute set with atomic
+/// values; the schema is taken from the union of attributes, and a missing
+/// attribute (a null) is a [`RelationalError::NotFlat`].
+pub fn decode_relation(o: &Object) -> Result<Relation, RelationalError> {
+    let set = o
+        .as_set()
+        .ok_or_else(|| RelationalError::NotFlat(format!("expected a set, got {o}")))?;
+    // Collect the schema as the union of attributes over all elements.
+    let mut attrs: Vec<Attr> = Vec::new();
+    for e in set.iter() {
+        let t = e
+            .as_tuple()
+            .ok_or_else(|| RelationalError::NotFlat(format!("non-tuple element {e}")))?;
+        for (a, v) in t.entries() {
+            if v.as_atom().is_none() {
+                return Err(RelationalError::NotFlat(format!(
+                    "nested value {v} at attribute {a}"
+                )));
+            }
+            if !attrs.contains(a) {
+                attrs.push(*a);
+            }
+        }
+    }
+    // Keep a deterministic column order.
+    attrs.sort_by_key(|a| a.name());
+    let schema = RelSchema::new(attrs.iter().copied())?;
+    let mut rel = Relation::empty(schema);
+    for e in set.iter() {
+        let t = e.as_tuple().expect("checked above");
+        let mut row = Vec::with_capacity(attrs.len());
+        for a in &attrs {
+            match t.get(*a) {
+                Object::Atom(atom) => row.push(atom.clone()),
+                Object::Bottom => {
+                    return Err(RelationalError::NotFlat(format!(
+                        "element {e} is missing attribute {a} (nulls are outside the flat model)"
+                    )));
+                }
+                other => {
+                    return Err(RelationalError::NotFlat(format!(
+                        "nested value {other} at attribute {a}"
+                    )));
+                }
+            }
+        }
+        rel.insert(row).expect("schema arity matches");
+    }
+    Ok(rel)
+}
+
+/// Decodes a tuple-of-sets object into a database.
+pub fn decode_database(o: &Object) -> Result<Database, RelationalError> {
+    let t = o
+        .as_tuple()
+        .ok_or_else(|| RelationalError::NotFlat(format!("expected a tuple, got {o}")))?;
+    let mut db = Database::new();
+    for (a, v) in t.entries() {
+        db.insert(a.name().to_string(), decode_relation(v)?);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::int_relation;
+    use co_object::obj;
+
+    #[test]
+    fn relation_round_trips() {
+        let r = int_relation(["a", "b"], [[1, 10], [2, 20]]);
+        let o = encode_relation(&r);
+        assert_eq!(o, obj!({[a: 1, b: 10], [a: 2, b: 20]}));
+        let back = decode_relation(&o).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn database_round_trips() {
+        let mut db = Database::new();
+        db.insert("r1", int_relation(["a"], [[1], [2]]));
+        db.insert("r2", int_relation(["b", "c"], [[3, 4]]));
+        let o = encode_database(&db);
+        assert_eq!(o, obj!([r1: {[a: 1], [a: 2]}, r2: {[b: 3, c: 4]}]));
+        assert_eq!(decode_database(&o).unwrap(), db);
+    }
+
+    #[test]
+    fn empty_relation_encodes_to_empty_set() {
+        let r = Relation::empty(RelSchema::new(["a"]).unwrap());
+        assert_eq!(encode_relation(&r), Object::empty_set());
+        // Decoding an empty set gives an empty, zero-attribute relation.
+        let back = decode_relation(&Object::empty_set()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn nulls_are_rejected() {
+        // A relation with a missing attribute (paper: "relation with null
+        // values") is representable as a complex object but not flat.
+        let o = obj!({[name: peter], [name: john, age: 7]});
+        let e = decode_relation(&o).unwrap_err();
+        assert!(matches!(e, RelationalError::NotFlat(_)));
+    }
+
+    #[test]
+    fn nested_values_are_rejected() {
+        let o = obj!({[name: peter, children: {max}]});
+        assert!(decode_relation(&o).is_err());
+        let o2 = obj!({{1}});
+        assert!(decode_relation(&o2).is_err());
+        assert!(decode_relation(&obj!(5)).is_err());
+        assert!(decode_database(&obj!({1})).is_err());
+    }
+}

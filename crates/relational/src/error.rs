@@ -1,0 +1,58 @@
+//! Errors for the relational baseline.
+
+use co_object::Attr;
+use std::fmt;
+
+/// Errors produced by relational operations and conversions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelationalError {
+    /// An operation referenced an attribute missing from the schema.
+    UnknownAttribute {
+        /// The missing attribute.
+        attr: Attr,
+        /// The schema it was looked up in, rendered.
+        schema: String,
+    },
+    /// A binary operation was applied to incompatible schemas.
+    SchemaMismatch {
+        /// What the operation was.
+        operation: &'static str,
+        /// Left schema, rendered.
+        left: String,
+        /// Right schema, rendered.
+        right: String,
+    },
+    /// A named relation is missing from the database.
+    UnknownRelation(String),
+    /// Conversion from a complex object found a shape the flat model cannot
+    /// represent (nested value, missing attribute, non-tuple element…).
+    NotFlat(String),
+    /// The query is outside the translatable (monotone) fragment.
+    NotTranslatable(&'static str),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownAttribute { attr, schema } => {
+                write!(f, "attribute `{attr}` not in schema {schema}")
+            }
+            RelationalError::SchemaMismatch {
+                operation,
+                left,
+                right,
+            } => write!(f, "{operation}: incompatible schemas {left} and {right}"),
+            RelationalError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}`")
+            }
+            RelationalError::NotFlat(what) => {
+                write!(f, "object is not a flat relation: {what}")
+            }
+            RelationalError::NotTranslatable(what) => {
+                write!(f, "query not expressible in the (monotone) calculus: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}

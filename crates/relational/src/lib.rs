@@ -1,0 +1,36 @@
+//! # co-relational — the flat relational baseline and NF² operators
+//!
+//! The paper motivates complex objects by the shortcomings of the flat
+//! (first-normal-form) relational model (§1) and explains every §4 example
+//! in relational terms (selection, projection, join, intersection). This
+//! crate supplies that baseline as a real engine, plus the bridges between
+//! the two worlds:
+//!
+//! - [`Relation`]/[`Database`] and [`algebra`] — a classical flat
+//!   relational algebra (σ, π, ρ, ⋈, ∪, ∩, −, ×) with set semantics;
+//! - [`encode`]/[`decode`](decode_relation) — the paper's "a relational
+//!   database is an object" embedding, and its partial inverse;
+//! - [`Query`] — a small logical plan language evaluable both directly and
+//!   via translation to calculus rules ([`translate_query`]), which the
+//!   differential tests use to validate the calculus against the algebra;
+//! - [`nf2`] — `nest`/`unnest` from the non-first-normal-form lineage the
+//!   paper cites (Jaeschke–Schek), working on complex objects directly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algebra;
+mod database;
+mod encode;
+mod error;
+pub mod nf2;
+mod query;
+mod relation;
+mod translate;
+
+pub use database::Database;
+pub use encode::{decode_database, decode_relation, encode_database, encode_relation};
+pub use error::RelationalError;
+pub use query::Query;
+pub use relation::{int_relation, RelSchema, Relation, Row};
+pub use translate::{run_query_via_calculus, translate_query, OUTPUT};

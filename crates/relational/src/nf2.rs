@@ -1,0 +1,189 @@
+//! NF² (nested relational) operators: `nest` and `unnest`.
+//!
+//! The paper's §1 cites Jaeschke & Schek [6] and Schek & Scholl [12] as the
+//! non-first-normal-form lineage it generalizes; `nest`/`unnest` are those
+//! models' signature operators, implemented here directly over complex
+//! objects (sets of tuples with possibly set-valued attributes). They also
+//! realize part of the paper's §5 future-work item on an *algebra* of
+//! complex objects.
+//!
+//! - [`unnest`] `µ_a(r)`: replace each tuple having a set-valued attribute
+//!   `a` by one tuple per element of that set;
+//! - [`nest`] `ν_a(r)`: group tuples by all attributes except `a` and
+//!   collect the `a`-values of each group into a set.
+//!
+//! `unnest(nest(r, a), a) = r` holds whenever every tuple of `r` has a
+//! non-set value at `a` (checked by a property test); the converse fails in
+//! general — nest is lossy on empty sets — exactly as in the literature.
+
+use crate::RelationalError;
+use co_object::{Attr, Object};
+use std::collections::BTreeMap;
+
+/// µ — unnests set-valued attribute `a`: each tuple `[…, a: {v1…vk}]`
+/// becomes `k` tuples `[…, a: vi]`. Tuples with an empty set at `a`
+/// disappear (standard NF² semantics).
+pub fn unnest(r: &Object, a: impl Into<Attr>) -> Result<Object, RelationalError> {
+    let a = a.into();
+    let set = r
+        .as_set()
+        .ok_or_else(|| RelationalError::NotFlat(format!("unnest expects a set, got {r}")))?;
+    let mut out: Vec<Object> = Vec::new();
+    for e in set.iter() {
+        let t = e
+            .as_tuple()
+            .ok_or_else(|| RelationalError::NotFlat(format!("non-tuple element {e}")))?;
+        let inner = t.get(a);
+        let inner_set = inner.as_set().ok_or_else(|| {
+            RelationalError::NotFlat(format!(
+                "attribute {a} of {e} is not set-valued (found {inner})"
+            ))
+        })?;
+        for v in inner_set.iter() {
+            out.push(
+                e.with_attr(a, v.clone())
+                    .expect("element is a tuple"),
+            );
+        }
+    }
+    Ok(Object::set(out))
+}
+
+/// ν — nests attribute `a`: tuples equal on all other attributes are
+/// merged, their `a`-values collected into a set. Tuples lacking `a`
+/// contribute an empty group (`a: {}`).
+pub fn nest(r: &Object, a: impl Into<Attr>) -> Result<Object, RelationalError> {
+    let a = a.into();
+    let set = r
+        .as_set()
+        .ok_or_else(|| RelationalError::NotFlat(format!("nest expects a set, got {r}")))?;
+    // Group by the tuple-without-a, in canonical object order.
+    let mut groups: BTreeMap<Object, Vec<Object>> = BTreeMap::new();
+    for e in set.iter() {
+        if e.as_tuple().is_none() {
+            return Err(RelationalError::NotFlat(format!("non-tuple element {e}")));
+        }
+        let key = e.without_attr(a).expect("element is a tuple");
+        let value = e.dot(a).clone();
+        let bucket = groups.entry(key).or_default();
+        if !value.is_bottom() {
+            bucket.push(value);
+        }
+    }
+    Ok(Object::set(groups.into_iter().map(|(key, values)| {
+        key.with_attr(a, Object::set(values))
+            .expect("group key is a tuple")
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::obj;
+
+    /// The paper's Example 2.1 nested relation.
+    fn nested_relation() -> Object {
+        obj!({
+            [name: peter, children: {max, susan}],
+            [name: john, children: {mary, john, frank}],
+            [name: mary, children: {}]
+        })
+    }
+
+    #[test]
+    fn unnest_paper_nested_relation() {
+        let flat = unnest(&nested_relation(), "children").unwrap();
+        assert_eq!(
+            flat,
+            obj!({
+                [name: peter, children: max],
+                [name: peter, children: susan],
+                [name: john, children: mary],
+                [name: john, children: john],
+                [name: john, children: frank]
+            })
+        );
+        // mary, with no children, disappears — the classic lossy case.
+        assert_eq!(flat.as_set().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn nest_regroups() {
+        let flat = obj!({
+            [name: peter, children: max],
+            [name: peter, children: susan],
+            [name: john, children: mary]
+        });
+        let nested = nest(&flat, "children").unwrap();
+        assert_eq!(
+            nested,
+            obj!({
+                [name: peter, children: {max, susan}],
+                [name: john, children: {mary}]
+            })
+        );
+    }
+
+    #[test]
+    fn unnest_after_nest_is_identity_on_flat_relations() {
+        let flat = obj!({
+            [a: 1, b: 10],
+            [a: 1, b: 20],
+            [a: 2, b: 10]
+        });
+        let round = unnest(&nest(&flat, "b").unwrap(), "b").unwrap();
+        assert_eq!(round, flat);
+    }
+
+    #[test]
+    fn nest_after_unnest_loses_empty_groups() {
+        let r = nested_relation();
+        let round = nest(&unnest(&r, "children").unwrap(), "children").unwrap();
+        // mary's empty group is gone.
+        assert_eq!(
+            round,
+            obj!({
+                [name: peter, children: {max, susan}],
+                [name: john, children: {mary, john, frank}]
+            })
+        );
+        assert_ne!(round, r);
+    }
+
+    #[test]
+    fn nest_handles_missing_attribute_as_empty_group() {
+        let r = obj!({[name: mary]});
+        let nested = nest(&r, "children").unwrap();
+        assert_eq!(nested, obj!({[name: mary, children: {}]}));
+    }
+
+    #[test]
+    fn unnest_errors() {
+        assert!(unnest(&obj!(5), "a").is_err());
+        assert!(unnest(&obj!({5}), "a").is_err());
+        // Attribute is not set-valued.
+        assert!(unnest(&obj!({[a: 1]}), "a").is_err());
+        // Attribute missing entirely (⊥ is not a set).
+        assert!(unnest(&obj!({[b: 1]}), "a").is_err());
+    }
+
+    #[test]
+    fn nest_errors() {
+        assert!(nest(&obj!(5), "a").is_err());
+        assert!(nest(&obj!({5}), "a").is_err());
+    }
+
+    #[test]
+    fn nested_sets_of_tuples_unnest() {
+        // Set-valued attributes may hold tuples, not just atoms.
+        let r = obj!({[dept: cs, staff: {[n: ada], [n: alan]}]});
+        let u = unnest(&r, "staff").unwrap();
+        assert_eq!(
+            u,
+            obj!({
+                [dept: cs, staff: [n: ada]],
+                [dept: cs, staff: [n: alan]]
+            })
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! A small logical query language over flat databases.
+//!
+//! [`Query`] covers the operations the paper's §4 walkthrough exercises
+//! (selection, projection, renaming, join, intersection) plus union,
+//! product, and difference for baseline completeness. Queries evaluate
+//! directly against a [`Database`] ([`Query::eval`]) and — apart from
+//! difference, which is non-monotone — translate into calculus rule
+//! programs ([`crate::translate`]), which is how the differential tests
+//! validate the calculus implementation.
+
+use crate::{algebra, Database, RelSchema, Relation, RelationalError};
+use co_object::{Atom, Attr};
+
+/// A logical query over named flat relations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// A base relation by name.
+    Rel(String),
+    /// σ_{attr = value}.
+    SelectEq {
+        /// Input query.
+        input: Box<Query>,
+        /// Attribute to test.
+        attr: Attr,
+        /// Value it must equal.
+        value: Atom,
+    },
+    /// π_{attrs}.
+    Project {
+        /// Input query.
+        input: Box<Query>,
+        /// Attributes to keep, in output order.
+        attrs: Vec<Attr>,
+    },
+    /// ρ — rename attributes.
+    Rename {
+        /// Input query.
+        input: Box<Query>,
+        /// (old, new) attribute pairs.
+        pairs: Vec<(Attr, Attr)>,
+    },
+    /// Equi-join on attribute pairs.
+    Join {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+        /// (left attr, right attr) join conditions.
+        on: Vec<(Attr, Attr)>,
+    },
+    /// ∩ of schema-compatible queries.
+    Intersect {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// ∪ of schema-compatible queries.
+    Union {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// × of schema-disjoint queries.
+    Product {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// − of schema-compatible queries (not calculus-translatable).
+    Difference {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+}
+
+impl Query {
+    /// A base relation reference.
+    pub fn rel(name: impl Into<String>) -> Query {
+        Query::Rel(name.into())
+    }
+
+    /// Chains σ_{attr = value}.
+    pub fn select_eq(self, attr: impl Into<Attr>, value: impl Into<Atom>) -> Query {
+        Query::SelectEq {
+            input: Box::new(self),
+            attr: attr.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Chains π_{attrs}.
+    pub fn project<I, A>(self, attrs: I) -> Query
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        Query::Project {
+            input: Box::new(self),
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Chains ρ.
+    pub fn rename<I, A, B>(self, pairs: I) -> Query
+    where
+        I: IntoIterator<Item = (A, B)>,
+        A: Into<Attr>,
+        B: Into<Attr>,
+    {
+        Query::Rename {
+            input: Box::new(self),
+            pairs: pairs
+                .into_iter()
+                .map(|(a, b)| (a.into(), b.into()))
+                .collect(),
+        }
+    }
+
+    /// Joins with `other` on the given pairs.
+    pub fn join<I, A, B>(self, other: Query, on: I) -> Query
+    where
+        I: IntoIterator<Item = (A, B)>,
+        A: Into<Attr>,
+        B: Into<Attr>,
+    {
+        Query::Join {
+            left: Box::new(self),
+            right: Box::new(other),
+            on: on.into_iter().map(|(a, b)| (a.into(), b.into())).collect(),
+        }
+    }
+
+    /// Intersects with `other`.
+    pub fn intersect(self, other: Query) -> Query {
+        Query::Intersect {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Unions with `other`.
+    pub fn union(self, other: Query) -> Query {
+        Query::Union {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Cartesian product with `other`.
+    pub fn product(self, other: Query) -> Query {
+        Query::Product {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Difference with `other`.
+    pub fn difference(self, other: Query) -> Query {
+        Query::Difference {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Evaluates against the flat algebra.
+    pub fn eval(&self, db: &Database) -> Result<Relation, RelationalError> {
+        match self {
+            Query::Rel(name) => Ok(db.get(name)?.clone()),
+            Query::SelectEq { input, attr, value } => {
+                algebra::select_eq(&input.eval(db)?, *attr, value)
+            }
+            Query::Project { input, attrs } => algebra::project(&input.eval(db)?, attrs),
+            Query::Rename { input, pairs } => algebra::rename(&input.eval(db)?, pairs),
+            Query::Join { left, right, on } => {
+                algebra::equi_join(&left.eval(db)?, &right.eval(db)?, on)
+            }
+            Query::Intersect { left, right } => {
+                algebra::intersect(&left.eval(db)?, &right.eval(db)?)
+            }
+            Query::Union { left, right } => algebra::union(&left.eval(db)?, &right.eval(db)?),
+            Query::Product { left, right } => {
+                algebra::product(&left.eval(db)?, &right.eval(db)?)
+            }
+            Query::Difference { left, right } => {
+                algebra::difference(&left.eval(db)?, &right.eval(db)?)
+            }
+        }
+    }
+
+    /// The output schema against `db` (evaluating nothing).
+    pub fn schema(&self, db: &Database) -> Result<RelSchema, RelationalError> {
+        match self {
+            Query::Rel(name) => Ok(db.get(name)?.schema().clone()),
+            Query::SelectEq { input, attr, .. } => {
+                let s = input.schema(db)?;
+                s.position(*attr)?;
+                Ok(s)
+            }
+            Query::Project { input, attrs } => {
+                let s = input.schema(db)?;
+                for a in attrs {
+                    s.position(*a)?;
+                }
+                RelSchema::new(attrs.iter().copied())
+            }
+            Query::Rename { input, pairs } => {
+                let s = input.schema(db)?;
+                for (old, _) in pairs {
+                    s.position(*old)?;
+                }
+                RelSchema::new(s.attrs().iter().map(|a| {
+                    pairs
+                        .iter()
+                        .find(|(old, _)| old == a)
+                        .map(|(_, new)| *new)
+                        .unwrap_or(*a)
+                }))
+            }
+            Query::Join { left, right, on } => {
+                let ls = left.schema(db)?;
+                let rs = right.schema(db)?;
+                let r_targets: Result<Vec<usize>, _> =
+                    on.iter().map(|(_, b)| rs.position(*b)).collect();
+                let r_targets = r_targets?;
+                for (a, _) in on {
+                    ls.position(*a)?;
+                }
+                RelSchema::new(
+                    ls.attrs().iter().copied().chain(
+                        rs.attrs()
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| !r_targets.contains(i))
+                            .map(|(_, a)| *a),
+                    ),
+                )
+            }
+            Query::Intersect { left, right }
+            | Query::Union { left, right }
+            | Query::Difference { left, right } => {
+                let ls = left.schema(db)?;
+                let rs = right.schema(db)?;
+                if !ls.same_attrs(&rs) {
+                    return Err(RelationalError::SchemaMismatch {
+                        operation: "set operation",
+                        left: ls.to_string(),
+                        right: rs.to_string(),
+                    });
+                }
+                Ok(ls)
+            }
+            Query::Product { left, right } => {
+                let ls = left.schema(db)?;
+                let rs = right.schema(db)?;
+                RelSchema::new(ls.attrs().iter().chain(rs.attrs()).copied())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::int_relation;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("r1", int_relation(["a", "b"], [[1, 10], [2, 20], [3, 10]]));
+        db.insert("r2", int_relation(["c", "d"], [[10, 100], [20, 200]]));
+        db
+    }
+
+    #[test]
+    fn select_project_chain() {
+        let q = Query::rel("r1").select_eq("b", 10).project(["a"]);
+        let r = q.eval(&db()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(q.schema(&db()).unwrap().attrs(), &[Attr::new("a")]);
+    }
+
+    #[test]
+    fn join_query() {
+        let q = Query::rel("r1").join(Query::rel("r2"), [("b", "c")]);
+        let r = q.eval(&db()).unwrap();
+        assert_eq!(r.len(), 3); // b=10 joins twice (rows 1,3), b=20 once.
+        assert_eq!(
+            q.schema(&db()).unwrap().attrs(),
+            &[Attr::new("a"), Attr::new("b"), Attr::new("d")]
+        );
+    }
+
+    #[test]
+    fn set_operations() {
+        let q = Query::rel("r1")
+            .project(["a"])
+            .union(Query::rel("r2").project(["c"]).rename([("c", "a")]));
+        let r = q.eval(&db()).unwrap();
+        assert_eq!(r.len(), 5); // {1,2,3} ∪ {10,20}
+        let qi = Query::rel("r1")
+            .project(["b"])
+            .rename([("b", "c")])
+            .intersect(Query::rel("r2").project(["c"]));
+        assert_eq!(qi.eval(&db()).unwrap().len(), 2);
+        let qd = Query::rel("r1")
+            .project(["b"])
+            .rename([("b", "c")])
+            .difference(Query::rel("r2").project(["c"]));
+        assert_eq!(qd.eval(&db()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn schema_errors_surface() {
+        assert!(Query::rel("zzz").eval(&db()).is_err());
+        assert!(Query::rel("r1").select_eq("nope", 1).eval(&db()).is_err());
+        assert!(Query::rel("r1")
+            .union(Query::rel("r2"))
+            .eval(&db())
+            .is_err());
+        assert!(Query::rel("r1").union(Query::rel("r2")).schema(&db()).is_err());
+    }
+
+    #[test]
+    fn product_query() {
+        let q = Query::rel("r1")
+            .project(["a"])
+            .product(Query::rel("r2").project(["c"]));
+        assert_eq!(q.eval(&db()).unwrap().len(), 6);
+    }
+}

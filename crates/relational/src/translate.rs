@@ -1,0 +1,409 @@
+//! Translating [`Query`] plans into calculus rule programs.
+//!
+//! Every monotone query operator corresponds to a rule shape from the
+//! paper's Example 4.2:
+//!
+//! | operator | rule (paper example) |
+//! |---|---|
+//! | selection + projection | `[q: {[c: X]}] :- [r1: {[a: X, b: b]}]` (4.2(1)) |
+//! | join | `[q: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]` (4.2(3)) |
+//! | renaming | 4.2(4) |
+//! | intersection | `[q: {X}] :- [r1: {X}, r2: {X}]` (4.2(5)) |
+//! | union | two rules with the same head |
+//!
+//! Each query node materializes an intermediate relation `q__N`; the root
+//! lands in [`OUTPUT`]. Difference is non-monotone and is reported as
+//! [`RelationalError::NotTranslatable`] — the calculus extends *Horn*
+//! clauses, which have no negation.
+//!
+//! [`run_query_via_calculus`] is the executable bridge: encode the flat
+//! database as a complex object, run the translated program to its closure,
+//! decode the output relation. The differential tests assert it agrees with
+//! the flat algebra on every translatable query.
+
+use crate::{
+    decode_relation, encode_database, Database, Query, RelSchema, Relation, RelationalError,
+};
+use co_calculus::{Formula, Program, Rule, Var};
+use co_engine::Engine;
+use co_object::{Attr, Object};
+
+/// The attribute under which the translated query's result appears.
+pub const OUTPUT: &str = "q__out";
+
+struct Translator<'a> {
+    db: &'a Database,
+    rules: Vec<Rule>,
+    counter: usize,
+}
+
+impl<'a> Translator<'a> {
+    fn fresh_name(&mut self) -> String {
+        let n = format!("q__{}", self.counter);
+        self.counter += 1;
+        n
+    }
+
+    /// A tuple formula binding one fresh variable per attribute; returns
+    /// the formula together with the per-attribute variables.
+    fn row_pattern(schema: &RelSchema, prefix: &str) -> (Formula, Vec<(Attr, Var)>) {
+        let vars: Vec<(Attr, Var)> = schema
+            .attrs()
+            .iter()
+            .map(|a| (*a, Var::new(format!("{prefix}_{}", a.name()))))
+            .collect();
+        let f = Formula::tuple(vars.iter().map(|(a, v)| (*a, Formula::Var(*v))))
+            .expect("schema attributes are distinct");
+        (f, vars)
+    }
+
+    /// Wraps a row formula into `[rel: {row}]`.
+    fn in_relation(name: &str, row: Formula) -> Formula {
+        Formula::tuple([(Attr::new(name), Formula::set([row]))])
+            .expect("single attribute")
+    }
+
+    /// Emits rules computing `q` into a fresh relation; returns its name.
+    fn translate(&mut self, q: &Query) -> Result<String, RelationalError> {
+        let schema = q.schema(self.db)?;
+        let out = self.fresh_name();
+        match q {
+            Query::Rel(name) => {
+                let (row, _) = Self::row_pattern(&schema, "V");
+                self.push_rule(&out, row.clone(), Self::in_relation(name, row));
+            }
+            Query::SelectEq { input, attr, value } => {
+                let src = self.translate(input)?;
+                let (_, vars) = Self::row_pattern(&schema, "V");
+                let body_row = Formula::tuple(vars.iter().map(|(a, v)| {
+                    if a == attr {
+                        (*a, Formula::Atom(value.clone()))
+                    } else {
+                        (*a, Formula::Var(*v))
+                    }
+                }))
+                .expect("distinct attrs");
+                self.push_rule(&out, body_row.clone(), Self::in_relation(&src, body_row));
+            }
+            Query::Project { input, attrs } => {
+                let src = self.translate(input)?;
+                let in_schema = input.schema(self.db)?;
+                let (body_row, vars) = Self::row_pattern(&in_schema, "V");
+                let head_row = Formula::tuple(attrs.iter().map(|a| {
+                    let v = vars
+                        .iter()
+                        .find(|(b, _)| b == a)
+                        .expect("projection attrs checked by schema()")
+                        .1;
+                    (*a, Formula::Var(v))
+                }))
+                .expect("distinct attrs");
+                self.push_rule(&out, head_row, Self::in_relation(&src, body_row));
+            }
+            Query::Rename { input, pairs } => {
+                let src = self.translate(input)?;
+                let in_schema = input.schema(self.db)?;
+                let (body_row, vars) = Self::row_pattern(&in_schema, "V");
+                let head_row = Formula::tuple(vars.iter().map(|(a, v)| {
+                    let renamed = pairs
+                        .iter()
+                        .find(|(old, _)| old == a)
+                        .map(|(_, new)| *new)
+                        .unwrap_or(*a);
+                    (renamed, Formula::Var(*v))
+                }))
+                .expect("renaming checked by schema()");
+                self.push_rule(&out, head_row, Self::in_relation(&src, body_row));
+            }
+            Query::Join { left, right, on } => {
+                let lsrc = self.translate(left)?;
+                let rsrc = self.translate(right)?;
+                let ls = left.schema(self.db)?;
+                let rs = right.schema(self.db)?;
+                let (_, lvars) = Self::row_pattern(&ls, "L");
+                let (_, rvars0) = Self::row_pattern(&rs, "R");
+                // Join attributes on the right share the left variable.
+                let rvars: Vec<(Attr, Var)> = rvars0
+                    .iter()
+                    .map(|(a, v)| {
+                        match on.iter().find(|(_, b)| b == a) {
+                            Some((la, _)) => {
+                                let lv = lvars
+                                    .iter()
+                                    .find(|(b, _)| b == la)
+                                    .expect("join attrs checked by schema()")
+                                    .1;
+                                (*a, lv)
+                            }
+                            None => (*a, *v),
+                        }
+                    })
+                    .collect();
+                let l_row = Formula::tuple(
+                    lvars.iter().map(|(a, v)| (*a, Formula::Var(*v))),
+                )
+                .expect("distinct");
+                let r_row = Formula::tuple(
+                    rvars.iter().map(|(a, v)| (*a, Formula::Var(*v))),
+                )
+                .expect("distinct");
+                let body = Formula::tuple([
+                    (Attr::new(&lsrc), Formula::set([l_row])),
+                    (Attr::new(&rsrc), Formula::set([r_row])),
+                ])
+                .expect("fresh names are distinct");
+                // Head: left attrs then kept right attrs (matches
+                // algebra::equi_join's output schema).
+                let r_targets: Vec<Attr> = on.iter().map(|(_, b)| *b).collect();
+                let head_row = Formula::tuple(
+                    lvars
+                        .iter()
+                        .map(|(a, v)| (*a, Formula::Var(*v)))
+                        .chain(
+                            rvars
+                                .iter()
+                                .filter(|(a, _)| !r_targets.contains(a))
+                                .map(|(a, v)| (*a, Formula::Var(*v))),
+                        ),
+                )
+                .expect("join output schema checked");
+                self.push_rule(&out, head_row, body);
+            }
+            Query::Intersect { left, right } => {
+                let lsrc = self.translate(left)?;
+                let rsrc = self.translate(right)?;
+                // Paper Example 4.2(5): shared variables across members —
+                // generalized to per-attribute variables so column order
+                // does not matter.
+                let (_, vars) = Self::row_pattern(&schema, "V");
+                let row = Formula::tuple(vars.iter().map(|(a, v)| (*a, Formula::Var(*v))))
+                    .expect("distinct");
+                let body = Formula::tuple([
+                    (Attr::new(&lsrc), Formula::set([row.clone()])),
+                    (Attr::new(&rsrc), Formula::set([row.clone()])),
+                ])
+                .expect("fresh names distinct");
+                self.push_rule(&out, row, body);
+            }
+            Query::Union { left, right } => {
+                let lsrc = self.translate(left)?;
+                let rsrc = self.translate(right)?;
+                let (row, _) = Self::row_pattern(&schema, "V");
+                self.push_rule(&out, row.clone(), Self::in_relation(&lsrc, row.clone()));
+                self.push_rule(&out, row.clone(), Self::in_relation(&rsrc, row));
+            }
+            Query::Product { left, right } => {
+                let lsrc = self.translate(left)?;
+                let rsrc = self.translate(right)?;
+                let ls = left.schema(self.db)?;
+                let rs = right.schema(self.db)?;
+                let (l_row, lvars) = Self::row_pattern(&ls, "L");
+                let (r_row, rvars) = Self::row_pattern(&rs, "R");
+                let body = Formula::tuple([
+                    (Attr::new(&lsrc), Formula::set([l_row])),
+                    (Attr::new(&rsrc), Formula::set([r_row])),
+                ])
+                .expect("fresh names distinct");
+                let head_row = Formula::tuple(
+                    lvars
+                        .iter()
+                        .chain(rvars.iter())
+                        .map(|(a, v)| (*a, Formula::Var(*v))),
+                )
+                .expect("product schemas disjoint (checked)");
+                self.push_rule(&out, head_row, body);
+            }
+            Query::Difference { .. } => {
+                return Err(RelationalError::NotTranslatable(
+                    "difference requires negation, which Horn clauses lack",
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    fn push_rule(&mut self, out: &str, head_row: Formula, body: Formula) {
+        let head = Formula::tuple([(Attr::new(out), Formula::set([head_row]))])
+            .expect("single attribute");
+        self.rules
+            .push(Rule::new(head, body).expect("head vars come from the body by construction"));
+    }
+}
+
+/// Translates `query` into a rule program whose closure materializes the
+/// result under the [`OUTPUT`] attribute.
+pub fn translate_query(db: &Database, query: &Query) -> Result<Program, RelationalError> {
+    let mut t = Translator {
+        db,
+        rules: Vec::new(),
+        counter: 0,
+    };
+    let root = t.translate(query)?;
+    // Copy the root intermediate into the fixed output name.
+    let schema = query.schema(db)?;
+    let (row, _) = Translator::row_pattern(&schema, "V");
+    t.push_rule(OUTPUT, row.clone(), Translator::in_relation(&root, row));
+    Ok(Program::from_rules(t.rules))
+}
+
+/// Runs `query` through the calculus: encode → translate → fixpoint →
+/// decode. An absent output attribute (no derivations) decodes as an empty
+/// relation.
+pub fn run_query_via_calculus(
+    db: &Database,
+    query: &Query,
+) -> Result<Relation, RelationalError> {
+    let program = translate_query(db, query)?;
+    let encoded = encode_database(db);
+    let outcome = Engine::new(program).run(&encoded).map_err(|e| {
+        RelationalError::NotFlat(format!("fixpoint evaluation failed: {e}"))
+    })?;
+    match outcome.database.dot(OUTPUT) {
+        Object::Bottom => Ok(Relation::empty(query.schema(db)?)),
+        o => {
+            let decoded = decode_relation(o)?;
+            // Align the decoded column order with the query's schema.
+            let target = query.schema(db)?;
+            if decoded.schema().same_attrs(&target) {
+                crate::algebra::project(&decoded, target.attrs())
+            } else {
+                Err(RelationalError::SchemaMismatch {
+                    operation: "calculus result schema",
+                    left: decoded.schema().to_string(),
+                    right: target.to_string(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::int_relation;
+    use co_object::Atom;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("r1", int_relation(["a", "b"], [[1, 10], [2, 20], [3, 10]]));
+        db.insert("r2", int_relation(["c", "d"], [[10, 100], [20, 200], [99, 999]]));
+        db
+    }
+
+    fn check(q: Query) {
+        let db = db();
+        let direct = q.eval(&db).unwrap();
+        let via_calculus = run_query_via_calculus(&db, &q).unwrap();
+        assert_eq!(direct, via_calculus, "query {q:?}");
+    }
+
+    #[test]
+    fn base_relation_round_trips() {
+        check(Query::rel("r1"));
+    }
+
+    #[test]
+    fn selection_translates() {
+        check(Query::rel("r1").select_eq("b", 10));
+    }
+
+    #[test]
+    fn selection_with_no_matches_translates() {
+        check(Query::rel("r1").select_eq("b", 777));
+    }
+
+    #[test]
+    fn projection_translates() {
+        check(Query::rel("r1").project(["a"]));
+        check(Query::rel("r1").project(["b"]));
+    }
+
+    #[test]
+    fn renaming_translates() {
+        check(Query::rel("r1").rename([("a", "x"), ("b", "y")]));
+    }
+
+    #[test]
+    fn join_translates() {
+        check(Query::rel("r1").join(Query::rel("r2"), [("b", "c")]));
+    }
+
+    #[test]
+    fn intersection_translates() {
+        check(
+            Query::rel("r1")
+                .project(["b"])
+                .rename([("b", "k")])
+                .intersect(Query::rel("r2").project(["c"]).rename([("c", "k")])),
+        );
+    }
+
+    #[test]
+    fn union_translates() {
+        check(
+            Query::rel("r1")
+                .project(["a"])
+                .union(Query::rel("r2").project(["d"]).rename([("d", "a")])),
+        );
+    }
+
+    #[test]
+    fn product_translates() {
+        check(
+            Query::rel("r1")
+                .project(["a"])
+                .product(Query::rel("r2").project(["c"])),
+        );
+    }
+
+    #[test]
+    fn composed_pipeline_translates() {
+        check(
+            Query::rel("r1")
+                .join(Query::rel("r2"), [("b", "c")])
+                .select_eq("d", 100)
+                .project(["a", "d"])
+                .rename([("d", "result")]),
+        );
+    }
+
+    #[test]
+    fn difference_is_not_translatable() {
+        let q = Query::rel("r1").difference(Query::rel("r1"));
+        assert!(matches!(
+            translate_query(&db(), &q),
+            Err(RelationalError::NotTranslatable(_))
+        ));
+    }
+
+    #[test]
+    fn translated_program_shape_matches_paper_examples() {
+        // One rule per node plus the output copy.
+        let q = Query::rel("r1").select_eq("b", 10);
+        let p = translate_query(&db(), &q).unwrap();
+        assert_eq!(p.len(), 3); // rel copy, select, output copy.
+        let text = p.to_string();
+        assert!(text.contains("q__out"));
+        assert!(text.contains("b: 10"));
+    }
+
+    #[test]
+    fn string_atoms_translate_too() {
+        let mut db = Database::new();
+        let schema = crate::RelSchema::new(["name", "city"]).unwrap();
+        let rel = Relation::new(
+            schema,
+            [
+                vec![Atom::str("john"), Atom::str("austin")],
+                vec![Atom::str("mary"), Atom::str("paris")],
+            ],
+        )
+        .unwrap();
+        db.insert("people", rel);
+        let q = Query::rel("people").select_eq("city", Atom::str("austin"));
+        let direct = q.eval(&db).unwrap();
+        let via = run_query_via_calculus(&db, &q).unwrap();
+        assert_eq!(direct, via);
+        assert_eq!(direct.len(), 1);
+    }
+}

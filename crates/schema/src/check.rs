@@ -1,0 +1,215 @@
+//! Conformance checking: does an object inhabit a type?
+
+use crate::{Type, TypeError};
+use co_object::{Atom, Object, Path};
+
+/// True when `o` conforms to `t` (see the decisions documented in
+/// [`crate::ty`]: ⊥ conforms to everything, ⊤ only to `any`, tuple types
+/// are open unless built with [`Type::closed_tuple`]).
+pub fn conforms(o: &Object, t: &Type) -> bool {
+    check_at(o, t, &mut Path::root()).is_ok()
+}
+
+/// Like [`conforms`], but reports *where* and *why* conformance fails.
+pub fn check(o: &Object, t: &Type) -> Result<(), TypeError> {
+    check_at(o, t, &mut Path::root())
+}
+
+fn mismatch(o: &Object, t: &Type, path: &Path) -> TypeError {
+    TypeError::Mismatch {
+        path: path.to_string(),
+        expected: t.to_string(),
+        found: o.to_string(),
+    }
+}
+
+fn check_at(o: &Object, t: &Type, path: &mut Path) -> Result<(), TypeError> {
+    // ⊥ (null / missing) conforms to everything except Required.
+    if o.is_bottom() {
+        return match t {
+            Type::Required(_) => Err(TypeError::MissingRequired {
+                path: path.to_string(),
+                expected: t.to_string(),
+            }),
+            _ => Ok(()),
+        };
+    }
+    match t {
+        Type::Any => Ok(()),
+        Type::Required(inner) => check_at(o, inner, path),
+        Type::Bool => match o.as_atom() {
+            Some(Atom::Bool(_)) => Ok(()),
+            _ => Err(mismatch(o, t, path)),
+        },
+        Type::Int => match o.as_atom() {
+            Some(Atom::Int(_)) => Ok(()),
+            _ => Err(mismatch(o, t, path)),
+        },
+        Type::Float => match o.as_atom() {
+            Some(Atom::Float(_)) => Ok(()),
+            _ => Err(mismatch(o, t, path)),
+        },
+        Type::Str => match o.as_atom() {
+            Some(Atom::Str(_)) => Ok(()),
+            _ => Err(mismatch(o, t, path)),
+        },
+        Type::Constant(a) => match o.as_atom() {
+            Some(b) if b == a => Ok(()),
+            _ => Err(mismatch(o, t, path)),
+        },
+        Type::Tuple { entries, open } => {
+            let Some(tup) = o.as_tuple() else {
+                return Err(mismatch(o, t, path));
+            };
+            if !open {
+                for (a, _) in tup.entries() {
+                    if entries.binary_search_by_key(a, |(k, _)| *k).is_err() {
+                        return Err(TypeError::UnexpectedAttribute {
+                            path: path.to_string(),
+                            attr: a.to_string(),
+                            expected: t.to_string(),
+                        });
+                    }
+                }
+            }
+            for (a, at) in entries {
+                path.push(*a);
+                let r = check_at(tup.get(*a), at, path);
+                path.pop();
+                r?;
+            }
+            Ok(())
+        }
+        Type::Set(elem) => {
+            let Some(set) = o.as_set() else {
+                return Err(mismatch(o, t, path));
+            };
+            for e in set.iter() {
+                check_at(e, elem, path)?;
+            }
+            Ok(())
+        }
+        Type::Union(members) => {
+            if members.iter().any(|m| conforms(o, m)) {
+                Ok(())
+            } else {
+                Err(mismatch(o, t, path))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::obj;
+
+    #[test]
+    fn atoms_conform_to_their_kinds() {
+        assert!(conforms(&obj!(5), &Type::Int));
+        assert!(!conforms(&obj!(5), &Type::Str));
+        assert!(conforms(&obj!(john), &Type::Str));
+        assert!(conforms(&obj!(2.5), &Type::Float));
+        assert!(conforms(&obj!(true), &Type::Bool));
+        assert!(conforms(&obj!(5), &Type::Constant(co_object::Atom::int(5))));
+        assert!(!conforms(&obj!(6), &Type::Constant(co_object::Atom::int(5))));
+    }
+
+    #[test]
+    fn bottom_conforms_to_everything_but_required() {
+        for t in [Type::Int, Type::Str, Type::set(Type::Int), crate::ty::never()] {
+            assert!(conforms(&Object::Bottom, &t));
+        }
+        assert!(!conforms(&Object::Bottom, &Type::required(Type::Int)));
+    }
+
+    #[test]
+    fn top_conforms_only_to_any() {
+        assert!(conforms(&Object::Top, &Type::Any));
+        assert!(!conforms(&Object::Top, &Type::Int));
+        assert!(!conforms(&Object::Top, &Type::set(Type::Any)));
+    }
+
+    #[test]
+    fn paper_nested_relation_type_checks() {
+        // {[name: string, children: {string}]} — Example 2.1's nested
+        // relation.
+        let t = Type::set(Type::tuple([
+            ("name", Type::Str),
+            ("children", Type::set(Type::Str)),
+        ]));
+        let r = obj!({
+            [name: peter, children: {max, susan}],
+            [name: john, children: {mary, john, frank}],
+            [name: mary, children: {}]
+        });
+        assert!(conforms(&r, &t));
+        // A wrong-kind children value fails.
+        let bad = obj!({[name: peter, children: 5]});
+        assert!(!conforms(&bad, &t));
+    }
+
+    #[test]
+    fn nulls_are_admitted_by_open_tuples() {
+        // The paper's "relation with null values" conforms: the missing
+        // age reads as ⊥, which conforms to int.
+        let t = Type::set(Type::tuple([("name", Type::Str), ("age", Type::Int)]));
+        let r = obj!({[name: peter], [name: john, age: 7]});
+        assert!(conforms(&r, &t));
+        // ...but not when age is required.
+        let strict = Type::set(Type::tuple([
+            ("name", Type::Str),
+            ("age", Type::required(Type::Int)),
+        ]));
+        assert!(!conforms(&r, &strict));
+    }
+
+    #[test]
+    fn closed_tuples_reject_extra_attributes() {
+        let t = Type::closed_tuple([("a", Type::Int)]);
+        assert!(conforms(&obj!([a: 1]), &t));
+        assert!(!conforms(&obj!([a: 1, b: 2]), &t));
+        // Open accepts.
+        let t2 = Type::tuple([("a", Type::Int)]);
+        assert!(conforms(&obj!([a: 1, b: 2]), &t2));
+    }
+
+    #[test]
+    fn unions() {
+        let t = Type::union([Type::Int, Type::Str]);
+        assert!(conforms(&obj!(1), &t));
+        assert!(conforms(&obj!(x), &t));
+        assert!(!conforms(&obj!(true), &t));
+        // Heterogeneous set, as the paper's schemaless sets allow.
+        let s = Type::set(Type::union([Type::Int, Type::Str]));
+        assert!(conforms(&obj!({1, two, 3}), &s));
+    }
+
+    #[test]
+    fn error_paths_point_at_the_problem() {
+        let t = Type::tuple([(
+            "family",
+            Type::set(Type::tuple([("age", Type::Int)])),
+        )]);
+        let o = obj!([family: {[age: old]}]);
+        let e = check(&o, &t).unwrap_err();
+        let text = e.to_string();
+        assert!(text.contains("family"), "error was: {text}");
+        assert!(text.contains("int"), "error was: {text}");
+        assert!(text.contains("old"), "error was: {text}");
+    }
+
+    #[test]
+    fn missing_required_is_a_distinct_error() {
+        let t = Type::tuple([("age", Type::required(Type::Int))]);
+        let e = check(&obj!([name: x]), &t).unwrap_err();
+        assert!(matches!(e, TypeError::MissingRequired { .. }));
+    }
+
+    #[test]
+    fn unexpected_attribute_is_a_distinct_error() {
+        let t = Type::closed_tuple([("a", Type::Int)]);
+        let e = check(&obj!([a: 1, z: 2]), &t).unwrap_err();
+        assert!(matches!(e, TypeError::UnexpectedAttribute { .. }));
+    }
+}

@@ -1,0 +1,61 @@
+//! Type-checking errors.
+
+use std::fmt;
+
+/// Errors from conformance checking and inference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeError {
+    /// An object did not conform to the expected type.
+    Mismatch {
+        /// Path from the root to the offending sub-object.
+        path: String,
+        /// The expected type, rendered.
+        expected: String,
+        /// The offending object, rendered.
+        found: String,
+    },
+    /// A required value was ⊥ / missing.
+    MissingRequired {
+        /// Path from the root.
+        path: String,
+        /// The required type, rendered.
+        expected: String,
+    },
+    /// A closed tuple type met an attribute it does not list.
+    UnexpectedAttribute {
+        /// Path from the root.
+        path: String,
+        /// The unexpected attribute.
+        attr: String,
+        /// The closed tuple type, rendered.
+        expected: String,
+    },
+    /// `infer_common` was given nothing to infer from.
+    NothingToInfer,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Mismatch {
+                path,
+                expected,
+                found,
+            } => write!(f, "at {path}: expected {expected}, found {found}"),
+            TypeError::MissingRequired { path, expected } => {
+                write!(f, "at {path}: missing required value of type {expected}")
+            }
+            TypeError::UnexpectedAttribute {
+                path,
+                attr,
+                expected,
+            } => write!(
+                f,
+                "at {path}: attribute `{attr}` not allowed by closed type {expected}"
+            ),
+            TypeError::NothingToInfer => write!(f, "cannot infer a common type of nothing"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

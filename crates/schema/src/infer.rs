@@ -1,0 +1,151 @@
+//! Minimal-type inference.
+//!
+//! [`infer_type`] computes a structural type that the object conforms to
+//! and that is as tight as the type language allows without singleton
+//! types: atom kinds for atoms, closed tuple types, and set types whose
+//! element is the (simplified) union of the elements' types. The
+//! fundamental property — `conforms(o, infer_type(o))` — is checked by a
+//! proptest in `lib.rs`; heterogeneous sets (the paper's headline
+//! generality: "the types of the elements of a set could all be
+//! different") infer union element types.
+
+use crate::{Type, TypeError};
+use co_object::{Atom, Object};
+
+/// Infers a tight structural type for `o`. ⊥ infers [`Type::Any`] (no
+/// information); ⊤ infers [`Type::Any`] (the only type admitting it).
+pub fn infer_type(o: &Object) -> Type {
+    match o {
+        Object::Bottom | Object::Top => Type::Any,
+        Object::Atom(a) => atom_kind(a),
+        Object::Tuple(t) => Type::closed_tuple(
+            t.entries()
+                .iter()
+                .map(|(a, v)| (*a, infer_type(v))),
+        ),
+        Object::Set(s) => Type::set(Type::union(s.iter().map(infer_type))),
+    }
+}
+
+/// Infers with singleton (constant) types at the atoms — the most precise
+/// type expressible.
+pub fn infer_exact(o: &Object) -> Type {
+    match o {
+        Object::Bottom | Object::Top => Type::Any,
+        Object::Atom(a) => Type::Constant(a.clone()),
+        Object::Tuple(t) => Type::closed_tuple(
+            t.entries()
+                .iter()
+                .map(|(a, v)| (*a, infer_exact(v))),
+        ),
+        Object::Set(s) => Type::set(Type::union(s.iter().map(infer_exact))),
+    }
+}
+
+/// The kind type of an atom.
+pub fn atom_kind(a: &Atom) -> Type {
+    match a {
+        Atom::Bool(_) => Type::Bool,
+        Atom::Int(_) => Type::Int,
+        Atom::Float(_) => Type::Float,
+        Atom::Str(_) => Type::Str,
+    }
+}
+
+/// Infers a *common* type for several objects (the union of their
+/// inferred types). Errors on an empty input — there is no least
+/// informative common type to pick that would still be useful.
+pub fn infer_common<'a, I>(objects: I) -> Result<Type, TypeError>
+where
+    I: IntoIterator<Item = &'a Object>,
+{
+    let mut members: Vec<Type> = Vec::new();
+    for o in objects {
+        members.push(infer_type(o));
+    }
+    if members.is_empty() {
+        return Err(TypeError::NothingToInfer);
+    }
+    Ok(Type::union(members))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::conforms;
+    use co_object::obj;
+
+    #[test]
+    fn atoms_infer_their_kind() {
+        assert_eq!(infer_type(&obj!(5)), Type::Int);
+        assert_eq!(infer_type(&obj!(x)), Type::Str);
+        assert_eq!(infer_type(&obj!(2.5)), Type::Float);
+        assert_eq!(infer_type(&obj!(true)), Type::Bool);
+    }
+
+    #[test]
+    fn tuples_infer_closed_types() {
+        let t = infer_type(&obj!([name: peter, age: 25]));
+        assert_eq!(
+            t,
+            Type::closed_tuple([("name", Type::Str), ("age", Type::Int)])
+        );
+    }
+
+    #[test]
+    fn homogeneous_sets_infer_simple_element_types() {
+        assert_eq!(infer_type(&obj!({1, 2, 3})), Type::set(Type::Int));
+        assert_eq!(infer_type(&obj!({})), Type::set(crate::ty::never()));
+    }
+
+    #[test]
+    fn heterogeneous_sets_infer_union_element_types() {
+        // The paper's schema-free generality: set elements of different
+        // types.
+        let t = infer_type(&obj!({1, two, [a: 3]}));
+        let Type::Set(elem) = t else {
+            panic!("expected a set type");
+        };
+        let Type::Union(members) = *elem else {
+            panic!("expected a union element type, got {elem}");
+        };
+        assert_eq!(members.len(), 3);
+    }
+
+    #[test]
+    fn inference_round_trips_through_conformance() {
+        for o in [
+            obj!(5),
+            obj!({1, two}),
+            obj!([name: [first: john], children: {mary}, age: 25]),
+            obj!({[a: 1], [a: 1, b: 2]}),
+            Object::Bottom,
+            Object::Top,
+            obj!({}),
+            obj!([]),
+        ] {
+            let t = infer_type(&o);
+            assert!(conforms(&o, &t), "{o} does not conform to inferred {t}");
+            let e = infer_exact(&o);
+            assert!(conforms(&o, &e), "{o} does not conform to exact {e}");
+        }
+    }
+
+    #[test]
+    fn exact_inference_pins_constants() {
+        let t = infer_exact(&obj!([a: 1]));
+        assert!(conforms(&obj!([a: 1]), &t));
+        assert!(!conforms(&obj!([a: 2]), &t));
+        // Kind inference is looser.
+        let k = infer_type(&obj!([a: 1]));
+        assert!(conforms(&obj!([a: 2]), &k));
+    }
+
+    #[test]
+    fn common_type_inference() {
+        let objs = [obj!(1), obj!(2), obj!(x)];
+        let t = infer_common(objs.iter()).unwrap();
+        assert_eq!(t, Type::union([Type::Int, Type::Str]));
+        assert!(infer_common([] as [&Object; 0]).is_err());
+    }
+}

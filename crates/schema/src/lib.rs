@@ -1,0 +1,111 @@
+//! # co-schema — typing for complex objects
+//!
+//! The paper's §5 names "how one can introduce typing (schema) in our
+//! model" as an open issue. This crate implements a structural type system
+//! over the schemaless object space:
+//!
+//! - [`Type`] — atom kinds, singleton constants, open/closed tuple types,
+//!   set types, unions, `any`, and a `required` wrapper controlling nulls;
+//! - [`conforms`]/[`check`] — conformance with path-precise errors;
+//! - [`infer_type`]/[`infer_exact`] — minimal-type inference, producing
+//!   union element types for the paper's heterogeneous sets;
+//! - [`subtype`] — sound structural subtyping mirroring the spirit of the
+//!   sub-object order.
+//!
+//! ```
+//! use co_object::obj;
+//! use co_schema::{conforms, infer_type, subtype, Type};
+//!
+//! let nested = obj!({[name: peter, children: {max, susan}]});
+//! let t = infer_type(&nested);
+//! assert!(conforms(&nested, &t));
+//! assert!(subtype(&t, &Type::set(Type::Any)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod check;
+mod error;
+mod infer;
+mod parse;
+mod subtype;
+pub mod ty;
+
+pub use check::{check, conforms};
+pub use error::TypeError;
+pub use infer::{infer_common, infer_exact, infer_type};
+pub use parse::parse_type;
+pub use subtype::subtype;
+pub use ty::Type;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use co_object::random::{Generator, Profile};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        /// Every object conforms to its inferred type (both precisions).
+        #[test]
+        fn inference_is_sound(seed in any::<u64>()) {
+            let mut g = Generator::new(seed, Profile::default());
+            for o in g.objects(4) {
+                let t = infer_type(&o);
+                prop_assert!(conforms(&o, &t), "{} !: {}", o, t);
+                let e = infer_exact(&o);
+                prop_assert!(conforms(&o, &e), "{} !: {}", o, e);
+            }
+        }
+
+        /// Subtyping is sound w.r.t. conformance: if the inferred exact
+        /// type of `o` is a subtype of `t`, then `o` conforms to `t` —
+        /// exercised with t drawn from inferred types of other objects.
+        #[test]
+        fn subtyping_is_sound(seed in any::<u64>(), seed2 in any::<u64>()) {
+            let mut g1 = Generator::new(seed, Profile::small());
+            let mut g2 = Generator::new(seed2, Profile::small());
+            let o = g1.object();
+            let t_o = infer_exact(&o);
+            for other in g2.objects(4) {
+                let t = infer_type(&other);
+                if subtype(&t_o, &t) {
+                    prop_assert!(
+                        conforms(&o, &t),
+                        "unsound: {} <: {} but {} does not conform", t_o, t, o
+                    );
+                }
+            }
+        }
+
+        /// Inferred exact types are subtypes of inferred kind types.
+        #[test]
+        fn exact_below_kind(seed in any::<u64>()) {
+            let mut g = Generator::new(seed, Profile::small());
+            let o = g.object();
+            prop_assert!(subtype(&infer_exact(&o), &infer_type(&o)));
+        }
+
+        /// Subtyping is reflexive and transitive on inferred types.
+        #[test]
+        fn subtype_preorder(seed in any::<u64>()) {
+            let mut g = Generator::new(seed, Profile::small());
+            let objs = g.objects(3);
+            let ts: Vec<Type> = objs.iter().map(infer_type).collect();
+            for t in &ts {
+                prop_assert!(subtype(t, t));
+            }
+            for a in &ts {
+                for b in &ts {
+                    for c in &ts {
+                        if subtype(a, b) && subtype(b, c) {
+                            prop_assert!(subtype(a, c));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! A concrete syntax for types, inverse to `Type`'s `Display`:
+//!
+//! ```text
+//! any  never  bool  int  float  string        % primitives
+//! =5  =john  ="New York"  =true               % singleton (constant) types
+//! [name: string, age: int!]                   % closed tuple (age required)
+//! [name: string, ...]                         % open tuple
+//! {[name: string, children: {string}]}        % set of tuples
+//! (int | string)                              % union
+//! ```
+//!
+//! `parse_type(&t.to_string()) == Ok(t)` for every simplified type `t`
+//! (checked by tests).
+
+use crate::{Type, TypeError};
+use co_object::Atom;
+
+/// Parses a type expression.
+pub fn parse_type(src: &str) -> Result<Type, TypeError> {
+    let mut p = TypeParser {
+        chars: src.chars().collect(),
+        pos: 0,
+        src,
+    };
+    let t = p.ty()?;
+    p.skip_ws();
+    if p.pos < p.chars.len() {
+        return Err(p.error(format!(
+            "unexpected `{}` after the end of the type",
+            p.chars[p.pos]
+        )));
+    }
+    Ok(t.simplify())
+}
+
+impl std::str::FromStr for Type {
+    type Err = TypeError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_type(s)
+    }
+}
+
+struct TypeParser<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    src: &'s str,
+}
+
+impl<'s> TypeParser<'s> {
+    fn error(&self, message: String) -> TypeError {
+        TypeError::Mismatch {
+            path: format!("<type syntax at offset {}>", self.pos),
+            expected: "a type expression".to_string(),
+            found: format!("{message} in `{}`", self.src),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), TypeError> {
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{c}`")))
+        }
+    }
+
+    fn word(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .chars
+            .get(self.pos)
+            .map(|c| c.is_alphanumeric() || *c == '_')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    /// A full type: a primary optionally followed by `!` markers.
+    fn ty(&mut self) -> Result<Type, TypeError> {
+        let mut t = self.primary()?;
+        while self.peek() == Some('!') {
+            self.bump();
+            t = Type::required(t);
+        }
+        Ok(t)
+    }
+
+    fn primary(&mut self) -> Result<Type, TypeError> {
+        match self.peek() {
+            Some('[') => self.tuple(),
+            Some('{') => {
+                self.bump();
+                let elem = self.ty()?;
+                self.expect('}')?;
+                Ok(Type::set(elem))
+            }
+            Some('(') => {
+                self.bump();
+                let mut members = vec![self.ty()?];
+                while self.peek() == Some('|') {
+                    self.bump();
+                    members.push(self.ty()?);
+                }
+                self.expect(')')?;
+                Ok(Type::Union(members))
+            }
+            Some('=') => {
+                self.bump();
+                Ok(Type::Constant(self.atom()?))
+            }
+            Some(c) if c.is_alphabetic() => {
+                let w = self.word();
+                match w.as_str() {
+                    "any" => Ok(Type::Any),
+                    "never" => Ok(crate::ty::never()),
+                    "bool" => Ok(Type::Bool),
+                    "int" => Ok(Type::Int),
+                    "float" => Ok(Type::Float),
+                    "string" => Ok(Type::Str),
+                    other => Err(self.error(format!("unknown type name `{other}`"))),
+                }
+            }
+            other => Err(self.error(format!("unexpected {other:?}"))),
+        }
+    }
+
+    fn tuple(&mut self) -> Result<Type, TypeError> {
+        self.expect('[')?;
+        let mut entries: Vec<(String, Type)> = Vec::new();
+        let mut open = false;
+        loop {
+            match self.peek() {
+                Some(']') => {
+                    self.bump();
+                    break;
+                }
+                Some('.') => {
+                    // `...` marks an open tuple; must be last.
+                    for _ in 0..3 {
+                        self.expect('.')?;
+                    }
+                    open = true;
+                    self.expect(']')?;
+                    break;
+                }
+                Some(_) => {
+                    let name = self.attr_name()?;
+                    self.expect(':')?;
+                    let t = self.ty()?;
+                    entries.push((name, t));
+                    if self.peek() == Some(',') {
+                        self.bump();
+                    }
+                }
+                None => return Err(self.error("unterminated tuple type".into())),
+            }
+        }
+        let typed = entries.into_iter().map(|(n, t)| (n.as_str().into(), t));
+        let typed: Vec<(co_object::Attr, Type)> = typed.collect();
+        Ok(if open {
+            Type::tuple(typed)
+        } else {
+            Type::closed_tuple(typed)
+        })
+    }
+
+    fn attr_name(&mut self) -> Result<String, TypeError> {
+        match self.peek() {
+            Some('"') => self.quoted(),
+            Some(c) if c.is_alphabetic() || c == '_' => Ok(self.word()),
+            other => Err(self.error(format!("expected an attribute name, found {other:?}"))),
+        }
+    }
+
+    fn quoted(&mut self) -> Result<String, TypeError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(c) => return Err(self.error(format!("unknown escape `\\{c}`"))),
+                    None => return Err(self.error("unterminated string".into())),
+                },
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, TypeError> {
+        match self.peek() {
+            Some('"') => Ok(Atom::from(self.quoted()?)),
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                self.skip_ws();
+                let start = self.pos;
+                if self.chars.get(self.pos) == Some(&'-') {
+                    self.pos += 1;
+                }
+                let mut is_float = false;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .map(|c| c.is_ascii_digit() || *c == '.' || *c == 'e' || *c == '-')
+                    .unwrap_or(false)
+                {
+                    if matches!(self.chars[self.pos], '.' | 'e') {
+                        is_float = true;
+                    }
+                    self.pos += 1;
+                }
+                let text: String = self.chars[start..self.pos].iter().collect();
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Atom::float)
+                        .map_err(|e| self.error(format!("bad float `{text}`: {e}")))
+                } else {
+                    text.parse::<i64>()
+                        .map(Atom::Int)
+                        .map_err(|e| self.error(format!("bad integer `{text}`: {e}")))
+                }
+            }
+            Some(c) if c.is_alphabetic() => {
+                let w = self.word();
+                match w.as_str() {
+                    "true" => Ok(Atom::Bool(true)),
+                    "false" => Ok(Atom::Bool(false)),
+                    other => Ok(Atom::str(other)),
+                }
+            }
+            other => Err(self.error(format!("expected an atom, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::conforms;
+    use crate::ty::never;
+    use co_object::obj;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(parse_type("any").unwrap(), Type::Any);
+        assert_eq!(parse_type("never").unwrap(), never());
+        assert_eq!(parse_type("int").unwrap(), Type::Int);
+        assert_eq!(parse_type(" string ").unwrap(), Type::Str);
+        assert_eq!(parse_type("bool").unwrap(), Type::Bool);
+        assert_eq!(parse_type("float").unwrap(), Type::Float);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(parse_type("=5").unwrap(), Type::Constant(Atom::Int(5)));
+        assert_eq!(parse_type("=-3").unwrap(), Type::Constant(Atom::Int(-3)));
+        assert_eq!(parse_type("=2.5").unwrap(), Type::Constant(Atom::float(2.5)));
+        assert_eq!(parse_type("=john").unwrap(), Type::Constant(Atom::str("john")));
+        assert_eq!(parse_type("=true").unwrap(), Type::Constant(Atom::Bool(true)));
+        assert_eq!(
+            parse_type("=\"New York\"").unwrap(),
+            Type::Constant(Atom::str("New York"))
+        );
+    }
+
+    #[test]
+    fn composites() {
+        let t = parse_type("{[name: string, age: int!, ...]}").unwrap();
+        assert!(conforms(&obj!({[name: ada, age: 36, extra: 1]}), &t));
+        assert!(!conforms(&obj!({[name: ada]}), &t)); // age required
+        let u = parse_type("(int | string)").unwrap();
+        assert_eq!(u, Type::union([Type::Int, Type::Str]));
+        let closed = parse_type("[a: int]").unwrap();
+        assert!(!conforms(&obj!([a: 1, b: 2]), &closed));
+        assert!(conforms(&obj!([]), &parse_type("[]").unwrap()));
+        assert!(conforms(&obj!([anything: 1]), &parse_type("[...]").unwrap()));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for src in [
+            "any",
+            "never",
+            "int",
+            "=5",
+            "=john",
+            "{string}",
+            "[age: int, name: string!]",
+            "[name: string, ...]",
+            "(int | string)",
+            "{[children: {string}, name: string]}",
+            "{(int | {int})}",
+        ] {
+            let t = parse_type(src).unwrap();
+            let printed = t.to_string();
+            assert_eq!(
+                parse_type(&printed).unwrap(),
+                t,
+                "round trip failed: {src} -> {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn quoted_attribute_names() {
+        let t = parse_type("[\"weird attr\": int]").unwrap();
+        let o = co_parser_free_tuple();
+        assert!(conforms(&o, &t));
+        fn co_parser_free_tuple() -> co_object::Object {
+            co_object::Object::tuple([("weird attr", co_object::Object::int(1))])
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_type("").is_err());
+        assert!(parse_type("intt").is_err());
+        assert!(parse_type("[a: int").is_err());
+        assert!(parse_type("{int} trailing").is_err());
+        assert!(parse_type("(int |)").is_err());
+        assert!(parse_type("=").is_err());
+        assert!(parse_type("[a int]").is_err());
+    }
+
+    #[test]
+    fn from_str_works() {
+        let t: Type = "{int}".parse().unwrap();
+        assert_eq!(t, Type::set(Type::Int));
+    }
+}

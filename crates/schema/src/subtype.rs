@@ -1,0 +1,163 @@
+//! Structural subtyping.
+//!
+//! `t1 <: t2` is a *sound* syntactic approximation of semantic inclusion:
+//! whenever `subtype(t1, t2)` holds, every object conforming to `t1`
+//! conforms to `t2` (checked property-style in `lib.rs`). It is not
+//! complete — e.g. deeply nested union distributions are not explored —
+//! which is the standard trade-off for a decidable structural system.
+
+use crate::infer::atom_kind;
+use crate::Type;
+
+/// Is `sub` a subtype of `sup`? (Sound, not complete; see module docs.)
+pub fn subtype(sub: &Type, sup: &Type) -> bool {
+    match (sub, sup) {
+        // Required excludes ⊥, which every other type (even the empty
+        // union) admits — so only a Required subtype can sit below a
+        // Required supertype. Check this before the general arms.
+        (Type::Required(a), Type::Required(b)) => subtype(a, b),
+        (_, Type::Required(_)) => false,
+        (Type::Required(a), _) => subtype(a, sup),
+        (_, Type::Any) => true,
+        // `never` (the empty union) is below everything else.
+        (Type::Union(ms), _) if ms.is_empty() => true,
+        // Union on the left: every member must fit.
+        (Type::Union(ms), _) => ms.iter().all(|m| subtype(m, sup)),
+        // Union on the right: some member must admit `sub` wholly.
+        (_, Type::Union(ms)) => ms.iter().any(|m| subtype(sub, m)),
+        (Type::Bool, Type::Bool)
+        | (Type::Int, Type::Int)
+        | (Type::Float, Type::Float)
+        | (Type::Str, Type::Str) => true,
+        (Type::Constant(a), Type::Constant(b)) => a == b,
+        (Type::Constant(a), kind) => &atom_kind(a) == kind,
+        (Type::Set(a), Type::Set(b)) => subtype(a, b),
+        (
+            Type::Tuple {
+                entries: se,
+                open: so,
+            },
+            Type::Tuple {
+                entries: pe,
+                open: po,
+            },
+        ) => {
+            // Every attribute typed by the supertype must be at least as
+            // tightly typed by the subtype. An open subtype can smuggle in
+            // arbitrary extra attributes, so a closed supertype requires a
+            // closed subtype whose attrs all appear in the supertype.
+            if !po {
+                if *so {
+                    return false;
+                }
+                for (a, _) in se {
+                    if pe.binary_search_by_key(a, |(k, _)| *k).is_err() {
+                        return false;
+                    }
+                }
+            }
+            for (a, pt) in pe {
+                let st = match se.binary_search_by_key(a, |(k, _)| *k) {
+                    Ok(i) => &se[i].1,
+                    // Unlisted in the subtype: objects may carry anything
+                    // there (open) or nothing (closed ⇒ value is ⊥, which
+                    // conforms to any non-required type).
+                    Err(_) => {
+                        if *so {
+                            &Type::Any
+                        } else {
+                            // ⊥ only: fine unless the supertype requires
+                            // presence.
+                            if matches!(pt, Type::Required(_)) {
+                                return false;
+                            }
+                            continue;
+                        }
+                    }
+                };
+                if !subtype(st, pt) {
+                    return false;
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::never;
+    use co_object::Atom;
+
+    #[test]
+    fn any_is_top_never_is_bottom() {
+        for t in [Type::Int, Type::set(Type::Str), Type::tuple([("a", Type::Int)])] {
+            assert!(subtype(&t, &Type::Any));
+            assert!(subtype(&never(), &t));
+            assert!(subtype(&t, &t), "reflexivity for {t}");
+        }
+        assert!(!subtype(&Type::Any, &Type::Int));
+    }
+
+    #[test]
+    fn constants_are_below_their_kind() {
+        assert!(subtype(&Type::Constant(Atom::int(5)), &Type::Int));
+        assert!(!subtype(&Type::Constant(Atom::int(5)), &Type::Str));
+        assert!(!subtype(&Type::Int, &Type::Constant(Atom::int(5))));
+    }
+
+    #[test]
+    fn unions() {
+        let int_or_str = Type::union([Type::Int, Type::Str]);
+        assert!(subtype(&Type::Int, &int_or_str));
+        assert!(subtype(&int_or_str, &Type::union([Type::Int, Type::Str, Type::Bool])));
+        assert!(!subtype(&int_or_str, &Type::Int));
+    }
+
+    #[test]
+    fn sets_are_covariant() {
+        assert!(subtype(&Type::set(Type::Int), &Type::set(Type::union([Type::Int, Type::Str]))));
+        assert!(!subtype(&Type::set(Type::Str), &Type::set(Type::Int)));
+    }
+
+    #[test]
+    fn tuple_width_and_depth() {
+        let narrow = Type::tuple([("a", Type::Int)]);
+        let wide = Type::tuple([("a", Type::Int), ("b", Type::Str)]);
+        // More constrained (wide) is a subtype of less constrained (narrow)
+        // for open tuples; not vice versa (narrow's `b` is any, not str).
+        assert!(subtype(&wide, &narrow));
+        assert!(!subtype(&narrow, &wide));
+        // Depth: tighter attribute types.
+        let exact = Type::tuple([("a", Type::Constant(Atom::int(1)))]);
+        assert!(subtype(&exact, &narrow));
+        assert!(!subtype(&narrow, &exact));
+    }
+
+    #[test]
+    fn closed_supertype_needs_closed_subtype() {
+        let closed = Type::closed_tuple([("a", Type::Int)]);
+        let open = Type::tuple([("a", Type::Int)]);
+        assert!(subtype(&closed, &open));
+        assert!(!subtype(&open, &closed));
+        assert!(subtype(&closed, &closed));
+        // Closed subtype with fewer attrs is fine (⊥ conforms).
+        let empty_closed = Type::closed_tuple([] as [(&str, Type); 0]);
+        assert!(subtype(&empty_closed, &closed));
+    }
+
+    #[test]
+    fn required_is_stricter() {
+        let req = Type::required(Type::Int);
+        assert!(subtype(&req, &Type::Int));
+        assert!(!subtype(&Type::Int, &req));
+        assert!(subtype(&req, &req));
+        // A tuple requiring `a` is a subtype of one merely typing it.
+        let with_req = Type::tuple([("a", req.clone())]);
+        let with_opt = Type::tuple([("a", Type::Int)]);
+        assert!(subtype(&with_req, &with_opt));
+        assert!(!subtype(&with_opt, &with_req));
+    }
+}

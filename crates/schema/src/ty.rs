@@ -1,0 +1,285 @@
+//! The type language for complex objects.
+//!
+//! The paper closes with "we would like to investigate how one can
+//! introduce typing (schema) in our model" (§5). This module implements a
+//! structural type system in the spirit the paper hints at (and that Kuper
+//! & Vardi's logical data model formalizes): types mirror the object
+//! constructors — atom kinds, tuples, sets — plus singleton types, `any`,
+//! and unions.
+//!
+//! Design decisions (documented because the paper leaves them open):
+//!
+//! - `⊥` conforms to **every** type: it is the "undefined" object, the
+//!   paper's null, and a null should be admissible anywhere a value is.
+//! - `⊤` conforms only to [`Type::Any`]: it is the *inconsistent* object;
+//!   no meaningful schema should accept it.
+//! - Tuple types are **open**: an object tuple may have attributes beyond
+//!   those typed (matching the paper's unconstrained object space, where
+//!   `[a: 1] ≤ [a: 1, b: 2]`). A closed interpretation is available via
+//!   [`Type::closed_tuple`].
+
+use co_object::{Atom, Attr};
+use std::fmt;
+
+/// A structural type for complex objects.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Type {
+    /// Every object (including ⊤).
+    Any,
+    /// Any boolean atom.
+    Bool,
+    /// Any integer atom.
+    Int,
+    /// Any float atom.
+    Float,
+    /// Any string atom.
+    Str,
+    /// Exactly this atom (a singleton type).
+    Constant(Atom),
+    /// A tuple whose listed attributes conform to the given types.
+    /// When `open`, extra attributes are allowed; when closed, they are
+    /// not. Listed attributes may be absent on the object (they read as ⊥,
+    /// which conforms to everything) — use [`Type::required`] wrappers to
+    /// forbid that.
+    Tuple {
+        /// Attribute types, sorted by attribute.
+        entries: Vec<(Attr, Type)>,
+        /// Whether unlisted attributes are permitted.
+        open: bool,
+    },
+    /// A set whose elements all conform to the element type.
+    Set(Box<Type>),
+    /// Anything conforming to at least one member.
+    Union(Vec<Type>),
+    /// Like the wrapped type but excludes ⊥ — "this value must be
+    /// present". Only meaningful inside tuple entries (a bare `required`
+    /// simply rejects ⊥).
+    Required(Box<Type>),
+}
+
+impl Type {
+    /// An open tuple type (see [`Type::Tuple`]).
+    pub fn tuple<I, A>(entries: I) -> Type
+    where
+        I: IntoIterator<Item = (A, Type)>,
+        A: Into<Attr>,
+    {
+        Self::tuple_impl(entries, true)
+    }
+
+    /// A closed tuple type: unlisted attributes are rejected.
+    pub fn closed_tuple<I, A>(entries: I) -> Type
+    where
+        I: IntoIterator<Item = (A, Type)>,
+        A: Into<Attr>,
+    {
+        Self::tuple_impl(entries, false)
+    }
+
+    fn tuple_impl<I, A>(entries: I, open: bool) -> Type
+    where
+        I: IntoIterator<Item = (A, Type)>,
+        A: Into<Attr>,
+    {
+        let mut entries: Vec<(Attr, Type)> =
+            entries.into_iter().map(|(a, t)| (a.into(), t)).collect();
+        entries.sort_by_key(|(a, _)| *a);
+        entries.dedup_by(|(a, _), (b, _)| a == b);
+        Type::Tuple { entries, open }
+    }
+
+    /// A set type.
+    pub fn set(elem: Type) -> Type {
+        Type::Set(Box::new(elem))
+    }
+
+    /// A union type, flattened and deduplicated (see [`Type::simplify`]).
+    pub fn union<I>(members: I) -> Type
+    where
+        I: IntoIterator<Item = Type>,
+    {
+        Type::Union(members.into_iter().collect()).simplify()
+    }
+
+    /// Marks a type as required (⊥ excluded).
+    pub fn required(t: Type) -> Type {
+        Type::Required(Box::new(t))
+    }
+
+    /// The type of the given attribute under a tuple type (Any when
+    /// unlisted and open; `None` when unlisted and closed).
+    pub fn attr_type(&self, a: Attr) -> Option<&Type> {
+        match self {
+            Type::Tuple { entries, open } => {
+                match entries.binary_search_by_key(&a, |(k, _)| *k) {
+                    Ok(i) => Some(&entries[i].1),
+                    Err(_) => {
+                        if *open {
+                            Some(&Type::Any)
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Flattens nested unions, deduplicates members, absorbs `Any`, and
+    /// unwraps singleton unions.
+    pub fn simplify(self) -> Type {
+        match self {
+            Type::Union(members) => {
+                let mut flat: Vec<Type> = Vec::new();
+                let mut stack: Vec<Type> = members;
+                stack.reverse();
+                while let Some(m) = stack.pop() {
+                    match m.simplify() {
+                        Type::Union(inner) => {
+                            for t in inner.into_iter().rev() {
+                                stack.push(t);
+                            }
+                        }
+                        Type::Any => return Type::Any,
+                        t => {
+                            if !flat.contains(&t) {
+                                flat.push(t);
+                            }
+                        }
+                    }
+                }
+                match flat.len() {
+                    0 => Type::Union(Vec::new()),
+                    1 => flat.pop().expect("len checked"),
+                    _ => Type::Union(flat),
+                }
+            }
+            Type::Set(e) => Type::Set(Box::new(e.simplify())),
+            Type::Tuple { entries, open } => Type::Tuple {
+                entries: entries
+                    .into_iter()
+                    .map(|(a, t)| (a, t.simplify()))
+                    .collect(),
+                open,
+            },
+            Type::Required(t) => Type::Required(Box::new(t.simplify())),
+            t => t,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Any => write!(f, "any"),
+            Type::Bool => write!(f, "bool"),
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Str => write!(f, "string"),
+            Type::Constant(a) => write!(f, "={a}"),
+            Type::Tuple { entries, open } => {
+                write!(f, "[")?;
+                let mut by_name: Vec<&(Attr, Type)> = entries.iter().collect();
+                by_name.sort_by_key(|(a, _)| a.name());
+                for (i, (a, t)) in by_name.into_iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}: {t}", co_object::display::attr_name(*a))?;
+                }
+                if *open {
+                    if !entries.is_empty() {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "...")?;
+                }
+                write!(f, "]")
+            }
+            Type::Set(e) => write!(f, "{{{e}}}"),
+            Type::Union(members) => {
+                if members.is_empty() {
+                    return write!(f, "never");
+                }
+                write!(f, "(")?;
+                for (i, m) in members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{m}")?;
+                }
+                write!(f, ")")
+            }
+            Type::Required(t) => write!(f, "{t}!"),
+        }
+    }
+}
+
+/// The empty union — conformed to only by ⊥.
+pub fn never() -> Type {
+    Type::Union(Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_simplification() {
+        let t = Type::union([
+            Type::Int,
+            Type::union([Type::Str, Type::Int]),
+            Type::Str,
+        ]);
+        assert_eq!(t, Type::Union(vec![Type::Int, Type::Str]));
+        assert_eq!(Type::union([Type::Int]), Type::Int);
+        assert_eq!(Type::union([Type::Int, Type::Any]), Type::Any);
+        assert_eq!(Type::union([] as [Type; 0]), never());
+    }
+
+    #[test]
+    fn tuple_attr_lookup() {
+        let t = Type::tuple([("name", Type::Str), ("age", Type::Int)]);
+        assert_eq!(t.attr_type(Attr::new("age")), Some(&Type::Int));
+        assert_eq!(t.attr_type(Attr::new("other")), Some(&Type::Any));
+        let c = Type::closed_tuple([("name", Type::Str)]);
+        assert_eq!(c.attr_type(Attr::new("other")), None);
+        assert_eq!(Type::Int.attr_type(Attr::new("x")), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::set(Type::Str).to_string(), "{string}");
+        assert_eq!(
+            Type::closed_tuple([("name", Type::Str)]).to_string(),
+            "[name: string]"
+        );
+        assert_eq!(
+            Type::tuple([("name", Type::Str)]).to_string(),
+            "[name: string, ...]"
+        );
+        assert_eq!(
+            Type::union([Type::Int, Type::Str]).to_string(),
+            "(int | string)"
+        );
+        assert_eq!(never().to_string(), "never");
+        assert_eq!(
+            Type::required(Type::Int).to_string(),
+            "int!"
+        );
+        assert_eq!(
+            Type::Constant(co_object::Atom::int(5)).to_string(),
+            "=5"
+        );
+    }
+
+    #[test]
+    fn nested_simplification() {
+        let t = Type::Set(Box::new(Type::Union(vec![
+            Type::Union(vec![Type::Int]),
+        ])))
+        .simplify();
+        assert_eq!(t, Type::set(Type::Int));
+    }
+}

@@ -1,0 +1,85 @@
+//! Deductive genealogy at scale — paper Example 4.5, grown into the kind of
+//! workload the engine exists for: recursive reachability over a large
+//! nested database, with strategy and index ablation.
+//!
+//! Run with `cargo run --release --example genealogy -- [people]`.
+
+use complex_objects::object::{measure, Attr, Object};
+use complex_objects::prelude::*;
+use std::time::Instant;
+
+/// Builds a random family forest of `n` people: person `i` is a child of
+/// person `i / fanout` — a tree of the given fanout, so the recursion depth
+/// is logarithmic and every iteration discovers a full generation.
+fn family_forest(n: usize, fanout: usize) -> Object {
+    let family = Object::set((0..n).map(|parent| {
+        let children = Object::set(
+            (1..=fanout)
+                .map(|k| parent * fanout + k)
+                .filter(|c| *c < n)
+                .map(|c| Object::tuple([(Attr::new("name"), Object::str(format!("p{c}")))])),
+        );
+        Object::tuple([
+            (Attr::new("name"), Object::str(format!("p{parent}"))),
+            (Attr::new("children"), children),
+        ])
+    }));
+    Object::tuple([(Attr::new("family"), family)])
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let fanout = 3;
+    let db = family_forest(n, fanout);
+    println!(
+        "family forest: {n} people, fanout {fanout}, database size {} nodes\n",
+        measure::size(&db)
+    );
+
+    let program = parse_program(
+        "[doa: {p0}].
+         [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+    )
+    .expect("program parses");
+
+    let mut results: Vec<(String, usize, co_engine::EvalStats)> = Vec::new();
+    for (label, strategy, indexes) in [
+        ("naive, scan      ", Strategy::Naive, false),
+        ("naive, indexed   ", Strategy::Naive, true),
+        ("semi-naive, scan ", Strategy::SemiNaive, false),
+        ("semi-naive, index", Strategy::SemiNaive, true),
+    ] {
+        let engine = Engine::new(program.clone())
+            .strategy(strategy)
+            .indexes(indexes)
+            .guard(Guard::unlimited());
+        let start = Instant::now();
+        let out = engine.run(&db).expect("descendants closure converges");
+        let elapsed = start.elapsed();
+        let descendants = out.database.dot("doa").as_set().expect("a set").len();
+        println!(
+            "{label}  {elapsed:>10.2?}   iterations={:<3} candidates={:<10} descendants={descendants}",
+            out.stats.iterations, out.stats.matching.candidates_tried
+        );
+        results.push((label.trim().to_string(), descendants, out.stats));
+    }
+
+    // All four configurations must agree — the ablation is performance-only.
+    let counts: Vec<usize> = results.iter().map(|(_, d, _)| *d).collect();
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "configs disagree!");
+    println!(
+        "\nall configurations found the same {} descendants of p0 ✓",
+        counts[0]
+    );
+    println!(
+        "semi-naive re-derived {:.1}× fewer substitutions than naive; \
+         indexes cut candidate scans {:.1}×",
+        results[0].2.matching.matches as f64
+            / results[2].2.matching.matches.max(1) as f64,
+        results[0].2.matching.candidates_tried as f64
+            / results[1].2.matching.candidates_tried.max(1) as f64,
+    );
+}

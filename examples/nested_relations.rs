@@ -1,0 +1,87 @@
+//! Nested relations, null values, and NF² restructuring — the §1
+//! motivations of the paper ("CAD, office automation, document retrieval…
+//! arbitrary hierarchical objects") on a document-management database.
+//!
+//! Run with `cargo run --example nested_relations`.
+
+use complex_objects::prelude::*;
+use complex_objects::object::display;
+use co_relational::nf2::{nest, unnest};
+use co_schema::{check, infer_type, Type};
+
+fn main() {
+    // A hierarchical document store: one object, no schema, nulls welcome.
+    let db = parse_object(
+        "[docs: {[title: \"Quarterly Report\",
+                  authors: {alice, bob},
+                  sections: {[heading: \"Intro\",   pages: 2],
+                             [heading: \"Numbers\", pages: 7]}],
+                 [title: \"Design Memo\",
+                  authors: {carol},
+                  sections: {[heading: \"Sketch\", pages: 3]}],
+                 [title: \"Untitled Draft\",
+                  authors: {}]}]",
+    )
+    .expect("valid object");
+    println!("document store:\n{}\n", display::pretty(&db, 68));
+
+    // ------------------------------------------------------------------
+    // 1. Calculus queries straight over the nested structure — no joins,
+    //    no decomposition, the pain points §1 lists for flat relations.
+    // ------------------------------------------------------------------
+    // Who wrote something with a section of ≥7 pages? (Selection deep in
+    // the nesting, projecting an author set member.)
+    let f = parse_formula(
+        "[docs: {[title: T, authors: {A}, sections: {[pages: 7]}]}]",
+    )
+    .unwrap();
+    println!(
+        "docs with a 7-page section (projected):\n  {}\n",
+        interpret(&f, &db, MatchPolicy::Strict)
+    );
+
+    // Rule: build a flat author → title index from the nested store.
+    let index_rule = parse_rule(
+        "[by_author: {[author: A, title: T]}] :- [docs: {[title: T, authors: {A}]}].",
+    )
+    .unwrap();
+    let index = apply_rule(&index_rule, &db, MatchPolicy::Strict);
+    println!("author index (derived by one rule):\n{}\n", display::pretty(&index, 68));
+
+    // The untitled draft has no authors: it simply contributes nothing —
+    // the calculus treats missing data the way §1 wants.
+    assert!(!index.to_string().contains("Untitled"));
+
+    // ------------------------------------------------------------------
+    // 2. NF² restructuring: unnest and nest (Jaeschke–Schek, cited in §1).
+    // ------------------------------------------------------------------
+    let docs = db.dot("docs");
+    let flat_authors = unnest(docs, "authors").expect("authors is set-valued");
+    println!(
+        "after µ_authors (one row per author):\n{}\n",
+        display::pretty(&flat_authors, 68)
+    );
+    let regrouped = nest(&flat_authors, "authors").expect("regroup");
+    // Round trip is lossy exactly on the empty author set — the classic
+    // NF² asymmetry.
+    assert_ne!(&regrouped, docs);
+    println!("ν_authors(µ_authors(docs)) lost the draft with no authors ✓\n");
+
+    // ------------------------------------------------------------------
+    // 3. Typing the nested store (§5 future work, implemented).
+    // ------------------------------------------------------------------
+    let doc_type = Type::set(Type::tuple([
+        ("title", Type::required(Type::Str)),
+        ("authors", Type::set(Type::Str)),
+        (
+            "sections",
+            Type::set(Type::tuple([
+                ("heading", Type::Str),
+                ("pages", Type::Int),
+            ])),
+        ),
+    ]));
+    check(docs, &doc_type).expect("store conforms to the document type");
+    println!("store conforms to:\n  {doc_type}");
+    println!("\ninferred type:\n  {}", infer_type(docs));
+}

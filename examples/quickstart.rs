@@ -1,0 +1,88 @@
+//! Quickstart: the complex-object model, the lattice, and the calculus in
+//! five minutes.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use complex_objects::object::lattice::{intersect, union};
+use complex_objects::object::order::le;
+use complex_objects::object::{display, obj};
+use complex_objects::prelude::*;
+
+fn main() {
+    // -----------------------------------------------------------------
+    // 1. Objects: atoms, tuples, sets — freely nested, no schema.
+    //    (Paper Definition 2.1 / Example 2.1.)
+    // -----------------------------------------------------------------
+    let person = obj!([
+        name: [first: john, last: doe],
+        age: 25,
+        children: {john, mary, susan}
+    ]);
+    println!("a hierarchical person:\n  {person}\n");
+
+    // The same thing via the parser (the paper's concrete syntax):
+    let parsed = parse_object(
+        "[name: [first: john, last: doe], age: 25, children: {john, mary, susan}]",
+    )
+    .expect("valid object syntax");
+    assert_eq!(person, parsed);
+
+    // Equality is the paper's semantic equality (Definition 2.2):
+    assert_eq!(
+        parse_object("[a: 1, b: 2]").unwrap(),
+        parse_object("[b: 2, a: 1, c: bot]").unwrap(),
+    );
+
+    // -----------------------------------------------------------------
+    // 2. The sub-object lattice (Section 3): ≤, union (lub), intersection
+    //    (glb).
+    // -----------------------------------------------------------------
+    let a = obj!([name: peter, hobbies: {chess}]);
+    let b = obj!([name: peter, age: 25]);
+    println!("a         = {a}");
+    println!("b         = {b}");
+    println!("a ∪ b     = {}", union(&a, &b));
+    println!("a ∩ b     = {}", intersect(&a, &b));
+    assert!(le(&a, &union(&a, &b)));
+    assert!(le(&intersect(&a, &b), &b));
+    println!();
+
+    // -----------------------------------------------------------------
+    // 3. Formulas extract data (Definition 4.2): E(O) ≤ O.
+    // -----------------------------------------------------------------
+    let db = parse_object(
+        "[people: {[name: ada,   born: 1815],
+                   [name: alan,  born: 1912],
+                   [name: grace, born: 1906]}]",
+    )
+    .unwrap();
+    let f = parse_formula("[people: {[name: X, born: 1912]}]").unwrap();
+    println!("E(O) for {f}\n  = {}", interpret(&f, &db, MatchPolicy::Strict));
+
+    // -----------------------------------------------------------------
+    // 4. Rules generate new structure (Definition 4.4), and programs run
+    //    to a fixpoint (Theorem 4.1) on the engine.
+    // -----------------------------------------------------------------
+    let genealogy = parse_object(
+        "[family: {[name: abraham, children: {[name: isaac]}],
+                   [name: isaac,   children: {[name: esau], [name: jacob]}]}]",
+    )
+    .unwrap();
+    let program = parse_program(
+        "% Example 4.5 of the paper: descendants of abraham.
+         [doa: {abraham}].
+         [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+    )
+    .unwrap();
+    let out = Engine::new(program).run(&genealogy).expect("converges");
+    println!(
+        "\ndescendants of abraham = {}",
+        out.database.dot("doa")
+    );
+    println!("engine stats: {}", out.stats);
+
+    // -----------------------------------------------------------------
+    // 5. Pretty-printing for larger objects.
+    // -----------------------------------------------------------------
+    println!("\nthe closed database:\n{}", display::pretty(&out.database, 60));
+}

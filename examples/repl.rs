@@ -1,0 +1,135 @@
+//! An interactive shell for the complex-object calculus.
+//!
+//! Run with `cargo run --example repl`, then:
+//!
+//! ```text
+//! co> db [r1: {[a: 1, b: 10], [a: 2, b: 20]}, r2: {[c: 10, d: 100]}]
+//! co> ? [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]
+//! co> + [r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].
+//! co> run
+//! co> show
+//! co> help
+//! ```
+
+use complex_objects::object::{display, measure, Object};
+use complex_objects::prelude::*;
+use std::io::{BufRead, Write};
+
+struct Session {
+    db: Object,
+    program: Program,
+    policy: MatchPolicy,
+}
+
+const HELP: &str = "\
+commands:
+  db <object>        set the database object
+  show               print the database (pretty)
+  ? <formula>        interpret a well-formed formula against the database
+  + <rule.>          add a rule (or fact) to the program
+  rules              list the program
+  run                run the program to its closure (updates the database)
+  policy strict|literal   choose the match policy (default strict)
+  clear              drop all rules
+  stats              database size/depth
+  help               this text
+  quit               exit";
+
+impl Session {
+    fn handle(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            return true;
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "quit" | "exit" => return false,
+            "help" => println!("{HELP}"),
+            "db" => match parse_object(rest) {
+                Ok(o) => {
+                    self.db = o;
+                    println!("ok ({} nodes)", measure::size(&self.db));
+                }
+                Err(e) => println!("{}", e.render(rest)),
+            },
+            "show" => println!("{}", display::pretty(&self.db, 72)),
+            "stats" => println!(
+                "size = {} nodes, depth = {}",
+                measure::size(&self.db),
+                measure::depth(&self.db)
+            ),
+            "?" => match parse_formula(rest) {
+                Ok(f) => println!("{}", interpret(&f, &self.db, self.policy)),
+                Err(e) => println!("{}", e.render(rest)),
+            },
+            "+" => match parse_rule(rest) {
+                Ok(r) => {
+                    println!("added rule #{}: {}", self.program.len(), r);
+                    self.program.push(r);
+                }
+                Err(e) => println!("{}", e.render(rest)),
+            },
+            "rules" => {
+                if self.program.is_empty() {
+                    println!("(no rules)");
+                } else {
+                    println!("{}", self.program);
+                }
+            }
+            "clear" => {
+                self.program = Program::new();
+                println!("rules cleared");
+            }
+            "policy" => match rest {
+                "strict" => {
+                    self.policy = MatchPolicy::Strict;
+                    println!("policy = strict");
+                }
+                "literal" => {
+                    self.policy = MatchPolicy::Literal;
+                    println!("policy = literal (Definition 4.4 verbatim)");
+                }
+                _ => println!("usage: policy strict|literal"),
+            },
+            "run" => {
+                let engine = Engine::new(self.program.clone())
+                    .policy(self.policy)
+                    .guard(Guard::interactive());
+                match engine.run(&self.db) {
+                    Ok(out) => {
+                        println!("closure reached: {}", out.stats);
+                        self.db = out.database;
+                    }
+                    Err(e) => println!("{e}"),
+                }
+            }
+            _ => println!("unknown command `{cmd}` — try `help`"),
+        }
+        true
+    }
+}
+
+fn main() {
+    println!("complex-object calculus shell — `help` for commands");
+    let mut session = Session {
+        db: Object::empty_tuple(),
+        program: Program::new(),
+        policy: MatchPolicy::Strict,
+    };
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("co> ");
+        std::io::stdout().flush().expect("stdout");
+        let Some(Ok(line)) = lines.next() else {
+            break;
+        };
+        if !session.handle(&line) {
+            break;
+        }
+    }
+    println!("bye");
+}

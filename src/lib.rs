@@ -1,0 +1,66 @@
+//! # complex-objects
+//!
+//! A complete Rust implementation of *“A Calculus for Complex Objects”*
+//! (François Bancilhon & Setrag Khoshafian, PODS 1986 / JCSS 38(2), 1989).
+//!
+//! The paper defines a data model in which **complex objects** are built
+//! freely from atoms, tuples, and sets (no schema, no first-normal-form
+//! constraint), shows that reduced objects ordered by the **sub-object**
+//! relationship form a **lattice**, and uses that lattice to define a
+//! **calculus** — an extension of Horn clauses in which a rule body is a
+//! pattern whose instantiations are matched *below* the database object and
+//! whose head instantiations are joined with the lattice union.
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! - [`object`] — the value model: atoms, ⊤/⊥, tuples, sets; canonical
+//!   normalization; the sub-object order; union (lub) and intersection (glb).
+//! - [`parser`] — the paper's Prolog-flavoured concrete syntax.
+//! - [`calculus`] — well-formed formulae, substitutions, interpretation,
+//!   rules, and closure semantics (the paper's §4).
+//! - [`engine`] — naive and semi-naive fixpoint evaluation with guards,
+//!   statistics, and indexes.
+//! - [`relational`] — a flat relational-algebra baseline plus NF² operators,
+//!   used for differential testing and benchmarks.
+//! - [`schema`] — the §5 future-work item: a type system for complex objects.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use complex_objects::prelude::*;
+//!
+//! // Build the database of paper Example 4.5 and compute the descendants
+//! // of abraham with the two-rule program from the paper.
+//! let db = parse_object(
+//!     "[family: {[name: abraham, children: {[name: isaac]}],
+//!                [name: isaac,   children: {[name: esau], [name: jacob]}]}]",
+//! )
+//! .unwrap();
+//! let program = parse_program(
+//!     "[doa: {abraham}].
+//!      [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+//! )
+//! .unwrap();
+//! let result = Engine::new(program).run(&db).unwrap();
+//! let doa = result.database.at_path(&["doa"]).unwrap();
+//! assert_eq!(doa, &parse_object("{abraham, isaac, esau, jacob}").unwrap());
+//! ```
+
+pub use co_calculus as calculus;
+pub use co_engine as engine;
+pub use co_object as object;
+pub use co_parser as parser;
+pub use co_relational as relational;
+pub use co_schema as schema;
+
+/// Convenient single-import surface for applications and examples.
+pub mod prelude {
+    pub use co_calculus::{
+        apply_program, apply_rule, interpret, Formula, MatchPolicy, Program, Rule, Substitution,
+    };
+    pub use co_engine::{ClosureMode, Engine, EvalStats, Guard, Strategy};
+    pub use co_object::{obj, Atom, Attr, Object};
+    pub use co_parser::{parse_formula, parse_object, parse_program, parse_rule};
+    pub use co_relational::{Database, Relation};
+    pub use co_schema::{infer_type, Type};
+}

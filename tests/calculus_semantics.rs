@@ -1,0 +1,144 @@
+//! Property tests for the calculus semantics (experiment E12):
+//! Definition 4.2's extraction property, Lemma 4.1's monotonicity, and
+//! Theorem 4.1's closure characterization.
+
+mod common;
+
+use common::{descendants_program, random_graph_db, reachability_program};
+use complex_objects::object::{lattice, order, Object};
+use complex_objects::prelude::*;
+use co_calculus::{certificates, derivations, is_closed_under};
+use proptest::prelude::*;
+
+/// Formulas used to probe random graph databases.
+fn probe_formulas() -> Vec<Formula> {
+    [
+        "[edge: {[src: X, dst: Y]}]",
+        "[edge: {[src: X, dst: X]}]",
+        "[edge: {[src: 0, dst: Y]}]",
+        "[edge: {X}, start: {Y}]",
+        "[edge: X]",
+        "[edge: {[src: X, dst: Y], [src: Y, dst: Z]}]",
+    ]
+    .iter()
+    .map(|s| parse_formula(s).unwrap())
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Definition 4.2: E(O) ≤ O — formulas extract, never generate.
+    #[test]
+    fn interpretation_extracts(seed in any::<u64>(), nodes in 2i64..8, edges in 0usize..12) {
+        let db = random_graph_db(seed, nodes, edges);
+        for f in probe_formulas() {
+            for policy in [MatchPolicy::Strict, MatchPolicy::Literal] {
+                let e = interpret(&f, &db, policy);
+                prop_assert!(order::le(&e, &db), "E(O) = {} not ≤ O for {}", e, f);
+            }
+        }
+    }
+
+    /// Matcher soundness: every certificate's instantiation is ≤ O, and
+    /// the interpretation is the union of exactly these instantiations.
+    #[test]
+    fn certificates_compose_the_interpretation(
+        seed in any::<u64>(), nodes in 2i64..7, edges in 0usize..10
+    ) {
+        let db = random_graph_db(seed, nodes, edges);
+        for f in probe_formulas() {
+            let certs = certificates(&f, &db, MatchPolicy::Strict);
+            let mut acc = Object::Bottom;
+            for (s, inst) in &certs {
+                prop_assert!(order::le(inst, &db));
+                prop_assert_eq!(&f.instantiate(s), inst);
+                acc = lattice::union(&acc, inst);
+            }
+            prop_assert_eq!(acc, interpret(&f, &db, MatchPolicy::Strict));
+        }
+    }
+
+    /// Lemma 4.1: O1 ≤ O2 ⟹ r(O1) ≤ r(O2), for both policies.
+    #[test]
+    fn rule_application_is_monotone(
+        seed in any::<u64>(), nodes in 2i64..7, e1 in 0usize..8, e2 in 0usize..8
+    ) {
+        let d1 = random_graph_db(seed, nodes, e1);
+        let d2 = lattice::union(&d1, &random_graph_db(seed.wrapping_mul(31).wrapping_add(7), nodes, e2));
+        prop_assume!(order::le(&d1, &d2));
+        let rules = [
+            parse_rule("[reach: {Y}] :- [edge: {[src: X, dst: Y]}, reach: {X}].").unwrap(),
+            parse_rule("[out: {[a: X, b: Y]}] :- [edge: {[src: X, dst: Y]}].").unwrap(),
+            // Self-join: both patterns share one set formula (tuple
+            // attributes must be distinct, Definition 4.1).
+            parse_rule("[pairs: {[l: X, r: Y]}] :- [edge: {[src: X, dst: Z], [src: Y, dst: Z]}].").unwrap(),
+        ];
+        for r in &rules {
+            for policy in [MatchPolicy::Strict, MatchPolicy::Literal] {
+                let a1 = apply_rule(r, &d1, policy);
+                let a2 = apply_rule(r, &d2, policy);
+                prop_assert!(
+                    order::le(&a1, &a2),
+                    "monotonicity failed for {} under {:?}: r(O1)={}, r(O2)={}",
+                    r, policy, a1, a2
+                );
+            }
+        }
+    }
+
+    /// Theorem 4.1 / Definition 4.6: the closure is closed under R,
+    /// contains the input, and is a fixpoint of O ↦ O ∪ R(O).
+    #[test]
+    fn closure_characterization(seed in any::<u64>(), nodes in 2i64..7, edges in 0usize..10) {
+        let db = random_graph_db(seed, nodes, edges);
+        let program = reachability_program();
+        let out = Engine::new(program.clone()).run(&db).unwrap();
+        let c = &out.database;
+        prop_assert!(is_closed_under(&program, c, MatchPolicy::Strict));
+        prop_assert!(order::le(&db, c));
+        let once_more = lattice::union(c, &apply_program(&program, c, MatchPolicy::Strict));
+        prop_assert_eq!(&once_more, c);
+    }
+
+    /// Idempotence of evaluation: running the engine on a closure returns
+    /// it unchanged in one iteration.
+    #[test]
+    fn closure_is_idempotent(seed in any::<u64>(), nodes in 2i64..7, edges in 0usize..10) {
+        let db = random_graph_db(seed, nodes, edges);
+        let program = reachability_program();
+        let first = Engine::new(program.clone()).run(&db).unwrap();
+        let second = Engine::new(program).run(&first.database).unwrap();
+        prop_assert_eq!(second.database, first.database);
+        prop_assert_eq!(second.stats.iterations, 1);
+    }
+}
+
+#[test]
+fn derivations_explain_rule_effects() {
+    let db = parse_object("[edge: {[src: 0, dst: 1], [src: 1, dst: 2]}]").unwrap();
+    let r = parse_rule("[out: {[a: X, b: Y]}] :- [edge: {[src: X, dst: Y]}].").unwrap();
+    let ds = derivations(&r, &db, MatchPolicy::Strict);
+    assert_eq!(ds.len(), 2);
+    let total = ds
+        .iter()
+        .fold(Object::Bottom, |acc, (_, h)| lattice::union(&acc, h));
+    assert_eq!(total, apply_rule(&r, &db, MatchPolicy::Strict));
+}
+
+#[test]
+fn closure_on_the_paper_genealogy_is_minimal() {
+    // Any object closed under R that contains the input dominates the
+    // computed closure ("the unique minimal object closed under R").
+    let db = common::chain_family_db(5);
+    let program = descendants_program("p0");
+    let closure = Engine::new(program.clone()).run(&db).unwrap().database;
+    // Build a strictly larger closed object and check domination.
+    let bigger = lattice::union(
+        &closure,
+        &parse_object("[doa: {unrelated_extra}]").unwrap(),
+    );
+    assert!(is_closed_under(&program, &bigger, MatchPolicy::Strict));
+    assert!(order::le(&closure, &bigger));
+    assert_ne!(closure, bigger);
+}

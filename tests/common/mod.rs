@@ -1,0 +1,102 @@
+//! Shared helpers for the workspace integration tests: randomized
+//! databases, formulas, and rule programs with known-good shapes.
+
+#![allow(dead_code)]
+
+use complex_objects::object::{Attr, Object};
+use complex_objects::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A random edge relation `[edge: {[src: i, dst: j], …}]` over `nodes`
+/// nodes with `edges` random edges (plus a start marker relation).
+pub fn random_graph_db(seed: u64, nodes: i64, edges: usize) -> Object {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edge_set = Object::set((0..edges).map(|_| {
+        Object::tuple([
+            (Attr::new("src"), Object::int(rng.random_range(0..nodes))),
+            (Attr::new("dst"), Object::int(rng.random_range(0..nodes))),
+        ])
+    }));
+    Object::tuple([
+        (Attr::new("edge"), edge_set),
+        (Attr::new("start"), Object::set([Object::int(0)])),
+    ])
+}
+
+/// A chain family database `p0 → p1 → … → pn` in the paper's Example 4.5
+/// shape.
+pub fn chain_family_db(n: usize) -> Object {
+    let family = Object::set((0..n).map(|i| {
+        parse_object(&format!(
+            "[name: p{i}, children: {{[name: p{}]}}]",
+            i + 1
+        ))
+        .unwrap()
+    }));
+    Object::tuple([(Attr::new("family"), family)])
+}
+
+/// The descendants program of Example 4.5, parameterized by the root name.
+pub fn descendants_program(root: &str) -> Program {
+    parse_program(&format!(
+        "[doa: {{{root}}}].
+         [doa: {{X}}] :- [family: {{[name: Y, children: {{[name: X]}}]}}, doa: {{Y}}]."
+    ))
+    .unwrap()
+}
+
+/// Transitive closure over the `edge` relation, reachability from `start`.
+pub fn reachability_program() -> Program {
+    parse_program(
+        "[reach: {X}] :- [start: {X}].
+         [reach: {Y}] :- [edge: {[src: X, dst: Y]}, reach: {X}].",
+    )
+    .unwrap()
+}
+
+/// Full transitive closure as a binary relation.
+pub fn transitive_closure_program() -> Program {
+    parse_program(
+        "[tc: {[src: X, dst: Y]}] :- [edge: {[src: X, dst: Y]}].
+         [tc: {[src: X, dst: Z]}] :- [edge: {[src: X, dst: Y]}, tc: {[src: Y, dst: Z]}].",
+    )
+    .unwrap()
+}
+
+/// Same-generation: a classic nonlinear recursive Datalog program.
+pub fn same_generation_program() -> Program {
+    // Note the self-join: Definition 4.1 requires distinct attribute names
+    // in a tuple formula, so both edge patterns go into ONE set formula.
+    parse_program(
+        "[sg: {[l: X, r: X]}] :- [edge: {[src: X, dst: Y]}].
+         [sg: {[l: X, r: X]}] :- [edge: {[src: Y, dst: X]}].
+         [sg: {[l: X, r: Y]}] :- [edge: {[src: U, dst: X], [src: V, dst: Y]}, sg: {[l: U, r: V]}].",
+    )
+    .unwrap()
+}
+
+/// A library of randomized programs exercising distinct rule shapes.
+pub fn program_library() -> Vec<(&'static str, Program)> {
+    vec![
+        ("reachability", reachability_program()),
+        ("transitive-closure", transitive_closure_program()),
+        ("same-generation", same_generation_program()),
+        (
+            "projection-chain",
+            parse_program(
+                "[p1: {X}] :- [edge: {[src: X, dst: Y]}].
+                 [p2: {Y}] :- [edge: {[src: X, dst: Y]}].
+                 [both: {X}] :- [p1: {X}, p2: {X}].",
+            )
+            .unwrap(),
+        ),
+        (
+            "nesting",
+            parse_program(
+                "[grouped: {[k: X, members: {Y}]}] :- [edge: {[src: X, dst: Y]}].",
+            )
+            .unwrap(),
+        ),
+    ]
+}

@@ -1,0 +1,102 @@
+//! Cross-crate lattice law checks (experiment E11): the lattice operations
+//! commute with parsing/printing, and Theorems 3.1–3.6 hold on objects that
+//! have passed through every layer (generator → printer → parser).
+
+use complex_objects::object::random::{Generator, Profile};
+use complex_objects::object::{lattice, measure, order, Object};
+use complex_objects::parser::parse_object;
+use proptest::prelude::*;
+
+fn arb_pair() -> impl Strategy<Value = (Object, Object)> {
+    any::<u64>().prop_map(|seed| {
+        let mut g = Generator::new(seed, Profile::default());
+        let a = g.object();
+        let b = g.object();
+        (a, b)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lattice ops survive a print→parse round trip.
+    #[test]
+    fn lattice_ops_commute_with_parsing((a, b) in arb_pair()) {
+        let u = lattice::union(&a, &b);
+        let i = lattice::intersect(&a, &b);
+        let a2 = parse_object(&a.to_string()).unwrap();
+        let b2 = parse_object(&b.to_string()).unwrap();
+        prop_assert_eq!(lattice::union(&a2, &b2), u);
+        prop_assert_eq!(lattice::intersect(&a2, &b2), i);
+    }
+
+    /// Theorem 3.3 (partial order) on round-tripped objects.
+    #[test]
+    fn order_laws_hold_after_round_trip((a, b) in arb_pair()) {
+        let a = parse_object(&a.to_string()).unwrap();
+        let b = parse_object(&b.to_string()).unwrap();
+        prop_assert!(order::le(&a, &a));
+        if order::le(&a, &b) && order::le(&b, &a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Theorem 3.6: ∪/∩ are bounds, and the distributive-ish absorption
+    /// laws hold.
+    #[test]
+    fn bounds_and_absorption((a, b) in arb_pair()) {
+        let u = lattice::union(&a, &b);
+        let i = lattice::intersect(&a, &b);
+        prop_assert!(order::le(&a, &u) && order::le(&b, &u));
+        prop_assert!(order::le(&i, &a) && order::le(&i, &b));
+        prop_assert_eq!(lattice::union(&a, &i), a.clone());
+        prop_assert_eq!(lattice::intersect(&a, &u), a.clone());
+    }
+
+    /// Union/intersection respect the depth measure's extremes: the depth
+    /// of a ∩ b never exceeds either input's depth bound ⊥/⊤ behaviour.
+    #[test]
+    fn depth_sanity((a, b) in arb_pair()) {
+        let i = lattice::intersect(&a, &b);
+        // Intersection of ⊤-free objects is ⊤-free.
+        prop_assert!(measure::depth(&i) != measure::Depth::Infinite
+            || measure::depth(&a) == measure::Depth::Infinite
+            || measure::depth(&b) == measure::Depth::Infinite);
+    }
+
+    /// The modular-ish inequality valid in every lattice:
+    /// (a ∩ b) ∪ (a ∩ c) ≤ a ∩ (b ∪ c).
+    #[test]
+    fn semidistributive_inequality((a, b) in arb_pair(), seed in any::<u64>()) {
+        let c = Generator::new(seed, Profile::default()).object();
+        let lhs = lattice::union(
+            &lattice::intersect(&a, &b),
+            &lattice::intersect(&a, &c),
+        );
+        let rhs = lattice::intersect(&a, &lattice::union(&b, &c));
+        prop_assert!(
+            order::le(&lhs, &rhs),
+            "({a} ∩ {b}) ∪ ({a} ∩ {c}) = {lhs} not ≤ {rhs}"
+        );
+    }
+}
+
+#[test]
+fn non_distributivity_witness() {
+    // The complex-object lattice is NOT distributive — a fact the paper
+    // does not state but that matters for would-be algebraic optimizers.
+    // Witness at the atoms: with distinct atoms 1, 2, 3 we get 2 ∪ 3 = ⊤,
+    // so 1 ∩ (2 ∪ 3) = 1, while (1 ∩ 2) ∪ (1 ∩ 3) = ⊥ ∪ ⊥ = ⊥.
+    let a = parse_object("1").unwrap();
+    let b = parse_object("2").unwrap();
+    let c = parse_object("3").unwrap();
+    let lhs = lattice::union(
+        &lattice::intersect(&a, &b),
+        &lattice::intersect(&a, &c),
+    );
+    let rhs = lattice::intersect(&a, &lattice::union(&b, &c));
+    assert_eq!(lhs, Object::Bottom);
+    assert_eq!(rhs, a);
+    assert!(order::le(&lhs, &rhs));
+    assert_ne!(lhs, rhs, "expected a strict distributivity gap");
+}

@@ -1,0 +1,113 @@
+//! Integration of the §5 future-work type system with the rest of the
+//! stack: typing parsed objects, engine outputs, and encoded relational
+//! databases.
+
+mod common;
+
+use complex_objects::prelude::*;
+use co_schema::{check, conforms, infer_exact, subtype, Type};
+
+#[test]
+fn paper_example_2_1_objects_type_as_expected() {
+    // The flat relation.
+    let rel = parse_object(
+        "{[name: peter, age: 25], [name: john, age: 7], [name: mary, age: 13]}",
+    )
+    .unwrap();
+    let flat_t = Type::set(Type::tuple([("name", Type::Str), ("age", Type::Int)]));
+    assert!(conforms(&rel, &flat_t));
+
+    // The relation with nulls conforms to the same open type…
+    let nulls = parse_object(
+        "{[name: peter], [name: john, age: 7], [name: mary, address: austin]}",
+    )
+    .unwrap();
+    assert!(conforms(&nulls, &flat_t));
+    // …but not when age is required.
+    let strict_t = Type::set(Type::tuple([
+        ("name", Type::Str),
+        ("age", Type::required(Type::Int)),
+    ]));
+    assert!(!conforms(&nulls, &strict_t));
+
+    // The nested relation.
+    let nested = parse_object(
+        "{[name: peter, children: {max, susan}],
+          [name: john, children: {mary, john, frank}],
+          [name: mary, children: {}]}",
+    )
+    .unwrap();
+    let nested_t = Type::set(Type::tuple([
+        ("name", Type::Str),
+        ("children", Type::set(Type::Str)),
+    ]));
+    assert!(conforms(&nested, &nested_t));
+    // Note: `rel` ALSO conforms to nested_t — its `children` reads ⊥,
+    // which conforms, and open tuples ignore `age`. The next test pins
+    // that down and shows how `required` changes it.
+}
+
+#[test]
+fn open_types_admit_the_flat_relation_too() {
+    // Continuation of the comment above, as its own assertion: with open
+    // tuple types and ⊥-tolerant attributes, the flat relation *does*
+    // conform to the nested type — exactly the paper's point that the
+    // object space is schemaless and types are views.
+    let rel = parse_object("{[name: peter, age: 25]}").unwrap();
+    let nested_t = Type::set(Type::tuple([
+        ("name", Type::Str),
+        ("children", Type::set(Type::Str)),
+    ]));
+    assert!(conforms(&rel, &nested_t));
+    // Requiring children excludes it.
+    let required_t = Type::set(Type::tuple([
+        ("name", Type::Str),
+        ("children", Type::required(Type::set(Type::Str))),
+    ]));
+    assert!(!conforms(&rel, &required_t));
+}
+
+#[test]
+fn engine_output_conforms_to_the_program_result_type() {
+    let db = common::chain_family_db(8);
+    let program = common::descendants_program("p0");
+    let out = Engine::new(program).run(&db).unwrap();
+    let result_t = Type::tuple([
+        (
+            "family",
+            Type::set(Type::tuple([
+                ("name", Type::Str),
+                ("children", Type::set(Type::tuple([("name", Type::Str)]))),
+            ])),
+        ),
+        ("doa", Type::set(Type::Str)),
+    ]);
+    check(&out.database, &result_t).expect("closure conforms to the expected type");
+}
+
+#[test]
+fn encoded_relational_databases_type_check() {
+    let mut db = co_relational::Database::new();
+    db.insert("r1", co_relational::int_relation(["a", "b"], [[1, 2], [3, 4]]));
+    let o = co_relational::encode_database(&db);
+    let t = Type::tuple([(
+        "r1",
+        Type::set(Type::closed_tuple([("a", Type::Int), ("b", Type::Int)])),
+    )]);
+    check(&o, &t).expect("encoded database conforms");
+    // Exact inference is a subtype of the declared type.
+    assert!(subtype(&infer_exact(&o), &t));
+}
+
+#[test]
+fn type_errors_locate_problems_in_engine_outputs() {
+    let db = common::chain_family_db(3);
+    let program = common::descendants_program("p0");
+    let out = Engine::new(program).run(&db).unwrap();
+    // Deliberately wrong type: doa as a set of ints.
+    let wrong = Type::tuple([("doa", Type::set(Type::Int))]);
+    let err = check(&out.database, &wrong).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("doa"), "got: {msg}");
+    assert!(msg.contains("int"), "got: {msg}");
+}

@@ -1,0 +1,140 @@
+//! F8 — equality and hashing on interned handles vs structural walks.
+//!
+//! The hash-consed store makes `==` a pointer comparison and `hash` a
+//! cached-word write. This bench quantifies the gap against the structural
+//! baseline (a recursive-descent equality and a full-tree hash, implemented
+//! here exactly as the pre-interning representation behaved) on the shapes
+//! the engine compares constantly: wide flat relations and deep nested
+//! objects.
+
+use co_bench::{flat_relation, random_objects};
+use co_object::Object;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hash::{Hash, Hasher};
+use std::hint::black_box;
+
+/// Structural equality by recursive descent — what `==` cost before
+/// hash-consing (minus its allocation-identity fast path, which never fired
+/// across independently constructed values).
+fn structural_eq(a: &Object, b: &Object) -> bool {
+    match (a, b) {
+        (Object::Bottom, Object::Bottom) | (Object::Top, Object::Top) => true,
+        (Object::Atom(x), Object::Atom(y)) => x == y,
+        (Object::Tuple(x), Object::Tuple(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((ax, vx), (ay, vy))| ax == ay && structural_eq(vx, vy))
+        }
+        (Object::Set(x), Object::Set(y)) => {
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(e, f)| structural_eq(e, f))
+        }
+        _ => false,
+    }
+}
+
+/// Structural full-tree hash — the pre-interning cost of `hash`.
+fn structural_hash<H: Hasher>(o: &Object, state: &mut H) {
+    match o {
+        Object::Bottom => state.write_u8(0),
+        Object::Atom(a) => {
+            state.write_u8(1);
+            a.hash(state);
+        }
+        Object::Tuple(t) => {
+            state.write_u8(2);
+            for (a, v) in t.entries() {
+                a.hash(state);
+                structural_hash(v, state);
+            }
+        }
+        Object::Set(s) => {
+            state.write_u8(3);
+            for e in s.iter() {
+                structural_hash(e, state);
+            }
+        }
+        Object::Top => state.write_u8(4),
+    }
+}
+
+fn hash_of(o: &Object, structural: bool) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    if structural {
+        structural_hash(o, &mut h);
+    } else {
+        o.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn bench_equality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equality");
+    for rows in [100i64, 1_000, 10_000] {
+        // Two independently constructed, equal relations: the worst case
+        // for structural equality, the best case for interning (and the
+        // case fixpoint iterations hit every round).
+        let a = flat_relation(rows, 10, "k", "v");
+        let b = flat_relation(rows, 10, "k", "v");
+        assert!(a == b);
+        group.bench_with_input(
+            BenchmarkId::new("interned-eq", rows),
+            &(&a, &b),
+            |be, (a, b)| be.iter(|| black_box(black_box(*a) == black_box(*b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("structural-eq", rows),
+            &(&a, &b),
+            |be, (a, b)| be.iter(|| black_box(structural_eq(black_box(a), black_box(b)))),
+        );
+        group.bench_with_input(BenchmarkId::new("interned-hash", rows), &a, |be, a| {
+            be.iter(|| black_box(hash_of(black_box(a), false)))
+        });
+        group.bench_with_input(BenchmarkId::new("structural-hash", rows), &a, |be, a| {
+            be.iter(|| black_box(hash_of(black_box(a), true)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("equality/deep");
+    let objs = random_objects(7, 6, 6, 64);
+    let clones: Vec<Object> = objs.clone();
+    group.bench_function("interned-eq-pairwise", |be| {
+        be.iter(|| {
+            let mut n = 0usize;
+            for x in &objs {
+                for y in &clones {
+                    if black_box(x == y) {
+                        n += 1;
+                    }
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("structural-eq-pairwise", |be| {
+        be.iter(|| {
+            let mut n = 0usize;
+            for x in &objs {
+                for y in &clones {
+                    if black_box(structural_eq(x, y)) {
+                        n += 1;
+                    }
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+
+    // Interning throughput: how fast equal values re-intern (hit path) vs
+    // the one-time miss cost, on a mid-size relation.
+    let mut group = c.benchmark_group("equality/intern");
+    group.bench_function("reintern-hit-1000", |be| {
+        be.iter(|| black_box(flat_relation(1_000, 10, "k", "v")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_equality);
+criterion_main!(benches);

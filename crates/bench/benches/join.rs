@@ -11,10 +11,8 @@ use std::hint::black_box;
 
 fn bench_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("join");
-    let rule = parse_rule(
-        "[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
-    )
-    .unwrap();
+    let rule =
+        parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].").unwrap();
     for rows in [30i64, 100, 300] {
         let db = join_db(rows, rows);
         let flat = join_db_flat(rows, rows);
@@ -34,11 +32,9 @@ fn bench_join(c: &mut Criterion) {
             })
         });
         let q = Query::rel("r1").join(Query::rel("r2"), [("b", "c")]);
-        group.bench_with_input(
-            BenchmarkId::new("flat-algebra", rows),
-            &flat,
-            |b, flat| b.iter(|| black_box(q.eval(black_box(flat)).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("flat-algebra", rows), &flat, |b, flat| {
+            b.iter(|| black_box(q.eval(black_box(flat)).unwrap()))
+        });
     }
     group.finish();
 }

@@ -10,16 +10,12 @@ fn bench_normalize(c: &mut Criterion) {
     for n in [10i64, 100, 500] {
         let red = redundant_set(n);
         let anti = antichain_set(2 * n);
-        group.bench_with_input(
-            BenchmarkId::new("redundant", 2 * n),
-            &red,
-            |b, elems| b.iter(|| black_box(Object::set(elems.clone()))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("antichain", 2 * n),
-            &anti,
-            |b, elems| b.iter(|| black_box(Object::set(elems.clone()))),
-        );
+        group.bench_with_input(BenchmarkId::new("redundant", 2 * n), &red, |b, elems| {
+            b.iter(|| black_box(Object::set(elems.clone())))
+        });
+        group.bench_with_input(BenchmarkId::new("antichain", 2 * n), &anti, |b, elems| {
+            b.iter(|| black_box(Object::set(elems.clone())))
+        });
     }
     group.finish();
 }

@@ -62,7 +62,11 @@ fn main() {
         "[r1: {[name: peter, age: 25]}, r2: {[name: mary, address: paris]}]",
     ] {
         let o = obj(src);
-        score.check(src, parse_object(&o.to_string()).as_ref() == Ok(&o), "parses + round-trips");
+        score.check(
+            src,
+            parse_object(&o.to_string()).as_ref() == Ok(&o),
+            "parses + round-trips",
+        );
     }
 
     println!("\nE2 — Example 2.2: equality identities");
@@ -73,10 +77,18 @@ fn main() {
         ("{1, 1}", "{1}"),
         ("[a: {top}, b: 2]", "top"),
     ] {
-        score.row(&format!("{l} = {r}"), &(obj(l) == obj(r)).to_string(), "true");
+        score.row(
+            &format!("{l} = {r}"),
+            &(obj(l) == obj(r)).to_string(),
+            "true",
+        );
     }
     for (l, r) in [("[a: 7]", "7"), ("{7}", "7"), ("[a: 7]", "{7}")] {
-        score.row(&format!("{l} ≠ {r}"), &(obj(l) != obj(r)).to_string(), "true");
+        score.row(
+            &format!("{l} ≠ {r}"),
+            &(obj(l) != obj(r)).to_string(),
+            "true",
+        );
     }
 
     println!("\nE3 — Example 3.1: the sub-object relationship");
@@ -116,7 +128,11 @@ fn main() {
         ("{1, 2}", "{2, 3}", "{1, 2, 3}"),
         ("1", "2", "top"),
         ("[a: 1, b: 2]", "{1, 2, 3}", "top"),
-        ("[a: 1, b: {2, 3}]", "[b: {3, 4}, c: 5]", "[a: 1, b: {2, 3, 4}, c: 5]"),
+        (
+            "[a: 1, b: {2, 3}]",
+            "[b: {3, 4}, c: 5]",
+            "[a: 1, b: {2, 3, 4}, c: 5]",
+        ),
     ] {
         score.row(
             &format!("{l} ∪ {r}"),
@@ -143,15 +159,10 @@ fn main() {
     }
 
     println!("\nE7 — Example 4.1: interpretations of well-formed formulae");
-    let db = obj(
-        "[r1: {[a: 1, b: 10], [a: 2, b: 20], [a: 3, b: 30]},
-          r2: {[c: 10, d: 100], [c: 20, d: 200], [c: 99, d: 999]}]",
-    );
+    let db = obj("[r1: {[a: 1, b: 10], [a: 2, b: 20], [a: 3, b: 30]},
+          r2: {[c: 10, d: 100], [c: 20, d: 200], [c: 99, d: 999]}]");
     for (f_src, expected) in [
-        (
-            "[r1: {[a: X, b: 10]}]",
-            "[r1: {[a: 1, b: 10]}]",
-        ),
+        ("[r1: {[a: X, b: 10]}]", "[r1: {[a: 1, b: 10]}]"),
         (
             "[r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}]",
             "[r1: {[a: 1, b: 10], [a: 2, b: 20]}, r2: {[c: 10, d: 100], [c: 20, d: 200]}]",
@@ -203,11 +214,7 @@ fn main() {
             &db,
             "[r: {[a1: 1, a2: 100], [a1: 2, a2: 200]}]",
         ),
-        (
-            "[r: {X}] :- [r1: {X}, r2: {X}].",
-            &db4,
-            "[r: {2, 3}]",
-        ),
+        ("[r: {X}] :- [r1: {X}, r2: {X}].", &db4, "[r: {2, 3}]"),
         ("{X} :- [r1: {X}, r2: {X}].", &db4, "{2, 3}"),
     ] {
         let r = parse_rule(r_src).unwrap();
@@ -218,10 +225,8 @@ fn main() {
         );
     }
     // The Definition 4.4 anomaly (DESIGN.md §3.3).
-    let join = parse_rule(
-        "[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
-    )
-    .unwrap();
+    let join =
+        parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].").unwrap();
     let literal_pairs = apply_rule(&join, &db, MatchPolicy::Literal)
         .dot("r")
         .as_set()
@@ -234,10 +239,8 @@ fn main() {
     );
 
     println!("\nE9 — Example 4.5: descendants of abraham (closure exists)");
-    let family = obj(
-        "[family: {[name: abraham, children: {[name: isaac]}],
-                   [name: isaac,   children: {[name: esau], [name: jacob]}]}]",
-    );
+    let family = obj("[family: {[name: abraham, children: {[name: isaac]}],
+                   [name: isaac,   children: {[name: esau], [name: jacob]}]}]");
     let program = parse_program(
         "[doa: {abraham}].
          [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
@@ -274,10 +277,7 @@ fn main() {
         Ok(_) => score.check("divergence detected", false, "unexpected convergence"),
     }
 
-    println!(
-        "\n==> {} checks passed, {} failed",
-        score.pass, score.fail
-    );
+    println!("\n==> {} checks passed, {} failed", score.pass, score.fail);
     println!("(E11/E12 — the theorem property suites — run under `cargo test --workspace`.)");
     if score.fail > 0 {
         std::process::exit(1);

@@ -91,10 +91,9 @@ fn main() {
 
     println!("\n# F4 — join: calculus scan vs calculus indexed vs flat algebra");
     println!("figure,mode,rows,mean_ms,result_rows");
-    let join_rule = co_parser::parse_rule(
-        "[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
-    )
-    .unwrap();
+    let join_rule =
+        co_parser::parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].")
+            .unwrap();
     for rows in [30i64, 100, 300, 1_000] {
         let classes = rows; // key-to-key join: |result| ≈ rows.
         let db = join_db(rows, classes);
@@ -102,7 +101,11 @@ fn main() {
         let out_scan = co_calculus::apply_rule(&join_rule, &db, MatchPolicy::Strict);
         let result_rows = out_scan.dot("r").as_set().map(|s| s.len()).unwrap_or(0);
         let scan = bench_ms(|| {
-            std::hint::black_box(co_calculus::apply_rule(&join_rule, &db, MatchPolicy::Strict));
+            std::hint::black_box(co_calculus::apply_rule(
+                &join_rule,
+                &db,
+                MatchPolicy::Strict,
+            ));
         });
         let pf = co_engine::index::IndexedPrefilter::new(MatchPolicy::Strict);
         let _ = co_calculus::apply_rule_with(&join_rule, &db, MatchPolicy::Strict, &pf);
@@ -131,18 +134,16 @@ fn main() {
     for (shape, db_of) in shapes {
         for n in [20usize, 60, 180] {
             let db = db_of(n);
-            for (label, strategy) in
-                [("naive", Strategy::Naive), ("semi-naive", Strategy::SemiNaive)]
-            {
+            for (label, strategy) in [
+                ("naive", Strategy::Naive),
+                ("semi-naive", Strategy::SemiNaive),
+            ] {
                 let engine = Engine::new(descendants_program())
                     .strategy(strategy)
                     .indexes(false)
                     .guard(Guard::unlimited());
                 let (out, ms) = time_ms(|| engine.run(&db).expect("converges"));
-                println!(
-                    "F5,{shape},{label},{n},{ms:.2},{}",
-                    out.stats.iterations
-                );
+                println!("F5,{shape},{label},{n},{ms:.2},{}", out.stats.iterations);
             }
         }
     }

@@ -196,9 +196,8 @@ mod tests {
 
     #[test]
     fn nonrecursive_program() {
-        let p = Program::from_rules([
-            Rule::new(wff!([out: {(x())}]), wff!([src: {(x())}])).unwrap()
-        ]);
+        let p =
+            Program::from_rules([Rule::new(wff!([out: {(x())}]), wff!([src: {(x())}])).unwrap()]);
         let a = analyse(&p);
         assert!(a.is_nonrecursive());
         assert!(a.is_depth_bounded());
@@ -226,21 +225,13 @@ mod tests {
     #[test]
     fn rule_growth_detection() {
         // Head puts X one level deeper than the body reads it.
-        let grows = Rule::new(
-            wff!([r: {{(x())}}]),
-            wff!([r: {(x())}]),
-        )
-        .unwrap();
+        let grows = Rule::new(wff!([r: {{(x())}}]), wff!([r: {(x())}])).unwrap();
         assert!(rule_grows(&grows));
         // Same depth: no growth.
         let level = Rule::new(wff!([r: {(x())}]), wff!([s: {(x())}])).unwrap();
         assert!(!rule_grows(&level));
         // Head SHALLOWER than body: projection, no growth.
-        let shrinks = Rule::new(
-            wff!({(x())}),
-            wff!([r: {[a: (x())]}]),
-        )
-        .unwrap();
+        let shrinks = Rule::new(wff!({ (x()) }), wff!([r: {[a: (x())]}])).unwrap();
         assert!(!rule_grows(&shrinks));
     }
 
@@ -268,7 +259,7 @@ mod tests {
         // {X} :- [r: {X}] writes the anonymous root: everything reading
         // anything depends on it.
         let p = Program::from_rules([
-            Rule::new(wff!({(x())}), wff!([r: {(x())}])).unwrap(),
+            Rule::new(wff!({ (x()) }), wff!([r: {(x())}])).unwrap(),
             Rule::new(wff!([s: {(x())}]), wff!([t: {(x())}])).unwrap(),
         ]);
         let a = analyse(&p);

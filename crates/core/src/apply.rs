@@ -43,11 +43,7 @@ pub fn apply_rule_with(
 
 /// The derivations of one rule application: each satisfying substitution
 /// paired with the head instantiation it contributes.
-pub fn derivations(
-    rule: &Rule,
-    o: &Object,
-    policy: MatchPolicy,
-) -> Vec<(Substitution, Object)> {
+pub fn derivations(rule: &Rule, o: &Object, policy: MatchPolicy) -> Vec<(Substitution, Object)> {
     match_with(rule.body(), o, policy, &ScanAll)
         .0
         .into_iter()
@@ -191,7 +187,7 @@ mod tests {
     fn example_4_2_6_intersection_to_bare_set() {
         // {X} :- [R1: {X}, R2: {X}] — "simply generating a set".
         let db = obj!([r1: {1, 2, 3}, r2: {2, 3, 4}]);
-        let r = Rule::new(wff!({(x())}), wff!([r1: {(x())}, r2: {(x())}])).unwrap();
+        let r = Rule::new(wff!({ (x()) }), wff!([r1: {(x())}, r2: {(x())}])).unwrap();
         assert_eq!(apply_rule(&r, &db, MatchPolicy::Strict), obj!({2, 3}));
     }
 
@@ -225,7 +221,10 @@ mod tests {
     #[test]
     fn rule_with_no_matches_yields_bottom() {
         let r = Rule::new(wff!([r: {(x())}]), wff!([nope: {(x())}])).unwrap();
-        assert_eq!(apply_rule(&r, &rel_db(), MatchPolicy::Strict), Object::Bottom);
+        assert_eq!(
+            apply_rule(&r, &rel_db(), MatchPolicy::Strict),
+            Object::Bottom
+        );
     }
 
     #[test]
@@ -242,16 +241,13 @@ mod tests {
 
     #[test]
     fn closedness_checks() {
-        let p = Program::from_rules([
-            Rule::new(wff!([r1: {(x())}]), wff!([r1: {(x())}])).unwrap()
-        ]);
+        let p = Program::from_rules([Rule::new(wff!([r1: {(x())}]), wff!([r1: {(x())}])).unwrap()]);
         // Any database is closed under the identity-ish rule: it re-derives
         // a sub-object of r1.
         assert!(is_closed_under(&p, &rel_db(), MatchPolicy::Strict));
 
-        let gen = Program::from_rules([
-            Rule::new(wff!([r2: {(x())}]), wff!([r1: {(x())}])).unwrap()
-        ]);
+        let gen =
+            Program::from_rules([Rule::new(wff!([r2: {(x())}]), wff!([r1: {(x())}])).unwrap()]);
         let db = obj!([r1: {1}, r2: {}]);
         assert!(!is_closed_under(&gen, &db, MatchPolicy::Strict));
         let closed = obj!([r1: {1}, r2: {1}]);

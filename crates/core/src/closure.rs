@@ -204,7 +204,11 @@ mod tests {
             .unwrap()
             .contains(&obj!(bethuel)));
         // The result is closed and contains the input (Definition 4.6).
-        assert!(is_closed_under(&descendants_program(), &c.object, MatchPolicy::Strict));
+        assert!(is_closed_under(
+            &descendants_program(),
+            &c.object,
+            MatchPolicy::Strict
+        ));
         assert!(le(&genealogy_db(), &c.object));
     }
 
@@ -222,7 +226,11 @@ mod tests {
         .unwrap();
         // A strictly larger closed object.
         let bigger = union(&c.object, &obj!([doa: {extra_person}]));
-        assert!(is_closed_under(&descendants_program(), &bigger, MatchPolicy::Strict));
+        assert!(is_closed_under(
+            &descendants_program(),
+            &bigger,
+            MatchPolicy::Strict
+        ));
         assert!(le(&c.object, &bigger));
         assert_ne!(c.object, bigger);
     }
@@ -251,7 +259,11 @@ mod tests {
             },
         );
         match r {
-            Err(CalculusError::Diverged { iterations, partial, .. }) => {
+            Err(CalculusError::Diverged {
+                iterations,
+                partial,
+                ..
+            }) => {
                 assert!(iterations > 1);
                 // The partial result contains ever-deeper lists.
                 assert!(measure::size(&partial) > 3);
@@ -262,9 +274,8 @@ mod tests {
 
     #[test]
     fn non_recursive_program_converges_in_two_steps() {
-        let p = Program::from_rules([
-            Rule::new(wff!([out: {(x())}]), wff!([src: {(x())}])).unwrap()
-        ]);
+        let p =
+            Program::from_rules([Rule::new(wff!([out: {(x())}]), wff!([src: {(x())}])).unwrap()]);
         let db = obj!([src: {1, 2}]);
         let c = closure(
             &p,
@@ -289,11 +300,19 @@ mod tests {
         ]);
         let db = obj!([r: {1}]);
         let inflationary = closure(
-            &p, &db, ClosureMode::Inflationary, MatchPolicy::Strict, ClosureLimits::default(),
+            &p,
+            &db,
+            ClosureMode::Inflationary,
+            MatchPolicy::Strict,
+            ClosureLimits::default(),
         )
         .unwrap();
         let literal = closure(
-            &p, &db, ClosureMode::PaperLiteral, MatchPolicy::Strict, ClosureLimits::default(),
+            &p,
+            &db,
+            ClosureMode::PaperLiteral,
+            MatchPolicy::Strict,
+            ClosureLimits::default(),
         )
         .unwrap();
         assert_eq!(inflationary.object, obj!([r: {1, 2}]));
@@ -303,9 +322,8 @@ mod tests {
     #[test]
     fn paper_literal_mode_can_lose_the_input() {
         // A lone projection rule: PaperLiteral's second iterate forgets r1.
-        let p = Program::from_rules([
-            Rule::new(wff!([out: {(x())}]), wff!([r1: {(x())}])).unwrap()
-        ]);
+        let p =
+            Program::from_rules([Rule::new(wff!([out: {(x())}]), wff!([r1: {(x())}])).unwrap()]);
         let db = obj!([r1: {1}]);
         let r = closure(
             &p,

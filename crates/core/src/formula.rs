@@ -46,8 +46,7 @@ impl Formula {
         I: IntoIterator<Item = (A, Formula)>,
         A: Into<Attr>,
     {
-        let mut v: Vec<(Attr, Formula)> =
-            entries.into_iter().map(|(a, f)| (a.into(), f)).collect();
+        let mut v: Vec<(Attr, Formula)> = entries.into_iter().map(|(a, f)| (a.into(), f)).collect();
         v.sort_by_key(|(a, _)| *a);
         for w in v.windows(2) {
             if w[0].0 == w[1].0 {
@@ -134,14 +133,10 @@ impl Formula {
             Formula::Bottom => Object::Bottom,
             Formula::Atom(a) => Object::Atom(a.clone()),
             Formula::Var(v) => subst.get(*v).cloned().unwrap_or(Object::Top),
-            Formula::Tuple(entries) => Object::tuple(
-                entries
-                    .iter()
-                    .map(|(a, f)| (*a, f.instantiate(subst))),
-            ),
-            Formula::Set(members) => {
-                Object::set(members.iter().map(|f| f.instantiate(subst)))
+            Formula::Tuple(entries) => {
+                Object::tuple(entries.iter().map(|(a, f)| (*a, f.instantiate(subst))))
             }
+            Formula::Set(members) => Object::set(members.iter().map(|f| f.instantiate(subst))),
         }
     }
 

@@ -45,11 +45,7 @@ pub fn interpret_with(
 
 /// The matches of `f` against `o` paired with their instantiations —
 /// the "certificates" of an interpretation, useful for tracing and tests.
-pub fn certificates(
-    f: &Formula,
-    o: &Object,
-    policy: MatchPolicy,
-) -> Vec<(Substitution, Object)> {
+pub fn certificates(f: &Formula, o: &Object, policy: MatchPolicy) -> Vec<(Substitution, Object)> {
     match_with(f, o, policy, &ScanAll)
         .0
         .into_iter()
@@ -161,10 +157,7 @@ mod tests {
         let db = obj!([r1: {[a: 1, b: 10], [a: 7, b: 77]}, r2: {[c: 10, d: 100]}]);
         let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y()), d: (z())]}]);
         let strict = interpret(&f, &db, MatchPolicy::Strict);
-        assert_eq!(
-            strict,
-            obj!([r1: {[a: 1, b: 10]}, r2: {[c: 10, d: 100]}])
-        );
+        assert_eq!(strict, obj!([r1: {[a: 1, b: 10]}, r2: {[c: 10, d: 100]}]));
         let literal = interpret(&f, &db, MatchPolicy::Literal);
         // [a: 7] survives in r1; the bare [d: 100] projection in r2 is
         // absorbed by [c: 10, d: 100] under set reduction.

@@ -55,8 +55,8 @@ mod var;
 
 pub use analysis::{analyse, Analysis};
 pub use apply::{
-    apply_program, apply_program_with, apply_rule, apply_rule_with, derivations,
-    is_closed_under, is_closed_under_rule,
+    apply_program, apply_program_with, apply_rule, apply_rule_with, derivations, is_closed_under,
+    is_closed_under_rule,
 };
 pub use closure::{closure, Closure, ClosureLimits, ClosureMode};
 pub use error::CalculusError;

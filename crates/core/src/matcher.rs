@@ -141,9 +141,14 @@ impl<'a> Search<'a> {
 
     /// Meets `v`'s binding with `o`, recording the old value on the trail;
     /// returns the new binding.
+    ///
+    /// Interned handles make the common cases O(1): re-meeting an equal
+    /// subtree (`cur == o`, a pointer check) keeps the current handle, and
+    /// "clones" are reference bumps, never deep copies.
     fn meet(&mut self, v: Var, o: &Object) -> Object {
         let old = self.bindings.get(&v).cloned();
         let new = match &old {
+            Some(cur) if cur == o => cur.clone(),
             Some(cur) => intersect(cur, o),
             None => o.clone(),
         };
@@ -424,7 +429,7 @@ mod tests {
     #[test]
     fn two_members_can_share_a_witness() {
         // {X, Y} against {1}: both members choose the single element.
-        let db = obj!({1});
+        let db = obj!({ 1 });
         let f = wff!({(x()), (y())});
         let ms = matches(&f, &db, MatchPolicy::Strict);
         assert_eq!(ms.len(), 1);
@@ -509,7 +514,7 @@ mod tests {
         let ms = matches(&f, &db, MatchPolicy::Strict);
         assert_eq!(ms.len(), 1);
         // X ≤ {1,2} and X ≤ {1,3}: maximal X is the glb {1}.
-        assert_eq!(ms[0].get(x()), Some(&obj!({1})));
+        assert_eq!(ms[0].get(x()), Some(&obj!({ 1 })));
     }
 
     #[test]

@@ -204,9 +204,8 @@ mod tests {
 
     #[test]
     fn non_recursive_program_detected() {
-        let p = Program::from_rules([
-            Rule::new(wff!([out: {(x())}]), wff!([src: {(x())}])).unwrap()
-        ]);
+        let p =
+            Program::from_rules([Rule::new(wff!([out: {(x())}]), wff!([src: {(x())}])).unwrap()]);
         assert!(!p.looks_recursive());
     }
 }

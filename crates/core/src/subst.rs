@@ -98,9 +98,12 @@ impl Substitution {
     /// matcher produces); variables missing from `other` read as ⊤.
     pub fn le(&self, other: &Substitution) -> bool {
         for (v, o) in self.iter() {
-            let rhs = other.get(v).cloned().unwrap_or(Object::Top);
-            if !co_object::order::le(o, &rhs) {
-                return false;
+            // A variable missing from `other` reads as ⊤, and everything is
+            // ≤ ⊤ — no binding to materialize.
+            if let Some(rhs) = other.get(v) {
+                if !co_object::order::le(o, rhs) {
+                    return false;
+                }
             }
         }
         true
@@ -172,7 +175,7 @@ mod tests {
 
     #[test]
     fn pointwise_le() {
-        let small = Substitution::from_pairs([(v("X"), obj!({1}))]);
+        let small = Substitution::from_pairs([(v("X"), obj!({ 1 }))]);
         let big = Substitution::from_pairs([(v("X"), obj!({1, 2})), (v("Y"), obj!(3))]);
         assert!(small.le(&big));
         assert!(!big.le(&small)); // X ↦ {1,2} is not ≤ X ↦ {1}.

@@ -52,11 +52,7 @@ impl Var {
 
     /// The variable's name.
     pub fn name(self) -> Arc<str> {
-        interner()
-            .read()
-            .expect("var interner poisoned")
-            .names[self.0 as usize]
-            .clone()
+        interner().read().expect("var interner poisoned").names[self.0 as usize].clone()
     }
 
     /// The raw interning id (process-local).

@@ -82,7 +82,6 @@ impl Delta {
             Delta::Tuple(_) => &NEW,
         }
     }
-
 }
 
 /// Computes the delta from `old` to `new`.
@@ -210,8 +209,8 @@ mod tests {
     #[test]
     fn kind_change_is_new() {
         assert_eq!(diff(&obj!(1), &obj!(2)), Delta::New);
-        assert_eq!(diff(&obj!({1}), &obj!([a: 1])), Delta::New);
-        assert_eq!(diff(&Object::Bottom, &obj!({1})), Delta::New);
+        assert_eq!(diff(&obj!({ 1 }), &obj!([a: 1])), Delta::New);
+        assert_eq!(diff(&Object::Bottom, &obj!({ 1 })), Delta::New);
     }
 
     #[test]

@@ -70,6 +70,8 @@ impl<'a> Search<'a> {
     fn meet(&mut self, v: Var, o: &Object) -> Object {
         let old = self.bindings.get(&v).cloned();
         let new = match &old {
+            // O(1) on interned handles: equal subtrees share a node.
+            Some(cur) if cur == o => cur.clone(),
             Some(cur) => intersect(cur, o),
             None => o.clone(),
         };

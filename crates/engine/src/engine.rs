@@ -5,9 +5,7 @@ use crate::delta::{diff, Delta};
 use crate::dmatch::delta_match;
 use crate::index::IndexedPrefilter;
 use crate::{EngineError, EvalStats, Guard, Trace, TraceEvent};
-use co_calculus::{
-    match_with, ClosureMode, MatchPolicy, MatchStats, Prefilter, Program, ScanAll,
-};
+use co_calculus::{match_with, ClosureMode, MatchPolicy, MatchStats, Prefilter, Program, ScanAll};
 use co_object::lattice::{union, union_many};
 use co_object::{measure, Object};
 use std::time::Instant;
@@ -138,7 +136,11 @@ impl Engine {
         let prefilter: &dyn Prefilter = if self.use_indexes { &indexed } else { &scan };
 
         let mut stats = EvalStats::default();
-        let mut trace = if self.tracing { Some(Trace::new()) } else { None };
+        let mut trace = if self.tracing {
+            Some(Trace::new())
+        } else {
+            None
+        };
         let mut current = db.clone();
         let mut delta: Option<Delta> = None; // None = first iteration.
 
@@ -146,7 +148,10 @@ impl Engine {
             let iteration = stats.iterations + 1;
             if iteration > self.guard.max_iterations {
                 return Err(self.diverged(
-                    format!("no fixpoint within {} iterations", self.guard.max_iterations),
+                    format!(
+                        "no fixpoint within {} iterations",
+                        self.guard.max_iterations
+                    ),
                     current,
                     stats,
                     start,
@@ -314,9 +319,10 @@ mod tests {
     fn seminaive_does_less_matching_work_than_naive() {
         // Build a long chain so the fixpoint needs many iterations.
         let n = 30;
-        let family = Object::set((0..n).map(|i| {
-            obj!([name: (format!("p{i}")), children: {[name: (format!("p{}", i + 1))]}])
-        }));
+        let family =
+            Object::set((0..n).map(
+                |i| obj!([name: (format!("p{i}")), children: {[name: (format!("p{}", i + 1))]}]),
+            ));
         let db = Object::tuple([("family", family)]);
         let program = Program::from_rules([
             Rule::fact(wff!([doa: {p0}])).unwrap(),
@@ -367,7 +373,11 @@ mod tests {
             .run(&obj!([list: {}]))
             .unwrap_err();
         match err {
-            EngineError::Diverged { reason, partial, stats } => {
+            EngineError::Diverged {
+                reason,
+                partial,
+                stats,
+            } => {
                 assert!(reason.contains("depth") || reason.contains("iterations"));
                 assert!(measure::size(&partial) > 1);
                 assert!(stats.iterations > 1);
@@ -377,9 +387,7 @@ mod tests {
 
     #[test]
     fn paper_literal_mode_forces_naive() {
-        let p = Program::from_rules([
-            Rule::new(wff!([r: {(x())}]), wff!([r: {(x())}])).unwrap()
-        ]);
+        let p = Program::from_rules([Rule::new(wff!([r: {(x())}]), wff!([r: {(x())}])).unwrap()]);
         let e = Engine::new(p).mode(ClosureMode::PaperLiteral);
         assert_eq!(e.effective_strategy(), Strategy::Naive);
     }

@@ -104,8 +104,14 @@ mod tests {
             max_depth: 2,
             ..Guard::default()
         };
-        assert!(g.check_database(&obj!({1})).is_none()); // depth 2
-        assert!(g.check_database(&obj!({{1}})).is_some()); // depth 3
+        assert!(g.check_database(&obj!({ 1 })).is_none()); // depth 2
+        assert!(g
+            .check_database(&obj!({
+                {
+                    1
+                }
+            }))
+            .is_some()); // depth 3
     }
 
     #[test]
@@ -123,12 +129,24 @@ mod tests {
         };
         assert!(g.check_time(Duration::from_millis(5)).is_none());
         assert!(g.check_time(Duration::from_millis(50)).is_some());
-        assert!(Guard::default().check_time(Duration::from_secs(999)).is_none());
+        assert!(Guard::default()
+            .check_time(Duration::from_secs(999))
+            .is_none());
     }
 
     #[test]
     fn presets() {
-        assert!(Guard::unlimited().check_database(&obj!({{{{1}}}})).is_none());
+        assert!(Guard::unlimited()
+            .check_database(&obj!({
+                {
+                    {
+                        {
+                            1
+                        }
+                    }
+                }
+            }))
+            .is_none());
         assert_eq!(Guard::interactive().max_depth, 100);
     }
 }

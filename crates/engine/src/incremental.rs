@@ -76,11 +76,7 @@ impl Materialized {
 
     /// Convenience: inserts one element into the set at `path`, then
     /// re-closes.
-    pub fn insert_at(
-        &mut self,
-        path: &Path,
-        element: Object,
-    ) -> Result<&Object, EngineError> {
+    pub fn insert_at(&mut self, path: &Path, element: Object) -> Result<&Object, EngineError> {
         // Build the minimal addition object: the path wrapped around a
         // singleton set.
         let mut addition = Object::set([element]);
@@ -117,12 +113,9 @@ mod tests {
 
     #[test]
     fn refresh_equals_recompute() {
-        let base = parse_object(
-            "[edge: {[src: 0, dst: 1], [src: 1, dst: 2]}, start: {0}]",
-        )
-        .unwrap();
-        let mut view =
-            Materialized::new(Engine::new(reach_program()), &base).unwrap();
+        let base =
+            parse_object("[edge: {[src: 0, dst: 1], [src: 1, dst: 2]}, start: {0}]").unwrap();
+        let mut view = Materialized::new(Engine::new(reach_program()), &base).unwrap();
         assert_eq!(view.database().dot("reach"), &obj!({0, 1, 2}));
 
         // Add an edge 2 → 3 incrementally…
@@ -140,8 +133,7 @@ mod tests {
     #[test]
     fn redundant_additions_are_free() {
         let base = parse_object("[edge: {[src: 0, dst: 1]}, start: {0}]").unwrap();
-        let mut view =
-            Materialized::new(Engine::new(reach_program()), &base).unwrap();
+        let mut view = Materialized::new(Engine::new(reach_program()), &base).unwrap();
         let before_iters = view.stats().iterations;
         // reach already contains 1: adding it is a no-op.
         view.add(&parse_object("[reach: {1}]").unwrap()).unwrap();
@@ -152,8 +144,7 @@ mod tests {
     #[test]
     fn insert_at_builds_the_addition() {
         let base = parse_object("[edge: {[src: 0, dst: 1]}, start: {0}]").unwrap();
-        let mut view =
-            Materialized::new(Engine::new(reach_program()), &base).unwrap();
+        let mut view = Materialized::new(Engine::new(reach_program()), &base).unwrap();
         view.insert_at(
             &Path::parse("edge"),
             parse_object("[src: 1, dst: 9]").unwrap(),

@@ -5,8 +5,12 @@
 //! positions turns the constant (and bound-variable) constraints into hash
 //! probes. This is the classic access-path substrate of a database engine,
 //! adapted to complex objects: indexes are built per *set node*, keyed by
-//! the set's allocation identity (`Arc` pointer), so unchanged relations
-//! keep their index across fixpoint iterations for free.
+//! the set's stable [`NodeId`] from the hash-consed store. Because node ids
+//! identify canonical *values* (equal sets are the same interned node) and
+//! are never recycled, unchanged relations keep their index across fixpoint
+//! iterations even when a later iteration *re-derives* an equal set through
+//! a different code path — and a dropped set's id can never alias a new
+//! allocation (the ABA hazard of raw `Arc` addresses).
 //!
 //! Soundness contract (required by [`Prefilter`]): a returned candidate list
 //! contains **every** element the member formula could match. Constant-atom
@@ -16,52 +20,64 @@
 //! ⊥ against a mismatching element, so the probe would be unsound.
 
 use co_calculus::{Formula, MatchPolicy, Prefilter, Var};
-use co_object::{Atom, Attr, Object, Set};
-use rustc_hash::FxHashMap;
+use co_object::{Atom, Attr, NodeId, Object, Set};
+use rustc_hash::{FxHashMap, FxHashSet};
 
-/// An index over one set object: `(attr, atom) → positions`.
+/// An index over one set object: `attr → atom → positions`.
+///
+/// Nested maps (rather than a composite `(Attr, Atom)` key) let the hot
+/// probe path look up by `&Atom` — no per-probe clone of string atoms.
 #[derive(Debug, Default)]
 pub struct SetIndex {
-    by_attr_atom: FxHashMap<(Attr, Atom), Vec<usize>>,
+    by_attr: FxHashMap<Attr, FxHashMap<Atom, Vec<usize>>>,
 }
 
 impl SetIndex {
     /// Builds the index for `set`: every top-level atomic attribute value of
     /// every tuple element is indexed.
     pub fn build(set: &Set) -> SetIndex {
-        let mut by_attr_atom: FxHashMap<(Attr, Atom), Vec<usize>> = FxHashMap::default();
+        let mut by_attr: FxHashMap<Attr, FxHashMap<Atom, Vec<usize>>> = FxHashMap::default();
         for (i, e) in set.elements().iter().enumerate() {
             if let Object::Tuple(t) = e {
                 for (a, v) in t.entries() {
                     if let Object::Atom(atom) = v {
-                        by_attr_atom.entry((*a, atom.clone())).or_default().push(i);
+                        by_attr
+                            .entry(*a)
+                            .or_default()
+                            .entry(atom.clone())
+                            .or_default()
+                            .push(i);
                     }
                 }
             }
         }
-        SetIndex { by_attr_atom }
+        SetIndex { by_attr }
     }
 
     /// Positions of elements whose attribute `a` equals `atom`.
+    /// Allocation-free: probes borrow the caller's atom.
     pub fn probe(&self, a: Attr, atom: &Atom) -> &[usize] {
-        self.by_attr_atom
-            .get(&(a, atom.clone()))
+        self.by_attr
+            .get(&a)
+            .and_then(|m| m.get(atom))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
     /// Number of distinct `(attr, atom)` keys.
     pub fn keys(&self) -> usize {
-        self.by_attr_atom.len()
+        self.by_attr.values().map(FxHashMap::len).sum()
     }
 }
 
-/// A registry of [`SetIndex`]es keyed by set identity, with lazy
-/// construction and cross-iteration reuse (unchanged sets keep their `Arc`
-/// and therefore their pointer).
+/// A registry of [`SetIndex`]es keyed by interned set [`NodeId`], with lazy
+/// construction and cross-iteration reuse: because equal sets are the same
+/// interned node, an index built in one iteration serves every later
+/// occurrence of that *value* — including re-derivations through different
+/// code paths, which distinct-allocation keying would miss.
 #[derive(Default)]
 pub struct IndexRegistry {
-    indexes: FxHashMap<usize, SetIndex>,
+    indexes: FxHashMap<NodeId, SetIndex>,
     /// Sets smaller than this are scanned — index bookkeeping would cost
     /// more than it saves.
     pub min_set_len: usize,
@@ -76,10 +92,6 @@ impl IndexRegistry {
         }
     }
 
-    fn key(set: &Set) -> usize {
-        set.elements().as_ptr() as usize
-    }
-
     /// Returns (building if necessary) the index for `set`, or `None` for
     /// sets below the size threshold.
     pub fn index_for(&mut self, set: &Set) -> Option<&SetIndex> {
@@ -88,16 +100,17 @@ impl IndexRegistry {
         }
         Some(
             self.indexes
-                .entry(Self::key(set))
+                .entry(set.node_id())
                 .or_insert_with(|| SetIndex::build(set)),
         )
     }
 
     /// Drops indexes for sets no longer reachable from `db` (call once per
-    /// iteration to stop stale pointers from accumulating — and, more
-    /// importantly, from aliasing a *new* allocation at a recycled address).
+    /// iteration to bound memory; node ids are never recycled, so — unlike
+    /// the old pointer-keyed scheme — a stale entry can go *unused* but can
+    /// never alias a different set).
     pub fn retain_reachable(&mut self, db: &Object) {
-        let mut live: Vec<usize> = Vec::new();
+        let mut live: FxHashSet<NodeId> = FxHashSet::default();
         collect_set_keys(db, &mut live);
         self.indexes.retain(|k, _| live.contains(k));
     }
@@ -113,15 +126,18 @@ impl IndexRegistry {
     }
 }
 
-fn collect_set_keys(o: &Object, out: &mut Vec<usize>) {
+fn collect_set_keys(o: &Object, out: &mut FxHashSet<NodeId>) {
     match o {
         Object::Set(s) => {
-            out.push(s.elements().as_ptr() as usize);
-            for e in s.iter() {
-                collect_set_keys(e, out);
+            out.insert(s.node_id());
+            // Flat sets (cached flag) contain no nested composites.
+            if !s.meta().flat {
+                for e in s.iter() {
+                    collect_set_keys(e, out);
+                }
             }
         }
-        Object::Tuple(t) => {
+        Object::Tuple(t) if t.meta().contains_set => {
             for (_, v) in t.entries() {
                 collect_set_keys(v, out);
             }
@@ -171,24 +187,24 @@ impl Prefilter for IndexedPrefilter {
         };
         let mut registry = self.registry.borrow_mut();
         let index = registry.index_for(set)?;
-        // Probe the most selective constant/bound-atom constraint.
+        // Probe the most selective constant/bound-atom constraint. Constant
+        // atoms probe by reference — no clone on the hot path.
         let mut best: Option<&[usize]> = None;
         for (a, f) in entries {
-            let atom = match f {
-                Formula::Atom(atom) => Some(atom.clone()),
+            let hits = match f {
+                Formula::Atom(atom) => Some(index.probe(*a, atom)),
                 Formula::Var(v) if self.policy == MatchPolicy::Strict => {
                     match bindings(*v) {
                         // Only an *atomic* binding pins the element's value:
                         // σX already = that atom, and shrinking to ⊥ prunes
                         // under Strict.
-                        Some(Object::Atom(atom)) => Some(atom),
+                        Some(Object::Atom(atom)) => Some(index.probe(*a, &atom)),
                         _ => None,
                     }
                 }
                 _ => None,
             };
-            if let Some(atom) = atom {
-                let hits = index.probe(*a, &atom);
+            if let Some(hits) = hits {
                 if best.map(|b| hits.len() < b.len()).unwrap_or(true) {
                     best = Some(hits);
                 }
@@ -237,7 +253,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_reuses_indexes_by_pointer() {
+    fn registry_reuses_indexes_by_node_id() {
         let rel = big_relation(50);
         let set = rel.as_set().unwrap();
         let mut reg = IndexRegistry::new();
@@ -245,8 +261,26 @@ mod tests {
         let p2 = reg.index_for(set).unwrap() as *const SetIndex;
         assert_eq!(p1, p2);
         assert_eq!(reg.len(), 1);
-        // Clones share the Arc — same index.
+        // Clones share the interned node — same index.
         let rel2 = rel.clone();
+        reg.index_for(rel2.as_set().unwrap()).unwrap();
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn registry_reuses_indexes_across_rederivation() {
+        // The same *value* built twice through independent constructor
+        // calls (as semi-naive iterations do) interns to one node and
+        // therefore hits one index — the robustness the pointer-keyed
+        // scheme lacked.
+        let mut reg = IndexRegistry::new();
+        let rel1 = big_relation(50);
+        reg.index_for(rel1.as_set().unwrap()).unwrap();
+        let rel2 = big_relation(50);
+        assert_eq!(
+            rel1.as_set().unwrap().node_id(),
+            rel2.as_set().unwrap().node_id()
+        );
         reg.index_for(rel2.as_set().unwrap()).unwrap();
         assert_eq!(reg.len(), 1);
     }
@@ -279,7 +313,11 @@ mod tests {
         let (indexed, stats) = match_with(&f, &db, MatchPolicy::Strict, &pf);
         assert_eq!(scan, indexed);
         // The index probe must try far fewer candidates than the scan.
-        assert!(stats.candidates_tried <= 20, "tried {}", stats.candidates_tried);
+        assert!(
+            stats.candidates_tried <= 20,
+            "tried {}",
+            stats.candidates_tried
+        );
     }
 
     #[test]

@@ -34,8 +34,8 @@ mod trace;
 
 pub use co_calculus::{ClosureMode, MatchPolicy};
 pub use engine::{Engine, RunOutcome, Strategy};
-pub use incremental::Materialized;
 pub use error::EngineError;
 pub use guard::Guard;
+pub use incremental::Materialized;
 pub use stats::EvalStats;
 pub use trace::{Trace, TraceEvent};

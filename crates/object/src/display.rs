@@ -78,8 +78,7 @@ pub fn pretty(o: &Object, width: usize) -> String {
 
 fn pretty_into(o: &Object, indent: usize, width: usize, out: &mut String) {
     let flat = o.to_string();
-    if indent + flat.len() <= width || matches!(o, Object::Atom(_) | Object::Bottom | Object::Top)
-    {
+    if indent + flat.len() <= width || matches!(o, Object::Atom(_) | Object::Bottom | Object::Top) {
         out.push_str(&flat);
         return;
     }
@@ -110,12 +109,7 @@ fn pretty_into(o: &Object, indent: usize, width: usize, out: &mut String) {
     }
 }
 
-fn push_block(
-    n: usize,
-    indent: usize,
-    out: &mut String,
-    mut item: impl FnMut(usize, &mut String),
-) {
+fn push_block(n: usize, indent: usize, out: &mut String, mut item: impl FnMut(usize, &mut String)) {
     for i in 0..n {
         out.push('\n');
         out.extend(std::iter::repeat_n(' ', indent + 2));
@@ -155,10 +149,7 @@ mod tests {
     #[test]
     fn set_display_orders_elements_by_rendering() {
         assert_eq!(obj!({3, 1, 2}).to_string(), "{1, 2, 3}");
-        assert_eq!(
-            obj!({[b: 2], [a: 1]}).to_string(),
-            "{[a: 1], [b: 2]}"
-        );
+        assert_eq!(obj!({[b: 2], [a: 1]}).to_string(), "{[a: 1], [b: 2]}");
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl fmt::Display for ObjectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ObjectError::DuplicateAttribute(a) => {
-                write!(f, "duplicate attribute `{a}` with conflicting values in tuple literal")
+                write!(
+                    f,
+                    "duplicate attribute `{a}` with conflicting values in tuple literal"
+                )
             }
             ObjectError::PathNotFound(p) => write!(f, "path `{p}` not found"),
             ObjectError::WrongShape { expected, found } => {

@@ -8,6 +8,7 @@
 //! instantiations, and the matcher computes maximal variable bindings as
 //! intersections.
 
+use crate::store;
 use crate::{Attr, Object, Tuple};
 use std::cmp::Ordering;
 
@@ -39,6 +40,24 @@ pub fn union(a: &Object, b: &Object) -> Object {
                 Object::Top
             }
         }
+        (Object::Tuple(_), Object::Tuple(_)) | (Object::Set(_), Object::Set(_)) => {
+            // Idempotence fast path: interned equality is O(1).
+            if a == b {
+                return a.clone();
+            }
+            store::union_cached(
+                (a.node_id().unwrap(), a.meta().unwrap()),
+                (b.node_id().unwrap(), b.meta().unwrap()),
+                || union_uncached(a, b),
+            )
+        }
+        _ => Object::Top,
+    }
+}
+
+/// Same-kind composite union, bypassing the memo table.
+fn union_uncached(a: &Object, b: &Object) -> Object {
+    match (a, b) {
         (Object::Tuple(x), Object::Tuple(y)) => union_tuples(x, y),
         (Object::Set(x), Object::Set(y)) => {
             let mut v: Vec<Object> = Vec::with_capacity(x.len() + y.len());
@@ -46,7 +65,7 @@ pub fn union(a: &Object, b: &Object) -> Object {
             v.extend(y.iter().cloned());
             Object::set_from_vec(v)
         }
-        _ => Object::Top,
+        _ => unreachable!("union_uncached called on non-matching kinds"),
     }
 }
 
@@ -78,10 +97,39 @@ pub fn intersect(a: &Object, b: &Object) -> Object {
                 Object::Bottom
             }
         }
+        (Object::Tuple(_), Object::Tuple(_)) | (Object::Set(_), Object::Set(_)) => {
+            // Idempotence fast path: interned equality is O(1).
+            if a == b {
+                return a.clone();
+            }
+            store::intersect_cached(
+                (a.node_id().unwrap(), a.meta().unwrap()),
+                (b.node_id().unwrap(), b.meta().unwrap()),
+                || intersect_uncached(a, b),
+            )
+        }
+        _ => Object::Bottom,
+    }
+}
+
+/// Same-kind composite intersection, bypassing the memo table.
+fn intersect_uncached(a: &Object, b: &Object) -> Object {
+    match (a, b) {
         (Object::Tuple(x), Object::Tuple(y)) => intersect_tuples(x, y),
         (Object::Set(x), Object::Set(y)) => {
             // "the reduced version of the set {o1 ∩ o2 | o1 ∈ O1, o2 ∈ O2}";
             // ⊥ entries vanish and reduction absorbs dominated intersections.
+            // Flat sets (cached flag) intersect atom-by-atom: a sorted merge
+            // instead of the quadratic product.
+            if x.meta().flat && y.meta().flat {
+                let mut v: Vec<Object> = Vec::new();
+                for e in x.iter() {
+                    if y.contains(e) {
+                        v.push(e.clone());
+                    }
+                }
+                return Object::set_from_vec(v);
+            }
             let mut v: Vec<Object> = Vec::new();
             for e in x.iter() {
                 for f in y.iter() {
@@ -93,7 +141,7 @@ pub fn intersect(a: &Object, b: &Object) -> Object {
             }
             Object::set_from_vec(v)
         }
-        _ => Object::Bottom,
+        _ => unreachable!("intersect_uncached called on non-matching kinds"),
     }
 }
 
@@ -258,8 +306,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::order::le;
     use crate::obj;
+    use crate::order::le;
 
     #[test]
     fn examples_3_3_union() {
@@ -295,9 +343,12 @@ mod tests {
             intersect(&obj!([a: 1, b: 2]), &obj!([b: 3, c: 4])),
             Object::empty_tuple()
         );
-        assert_eq!(intersect(&obj!({1, 2}), &obj!({2, 3})), obj!({2}));
+        assert_eq!(intersect(&obj!({1, 2}), &obj!({2, 3})), obj!({ 2 }));
         assert_eq!(intersect(&obj!(1), &obj!(2)), Object::Bottom);
-        assert_eq!(intersect(&obj!([a: 1, b: 2]), &obj!({1, 2, 3})), Object::Bottom);
+        assert_eq!(
+            intersect(&obj!([a: 1, b: 2]), &obj!({1, 2, 3})),
+            Object::Bottom
+        );
         assert_eq!(
             intersect(&obj!([a: 1, b: {2, 3}]), &obj!([b: {3, 4}, c: 5])),
             obj!([b: {3}])
@@ -354,7 +405,10 @@ mod tests {
         assert_eq!(intersect(&Object::empty_set(), &s), Object::empty_set());
         // {} vs a tuple is a kind clash.
         assert_eq!(union(&Object::empty_set(), &obj!([a: 1])), Object::Top);
-        assert_eq!(intersect(&Object::empty_set(), &obj!([a: 1])), Object::Bottom);
+        assert_eq!(
+            intersect(&Object::empty_set(), &obj!([a: 1])),
+            Object::Bottom
+        );
     }
 
     #[test]
@@ -373,10 +427,10 @@ mod tests {
     fn nary_operations() {
         assert_eq!(union_all([] as [&Object; 0]), Object::Bottom);
         assert_eq!(intersect_all([] as [&Object; 0]), Object::Top);
-        let items = [obj!({1}), obj!({2}), obj!({3})];
+        let items = [obj!({ 1 }), obj!({ 2 }), obj!({ 3 })];
         assert_eq!(union_all(items.iter()), obj!({1, 2, 3}));
         let items2 = [obj!({1, 2, 3}), obj!({2, 3}), obj!({3, 4})];
-        assert_eq!(intersect_all(items2.iter()), obj!({3}));
+        assert_eq!(intersect_all(items2.iter()), obj!({ 3 }));
     }
 
     #[test]
@@ -385,9 +439,7 @@ mod tests {
         for seed in 0..50u64 {
             let mut g = Generator::new(seed, Profile::small());
             let items = g.objects(5);
-            let folded = items
-                .iter()
-                .fold(Object::Bottom, |acc, o| union(&acc, o));
+            let folded = items.iter().fold(Object::Bottom, |acc, o| union(&acc, o));
             let bulk = union_many(items.clone());
             assert_eq!(bulk, folded, "seed {seed}: items {items:?}");
         }
@@ -400,7 +452,7 @@ mod tests {
         assert_eq!(union_many([Object::Top, obj!(1)]), Object::Top);
         assert_eq!(union_many([obj!(1), obj!(1)]), obj!(1));
         assert_eq!(union_many([obj!(1), obj!(2)]), Object::Top);
-        assert_eq!(union_many([obj!({1}), obj!([a: 1])]), Object::Top);
+        assert_eq!(union_many([obj!({ 1 }), obj!([a: 1])]), Object::Top);
         assert_eq!(
             union_many([obj!([a: 1]), obj!([b: {2}]), obj!([b: {3}])]),
             obj!([a: 1, b: {2, 3}])

@@ -56,6 +56,7 @@ pub mod path;
 pub mod random;
 #[cfg(feature = "serde")]
 mod serde_impl;
+pub mod store;
 pub mod update;
 mod value;
 
@@ -65,6 +66,7 @@ pub use builder::IntoObject;
 pub use error::ObjectError;
 pub use measure::{atom_count, depth, max_fanout, size, Depth};
 pub use path::Path;
+pub use store::{Meta, NodeId};
 pub use value::{Object, Set, Tuple};
 
 #[cfg(test)]

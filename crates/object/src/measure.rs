@@ -49,56 +49,50 @@ impl fmt::Display for Depth {
 }
 
 /// Computes the paper's depth measure for `o`.
+///
+/// O(1) for composites: interned nodes carry their depth in cached
+/// [`crate::Meta`].
 pub fn depth(o: &Object) -> Depth {
     match o {
         Object::Bottom | Object::Atom(_) => Depth::Finite(1),
         Object::Top => Depth::Infinite,
-        Object::Tuple(t) => t
-            .iter()
-            .map(|(_, v)| depth(v))
-            .max()
-            .unwrap_or(Depth::Finite(1))
-            .succ(),
-        Object::Set(s) => s
-            .iter()
-            .map(depth)
-            .max()
-            .unwrap_or(Depth::Finite(1))
-            .succ(),
+        Object::Tuple(t) => Depth::Finite(t.meta().depth),
+        Object::Set(s) => Depth::Finite(s.meta().depth),
     }
 }
 
 /// Total number of nodes (atoms, ⊥/⊤ leaves, tuple and set constructors) in
 /// the object tree. Used by engine guards to bound database growth.
+///
+/// O(1) for composites (cached in [`crate::Meta`]).
 pub fn size(o: &Object) -> u64 {
     match o {
         Object::Bottom | Object::Atom(_) | Object::Top => 1,
-        Object::Tuple(t) => 1 + t.iter().map(|(_, v)| size(v)).sum::<u64>(),
-        Object::Set(s) => 1 + s.iter().map(size).sum::<u64>(),
+        Object::Tuple(t) => t.meta().size,
+        Object::Set(s) => s.meta().size,
     }
 }
 
 /// Number of atom leaves in the object tree.
+///
+/// O(1) for composites (cached in [`crate::Meta`]).
 pub fn atom_count(o: &Object) -> u64 {
     match o {
         Object::Atom(_) => 1,
         Object::Bottom | Object::Top => 0,
-        Object::Tuple(t) => t.iter().map(|(_, v)| atom_count(v)).sum(),
-        Object::Set(s) => s.iter().map(atom_count).sum(),
+        Object::Tuple(t) => t.meta().atom_count,
+        Object::Set(s) => s.meta().atom_count,
     }
 }
 
 /// Maximum fanout (tuple width or set cardinality) anywhere in the tree.
+///
+/// O(1) for composites (cached in [`crate::Meta`]).
 pub fn max_fanout(o: &Object) -> usize {
     match o {
         Object::Bottom | Object::Atom(_) | Object::Top => 0,
-        Object::Tuple(t) => t
-            .iter()
-            .map(|(_, v)| max_fanout(v))
-            .max()
-            .unwrap_or(0)
-            .max(t.len()),
-        Object::Set(s) => s.iter().map(max_fanout).max().unwrap_or(0).max(s.len()),
+        Object::Tuple(t) => t.meta().max_fanout,
+        Object::Set(s) => s.meta().max_fanout,
     }
 }
 

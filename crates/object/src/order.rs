@@ -13,6 +13,7 @@
 //! (Theorems 3.1–3.3) and in fact a lattice order (Theorem 3.6); the lattice
 //! operations live in [`crate::lattice`].
 
+use crate::store;
 use crate::{Object, Set, Tuple};
 use std::cmp::Ordering;
 
@@ -40,8 +41,33 @@ pub fn le(a: &Object, b: &Object) -> bool {
         (Object::Top, _) => false,
         (_, Object::Bottom) => false,
         (Object::Atom(x), Object::Atom(y)) => x == y,
-        (Object::Tuple(x), Object::Tuple(y)) => tuple_le(x, y),
-        (Object::Set(x), Object::Set(y)) => set_le(x, y),
+        (Object::Tuple(x), Object::Tuple(y)) => {
+            // Interned handles: equality — and hence reflexivity — is a
+            // pointer check.
+            if x == y {
+                return true;
+            }
+            // Monotone-measure rejects: x ≤ y forces attrs(x) ⊆ attrs(y)
+            // and depth(x) ≤ depth(y) (induction over Definition 3.1).
+            if x.len() > y.len() || x.meta().depth > y.meta().depth {
+                return false;
+            }
+            store::le_cached((x.node_id(), x.meta()), (y.node_id(), y.meta()), || {
+                tuple_le(x, y)
+            })
+        }
+        (Object::Set(x), Object::Set(y)) => {
+            if x == y {
+                return true;
+            }
+            // Element count is *not* monotone for sets, but depth is.
+            if x.meta().depth > y.meta().depth {
+                return false;
+            }
+            store::le_cached((x.node_id(), x.meta()), (y.node_id(), y.meta()), || {
+                set_le(x, y)
+            })
+        }
         _ => false,
     }
 }
@@ -107,6 +133,12 @@ fn tuple_le(x: &Tuple, y: &Tuple) -> bool {
 /// search in the canonically sorted `y`) removes the common case where the
 /// element is literally present.
 fn set_le(x: &Set, y: &Set) -> bool {
+    // Flat fast path (cached flag): every element of a flat set is an atom,
+    // and an atom is only below an equal atom — so `x ≤ y` degenerates to
+    // subset, a binary search per element instead of a quadratic scan.
+    if x.meta().flat {
+        return x.iter().all(|e| y.contains(e));
+    }
     x.iter()
         .all(|e| y.contains(e) || y.iter().any(|f| le(e, f)))
 }
@@ -156,7 +188,7 @@ mod tests {
             obj!(1),
             obj!(x),
             obj!([a: 1]),
-            obj!({1}),
+            obj!({ 1 }),
             Object::Top,
         ];
         for o in &samples {
@@ -198,14 +230,14 @@ mod tests {
         assert!(le(&obj!({[a: 1], [b: 2]}), &obj!({[a: 1, b: 2]})));
         // But not vice versa.
         assert!(!le(&obj!({[a: 1, b: 2]}), &obj!({[a: 1]})));
-        assert!(le(&Object::empty_set(), &obj!({1})));
-        assert!(!le(&obj!({1}), &Object::empty_set()));
+        assert!(le(&Object::empty_set(), &obj!({ 1 })));
+        assert!(!le(&obj!({ 1 }), &Object::empty_set()));
     }
 
     #[test]
     fn mixed_kinds_are_incomparable() {
-        assert!(incomparable(&obj!([a: 1]), &obj!({1})));
-        assert!(incomparable(&obj!(1), &obj!({1})));
+        assert!(incomparable(&obj!([a: 1]), &obj!({ 1 })));
+        assert!(incomparable(&obj!(1), &obj!({ 1 })));
         assert!(incomparable(&obj!(1), &obj!(2)));
         assert!(incomparable(&Object::empty_tuple(), &Object::empty_set()));
     }

@@ -97,11 +97,12 @@ impl Generator {
     pub fn relation(&mut self, rows: usize, width: usize) -> Object {
         let attrs: Vec<Attr> = (0..width).map(|i| Attr::new(format!("c{i}"))).collect();
         Object::set((0..rows).map(|_| {
-            Object::tuple(
-                attrs
-                    .iter()
-                    .map(|a| (*a, Object::int(self.rng.random_range(0..self.profile.atom_pool)))),
-            )
+            Object::tuple(attrs.iter().map(|a| {
+                (
+                    *a,
+                    Object::int(self.rng.random_range(0..self.profile.atom_pool)),
+                )
+            }))
         }))
     }
 
@@ -113,16 +114,17 @@ impl Generator {
             let n = self.rng.random_range(0..=self.profile.max_fanout);
             Object::set((0..n).map(|_| self.gen_at(depth - 1)).collect::<Vec<_>>())
         } else {
-            let n = self.rng.random_range(0..=self.profile.max_fanout.min(self.attrs.len()));
+            let n = self
+                .rng
+                .random_range(0..=self.profile.max_fanout.min(self.attrs.len()));
             let mut attrs = self.attrs.clone();
             // Partial Fisher-Yates: pick n distinct attributes.
             for i in 0..n {
                 let j = self.rng.random_range(i..attrs.len());
                 attrs.swap(i, j);
             }
-            let entries: Vec<(Attr, Object)> = (0..n)
-                .map(|i| (attrs[i], self.gen_at(depth - 1)))
-                .collect();
+            let entries: Vec<(Attr, Object)> =
+                (0..n).map(|i| (attrs[i], self.gen_at(depth - 1))).collect();
             Object::tuple(entries)
         }
     }
@@ -130,7 +132,10 @@ impl Generator {
     fn atom(&mut self) -> Object {
         match self.rng.random_range(0..4u8) {
             0 => Object::int(self.rng.random_range(0..self.profile.atom_pool)),
-            1 => Object::str(format!("s{}", self.rng.random_range(0..self.profile.atom_pool))),
+            1 => Object::str(format!(
+                "s{}",
+                self.rng.random_range(0..self.profile.atom_pool)
+            )),
             2 => Object::bool(self.rng.random_bool(0.5)),
             _ => Object::float(self.rng.random_range(0..self.profile.atom_pool) as f64 * 0.5),
         }
@@ -153,7 +158,13 @@ mod tests {
 
     #[test]
     fn generated_objects_respect_depth_bound() {
-        let mut g = Generator::new(7, Profile { max_depth: 3, ..Profile::default() });
+        let mut g = Generator::new(
+            7,
+            Profile {
+                max_depth: 3,
+                ..Profile::default()
+            },
+        );
         for o in g.objects(100) {
             match depth(&o) {
                 Depth::Finite(d) => assert!(d <= 3, "depth {d} > 3 for {o}"),

@@ -58,8 +58,7 @@ fn from_repr(r: Repr) -> Result<Object, String> {
             Object::try_tuple(converted?).map_err(|e| e.to_string())?
         }
         Repr::Set(elems) => {
-            let converted: Result<Vec<Object>, String> =
-                elems.into_iter().map(from_repr).collect();
+            let converted: Result<Vec<Object>, String> = elems.into_iter().map(from_repr).collect();
             Object::set(converted?)
         }
     })

@@ -1,0 +1,583 @@
+//! The hash-consed object store: interned composite nodes with stable ids,
+//! cached hashes, and precomputed structural metadata.
+//!
+//! # Design
+//!
+//! Every [`Tuple`](crate::Tuple) and [`Set`](crate::Set) interior in the
+//! process is a node in one global store. Construction goes through
+//! [`intern_tuple`] / [`intern_set`] (the only way to create the node
+//! types), which deduplicate by content: **canonically-equal composites are
+//! always the same `Arc` allocation**. Three properties follow:
+//!
+//! - **O(1) equality** — `==` on tuples, sets, and therefore whole
+//!   [`Object`]s is a pointer comparison (plus an atom compare for leaves);
+//!   the canonical-form invariant of `value.rs` makes this coincide with
+//!   the paper's semantic equality (Definition 2.2).
+//! - **O(1) hashing** — every node carries the hash of its contents,
+//!   computed once at interning time from the (already cached) child
+//!   hashes.
+//! - **Stable identity** — every node carries a process-unique [`NodeId`]
+//!   that is never recycled, so downstream layers (the engine's set
+//!   indexes, the memo tables below) can key off identity without the
+//!   ABA hazard of raw `Arc` addresses.
+//!
+//! Nodes also carry a [`Meta`] record — depth, node count, atom count,
+//! maximum fanout, a contains-set flag, and a flatness flag — computed in
+//! O(width) at interning time from the children's metadata, making the
+//! measures in [`crate::measure`] O(1) for interned values.
+//!
+//! # Memo tables
+//!
+//! The store hosts memo caches for the three binary lattice operations —
+//! the sub-object order `≤`, union, and intersection — keyed by
+//! `(NodeId, NodeId)`. Only comparisons of *large* nodes (see
+//! [`MEMO_MIN_SIZE`]) are memoized: small comparisons are cheaper than a
+//! lock round-trip. Tables are bounded; on overflow they are cleared
+//! wholesale (simple epoch eviction — see ROADMAP for the planned
+//! refinement).
+//!
+//! # Lifetime
+//!
+//! The store holds strong references: interned nodes currently live for the
+//! life of the process, like interned attribute names. That is the right
+//! trade for fixpoint workloads (iterations recreate the same values over
+//! and over); a weak-reference + sweep design is a recorded follow-up.
+
+use crate::{Attr, Object};
+use parking_lot::RwLock;
+use rustc_hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A stable, process-unique identifier of an interned composite node.
+///
+/// Ids are assigned in interning order, never reused, and shared across the
+/// tuple and set namespaces (an id names one node of either kind). They are
+/// meaningful only within the current process.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// The raw id value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Precomputed structural metadata of an interned node, filled in at
+/// interning time from the children's (already cached) metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct Meta {
+    /// The paper's depth measure (Definition 3.2) of this node. Composites
+    /// cannot contain ⊤, so depth is always finite here.
+    pub depth: u64,
+    /// Total node count of the subtree (as in [`crate::measure::size`]).
+    pub size: u64,
+    /// Number of atom leaves in the subtree.
+    pub atom_count: u64,
+    /// Maximum tuple width / set cardinality anywhere in the subtree.
+    pub max_fanout: usize,
+    /// True when the subtree contains a set node (including this node).
+    pub contains_set: bool,
+    /// True when every immediate child is an atom (a "flat" relation row /
+    /// atom set) — the cheap cases for reduction and matching.
+    pub flat: bool,
+}
+
+impl Meta {
+    fn for_children<'a, I>(len: usize, is_set: bool, children: I) -> Meta
+    where
+        I: Iterator<Item = &'a Object>,
+    {
+        let mut depth: u64 = 1; // empty composite → depth 2 after +1
+        let mut size: u64 = 1;
+        let mut atom_count: u64 = 0;
+        let mut max_fanout = len;
+        let mut contains_set = is_set;
+        let mut flat = true;
+        for child in children {
+            match child {
+                Object::Atom(_) => {
+                    depth = depth.max(1);
+                    size += 1;
+                    atom_count += 1;
+                }
+                Object::Tuple(t) => {
+                    let m = t.meta();
+                    depth = depth.max(m.depth);
+                    size += m.size;
+                    atom_count += m.atom_count;
+                    max_fanout = max_fanout.max(m.max_fanout);
+                    contains_set |= m.contains_set;
+                    flat = false;
+                }
+                Object::Set(s) => {
+                    let m = s.meta();
+                    depth = depth.max(m.depth);
+                    size += m.size;
+                    atom_count += m.atom_count;
+                    max_fanout = max_fanout.max(m.max_fanout);
+                    contains_set = true;
+                    flat = false;
+                }
+                // Canonical composites contain no ⊥/⊤ (⊥ is dropped, ⊤
+                // propagates before interning).
+                Object::Bottom | Object::Top => {
+                    unreachable!("⊥/⊤ inside a canonical composite")
+                }
+            }
+        }
+        Meta {
+            depth: depth + 1,
+            size,
+            atom_count,
+            max_fanout,
+            contains_set,
+            flat,
+        }
+    }
+}
+
+/// The interned interior of a tuple object.
+pub(crate) struct TupleNode {
+    pub(crate) id: NodeId,
+    pub(crate) hash: u64,
+    pub(crate) meta: Meta,
+    pub(crate) entries: Box<[(Attr, Object)]>,
+}
+
+/// The interned interior of a set object.
+pub(crate) struct SetNode {
+    pub(crate) id: NodeId,
+    pub(crate) hash: u64,
+    pub(crate) meta: Meta,
+    pub(crate) elements: Box<[Object]>,
+}
+
+struct Store {
+    tuples: FxHashMap<u64, Vec<Arc<TupleNode>>>,
+    sets: FxHashMap<u64, Vec<Arc<SetNode>>>,
+}
+
+fn store() -> &'static RwLock<Store> {
+    static STORE: OnceLock<RwLock<Store>> = OnceLock::new();
+    STORE.get_or_init(|| {
+        RwLock::new(Store {
+            tuples: FxHashMap::default(),
+            sets: FxHashMap::default(),
+        })
+    })
+}
+
+fn next_id() -> NodeId {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    NodeId(COUNTER.fetch_add(1, Ordering::Relaxed))
+}
+
+// A tiny direct-mapped thread-local L1 in front of the global store:
+// evaluation loops re-intern the same values every iteration (rule heads,
+// result rows), and a hit here skips the shared lock entirely. Entries are
+// `Arc` clones of canonical nodes, so pointer-equality guarantees are
+// unaffected; stale slots merely miss.
+const TL_CACHE_SLOTS: usize = 1 << 10;
+
+thread_local! {
+    static TL_TUPLES: std::cell::RefCell<Vec<Option<Arc<TupleNode>>>> =
+        std::cell::RefCell::new(vec![None; TL_CACHE_SLOTS]);
+    static TL_SETS: std::cell::RefCell<Vec<Option<Arc<SetNode>>>> =
+        std::cell::RefCell::new(vec![None; TL_CACHE_SLOTS]);
+}
+
+#[inline]
+fn tl_slot(hash: u64) -> usize {
+    (hash as usize) & (TL_CACHE_SLOTS - 1)
+}
+
+fn hash_tuple_entries(entries: &[(Attr, Object)]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u8(1); // kind discriminator: tuple
+    for (a, o) in entries {
+        a.hash(&mut h);
+        o.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn hash_set_elements(elements: &[Object]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u8(2); // kind discriminator: set
+    for o in elements {
+        o.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Interns canonical tuple entries (sorted, distinct, ⊥/⊤-free), returning
+/// the shared node. Content-equal calls return the same allocation.
+pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
+    let hash = hash_tuple_entries(&entries);
+    // L1: lock-free thread-local hit path.
+    let l1 = TL_TUPLES.with(|c| {
+        let c = c.borrow();
+        match &c[tl_slot(hash)] {
+            Some(node) if node.hash == hash && node.entries.iter().eq(entries.iter()) => {
+                Some(Arc::clone(node))
+            }
+            _ => None,
+        }
+    });
+    if let Some(node) = l1 {
+        return node;
+    }
+    let found = {
+        let guard = store().read();
+        guard.tuples.get(&hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|node| node.entries.iter().eq(entries.iter()))
+                .map(Arc::clone)
+        })
+    };
+    if let Some(node) = found {
+        TL_TUPLES.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
+        return node;
+    }
+    let mut guard = store().write();
+    let bucket = guard.tuples.entry(hash).or_default();
+    // Double-check under the write lock: another thread may have interned
+    // the same content between our read and write sections.
+    for node in bucket.iter() {
+        if node.entries.iter().eq(entries.iter()) {
+            return Arc::clone(node);
+        }
+    }
+    let meta = Meta::for_children(entries.len(), false, entries.iter().map(|(_, o)| o));
+    let node = Arc::new(TupleNode {
+        id: next_id(),
+        hash,
+        meta,
+        entries: entries.into_boxed_slice(),
+    });
+    bucket.push(Arc::clone(&node));
+    drop(guard);
+    TL_TUPLES.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
+    node
+}
+
+/// Interns canonical set elements (sorted, deduplicated, reduced,
+/// ⊥/⊤-free), returning the shared node.
+pub(crate) fn intern_set(elements: Vec<Object>) -> Arc<SetNode> {
+    let hash = hash_set_elements(&elements);
+    // L1: lock-free thread-local hit path.
+    let l1 = TL_SETS.with(|c| {
+        let c = c.borrow();
+        match &c[tl_slot(hash)] {
+            Some(node) if node.hash == hash && node.elements.iter().eq(elements.iter()) => {
+                Some(Arc::clone(node))
+            }
+            _ => None,
+        }
+    });
+    if let Some(node) = l1 {
+        return node;
+    }
+    let found = {
+        let guard = store().read();
+        guard.sets.get(&hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|node| node.elements.iter().eq(elements.iter()))
+                .map(Arc::clone)
+        })
+    };
+    if let Some(node) = found {
+        TL_SETS.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
+        return node;
+    }
+    let mut guard = store().write();
+    let bucket = guard.sets.entry(hash).or_default();
+    for node in bucket.iter() {
+        if node.elements.iter().eq(elements.iter()) {
+            return Arc::clone(node);
+        }
+    }
+    let meta = Meta::for_children(elements.len(), true, elements.iter());
+    let node = Arc::new(SetNode {
+        id: next_id(),
+        hash,
+        meta,
+        elements: elements.into_boxed_slice(),
+    });
+    bucket.push(Arc::clone(&node));
+    drop(guard);
+    TL_SETS.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
+    node
+}
+
+// ---------------------------------------------------------------------------
+// Memo tables for the binary lattice operations
+// ---------------------------------------------------------------------------
+
+/// Minimum subtree node count (on both operands) for a comparison to be
+/// memoized. Below this, the structural walk is cheaper than a lock
+/// round-trip on the shared table.
+pub const MEMO_MIN_SIZE: u64 = 12;
+
+/// Maximum entries per memo table; on overflow the table is cleared
+/// (wholesale epoch eviction).
+const MEMO_CAP: usize = 1 << 20;
+
+struct MemoTable<V> {
+    map: OnceLock<RwLock<FxHashMap<(NodeId, NodeId), V>>>,
+}
+
+impl<V: Clone> MemoTable<V> {
+    const fn new() -> Self {
+        MemoTable {
+            map: OnceLock::new(),
+        }
+    }
+
+    fn table(&self) -> &RwLock<FxHashMap<(NodeId, NodeId), V>> {
+        self.map.get_or_init(|| RwLock::new(FxHashMap::default()))
+    }
+
+    fn get(&self, key: (NodeId, NodeId)) -> Option<V> {
+        self.table().read().get(&key).cloned()
+    }
+
+    fn put(&self, key: (NodeId, NodeId), value: V) {
+        let mut guard = self.table().write();
+        if guard.len() >= MEMO_CAP {
+            guard.clear();
+        }
+        guard.insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.table().read().len()
+    }
+}
+
+static LE_MEMO: MemoTable<bool> = MemoTable::new();
+static UNION_MEMO: MemoTable<Object> = MemoTable::new();
+static INTERSECT_MEMO: MemoTable<Object> = MemoTable::new();
+
+fn symmetric(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// True when a pair of nodes is worth memoizing: both subtrees at least
+/// [`MEMO_MIN_SIZE`] nodes (smaller comparisons are cheaper than a lock
+/// round-trip on the shared table).
+fn memo_worthy(a: &Meta, b: &Meta) -> bool {
+    a.size >= MEMO_MIN_SIZE && b.size >= MEMO_MIN_SIZE
+}
+
+/// `a ≤ b` through the memo table (order-sensitive key), falling back to
+/// `compute` on a miss or when the pair is below the memo threshold.
+pub(crate) fn le_cached(
+    a: (NodeId, &Meta),
+    b: (NodeId, &Meta),
+    compute: impl FnOnce() -> bool,
+) -> bool {
+    if !memo_worthy(a.1, b.1) {
+        return compute();
+    }
+    let key = (a.0, b.0);
+    if let Some(r) = LE_MEMO.get(key) {
+        return r;
+    }
+    let r = compute();
+    LE_MEMO.put(key, r);
+    r
+}
+
+/// `a ∪ b` through the memo table (symmetric key — union commutes).
+pub(crate) fn union_cached(
+    a: (NodeId, &Meta),
+    b: (NodeId, &Meta),
+    compute: impl FnOnce() -> Object,
+) -> Object {
+    if !memo_worthy(a.1, b.1) {
+        return compute();
+    }
+    let key = symmetric(a.0, b.0);
+    if let Some(r) = UNION_MEMO.get(key) {
+        return r;
+    }
+    let r = compute();
+    UNION_MEMO.put(key, r.clone());
+    r
+}
+
+/// `a ∩ b` through the memo table (symmetric key — intersection commutes).
+pub(crate) fn intersect_cached(
+    a: (NodeId, &Meta),
+    b: (NodeId, &Meta),
+    compute: impl FnOnce() -> Object,
+) -> Object {
+    if !memo_worthy(a.1, b.1) {
+        return compute();
+    }
+    let key = symmetric(a.0, b.0);
+    if let Some(r) = INTERSECT_MEMO.get(key) {
+        return r;
+    }
+    let r = compute();
+    INTERSECT_MEMO.put(key, r.clone());
+    r
+}
+
+/// A point-in-time snapshot of store and memo-table sizes (diagnostics,
+/// benchmarks, capacity planning).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct interned tuple nodes.
+    pub tuple_nodes: usize,
+    /// Distinct interned set nodes.
+    pub set_nodes: usize,
+    /// Entries in the `≤` memo table.
+    pub le_memo_entries: usize,
+    /// Entries in the union memo table.
+    pub union_memo_entries: usize,
+    /// Entries in the intersection memo table.
+    pub intersect_memo_entries: usize,
+}
+
+/// Current [`StoreStats`].
+pub fn stats() -> StoreStats {
+    let guard = store().read();
+    StoreStats {
+        tuple_nodes: guard.tuples.values().map(Vec::len).sum(),
+        set_nodes: guard.sets.values().map(Vec::len).sum(),
+        le_memo_entries: LE_MEMO.len(),
+        union_memo_entries: UNION_MEMO.len(),
+        intersect_memo_entries: INTERSECT_MEMO.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    #[test]
+    fn equal_composites_share_one_allocation() {
+        let a = obj!([name: peter, hobbies: {chess, music}]);
+        let b = obj!([hobbies: {music, chess}, name: peter]);
+        assert_eq!(a, b);
+        match (&a, &b) {
+            (Object::Tuple(x), Object::Tuple(y)) => {
+                // Same allocation, same stable id.
+                assert_eq!(x.entries().as_ptr(), y.entries().as_ptr());
+                assert_eq!(x.node_id(), y.node_id());
+            }
+            _ => panic!("expected tuples"),
+        }
+    }
+
+    #[test]
+    fn distinct_composites_get_distinct_ids() {
+        let a = obj!({1, 2});
+        let b = obj!({1, 3});
+        assert_ne!(a.node_id(), b.node_id());
+        assert!(a.node_id().is_some());
+    }
+
+    #[test]
+    fn atoms_and_extremes_have_no_node_id() {
+        assert_eq!(obj!(5).node_id(), None);
+        assert_eq!(Object::Bottom.node_id(), None);
+        assert_eq!(Object::Top.node_id(), None);
+    }
+
+    #[test]
+    fn meta_matches_recursive_measures() {
+        // First-principles recursions (NOT the `measure` module, which for
+        // composites reads the very Meta fields under test).
+        fn ref_depth(o: &Object) -> u64 {
+            match o {
+                Object::Bottom | Object::Atom(_) => 1,
+                Object::Top => unreachable!(),
+                Object::Tuple(t) => 1 + t.iter().map(|(_, v)| ref_depth(v)).max().unwrap_or(1),
+                Object::Set(s) => 1 + s.iter().map(ref_depth).max().unwrap_or(1),
+            }
+        }
+        fn ref_size(o: &Object) -> u64 {
+            match o {
+                Object::Bottom | Object::Atom(_) | Object::Top => 1,
+                Object::Tuple(t) => 1 + t.iter().map(|(_, v)| ref_size(v)).sum::<u64>(),
+                Object::Set(s) => 1 + s.iter().map(ref_size).sum::<u64>(),
+            }
+        }
+        fn ref_atoms(o: &Object) -> u64 {
+            match o {
+                Object::Atom(_) => 1,
+                Object::Bottom | Object::Top => 0,
+                Object::Tuple(t) => t.iter().map(|(_, v)| ref_atoms(v)).sum(),
+                Object::Set(s) => s.iter().map(ref_atoms).sum(),
+            }
+        }
+        fn ref_fanout(o: &Object) -> usize {
+            match o {
+                Object::Bottom | Object::Atom(_) | Object::Top => 0,
+                Object::Tuple(t) => t
+                    .iter()
+                    .map(|(_, v)| ref_fanout(v))
+                    .max()
+                    .unwrap_or(0)
+                    .max(t.len()),
+                Object::Set(s) => s.iter().map(ref_fanout).max().unwrap_or(0).max(s.len()),
+            }
+        }
+        for o in [
+            obj!([a: {1, 2}, b: 3]),
+            obj!({[x: 1], [y: {2, {3}}]}),
+            obj!({{1, 2}, {[deep: [deeper: {4, 5, 6}]]}}),
+            Object::empty_set(),
+            Object::empty_tuple(),
+        ] {
+            let meta = o.meta().expect("composite");
+            assert_eq!(meta.depth, ref_depth(&o), "depth of {o}");
+            assert_eq!(meta.size, ref_size(&o), "size of {o}");
+            assert_eq!(meta.atom_count, ref_atoms(&o), "atom_count of {o}");
+            assert_eq!(meta.max_fanout, ref_fanout(&o), "max_fanout of {o}");
+        }
+    }
+
+    #[test]
+    fn contains_set_and_flat_flags() {
+        let flat_tuple = obj!([a: 1, b: 2]);
+        let meta = flat_tuple.meta().unwrap();
+        assert!(meta.flat && !meta.contains_set);
+
+        let nested = obj!([a: {1}]);
+        let meta = nested.meta().unwrap();
+        assert!(!meta.flat && meta.contains_set);
+
+        let atom_set = obj!({1, 2});
+        let meta = atom_set.meta().unwrap();
+        assert!(meta.flat && meta.contains_set);
+    }
+
+    #[test]
+    fn store_stats_grow_monotonically() {
+        let before = stats();
+        let _o = obj!([unique_attr_for_store_stats: {91_182, 91_183}]);
+        let after = stats();
+        assert!(after.tuple_nodes > before.tuple_nodes);
+        assert!(after.set_nodes > before.set_nodes);
+    }
+}

@@ -83,9 +83,9 @@ impl Object {
             match steps {
                 [] => Ok(f(o)),
                 [first, rest @ ..] => {
-                    let t = o.as_tuple().ok_or_else(|| {
-                        ObjectError::PathNotFound(path.to_string())
-                    })?;
+                    let t = o
+                        .as_tuple()
+                        .ok_or_else(|| ObjectError::PathNotFound(path.to_string()))?;
                     if !t.contains(*first) {
                         return Err(ObjectError::PathNotFound(path.to_string()));
                     }
@@ -125,7 +125,7 @@ mod tests {
         let t = obj!([a: 1, b: 2]);
         assert_eq!(t.without_attr("a").unwrap(), obj!([b: 2]));
         assert_eq!(t.without_attr("zzz").unwrap(), t);
-        assert!(obj!({1}).without_attr("a").is_err());
+        assert!(obj!({ 1 }).without_attr("a").is_err());
     }
 
     #[test]
@@ -140,7 +140,11 @@ mod tests {
         );
         // Incomparable insertion grows the set.
         assert_eq!(
-            s.insert_element(obj!([z: 9])).unwrap().as_set().unwrap().len(),
+            s.insert_element(obj!([z: 9]))
+                .unwrap()
+                .as_set()
+                .unwrap()
+                .len(),
             2
         );
         assert!(obj!(1).insert_element(obj!(2)).is_err());
@@ -157,9 +161,7 @@ mod tests {
     fn update_at_rewrites_nested_components() {
         let db = obj!([r1: {1, 2}, r2: {3}]);
         let db2 = db
-            .update_at(&Path::parse("r1"), |r1| {
-                r1.insert_element(obj!(9)).unwrap()
-            })
+            .update_at(&Path::parse("r1"), |r1| r1.insert_element(obj!(9)).unwrap())
             .unwrap();
         assert_eq!(db2, obj!([r1: {1, 2, 9}, r2: {3}]));
         // Untouched components share structure (cheap Arc clones).
@@ -183,7 +185,7 @@ mod tests {
     fn set_at_replaces() {
         let db = obj!([r1: {1}]);
         assert_eq!(
-            db.set_at(&Path::parse("r1"), obj!({7})).unwrap(),
+            db.set_at(&Path::parse("r1"), obj!({ 7 })).unwrap(),
             obj!([r1: {7}])
         );
     }

@@ -25,6 +25,7 @@
 //! representable value.
 
 use crate::order::le;
+use crate::store::{self, Meta, NodeId, SetNode, TupleNode};
 use crate::{Atom, Attr, ObjectError};
 use std::cmp::Ordering;
 use std::fmt;
@@ -60,16 +61,22 @@ pub enum Object {
 /// The interior of a tuple object: attribute/value entries sorted by
 /// attribute id, with no ⊥ or ⊤ values (canonical form).
 ///
-/// Cloning is cheap (an [`Arc`] bump); tuple objects are immutable.
+/// Interiors are **hash-consed** (see [`crate::store`]): content-equal
+/// tuples share one allocation carrying a stable [`NodeId`], a cached hash,
+/// and precomputed [`Meta`]. Cloning is an [`Arc`] bump; equality is a
+/// pointer comparison; tuple objects are immutable.
 #[derive(Clone)]
-pub struct Tuple(Arc<[(Attr, Object)]>);
+pub struct Tuple(Arc<TupleNode>);
 
 /// The interior of a set object: canonically ordered, deduplicated, reduced
 /// elements with no ⊥ or ⊤ members.
 ///
-/// Cloning is cheap (an [`Arc`] bump); set objects are immutable.
+/// Interiors are **hash-consed** (see [`crate::store`]): content-equal sets
+/// share one allocation carrying a stable [`NodeId`], a cached hash, and
+/// precomputed [`Meta`]. Cloning is an [`Arc`] bump; equality is a pointer
+/// comparison; set objects are immutable.
 #[derive(Clone)]
-pub struct Set(Arc<[Object]>);
+pub struct Set(Arc<SetNode>);
 
 // ---------------------------------------------------------------------------
 // Tuple
@@ -78,48 +85,60 @@ pub struct Set(Arc<[Object]>);
 impl Tuple {
     /// The number of (non-⊥) attributes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.0.entries.len()
     }
 
     /// True when the tuple is `[]`.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.0.entries.is_empty()
     }
 
     /// Iterates entries in canonical (attribute-id) order.
     pub fn iter(&self) -> std::slice::Iter<'_, (Attr, Object)> {
-        self.0.iter()
+        self.0.entries.iter()
     }
 
     /// Entries as a slice, sorted by attribute id.
     pub fn entries(&self) -> &[(Attr, Object)] {
-        &self.0
+        &self.0.entries
     }
 
     /// The value at attribute `a`. Returns [`Object::Bottom`] when absent:
     /// the paper's convention `O.a = ⊥` for attributes not in the tuple.
     pub fn get(&self, a: Attr) -> &Object {
         static BOTTOM: Object = Object::Bottom;
-        match self.0.binary_search_by_key(&a, |(k, _)| *k) {
-            Ok(i) => &self.0[i].1,
+        match self.0.entries.binary_search_by_key(&a, |(k, _)| *k) {
+            Ok(i) => &self.0.entries[i].1,
             Err(_) => &BOTTOM,
         }
     }
 
     /// True when attribute `a` is present (with a non-⊥ value).
     pub fn contains(&self, a: Attr) -> bool {
-        self.0.binary_search_by_key(&a, |(k, _)| *k).is_ok()
+        self.0.entries.binary_search_by_key(&a, |(k, _)| *k).is_ok()
     }
 
     /// The attributes of this tuple, in canonical order.
     pub fn attrs(&self) -> impl Iterator<Item = Attr> + '_ {
-        self.0.iter().map(|(a, _)| *a)
+        self.0.entries.iter().map(|(a, _)| *a)
+    }
+
+    /// The stable id of this tuple's interned node.
+    pub fn node_id(&self) -> NodeId {
+        self.0.id
+    }
+
+    /// Precomputed structural metadata of this tuple.
+    pub fn meta(&self) -> &Meta {
+        &self.0.meta
     }
 }
 
 impl PartialEq for Tuple {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+        // Hash-consing makes canonical equality coincide with allocation
+        // identity: O(1).
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
@@ -127,7 +146,8 @@ impl Eq for Tuple {}
 
 impl std::hash::Hash for Tuple {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.0.hash(state);
+        // The content hash is cached at interning time: O(1).
+        state.write_u64(self.0.hash);
     }
 }
 
@@ -135,7 +155,7 @@ impl<'a> IntoIterator for &'a Tuple {
     type Item = &'a (Attr, Object);
     type IntoIter = std::slice::Iter<'a, (Attr, Object)>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.0.entries.iter()
     }
 }
 
@@ -146,33 +166,45 @@ impl<'a> IntoIterator for &'a Tuple {
 impl Set {
     /// The number of elements.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.0.elements.len()
     }
 
     /// True when the set is `{}`.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.0.elements.is_empty()
     }
 
     /// Iterates elements in canonical order.
     pub fn iter(&self) -> std::slice::Iter<'_, Object> {
-        self.0.iter()
+        self.0.elements.iter()
     }
 
     /// Elements as a slice, in canonical order.
     pub fn elements(&self) -> &[Object] {
-        &self.0
+        &self.0.elements
     }
 
     /// Membership test (by canonical equality), via binary search.
     pub fn contains(&self, o: &Object) -> bool {
-        self.0.binary_search_by(|e| e.cmp(o)).is_ok()
+        self.0.elements.binary_search_by(|e| e.cmp(o)).is_ok()
+    }
+
+    /// The stable id of this set's interned node.
+    pub fn node_id(&self) -> NodeId {
+        self.0.id
+    }
+
+    /// Precomputed structural metadata of this set.
+    pub fn meta(&self) -> &Meta {
+        &self.0.meta
     }
 }
 
 impl PartialEq for Set {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+        // Hash-consing makes canonical equality coincide with allocation
+        // identity: O(1).
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
@@ -180,7 +212,8 @@ impl Eq for Set {}
 
 impl std::hash::Hash for Set {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.0.hash(state);
+        // The content hash is cached at interning time: O(1).
+        state.write_u64(self.0.hash);
     }
 }
 
@@ -188,7 +221,7 @@ impl<'a> IntoIterator for &'a Set {
     type Item = &'a Object;
     type IntoIter = std::slice::Iter<'a, Object>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.0.elements.iter()
     }
 }
 
@@ -225,12 +258,12 @@ impl Object {
     /// The empty tuple `[]`. Note that `[] ≠ ⊥` (and `⊥ < []`): the empty
     /// tuple carries the information "this is a tuple".
     pub fn empty_tuple() -> Object {
-        Object::Tuple(Tuple(Arc::from(Vec::new())))
+        Object::Tuple(Tuple(store::intern_tuple(Vec::new())))
     }
 
     /// The empty set `{}`. Note that `{} ≠ ⊥` (and `⊥ < {}`).
     pub fn empty_set() -> Object {
-        Object::Set(Set(Arc::from(Vec::new())))
+        Object::Set(Set(store::intern_set(Vec::new())))
     }
 
     /// Builds a tuple object, normalizing to canonical form
@@ -266,7 +299,7 @@ impl Object {
                 i += 1;
             }
         }
-        Ok(Object::Tuple(Tuple(Arc::from(v))))
+        Ok(Object::Tuple(Tuple(store::intern_tuple(v))))
     }
 
     /// Builds a tuple object; panics on conflicting duplicate attributes.
@@ -302,7 +335,7 @@ impl Object {
             }
         }
         reduce_elements(&mut v);
-        Object::Set(Set(Arc::from(v)))
+        Object::Set(Set(store::intern_set(v)))
     }
 
     /// Rebuilds a set object from a [`Set`] interior plus extra elements —
@@ -313,7 +346,7 @@ impl Object {
             return Object::Top;
         }
         reduce_elements(&mut v);
-        Object::Set(Set(Arc::from(v)))
+        Object::Set(Set(store::intern_set(v)))
     }
 
     /// Internal: build a tuple from entries already known to be sorted,
@@ -324,7 +357,29 @@ impl Object {
             return Object::Top;
         }
         debug_assert!(!v.iter().any(|(_, o)| matches!(o, Object::Bottom)));
-        Object::Tuple(Tuple(Arc::from(v)))
+        Object::Tuple(Tuple(store::intern_tuple(v)))
+    }
+
+    /// The stable interned-node id, for composite (tuple/set) objects.
+    ///
+    /// Two objects of the same kind are equal **iff** their node ids are
+    /// equal — the id is the O(1) proxy for canonical equality that the
+    /// engine's indexes and the store's memo tables key off.
+    pub fn node_id(&self) -> Option<NodeId> {
+        match self {
+            Object::Tuple(t) => Some(t.node_id()),
+            Object::Set(s) => Some(s.node_id()),
+            _ => None,
+        }
+    }
+
+    /// Precomputed structural metadata, for composite (tuple/set) objects.
+    pub fn meta(&self) -> Option<&Meta> {
+        match self {
+            Object::Tuple(t) => Some(t.meta()),
+            Object::Set(s) => Some(s.meta()),
+            _ => None,
+        }
     }
 }
 
@@ -358,7 +413,7 @@ pub(crate) fn reduce_elements(v: &mut Vec<Object>) {
             Object::Set(_) => set_idx.push(i),
             Object::Tuple(t) => {
                 let key: Vec<Attr> = t.attrs().collect();
-                let flat = t.iter().all(|(_, o)| matches!(o, Object::Atom(_)));
+                let flat = t.meta().flat;
                 let entry = tuple_groups.entry(key).or_insert((Vec::new(), true));
                 entry.0.push(i);
                 entry.1 &= flat;
@@ -577,18 +632,22 @@ impl Ord for Object {
         match (self, other) {
             (Object::Atom(a), Object::Atom(b)) => a.cmp(b),
             (Object::Tuple(a), Object::Tuple(b)) => {
+                // Interning: equal values are always the same node, so the
+                // pointer check fully decides equality; unequal values walk
+                // lexicographically (with O(1) subtree-equality along the
+                // way).
                 if Arc::ptr_eq(&a.0, &b.0) {
                     return Ordering::Equal;
                 }
-                a.0.iter()
+                a.iter()
                     .map(|(k, v)| (k, v))
-                    .cmp(b.0.iter().map(|(k, v)| (k, v)))
+                    .cmp(b.iter().map(|(k, v)| (k, v)))
             }
             (Object::Set(a), Object::Set(b)) => {
                 if Arc::ptr_eq(&a.0, &b.0) {
                     return Ordering::Equal;
                 }
-                a.0.iter().cmp(b.0.iter())
+                a.iter().cmp(b.iter())
             }
             _ => rank(self).cmp(&rank(other)),
         }
@@ -679,7 +738,7 @@ mod tests {
         // {1,2,3} = {2,3,1}
         assert_eq!(obj!({1, 2, 3}), obj!({2, 3, 1}));
         // {1, ⊥} = {1}
-        assert_eq!(Object::set([obj!(1), Object::Bottom]), obj!({1}));
+        assert_eq!(Object::set([obj!(1), Object::Bottom]), obj!({ 1 }));
         // [a: {⊤}, b: 2] = ⊤
         assert_eq!(
             Object::tuple([
@@ -695,8 +754,8 @@ mod tests {
         // "[a: x], {x}, and x are not equal" (paper, after Example 2.2).
         let x = obj!(7);
         assert_ne!(obj!([a: 7]), x);
-        assert_ne!(obj!({7}), x);
-        assert_ne!(obj!([a: 7]), obj!({7}));
+        assert_ne!(obj!({ 7 }), x);
+        assert_ne!(obj!([a: 7]), obj!({ 7 }));
     }
 
     #[test]

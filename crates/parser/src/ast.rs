@@ -52,8 +52,7 @@ impl Term {
                 for (name, t) in entries {
                     converted.push((Attr::new(name), t.to_object()?));
                 }
-                Object::try_tuple(converted)
-                    .map_err(|e| ParseError::new(e.to_string(), self.span))
+                Object::try_tuple(converted).map_err(|e| ParseError::new(e.to_string(), self.span))
             }
             TermKind::Set(elems) => {
                 let converted: Result<Vec<Object>, ParseError> =

@@ -53,7 +53,9 @@ impl ParseError {
 
     /// Renders the error with the offending source line and a caret.
     pub fn render(&self, source: &str) -> String {
-        let line_text = source.lines().nth(self.span.line.saturating_sub(1) as usize);
+        let line_text = source
+            .lines()
+            .nth(self.span.line.saturating_sub(1) as usize);
         match line_text {
             Some(text) => {
                 let caret_pad = " ".repeat(self.span.col.saturating_sub(1) as usize);
@@ -81,8 +83,18 @@ mod tests {
 
     #[test]
     fn span_merge() {
-        let a = Span { start: 2, end: 5, line: 1, col: 3 };
-        let b = Span { start: 7, end: 9, line: 1, col: 8 };
+        let a = Span {
+            start: 2,
+            end: 5,
+            line: 1,
+            col: 3,
+        };
+        let b = Span {
+            start: 7,
+            end: 9,
+            line: 1,
+            col: 8,
+        };
         let m = a.to(b);
         assert_eq!((m.start, m.end), (2, 9));
     }
@@ -91,7 +103,12 @@ mod tests {
     fn render_points_at_the_column() {
         let e = ParseError::new(
             "unexpected `}`",
-            Span { start: 4, end: 5, line: 1, col: 5 },
+            Span {
+                start: 4,
+                end: 5,
+                line: 1,
+                col: 5,
+            },
         );
         let r = e.render("[a: }]");
         assert!(r.contains("unexpected `}`"));

@@ -56,38 +56,62 @@ impl Parser {
         match t.kind {
             TokenKind::Bot => {
                 self.bump();
-                Ok(Term { kind: TermKind::Bottom, span: t.span })
+                Ok(Term {
+                    kind: TermKind::Bottom,
+                    span: t.span,
+                })
             }
             TokenKind::Top => {
                 self.bump();
-                Ok(Term { kind: TermKind::Top, span: t.span })
+                Ok(Term {
+                    kind: TermKind::Top,
+                    span: t.span,
+                })
             }
             TokenKind::Int(v) => {
                 self.bump();
-                Ok(Term { kind: TermKind::Atom(Atom::Int(v)), span: t.span })
+                Ok(Term {
+                    kind: TermKind::Atom(Atom::Int(v)),
+                    span: t.span,
+                })
             }
             TokenKind::Float(v) => {
                 self.bump();
-                Ok(Term { kind: TermKind::Atom(Atom::float(v)), span: t.span })
+                Ok(Term {
+                    kind: TermKind::Atom(Atom::float(v)),
+                    span: t.span,
+                })
             }
             TokenKind::Bool(b) => {
                 self.bump();
-                Ok(Term { kind: TermKind::Atom(Atom::Bool(b)), span: t.span })
+                Ok(Term {
+                    kind: TermKind::Atom(Atom::Bool(b)),
+                    span: t.span,
+                })
             }
             TokenKind::Str(ref s) => {
                 let s = s.clone();
                 self.bump();
-                Ok(Term { kind: TermKind::Atom(Atom::str(s)), span: t.span })
+                Ok(Term {
+                    kind: TermKind::Atom(Atom::str(s)),
+                    span: t.span,
+                })
             }
             TokenKind::Ident(ref s) => {
                 let s = s.clone();
                 self.bump();
-                Ok(Term { kind: TermKind::Atom(Atom::str(s)), span: t.span })
+                Ok(Term {
+                    kind: TermKind::Atom(Atom::str(s)),
+                    span: t.span,
+                })
             }
             TokenKind::Variable(ref s) => {
                 let s = s.clone();
                 self.bump();
-                Ok(Term { kind: TermKind::Var(s), span: t.span })
+                Ok(Term {
+                    kind: TermKind::Var(s),
+                    span: t.span,
+                })
             }
             TokenKind::LBracket => self.tuple(),
             TokenKind::LBrace => self.set(),
@@ -283,7 +307,7 @@ mod tests {
     #[test]
     fn parsing_normalizes() {
         // ⊥ in a set vanishes; dominated elements reduce; ⊤ propagates.
-        assert_eq!(parse_object("{1, bot}").unwrap(), obj!({1}));
+        assert_eq!(parse_object("{1, bot}").unwrap(), obj!({ 1 }));
         assert_eq!(
             parse_object("{[a: 1], [a: 1, b: 2]}").unwrap(),
             obj!({[a: 1, b: 2]})

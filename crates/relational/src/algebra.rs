@@ -6,10 +6,7 @@ use crate::{RelSchema, Relation, RelationalError, Row};
 use co_object::{Atom, Attr};
 
 /// σ — selection by an arbitrary row predicate.
-pub fn select(
-    r: &Relation,
-    pred: impl Fn(&Relation, &Row) -> bool,
-) -> Relation {
+pub fn select(r: &Relation, pred: impl Fn(&Relation, &Row) -> bool) -> Relation {
     let mut out = Relation::empty(r.schema().clone());
     for row in r.rows() {
         if pred(r, row) {
@@ -27,8 +24,7 @@ pub fn select_eq(r: &Relation, attr: Attr, value: &Atom) -> Result<Relation, Rel
 
 /// π — projection onto `attrs` (duplicates removed by set semantics).
 pub fn project(r: &Relation, attrs: &[Attr]) -> Result<Relation, RelationalError> {
-    let positions: Result<Vec<usize>, _> =
-        attrs.iter().map(|a| r.schema().position(*a)).collect();
+    let positions: Result<Vec<usize>, _> = attrs.iter().map(|a| r.schema().position(*a)).collect();
     let positions = positions?;
     let schema = RelSchema::new(attrs.iter().copied())?;
     let mut out = Relation::empty(schema);
@@ -99,13 +95,7 @@ pub fn product(l: &Relation, r: &Relation) -> Result<Relation, RelationalError> 
             });
         }
     }
-    let schema = RelSchema::new(
-        l.schema()
-            .attrs()
-            .iter()
-            .chain(r.schema().attrs())
-            .copied(),
-    )?;
+    let schema = RelSchema::new(l.schema().attrs().iter().chain(r.schema().attrs()).copied())?;
     let mut out = Relation::empty(schema);
     for lrow in l.rows() {
         for rrow in r.rows() {
@@ -195,8 +185,11 @@ fn align(r: &Relation, target: &RelSchema) -> Result<Relation, RelationalError> 
     if r.schema() == target {
         return Ok(r.clone());
     }
-    let positions: Result<Vec<usize>, _> =
-        target.attrs().iter().map(|a| r.schema().position(*a)).collect();
+    let positions: Result<Vec<usize>, _> = target
+        .attrs()
+        .iter()
+        .map(|a| r.schema().position(*a))
+        .collect();
     let positions = positions?;
     let mut out = Relation::empty(target.clone());
     for row in r.rows() {

@@ -16,6 +16,12 @@ use crate::{Database, RelSchema, Relation, RelationalError};
 use co_object::{Attr, Object};
 
 /// Encodes one relation as a set object of flat tuples.
+///
+/// Construction goes through the normalizing constructors and therefore the
+/// hash-consed store: encoding the same relation twice (or two relations
+/// sharing rows) yields the *same* interned nodes — equality against
+/// calculus results is a pointer check, and repeated encodings allocate
+/// nothing new.
 pub fn encode_relation(r: &Relation) -> Object {
     Object::set(r.rows().map(|row| {
         Object::tuple(
@@ -127,6 +133,16 @@ mod tests {
     }
 
     #[test]
+    fn repeated_encodings_reuse_interned_nodes() {
+        let r = int_relation(["a", "b"], [[1, 10], [2, 20], [3, 30]]);
+        let o1 = encode_relation(&r);
+        let o2 = encode_relation(&r);
+        // Same canonical value ⇒ same interned node, not merely equal trees.
+        assert_eq!(o1.node_id(), o2.node_id());
+        assert!(o1.node_id().is_some());
+    }
+
+    #[test]
     fn empty_relation_encodes_to_empty_set() {
         let r = Relation::empty(RelSchema::new(["a"]).unwrap());
         assert_eq!(encode_relation(&r), Object::empty_set());
@@ -148,9 +164,13 @@ mod tests {
     fn nested_values_are_rejected() {
         let o = obj!({[name: peter, children: {max}]});
         assert!(decode_relation(&o).is_err());
-        let o2 = obj!({{1}});
+        let o2 = obj!({
+            {
+                1
+            }
+        });
         assert!(decode_relation(&o2).is_err());
         assert!(decode_relation(&obj!(5)).is_err());
-        assert!(decode_database(&obj!({1})).is_err());
+        assert!(decode_database(&obj!({ 1 })).is_err());
     }
 }

@@ -49,7 +49,10 @@ impl fmt::Display for RelationalError {
                 write!(f, "object is not a flat relation: {what}")
             }
             RelationalError::NotTranslatable(what) => {
-                write!(f, "query not expressible in the (monotone) calculus: {what}")
+                write!(
+                    f,
+                    "query not expressible in the (monotone) calculus: {what}"
+                )
             }
         }
     }

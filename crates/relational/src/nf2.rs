@@ -40,10 +40,7 @@ pub fn unnest(r: &Object, a: impl Into<Attr>) -> Result<Object, RelationalError>
             ))
         })?;
         for v in inner_set.iter() {
-            out.push(
-                e.with_attr(a, v.clone())
-                    .expect("element is a tuple"),
-            );
+            out.push(e.with_attr(a, v.clone()).expect("element is a tuple"));
         }
     }
     Ok(Object::set(out))
@@ -160,7 +157,7 @@ mod tests {
     #[test]
     fn unnest_errors() {
         assert!(unnest(&obj!(5), "a").is_err());
-        assert!(unnest(&obj!({5}), "a").is_err());
+        assert!(unnest(&obj!({ 5 }), "a").is_err());
         // Attribute is not set-valued.
         assert!(unnest(&obj!({[a: 1]}), "a").is_err());
         // Attribute missing entirely (⊥ is not a set).
@@ -170,7 +167,7 @@ mod tests {
     #[test]
     fn nest_errors() {
         assert!(nest(&obj!(5), "a").is_err());
-        assert!(nest(&obj!({5}), "a").is_err());
+        assert!(nest(&obj!({ 5 }), "a").is_err());
     }
 
     #[test]

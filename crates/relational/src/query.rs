@@ -183,9 +183,7 @@ impl Query {
                 algebra::intersect(&left.eval(db)?, &right.eval(db)?)
             }
             Query::Union { left, right } => algebra::union(&left.eval(db)?, &right.eval(db)?),
-            Query::Product { left, right } => {
-                algebra::product(&left.eval(db)?, &right.eval(db)?)
-            }
+            Query::Product { left, right } => algebra::product(&left.eval(db)?, &right.eval(db)?),
             Query::Difference { left, right } => {
                 algebra::difference(&left.eval(db)?, &right.eval(db)?)
             }
@@ -321,7 +319,10 @@ mod tests {
             .union(Query::rel("r2"))
             .eval(&db())
             .is_err());
-        assert!(Query::rel("r1").union(Query::rel("r2")).schema(&db()).is_err());
+        assert!(Query::rel("r1")
+            .union(Query::rel("r2"))
+            .schema(&db())
+            .is_err());
     }
 
     #[test]

@@ -59,8 +59,7 @@ impl<'a> Translator<'a> {
 
     /// Wraps a row formula into `[rel: {row}]`.
     fn in_relation(name: &str, row: Formula) -> Formula {
-        Formula::tuple([(Attr::new(name), Formula::set([row]))])
-            .expect("single attribute")
+        Formula::tuple([(Attr::new(name), Formula::set([row]))]).expect("single attribute")
     }
 
     /// Emits rules computing `q` into a fresh relation; returns its name.
@@ -125,28 +124,22 @@ impl<'a> Translator<'a> {
                 // Join attributes on the right share the left variable.
                 let rvars: Vec<(Attr, Var)> = rvars0
                     .iter()
-                    .map(|(a, v)| {
-                        match on.iter().find(|(_, b)| b == a) {
-                            Some((la, _)) => {
-                                let lv = lvars
-                                    .iter()
-                                    .find(|(b, _)| b == la)
-                                    .expect("join attrs checked by schema()")
-                                    .1;
-                                (*a, lv)
-                            }
-                            None => (*a, *v),
+                    .map(|(a, v)| match on.iter().find(|(_, b)| b == a) {
+                        Some((la, _)) => {
+                            let lv = lvars
+                                .iter()
+                                .find(|(b, _)| b == la)
+                                .expect("join attrs checked by schema()")
+                                .1;
+                            (*a, lv)
                         }
+                        None => (*a, *v),
                     })
                     .collect();
-                let l_row = Formula::tuple(
-                    lvars.iter().map(|(a, v)| (*a, Formula::Var(*v))),
-                )
-                .expect("distinct");
-                let r_row = Formula::tuple(
-                    rvars.iter().map(|(a, v)| (*a, Formula::Var(*v))),
-                )
-                .expect("distinct");
+                let l_row = Formula::tuple(lvars.iter().map(|(a, v)| (*a, Formula::Var(*v))))
+                    .expect("distinct");
+                let r_row = Formula::tuple(rvars.iter().map(|(a, v)| (*a, Formula::Var(*v))))
+                    .expect("distinct");
                 let body = Formula::tuple([
                     (Attr::new(&lsrc), Formula::set([l_row])),
                     (Attr::new(&rsrc), Formula::set([r_row])),
@@ -156,15 +149,12 @@ impl<'a> Translator<'a> {
                 // algebra::equi_join's output schema).
                 let r_targets: Vec<Attr> = on.iter().map(|(_, b)| *b).collect();
                 let head_row = Formula::tuple(
-                    lvars
-                        .iter()
-                        .map(|(a, v)| (*a, Formula::Var(*v)))
-                        .chain(
-                            rvars
-                                .iter()
-                                .filter(|(a, _)| !r_targets.contains(a))
-                                .map(|(a, v)| (*a, Formula::Var(*v))),
-                        ),
+                    lvars.iter().map(|(a, v)| (*a, Formula::Var(*v))).chain(
+                        rvars
+                            .iter()
+                            .filter(|(a, _)| !r_targets.contains(a))
+                            .map(|(a, v)| (*a, Formula::Var(*v))),
+                    ),
                 )
                 .expect("join output schema checked");
                 self.push_rule(&out, head_row, body);
@@ -223,8 +213,8 @@ impl<'a> Translator<'a> {
     }
 
     fn push_rule(&mut self, out: &str, head_row: Formula, body: Formula) {
-        let head = Formula::tuple([(Attr::new(out), Formula::set([head_row]))])
-            .expect("single attribute");
+        let head =
+            Formula::tuple([(Attr::new(out), Formula::set([head_row]))]).expect("single attribute");
         self.rules
             .push(Rule::new(head, body).expect("head vars come from the body by construction"));
     }
@@ -249,15 +239,12 @@ pub fn translate_query(db: &Database, query: &Query) -> Result<Program, Relation
 /// Runs `query` through the calculus: encode → translate → fixpoint →
 /// decode. An absent output attribute (no derivations) decodes as an empty
 /// relation.
-pub fn run_query_via_calculus(
-    db: &Database,
-    query: &Query,
-) -> Result<Relation, RelationalError> {
+pub fn run_query_via_calculus(db: &Database, query: &Query) -> Result<Relation, RelationalError> {
     let program = translate_query(db, query)?;
     let encoded = encode_database(db);
-    let outcome = Engine::new(program).run(&encoded).map_err(|e| {
-        RelationalError::NotFlat(format!("fixpoint evaluation failed: {e}"))
-    })?;
+    let outcome = Engine::new(program)
+        .run(&encoded)
+        .map_err(|e| RelationalError::NotFlat(format!("fixpoint evaluation failed: {e}")))?;
     match outcome.database.dot(OUTPUT) {
         Object::Bottom => Ok(Relation::empty(query.schema(db)?)),
         o => {
@@ -286,7 +273,10 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new();
         db.insert("r1", int_relation(["a", "b"], [[1, 10], [2, 20], [3, 10]]));
-        db.insert("r2", int_relation(["c", "d"], [[10, 100], [20, 200], [99, 999]]));
+        db.insert(
+            "r2",
+            int_relation(["c", "d"], [[10, 100], [20, 200], [99, 999]]),
+        );
         db
     }
 

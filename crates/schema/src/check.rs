@@ -112,12 +112,20 @@ mod tests {
         assert!(conforms(&obj!(2.5), &Type::Float));
         assert!(conforms(&obj!(true), &Type::Bool));
         assert!(conforms(&obj!(5), &Type::Constant(co_object::Atom::int(5))));
-        assert!(!conforms(&obj!(6), &Type::Constant(co_object::Atom::int(5))));
+        assert!(!conforms(
+            &obj!(6),
+            &Type::Constant(co_object::Atom::int(5))
+        ));
     }
 
     #[test]
     fn bottom_conforms_to_everything_but_required() {
-        for t in [Type::Int, Type::Str, Type::set(Type::Int), crate::ty::never()] {
+        for t in [
+            Type::Int,
+            Type::Str,
+            Type::set(Type::Int),
+            crate::ty::never(),
+        ] {
             assert!(conforms(&Object::Bottom, &t));
         }
         assert!(!conforms(&Object::Bottom, &Type::required(Type::Int)));
@@ -187,10 +195,7 @@ mod tests {
 
     #[test]
     fn error_paths_point_at_the_problem() {
-        let t = Type::tuple([(
-            "family",
-            Type::set(Type::tuple([("age", Type::Int)])),
-        )]);
+        let t = Type::tuple([("family", Type::set(Type::tuple([("age", Type::Int)])))]);
         let o = obj!([family: {[age: old]}]);
         let e = check(&o, &t).unwrap_err();
         let text = e.to_string();

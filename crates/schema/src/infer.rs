@@ -18,11 +18,9 @@ pub fn infer_type(o: &Object) -> Type {
     match o {
         Object::Bottom | Object::Top => Type::Any,
         Object::Atom(a) => atom_kind(a),
-        Object::Tuple(t) => Type::closed_tuple(
-            t.entries()
-                .iter()
-                .map(|(a, v)| (*a, infer_type(v))),
-        ),
+        Object::Tuple(t) => {
+            Type::closed_tuple(t.entries().iter().map(|(a, v)| (*a, infer_type(v))))
+        }
         Object::Set(s) => Type::set(Type::union(s.iter().map(infer_type))),
     }
 }
@@ -33,11 +31,9 @@ pub fn infer_exact(o: &Object) -> Type {
     match o {
         Object::Bottom | Object::Top => Type::Any,
         Object::Atom(a) => Type::Constant(a.clone()),
-        Object::Tuple(t) => Type::closed_tuple(
-            t.entries()
-                .iter()
-                .map(|(a, v)| (*a, infer_exact(v))),
-        ),
+        Object::Tuple(t) => {
+            Type::closed_tuple(t.entries().iter().map(|(a, v)| (*a, infer_exact(v))))
+        }
         Object::Set(s) => Type::set(Type::union(s.iter().map(infer_exact))),
     }
 }

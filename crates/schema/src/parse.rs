@@ -280,9 +280,18 @@ mod tests {
     fn constants() {
         assert_eq!(parse_type("=5").unwrap(), Type::Constant(Atom::Int(5)));
         assert_eq!(parse_type("=-3").unwrap(), Type::Constant(Atom::Int(-3)));
-        assert_eq!(parse_type("=2.5").unwrap(), Type::Constant(Atom::float(2.5)));
-        assert_eq!(parse_type("=john").unwrap(), Type::Constant(Atom::str("john")));
-        assert_eq!(parse_type("=true").unwrap(), Type::Constant(Atom::Bool(true)));
+        assert_eq!(
+            parse_type("=2.5").unwrap(),
+            Type::Constant(Atom::float(2.5))
+        );
+        assert_eq!(
+            parse_type("=john").unwrap(),
+            Type::Constant(Atom::str("john"))
+        );
+        assert_eq!(
+            parse_type("=true").unwrap(),
+            Type::Constant(Atom::Bool(true))
+        );
         assert_eq!(
             parse_type("=\"New York\"").unwrap(),
             Type::Constant(Atom::str("New York"))
@@ -299,7 +308,10 @@ mod tests {
         let closed = parse_type("[a: int]").unwrap();
         assert!(!conforms(&obj!([a: 1, b: 2]), &closed));
         assert!(conforms(&obj!([]), &parse_type("[]").unwrap()));
-        assert!(conforms(&obj!([anything: 1]), &parse_type("[...]").unwrap()));
+        assert!(conforms(
+            &obj!([anything: 1]),
+            &parse_type("[...]").unwrap()
+        ));
     }
 
     #[test]

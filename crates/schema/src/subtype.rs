@@ -93,7 +93,11 @@ mod tests {
 
     #[test]
     fn any_is_top_never_is_bottom() {
-        for t in [Type::Int, Type::set(Type::Str), Type::tuple([("a", Type::Int)])] {
+        for t in [
+            Type::Int,
+            Type::set(Type::Str),
+            Type::tuple([("a", Type::Int)]),
+        ] {
             assert!(subtype(&t, &Type::Any));
             assert!(subtype(&never(), &t));
             assert!(subtype(&t, &t), "reflexivity for {t}");
@@ -112,13 +116,19 @@ mod tests {
     fn unions() {
         let int_or_str = Type::union([Type::Int, Type::Str]);
         assert!(subtype(&Type::Int, &int_or_str));
-        assert!(subtype(&int_or_str, &Type::union([Type::Int, Type::Str, Type::Bool])));
+        assert!(subtype(
+            &int_or_str,
+            &Type::union([Type::Int, Type::Str, Type::Bool])
+        ));
         assert!(!subtype(&int_or_str, &Type::Int));
     }
 
     #[test]
     fn sets_are_covariant() {
-        assert!(subtype(&Type::set(Type::Int), &Type::set(Type::union([Type::Int, Type::Str]))));
+        assert!(subtype(
+            &Type::set(Type::Int),
+            &Type::set(Type::union([Type::Int, Type::Str]))
+        ));
         assert!(!subtype(&Type::set(Type::Str), &Type::set(Type::Int)));
     }
 

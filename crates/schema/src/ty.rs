@@ -110,18 +110,16 @@ impl Type {
     /// unlisted and open; `None` when unlisted and closed).
     pub fn attr_type(&self, a: Attr) -> Option<&Type> {
         match self {
-            Type::Tuple { entries, open } => {
-                match entries.binary_search_by_key(&a, |(k, _)| *k) {
-                    Ok(i) => Some(&entries[i].1),
-                    Err(_) => {
-                        if *open {
-                            Some(&Type::Any)
-                        } else {
-                            None
-                        }
+            Type::Tuple { entries, open } => match entries.binary_search_by_key(&a, |(k, _)| *k) {
+                Ok(i) => Some(&entries[i].1),
+                Err(_) => {
+                    if *open {
+                        Some(&Type::Any)
+                    } else {
+                        None
                     }
                 }
-            }
+            },
             _ => None,
         }
     }
@@ -226,11 +224,7 @@ mod tests {
 
     #[test]
     fn union_simplification() {
-        let t = Type::union([
-            Type::Int,
-            Type::union([Type::Str, Type::Int]),
-            Type::Str,
-        ]);
+        let t = Type::union([Type::Int, Type::union([Type::Str, Type::Int]), Type::Str]);
         assert_eq!(t, Type::Union(vec![Type::Int, Type::Str]));
         assert_eq!(Type::union([Type::Int]), Type::Int);
         assert_eq!(Type::union([Type::Int, Type::Any]), Type::Any);
@@ -264,22 +258,13 @@ mod tests {
             "(int | string)"
         );
         assert_eq!(never().to_string(), "never");
-        assert_eq!(
-            Type::required(Type::Int).to_string(),
-            "int!"
-        );
-        assert_eq!(
-            Type::Constant(co_object::Atom::int(5)).to_string(),
-            "=5"
-        );
+        assert_eq!(Type::required(Type::Int).to_string(), "int!");
+        assert_eq!(Type::Constant(co_object::Atom::int(5)).to_string(), "=5");
     }
 
     #[test]
     fn nested_simplification() {
-        let t = Type::Set(Box::new(Type::Union(vec![
-            Type::Union(vec![Type::Int]),
-        ])))
-        .simplify();
+        let t = Type::Set(Box::new(Type::Union(vec![Type::Union(vec![Type::Int])]))).simplify();
         assert_eq!(t, Type::set(Type::Int));
     }
 }

@@ -77,8 +77,7 @@ fn main() {
     println!(
         "semi-naive re-derived {:.1}× fewer substitutions than naive; \
          indexes cut candidate scans {:.1}×",
-        results[0].2.matching.matches as f64
-            / results[2].2.matching.matches.max(1) as f64,
+        results[0].2.matching.matches as f64 / results[2].2.matching.matches.max(1) as f64,
         results[0].2.matching.candidates_tried as f64
             / results[1].2.matching.candidates_tried.max(1) as f64,
     );

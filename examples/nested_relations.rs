@@ -4,10 +4,10 @@
 //!
 //! Run with `cargo run --example nested_relations`.
 
-use complex_objects::prelude::*;
-use complex_objects::object::display;
 use co_relational::nf2::{nest, unnest};
 use co_schema::{check, infer_type, Type};
+use complex_objects::object::display;
+use complex_objects::prelude::*;
 
 fn main() {
     // A hierarchical document store: one object, no schema, nulls welcome.
@@ -31,22 +31,21 @@ fn main() {
     // ------------------------------------------------------------------
     // Who wrote something with a section of ≥7 pages? (Selection deep in
     // the nesting, projecting an author set member.)
-    let f = parse_formula(
-        "[docs: {[title: T, authors: {A}, sections: {[pages: 7]}]}]",
-    )
-    .unwrap();
+    let f = parse_formula("[docs: {[title: T, authors: {A}, sections: {[pages: 7]}]}]").unwrap();
     println!(
         "docs with a 7-page section (projected):\n  {}\n",
         interpret(&f, &db, MatchPolicy::Strict)
     );
 
     // Rule: build a flat author → title index from the nested store.
-    let index_rule = parse_rule(
-        "[by_author: {[author: A, title: T]}] :- [docs: {[title: T, authors: {A}]}].",
-    )
-    .unwrap();
+    let index_rule =
+        parse_rule("[by_author: {[author: A, title: T]}] :- [docs: {[title: T, authors: {A}]}].")
+            .unwrap();
     let index = apply_rule(&index_rule, &db, MatchPolicy::Strict);
-    println!("author index (derived by one rule):\n{}\n", display::pretty(&index, 68));
+    println!(
+        "author index (derived by one rule):\n{}\n",
+        display::pretty(&index, 68)
+    );
 
     // The untitled draft has no authors: it simply contributes nothing —
     // the calculus treats missing data the way §1 wants.
@@ -75,10 +74,7 @@ fn main() {
         ("authors", Type::set(Type::Str)),
         (
             "sections",
-            Type::set(Type::tuple([
-                ("heading", Type::Str),
-                ("pages", Type::Int),
-            ])),
+            Type::set(Type::tuple([("heading", Type::Str), ("pages", Type::Int)])),
         ),
     ]));
     check(docs, &doc_type).expect("store conforms to the document type");

@@ -21,10 +21,9 @@ fn main() {
     println!("a hierarchical person:\n  {person}\n");
 
     // The same thing via the parser (the paper's concrete syntax):
-    let parsed = parse_object(
-        "[name: [first: john, last: doe], age: 25, children: {john, mary, susan}]",
-    )
-    .expect("valid object syntax");
+    let parsed =
+        parse_object("[name: [first: john, last: doe], age: 25, children: {john, mary, susan}]")
+            .expect("valid object syntax");
     assert_eq!(person, parsed);
 
     // Equality is the paper's semantic equality (Definition 2.2):
@@ -57,7 +56,10 @@ fn main() {
     )
     .unwrap();
     let f = parse_formula("[people: {[name: X, born: 1912]}]").unwrap();
-    println!("E(O) for {f}\n  = {}", interpret(&f, &db, MatchPolicy::Strict));
+    println!(
+        "E(O) for {f}\n  = {}",
+        interpret(&f, &db, MatchPolicy::Strict)
+    );
 
     // -----------------------------------------------------------------
     // 4. Rules generate new structure (Definition 4.4), and programs run
@@ -75,14 +77,14 @@ fn main() {
     )
     .unwrap();
     let out = Engine::new(program).run(&genealogy).expect("converges");
-    println!(
-        "\ndescendants of abraham = {}",
-        out.database.dot("doa")
-    );
+    println!("\ndescendants of abraham = {}", out.database.dot("doa"));
     println!("engine stats: {}", out.stats);
 
     // -----------------------------------------------------------------
     // 5. Pretty-printing for larger objects.
     // -----------------------------------------------------------------
-    println!("\nthe closed database:\n{}", display::pretty(&out.database, 60));
+    println!(
+        "\nthe closed database:\n{}",
+        display::pretty(&out.database, 60)
+    );
 }

@@ -6,10 +6,8 @@
 //!
 //! Run with `cargo run --example relational_algebra`.
 
+use co_relational::{encode_database, int_relation, run_query_via_calculus, Query};
 use complex_objects::prelude::*;
-use co_relational::{
-    encode_database, int_relation, run_query_via_calculus, Query,
-};
 
 fn section(title: &str) {
     println!("\n=== {title} ===");
@@ -19,7 +17,10 @@ fn main() {
     // The flat database used throughout.
     let mut rdb = co_relational::Database::new();
     rdb.insert("r1", int_relation(["a", "b"], [[1, 10], [2, 20], [3, 30]]));
-    rdb.insert("r2", int_relation(["c", "d"], [[10, 100], [20, 200], [99, 999]]));
+    rdb.insert(
+        "r2",
+        int_relation(["c", "d"], [[10, 100], [20, 200], [99, 999]]),
+    );
     let db = encode_database(&rdb);
     println!("database object:\n  {db}");
 
@@ -44,7 +45,10 @@ fn main() {
     ];
     for (src, gloss) in formulas {
         let f = parse_formula(src).unwrap();
-        println!("  {src}\n    % {gloss}\n    = {}", interpret(&f, &db, MatchPolicy::Strict));
+        println!(
+            "  {src}\n    % {gloss}\n    = {}",
+            interpret(&f, &db, MatchPolicy::Strict)
+        );
     }
 
     section("Example 4.2 — rules, against the flat algebra");
@@ -60,10 +64,8 @@ fn main() {
     );
 
     // (3) the join rule, checked against ⋈.
-    let r3 = parse_rule(
-        "[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
-    )
-    .unwrap();
+    let r3 =
+        parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].").unwrap();
     let join_calc = apply_rule(&r3, &db, MatchPolicy::Strict);
     let join_alg = Query::rel("r1")
         .join(Query::rel("r2"), [("b", "c")])

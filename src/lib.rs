@@ -11,18 +11,40 @@
 //! pattern whose instantiations are matched *below* the database object and
 //! whose head instantiations are joined with the lattice union.
 //!
-//! This facade crate re-exports the entire workspace:
+//! # Workspace layout
 //!
-//! - [`object`] — the value model: atoms, ⊤/⊥, tuples, sets; canonical
-//!   normalization; the sub-object order; union (lub) and intersection (glb).
-//! - [`parser`] — the paper's Prolog-flavoured concrete syntax.
-//! - [`calculus`] — well-formed formulae, substitutions, interpretation,
-//!   rules, and closure semantics (the paper's §4).
-//! - [`engine`] — naive and semi-naive fixpoint evaluation with guards,
-//!   statistics, and indexes.
-//! - [`relational`] — a flat relational-algebra baseline plus NF² operators,
-//!   used for differential testing and benchmarks.
-//! - [`schema`] — the §5 future-work item: a type system for complex objects.
+//! This facade crate re-exports the entire workspace (one crate per layer,
+//! strictly acyclic; see `ARCHITECTURE.md` for the full picture):
+//!
+//! - [`object`] (`crates/object`, lib `co_object`) — the value model:
+//!   atoms, ⊤/⊥, tuples, sets; canonical normalization; the sub-object
+//!   order; union (lub) and intersection (glb). Composites are **interned
+//!   in a hash-consed store** ([`object::store`]): canonically equal values
+//!   share one allocation, so `==` is a pointer comparison, hashes are
+//!   cached words, every node has a stable [`object::NodeId`] and
+//!   precomputed [`object::Meta`] (depth, size, contains-set/flat flags),
+//!   and the binary lattice operations are memoized by node-id pair.
+//! - [`parser`] (`crates/parser`, `co_parser`) — the paper's
+//!   Prolog-flavoured concrete syntax for objects, formulae, rules, and
+//!   programs.
+//! - [`calculus`] (`crates/core`, `co_calculus`) — well-formed formulae,
+//!   substitutions, the matcher (maximal bindings via lattice glbs),
+//!   interpretation, rules, and closure semantics (the paper's §4).
+//! - [`engine`] (`crates/engine`, `co_engine`) — naive and semi-naive
+//!   fixpoint evaluation with guards, statistics, deltas, and
+//!   attribute-value indexes keyed by interned set `NodeId` (index reuse
+//!   survives re-derivation; no pointer-aliasing hazards).
+//! - [`relational`] (`crates/relational`, `co_relational`) — a flat
+//!   relational-algebra baseline plus NF² operators, used for differential
+//!   testing and benchmarks; its encoder emits interned nodes, so repeated
+//!   encodings deduplicate structurally.
+//! - [`schema`] (`crates/schema`, `co_schema`) — the §5 future-work item: a
+//!   type system for complex objects.
+//!
+//! Two more pieces are not re-exported: `crates/bench` (`co_bench`,
+//! workload builders, experiment binaries, and the criterion benches) and
+//! `vendor/` (offline in-tree shims for external crates — the build needs
+//! no registry access).
 //!
 //! ## Quickstart
 //!

@@ -4,10 +4,10 @@
 
 mod common;
 
+use co_calculus::{certificates, derivations, is_closed_under};
 use common::{descendants_program, random_graph_db, reachability_program};
 use complex_objects::object::{lattice, order, Object};
 use complex_objects::prelude::*;
-use co_calculus::{certificates, derivations, is_closed_under};
 use proptest::prelude::*;
 
 /// Formulas used to probe random graph databases.
@@ -134,10 +134,7 @@ fn closure_on_the_paper_genealogy_is_minimal() {
     let program = descendants_program("p0");
     let closure = Engine::new(program.clone()).run(&db).unwrap().database;
     // Build a strictly larger closed object and check domination.
-    let bigger = lattice::union(
-        &closure,
-        &parse_object("[doa: {unrelated_extra}]").unwrap(),
-    );
+    let bigger = lattice::union(&closure, &parse_object("[doa: {unrelated_extra}]").unwrap());
     assert!(is_closed_under(&program, &bigger, MatchPolicy::Strict));
     assert!(order::le(&closure, &bigger));
     assert_ne!(closure, bigger);

@@ -28,11 +28,7 @@ pub fn random_graph_db(seed: u64, nodes: i64, edges: usize) -> Object {
 /// shape.
 pub fn chain_family_db(n: usize) -> Object {
     let family = Object::set((0..n).map(|i| {
-        parse_object(&format!(
-            "[name: p{i}, children: {{[name: p{}]}}]",
-            i + 1
-        ))
-        .unwrap()
+        parse_object(&format!("[name: p{i}, children: {{[name: p{}]}}]", i + 1)).unwrap()
     }));
     Object::tuple([(Attr::new("family"), family)])
 }
@@ -93,10 +89,8 @@ pub fn program_library() -> Vec<(&'static str, Program)> {
         ),
         (
             "nesting",
-            parse_program(
-                "[grouped: {[k: X, members: {Y}]}] :- [edge: {[src: X, dst: Y]}].",
-            )
-            .unwrap(),
+            parse_program("[grouped: {[k: X, members: {Y}]}] :- [edge: {[src: X, dst: Y]}].")
+                .unwrap(),
         ),
     ]
 }

@@ -4,15 +4,18 @@
 
 mod common;
 
+use co_calculus::{ClosureLimits, ClosureMode};
 use common::{program_library, random_graph_db};
 use complex_objects::prelude::*;
-use co_calculus::{ClosureLimits, ClosureMode};
 // Explicit import: both preludes glob-export a `Strategy` (the engine's
 // enum and proptest's trait); the non-glob import disambiguates.
 use co_engine::Strategy;
 use proptest::prelude::*;
 
-fn reference(program: &Program, db: &complex_objects::object::Object) -> complex_objects::object::Object {
+fn reference(
+    program: &Program,
+    db: &complex_objects::object::Object,
+) -> complex_objects::object::Object {
     co_calculus::closure(
         program,
         db,

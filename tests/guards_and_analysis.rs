@@ -4,9 +4,9 @@
 
 mod common;
 
-use complex_objects::prelude::*;
 use co_calculus::{analyse, ClosureMode};
 use co_engine::{EngineError, Materialized};
+use complex_objects::prelude::*;
 use std::time::Duration;
 
 fn diverging_program() -> Program {
@@ -72,7 +72,11 @@ fn every_guard_dimension_fires() {
 
 #[test]
 fn divergence_error_carries_partial_state_and_stats() {
-    let EngineError::Diverged { partial, stats, reason } = Engine::new(diverging_program())
+    let EngineError::Diverged {
+        partial,
+        stats,
+        reason,
+    } = Engine::new(diverging_program())
         .guard(Guard {
             max_iterations: 8,
             ..Guard::default()

@@ -90,10 +90,7 @@ fn non_distributivity_witness() {
     let a = parse_object("1").unwrap();
     let b = parse_object("2").unwrap();
     let c = parse_object("3").unwrap();
-    let lhs = lattice::union(
-        &lattice::intersect(&a, &b),
-        &lattice::intersect(&a, &c),
-    );
+    let lhs = lattice::union(&lattice::intersect(&a, &b), &lattice::intersect(&a, &c));
     let rhs = lattice::intersect(&a, &lattice::union(&b, &c));
     assert_eq!(lhs, Object::Bottom);
     assert_eq!(rhs, a);

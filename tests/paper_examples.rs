@@ -214,10 +214,8 @@ fn e7_example_4_1_interpretations() {
     );
 
     // (5) pairwise-equal projections (A=C, B=D).
-    let db5 = parse_object(
-        "[r1: {[a: 1, b: 2], [a: 5, b: 6]}, r2: {[c: 1, d: 2], [c: 7, d: 8]}]",
-    )
-    .unwrap();
+    let db5 = parse_object("[r1: {[a: 1, b: 2], [a: 5, b: 6]}, r2: {[c: 1, d: 2], [c: 7, d: 8]}]")
+        .unwrap();
     let f5 = parse_formula("[r1: {[a: X, b: Y]}, r2: {[c: X, d: Y]}]").unwrap();
     assert_eq!(
         interpret(&f5, &db5, MatchPolicy::Strict),
@@ -264,18 +262,16 @@ fn e8_example_4_2_rules() {
     let db = walkthrough_db();
 
     // (3) join on B = C projected to A, D.
-    let r3 = parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].")
-        .unwrap();
+    let r3 =
+        parse_rule("[r: {[a: X, d: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].").unwrap();
     assert_eq!(
         apply_rule(&r3, &db, MatchPolicy::Strict),
         parse_object("[r: {[a: 1, d: 100], [a: 2, d: 200]}]").unwrap()
     );
 
     // (4) the same join with renamed output attributes.
-    let r4 = parse_rule(
-        "[r: {[a1: X, a2: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].",
-    )
-    .unwrap();
+    let r4 =
+        parse_rule("[r: {[a1: X, a2: Z]}] :- [r1: {[a: X, b: Y]}, r2: {[c: Y, d: Z]}].").unwrap();
     assert_eq!(
         apply_rule(&r4, &db, MatchPolicy::Strict),
         parse_object("[r: {[a1: 1, a2: 100], [a1: 2, a2: 200]}]").unwrap()
@@ -297,14 +293,9 @@ fn e8_example_4_2_rules() {
     );
 
     // (7) intersection after renaming, to a set of tuples.
-    let db7 = parse_object(
-        "[r1: {[a: 1, b: 2], [a: 5, b: 6]}, r2: {[c: 1, d: 2], [c: 7, d: 8]}]",
-    )
-    .unwrap();
-    let r7 = parse_rule(
-        "{[a1: X, a2: Y]} :- [r1: {[a: X, b: Y]}, r2: {[c: X, d: Y]}].",
-    )
-    .unwrap();
+    let db7 = parse_object("[r1: {[a: 1, b: 2], [a: 5, b: 6]}, r2: {[c: 1, d: 2], [c: 7, d: 8]}]")
+        .unwrap();
+    let r7 = parse_rule("{[a1: X, a2: Y]} :- [r1: {[a: X, b: Y]}, r2: {[c: X, d: Y]}].").unwrap();
     assert_eq!(
         apply_rule(&r7, &db7, MatchPolicy::Strict),
         parse_object("{[a1: 1, a2: 2]}").unwrap()

@@ -3,9 +3,7 @@
 //! (part of experiment E12; the per-operator cases are in
 //! `co-relational`'s unit tests).
 
-use co_relational::{
-    int_relation, run_query_via_calculus, Database, Query,
-};
+use co_relational::{int_relation, run_query_via_calculus, Database, Query};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -49,21 +47,17 @@ fn random_query(rng: &mut StdRng, depth: usize) -> Query {
                 .rename([(keep, "a")])
                 // Re-widen so deeper combinators always see schema (a, b):
                 // join the projection with itself under a rename.
-                .product(
-                    random_query(rng, depth - 1)
-                        .project(["b"]),
-                )
+                .product(random_query(rng, depth - 1).project(["b"]))
         }
         2 => random_query(rng, depth - 1).union(random_query(rng, depth - 1)),
         3 => random_query(rng, depth - 1).intersect(random_query(rng, depth - 1)),
         4 => random_query(rng, depth - 1)
-            .join(
-                Query::rel("r2"),
-                [("b", "c")],
-            )
+            .join(Query::rel("r2"), [("b", "c")])
             .project(["a", "d"])
             .rename([("d", "b")]),
-        _ => random_query(rng, depth - 1).rename([("a", "x")]).rename([("x", "a")]),
+        _ => random_query(rng, depth - 1)
+            .rename([("a", "x")])
+            .rename([("x", "a")]),
     }
 }
 

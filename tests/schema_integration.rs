@@ -4,24 +4,21 @@
 
 mod common;
 
-use complex_objects::prelude::*;
 use co_schema::{check, conforms, infer_exact, subtype, Type};
+use complex_objects::prelude::*;
 
 #[test]
 fn paper_example_2_1_objects_type_as_expected() {
     // The flat relation.
-    let rel = parse_object(
-        "{[name: peter, age: 25], [name: john, age: 7], [name: mary, age: 13]}",
-    )
-    .unwrap();
+    let rel = parse_object("{[name: peter, age: 25], [name: john, age: 7], [name: mary, age: 13]}")
+        .unwrap();
     let flat_t = Type::set(Type::tuple([("name", Type::Str), ("age", Type::Int)]));
     assert!(conforms(&rel, &flat_t));
 
     // The relation with nulls conforms to the same open type…
-    let nulls = parse_object(
-        "{[name: peter], [name: john, age: 7], [name: mary, address: austin]}",
-    )
-    .unwrap();
+    let nulls =
+        parse_object("{[name: peter], [name: john, age: 7], [name: mary, address: austin]}")
+            .unwrap();
     assert!(conforms(&nulls, &flat_t));
     // …but not when age is required.
     let strict_t = Type::set(Type::tuple([
@@ -88,7 +85,10 @@ fn engine_output_conforms_to_the_program_result_type() {
 #[test]
 fn encoded_relational_databases_type_check() {
     let mut db = co_relational::Database::new();
-    db.insert("r1", co_relational::int_relation(["a", "b"], [[1, 2], [3, 4]]));
+    db.insert(
+        "r1",
+        co_relational::int_relation(["a", "b"], [[1, 2], [3, 4]]),
+    );
     let o = co_relational::encode_database(&db);
     let t = Type::tuple([(
         "r1",

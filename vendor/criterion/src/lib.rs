@@ -1,0 +1,251 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the macro/API surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`) with
+//! a simple wall-clock measurement loop: warm up briefly, then time batches
+//! until a time budget is spent, and print the mean time per iteration.
+//! No statistical analysis, plots, or baselines — numbers are indicative,
+//! which is all an offline smoke run needs.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] (criterion-compatible).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function label plus a
+/// parameter rendering.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `label/parameter`.
+    pub fn new(label: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{label}/{parameter}"),
+        }
+    }
+
+    /// A benchmark id rendering only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Throughput annotation (accepted and echoed; no derived rates).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The measurement handle passed to bench closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (page in code/data, build lazy caches).
+        std_black_box(f());
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 16);
+        }
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (accepted for API compatibility; the
+    /// shim's time budget is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+            budget: self.criterion.budget,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Benches `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+            budget: self.criterion.budget,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = Duration::from_nanos(b.ns_per_iter as u64);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                let mbps = n as f64 / b.ns_per_iter * 1e9 / (1024.0 * 1024.0);
+                format!("  ({mbps:.1} MiB/s)")
+            }
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                let eps = n as f64 / b.ns_per_iter * 1e9;
+                format!("  ({eps:.0} elem/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {per_iter:?}/iter over {} iters{rate}",
+            self.name, b.iters
+        );
+    }
+
+    /// Finishes the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Overridable so CI smoke runs can keep bench jobs fast.
+        let ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_measures_something() {
+        std::env::set_var("CRITERION_SHIM_BUDGET_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline shim for the `rand` crate covering the API surface this
+//! workspace uses: `rngs::StdRng`, [`SeedableRng::seed_from_u64`], and
+//! [`RngExt`] with `random_range` / `random_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! per seed, high-quality for test/benchmark workloads, and **not**
+//! cryptographically secure (neither is what callers here need).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG trait: a source of uniformly distributed words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers, mirroring `rand 0.9`'s `Rng` extension surface.
+pub trait RngExt: RngCore {
+    /// A uniformly random value in `range` (panics when empty).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoUniformRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample(self, lo, hi_inclusive)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 uniformly random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Re-export expected by `use rand::Rng`-style callers.
+pub use RngExt as Rng;
+
+/// Integer types samplable by [`RngExt::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from the inclusive range `[lo, hi]`.
+    fn sample<G: RngCore + ?Sized>(g: &mut G, lo: Self, hi: Self) -> Self;
+}
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait IntoUniformRange<T: SampleUniform> {
+    /// The `(low, high_inclusive)` bounds; panics when the range is empty.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform + OneLess> IntoUniformRange<T> for Range<T> {
+    fn bounds(self) -> (T, T) {
+        assert!(
+            self.start < self.end,
+            "random_range called with empty range"
+        );
+        (self.start, self.end.one_less())
+    }
+}
+
+impl<T: SampleUniform> IntoUniformRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range called with empty range");
+        (lo, hi)
+    }
+}
+
+/// Decrement helper for converting exclusive upper bounds.
+pub trait OneLess {
+    /// `self - 1` (never called on a minimum value — the empty-range assert
+    /// fires first).
+    fn one_less(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl OneLess for $t {
+            fn one_less(self) -> Self {
+                self - 1
+            }
+        }
+
+        impl SampleUniform for $t {
+            fn sample<G: RngCore + ?Sized>(g: &mut G, lo: Self, hi: Self) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1) as u64;
+                if span == 0 {
+                    // Full-width range: every word is a valid sample.
+                    return g.next_u64() as $t;
+                }
+                // Debiased multiply-shift (Lemire): uniform in [0, span).
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let r = g.next_u64();
+                    let m = (r as u128) * (span as u128);
+                    if (m as u64) >= threshold {
+                        let offset = (m >> 64) as u64;
+                        return ((lo as $wide).wrapping_add(offset as $wide)) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard RNG: xoshiro256++ (seeded via SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 stream expands the seed into four nonzero words.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = g.random_range(0..10i64);
+            assert!((0..10).contains(&v));
+            let w = g.random_range(3..=5usize);
+            assert!((3..=5).contains(&w));
+            let b = g.random_range(0..4u8);
+            assert!(b < 4);
+        }
+        // All values of a small range appear.
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[g.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn negative_ranges_work() {
+        let mut g = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = g.random_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_probabilities() {
+        let mut g = StdRng::seed_from_u64(1);
+        assert!(!g.random_bool(0.0));
+        assert!(g.random_bool(1.0));
+        let hits = (0..10_000).filter(|_| g.random_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "got {hits}");
+    }
+}

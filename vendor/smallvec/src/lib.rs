@@ -1,0 +1,185 @@
+//! Offline shim for the `smallvec` crate: the same `SmallVec<[T; N]>` API
+//! surface backed by a plain `Vec<T>`. The inline-storage optimization is
+//! dropped (heap allocation instead), but semantics are identical, so code
+//! written against `smallvec` compiles and behaves the same.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Types usable as the backing-array parameter of [`SmallVec`].
+pub trait Array {
+    /// The element type.
+    type Item;
+    /// The inline capacity (unused by this shim).
+    fn size() -> usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    fn size() -> usize {
+        N
+    }
+}
+
+/// A growable vector with the `smallvec::SmallVec` API, backed by `Vec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// Creates an empty vector with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, item: A::Item) {
+        self.inner.push(item);
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Inserts `item` at `index`, shifting later elements right.
+    pub fn insert(&mut self, index: usize, item: A::Item) {
+        self.inner.insert(index, item);
+    }
+
+    /// Removes and returns the element at `index`.
+    pub fn remove(&mut self, index: usize) -> A::Item {
+        self.inner.remove(index)
+    }
+
+    /// Extracts a slice of the whole vector.
+    pub fn as_slice(&self) -> &[A::Item] {
+        &self.inner
+    }
+
+    /// Converts into a plain `Vec`.
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    fn deref(&self) -> &Self::Target {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: Vec::from_iter(iter),
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Constructs a [`SmallVec`] from a list of elements, like `vec!`.
+#[macro_export]
+macro_rules! smallvec {
+    ($($x:expr),* $(,)?) => {
+        $crate::SmallVec::from_iter([$($x),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_vec() {
+        let mut v: SmallVec<[i32; 4]> = SmallVec::new();
+        v.push(3);
+        v.insert(0, 1);
+        assert_eq!(v.as_slice(), &[1, 3]);
+        assert_eq!(v.binary_search(&3), Ok(1));
+        let w: SmallVec<[i32; 4]> = SmallVec::from_iter([1, 3]);
+        assert_eq!(v, w);
+    }
+}

@@ -98,6 +98,27 @@ pub fn descendants_program() -> Program {
     .expect("static program parses")
 }
 
+/// The descendants program replicated per root: one independent rule
+/// family `[doa_<root>: …]` per entry of `roots`, all reading the shared
+/// `family` relation. Independent rule families are the natural source of
+/// round-level parallelism for `Engine::parallelism` (each family is a
+/// separate work unit every iteration), on top of the per-rule root
+/// choice-point partitioning.
+pub fn multi_descendants_program(roots: &[&str]) -> Program {
+    let text = roots
+        .iter()
+        .map(|r| {
+            format!(
+                "[doa_{r}: {{{r}}}].\n\
+                 [doa_{r}: {{X}}] :- \
+                 [family: {{[name: Y, children: {{[name: X]}}]}}, doa_{r}: {{Y}}].",
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    parse_program(&text).expect("generated program parses")
+}
+
 /// A set with heavy domination (every element `[k: i]` is dominated by a
 /// `[k: i, extra: 1]` sibling) — worst-ish case for reduction.
 pub fn redundant_set(n: i64) -> Vec<Object> {

@@ -10,6 +10,21 @@
 //!
 //! The equivalence `semi-naive ≡ naive` is checked property-style in
 //! `tests/engine_equivalence.rs`.
+//!
+//! # Partitioned matching (parallel evaluation)
+//!
+//! The search tree of one rule body has exactly one *root* choice point:
+//! the first set-member witness loop reached on the (deterministic) path
+//! from the root formula. [`delta_match_part`] splits that loop by witness
+//! position modulo a [`Partition`]: part `i` of `n` tries only candidates
+//! at positions `≡ i (mod n)`. The parts' solution sets are therefore
+//! (a) collectively exhaustive — every candidate position belongs to some
+//! part — and (b) disjoint *as derivations*, though two derivations in
+//! different parts may still emit the same substitution, so callers must
+//! deduplicate when merging parts. The parallel engine runs the parts of
+//! each rule as independent work units and merges them back in rule order,
+//! which is what keeps parallel evaluation's results and trace identical
+//! to sequential evaluation's.
 
 use crate::delta::Delta;
 use co_calculus::{Formula, MatchPolicy, MatchStats, Prefilter, Substitution, Var};
@@ -37,6 +52,38 @@ fn goal_potential(g: &Goal<'_>) -> bool {
     }
 }
 
+/// One slice of a partitioned match: this search explores only the root
+/// choice-point candidates at positions `≡ index (mod of)`. See the module
+/// docs for the exhaustiveness/disjointness argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Which slice this is (`0 ≤ index < of`).
+    pub index: usize,
+    /// Total number of slices.
+    pub of: usize,
+}
+
+impl Partition {
+    #[inline]
+    fn admits(&self, i: usize) -> bool {
+        i % self.of == self.index
+    }
+}
+
+/// True when matching `f` can reach a witness loop that a [`Partition`]
+/// could slice — i.e. `f` contains a set formula with at least one member.
+/// Bodies without one (fact bodies, pure tuple/variable/constant shapes)
+/// explore a single derivation path, so slicing them into partitions would
+/// only run identical full searches whose duplicate results the merge then
+/// discards; the parallel engine dispatches such rules as one unit.
+pub fn has_choice_point(f: &Formula) -> bool {
+    match f {
+        Formula::Bottom | Formula::Var(_) | Formula::Atom(_) => false,
+        Formula::Tuple(entries) => entries.iter().any(|(_, e)| has_choice_point(e)),
+        Formula::Set(members) => !members.is_empty(),
+    }
+}
+
 struct Search<'a> {
     policy: MatchPolicy,
     prefilter: &'a dyn Prefilter,
@@ -45,6 +92,9 @@ struct Search<'a> {
     out: FxHashSet<Substitution>,
     vars: &'a [Var],
     dirty: bool,
+    /// Consumed (taken) by the first witness loop reached — the root choice
+    /// point; `None` afterwards, so nested loops enumerate fully.
+    partition: Option<Partition>,
     stats: MatchStats,
 }
 
@@ -198,7 +248,13 @@ impl<'a> Search<'a> {
             Delta::Set(flags) if only_dirty_can_matter && rest.is_empty() => Some(flags),
             _ => None,
         };
-        let admissible = |i: usize| dirty_flags.map(|f| f.get(i) == Some(&true)).unwrap_or(true);
+        // The first witness loop reached is the root choice point: consume
+        // the partition here (once), restricting candidates to this slice.
+        let partition = self.partition.take();
+        let admissible = |i: usize| {
+            partition.map(|p| p.admits(i)).unwrap_or(true)
+                && dirty_flags.map(|f| f.get(i) == Some(&true)).unwrap_or(true)
+        };
 
         let candidates = {
             let bindings = &self.bindings;
@@ -251,12 +307,33 @@ impl<'a> Search<'a> {
 
 /// Enumerates the substitutions `σ` with `σf ≤ o` whose derivations touch
 /// at least one `New` region of `delta` — the semi-naive increment.
+///
+/// As a special case, a *root* delta of [`Delta::New`] marks the entire
+/// database as changed, making this exactly the full (naive) match of
+/// `co_calculus::match_with` — including the empty derivations of fact
+/// bodies. The parallel engine relies on this to run first iterations and
+/// naive rounds through the same partitioned code path.
 pub fn delta_match(
     f: &Formula,
     o: &Object,
     delta: &Delta,
     policy: MatchPolicy,
     prefilter: &dyn Prefilter,
+) -> (Vec<Substitution>, MatchStats) {
+    delta_match_part(f, o, delta, policy, prefilter, None)
+}
+
+/// [`delta_match`] restricted to one [`Partition`] slice of the root choice
+/// point (`None` = the whole search). Merging the sorted outputs of all
+/// `of` slices and deduplicating reproduces the unpartitioned result
+/// exactly — see the module docs.
+pub fn delta_match_part(
+    f: &Formula,
+    o: &Object,
+    delta: &Delta,
+    policy: MatchPolicy,
+    prefilter: &dyn Prefilter,
+    partition: Option<Partition>,
 ) -> (Vec<Substitution>, MatchStats) {
     let vars = f.variables();
     let mut search = Search {
@@ -266,7 +343,10 @@ pub fn delta_match(
         trail: Vec::new(),
         out: FxHashSet::default(),
         vars: &vars,
-        dirty: false,
+        // A root-level `New` delta means "everything changed": every
+        // derivation (even the empty one of a fact body) is an increment.
+        dirty: matches!(delta, Delta::New),
+        partition,
         stats: MatchStats::default(),
     };
     let mut stack = Vec::new();
@@ -363,6 +443,70 @@ mod tests {
         let db = obj!([r: {1}]);
         let d = diff(&obj!([r: {}]), &db);
         assert!(dm(&Formula::Bottom, &db, &d).is_empty());
+    }
+
+    #[test]
+    fn root_new_delta_fires_facts_like_a_full_match() {
+        // A root `New` marks the whole database changed: the fact body's
+        // empty derivation is an increment, exactly as in a naive match.
+        let db = obj!([r: {1}]);
+        let ms = dm(&Formula::Bottom, &db, &Delta::New);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(matches(&Formula::Bottom, &db, MatchPolicy::Strict), ms);
+    }
+
+    #[test]
+    fn partitions_cover_the_full_match_exactly() {
+        let db = obj!([r1: {[a: 1, b: 10], [a: 2, b: 20], [a: 3, b: 10], [a: 4, b: 20]},
+                       r2: {[c: 10], [c: 20]}]);
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y())]}]);
+        let full = dm(&f, &db, &Delta::New);
+        assert_eq!(full.len(), 4);
+        for of in [1usize, 2, 3, 4, 7] {
+            let mut merged: Vec<Substitution> = (0..of)
+                .flat_map(|index| {
+                    delta_match_part(
+                        &f,
+                        &db,
+                        &Delta::New,
+                        MatchPolicy::Strict,
+                        &ScanAll,
+                        Some(Partition { index, of }),
+                    )
+                    .0
+                })
+                .collect();
+            merged.sort_by(|a, b| a.iter().cmp(b.iter()));
+            merged.dedup();
+            assert_eq!(merged, full, "partition of={of}");
+        }
+    }
+
+    #[test]
+    fn partitioned_semi_naive_increments_merge_to_the_unpartitioned_ones() {
+        let old = obj!([r1: {[a: 1, b: 10]}, r2: {[c: 99]}]);
+        let new = obj!([r1: {[a: 1, b: 10], [a: 2, b: 10]}, r2: {[c: 99], [c: 10]}]);
+        let d = diff(&old, &new);
+        let f = wff!([r1: {[a: (x()), b: (y())]}, r2: {[c: (y())]}]);
+        let full = dm(&f, &new, &d);
+        assert_eq!(full.len(), 2);
+        let of = 3;
+        let mut merged: Vec<Substitution> = (0..of)
+            .flat_map(|index| {
+                delta_match_part(
+                    &f,
+                    &new,
+                    &d,
+                    MatchPolicy::Strict,
+                    &ScanAll,
+                    Some(Partition { index, of }),
+                )
+                .0
+            })
+            .collect();
+        merged.sort_by(|a, b| a.iter().cmp(b.iter()));
+        merged.dedup();
+        assert_eq!(merged, full);
     }
 
     #[test]

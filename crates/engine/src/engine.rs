@@ -1,14 +1,32 @@
-//! The fixpoint engine: orchestrates strategy, policy, indexes, guards,
-//! statistics, and tracing around the calculus semantics.
+//! The fixpoint engine: orchestrates strategy, parallelism, policy,
+//! indexes, guards, statistics, and tracing around the calculus semantics.
+//!
+//! # Parallel rounds
+//!
+//! With [`Parallelism::Threads`], each iteration fans rule × partition
+//! work units over a worker pool: the database snapshot of the round is
+//! immutable (objects are interned, so sending a handle is an `Arc` bump),
+//! every unit matches one rule body — or one [`Partition`] slice of its
+//! root choice point — independently, and the per-unit results are merged
+//! back **in rule order** with per-rule deduplication. The merged
+//! per-rule substitution lists are bit-identical to sequential
+//! evaluation's, so the derived database, the trace, and even the
+//! interned `NodeId`s of the fixpoint are the same in both modes (see
+//! `tests/parallel_equivalence.rs` and ARCHITECTURE.md's determinism
+//! section).
 
 use crate::delta::{diff, Delta};
-use crate::dmatch::delta_match;
+use crate::dmatch::{delta_match, delta_match_part, has_choice_point, Partition};
 use crate::index::IndexedPrefilter;
 use crate::{EngineError, EvalStats, Guard, Trace, TraceEvent};
-use co_calculus::{match_with, ClosureMode, MatchPolicy, MatchStats, Prefilter, Program, ScanAll};
+use co_calculus::{
+    match_with, ClosureMode, MatchPolicy, MatchStats, Prefilter, Program, ScanAll, Substitution,
+};
 use co_object::lattice::{union, union_many};
 use co_object::{measure, Object};
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
+use threadpool::ThreadPool;
 
 /// Fixpoint iteration strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -20,6 +38,52 @@ pub enum Strategy {
     /// the engine falls back to naive under `PaperLiteral`.
     #[default]
     SemiNaive,
+}
+
+/// Degree of parallelism for rule application within each fixpoint round.
+///
+/// Parallel evaluation is an *execution* choice, not a semantic one: for
+/// any [`Strategy`] and [`ClosureMode`], the parallel engine produces the
+/// same fixpoint (down to interned `NodeId` identity) and the same trace
+/// as sequential evaluation. The default is [`Parallelism::Sequential`]
+/// unless the `CO_ENGINE_THREADS` environment variable requests otherwise
+/// (see [`Parallelism::from_env`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Parallelism {
+    /// Apply rules one after another on the calling thread.
+    #[default]
+    Sequential,
+    /// Fan rule × partition work units across this many worker threads.
+    /// `Threads(0)` and `Threads(1)` behave like `Sequential`.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The parallelism requested by the `CO_ENGINE_THREADS` environment
+    /// variable: unset, unparsable, `0`, or `1` mean [`Sequential`];
+    /// `n ≥ 2` means [`Threads`]`(n)`. This is what [`Engine::new`] starts
+    /// from, so `CO_ENGINE_THREADS=4 cargo test` runs an entire suite in
+    /// parallel mode without code changes.
+    ///
+    /// [`Sequential`]: Parallelism::Sequential
+    /// [`Threads`]: Parallelism::Threads
+    pub fn from_env() -> Parallelism {
+        match std::env::var("CO_ENGINE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n >= 2 => Parallelism::Threads(n),
+            _ => Parallelism::Sequential,
+        }
+    }
+
+    /// Effective worker count: 1 for sequential execution.
+    fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
 }
 
 /// The result of a successful run.
@@ -65,11 +129,13 @@ pub struct Engine {
     guard: Guard,
     use_indexes: bool,
     tracing: bool,
+    parallelism: Parallelism,
 }
 
 impl Engine {
     /// Creates an engine with the default configuration: semi-naive,
-    /// inflationary, strict matching, indexes on, default guard, no trace.
+    /// inflationary, strict matching, indexes on, default guard, no trace,
+    /// parallelism from the environment ([`Parallelism::from_env`]).
     pub fn new(program: Program) -> Engine {
         Engine {
             program,
@@ -79,6 +145,7 @@ impl Engine {
             guard: Guard::default(),
             use_indexes: true,
             tracing: false,
+            parallelism: Parallelism::from_env(),
         }
     }
 
@@ -86,6 +153,37 @@ impl Engine {
     pub fn strategy(mut self, s: Strategy) -> Engine {
         self.strategy = s;
         self
+    }
+
+    /// Selects the degree of parallelism for rule application.
+    ///
+    /// ```
+    /// use co_engine::{Engine, Parallelism};
+    /// use co_parser::{parse_object, parse_program};
+    ///
+    /// let db = parse_object("[edge: {[s: a, t: b], [s: b, t: c]}]").unwrap();
+    /// let program = parse_program(
+    ///     "[path: {[s: X, t: Y]}] :- [edge: {[s: X, t: Y]}].
+    ///      [path: {[s: X, t: Z]}] :- [edge: {[s: X, t: Y]}, path: {[s: Y, t: Z]}].",
+    /// )
+    /// .unwrap();
+    /// let sequential = Engine::new(program.clone()).run(&db).unwrap();
+    /// let parallel = Engine::new(program)
+    ///     .parallelism(Parallelism::Threads(4))
+    ///     .run(&db)
+    ///     .unwrap();
+    /// // Parallel evaluation is deterministic: bit-identical fixpoint.
+    /// assert_eq!(sequential.database, parallel.database);
+    /// assert_eq!(sequential.database.node_id(), parallel.database.node_id());
+    /// ```
+    pub fn parallelism(mut self, p: Parallelism) -> Engine {
+        self.parallelism = p;
+        self
+    }
+
+    /// Convenience for [`Engine::parallelism`]`(Parallelism::Threads(n))`.
+    pub fn threads(self, n: usize) -> Engine {
+        self.parallelism(Parallelism::Threads(n))
     }
 
     /// Selects the closure mode (see `co_calculus::ClosureMode`).
@@ -131,9 +229,51 @@ impl Engine {
     pub fn run(&self, db: &Object) -> Result<RunOutcome, EngineError> {
         let start = Instant::now();
         let strategy = self.effective_strategy();
-        let indexed = IndexedPrefilter::new(self.policy);
-        let scan = ScanAll;
-        let prefilter: &dyn Prefilter = if self.use_indexes { &indexed } else { &scan };
+        let indexed: Option<Arc<IndexedPrefilter>> = if self.use_indexes {
+            Some(Arc::new(IndexedPrefilter::new(self.policy)))
+        } else {
+            None
+        };
+        let prefilter: Arc<dyn Prefilter + Send + Sync> = match &indexed {
+            Some(p) => Arc::clone(p) as Arc<dyn Prefilter + Send + Sync>,
+            None => Arc::new(ScanAll),
+        };
+        // The worker pool lives for the whole run; per-round dispatch is a
+        // boxed closure + channel round-trip per work unit, not a thread
+        // spawn. The partition plan is constant for the run: oversubscribe
+        // slightly (2 units per worker) so uneven rule costs still keep
+        // every worker busy, slicing each rule's root choice point into
+        // `base_parts` disjoint partitions — except rules whose bodies
+        // have none to slice (facts, pure tuple shapes): every partition
+        // of those would run the identical full search, so they dispatch
+        // as a single unit.
+        let workers = self.parallelism.worker_count();
+        let pool: Option<(ThreadPool, Arc<Program>, Vec<usize>)> =
+            if workers >= 2 && !self.program.rules().is_empty() {
+                let base_parts = (workers * 2).div_ceil(self.program.rules().len()).max(1);
+                let parts_per_rule = self
+                    .program
+                    .rules()
+                    .iter()
+                    .map(|r| {
+                        if has_choice_point(r.body()) {
+                            base_parts
+                        } else {
+                            1
+                        }
+                    })
+                    .collect();
+                Some((
+                    ThreadPool::new(workers),
+                    Arc::new(self.program.clone()),
+                    parts_per_rule,
+                ))
+            } else {
+                None
+            };
+        // Matching the whole database is matching against an all-`New`
+        // delta (first iterations, naive rounds).
+        let all_new = Arc::new(Delta::New);
 
         let mut stats = EvalStats::default();
         let mut trace = if self.tracing {
@@ -142,7 +282,7 @@ impl Engine {
             None
         };
         let mut current = db.clone();
-        let mut delta: Option<Delta> = None; // None = first iteration.
+        let mut delta: Option<Arc<Delta>> = None; // None = first iteration.
 
         loop {
             let iteration = stats.iterations + 1;
@@ -164,16 +304,38 @@ impl Engine {
                 t.record(TraceEvent::IterationStart { iteration });
             }
 
-            // Apply every rule, collecting head contributions; union them
-            // in one bulk pass (quadratic-accumulation matters at scale).
+            // Match every rule body — sequentially or fanned out over the
+            // pool — into one substitution list per rule, in rule order.
+            let per_rule = match &pool {
+                Some((pool, program, parts_per_rule)) => {
+                    let round_delta = match (strategy, &delta) {
+                        (Strategy::SemiNaive, Some(d)) => d,
+                        _ => &all_new,
+                    };
+                    self.parallel_round(
+                        pool,
+                        program,
+                        parts_per_rule,
+                        &current,
+                        round_delta,
+                        &prefilter,
+                        &mut stats,
+                    )
+                }
+                None => self.sequential_round(
+                    strategy,
+                    &current,
+                    delta.as_deref(),
+                    prefilter.as_ref(),
+                    &mut stats,
+                ),
+            };
+
+            // Collect head contributions; union them in one bulk pass
+            // (quadratic-accumulation matters at scale).
             let mut contributions: Vec<Object> = Vec::new();
-            for (rule_index, rule) in self.program.rules().iter().enumerate() {
-                let (substs, mstats): (Vec<_>, MatchStats) = match (strategy, &delta) {
-                    (Strategy::SemiNaive, Some(d)) => {
-                        delta_match(rule.body(), &current, d, self.policy, prefilter)
-                    }
-                    _ => match_with(rule.body(), &current, self.policy, prefilter),
-                };
+            for (rule_index, (substs, mstats)) in per_rule.into_iter().enumerate() {
+                let rule = &self.program.rules()[rule_index];
                 stats.rule_applications += 1;
                 stats.matching.merge(mstats);
                 for s in &substs {
@@ -220,13 +382,118 @@ impl Engine {
             }
 
             if strategy == Strategy::SemiNaive {
-                delta = Some(diff(&current, &next));
+                delta = Some(Arc::new(diff(&current, &next)));
             }
-            if self.use_indexes {
-                indexed.retain_reachable(&next);
+            if let Some(p) = &indexed {
+                p.retain_reachable(&next);
             }
             current = next;
         }
+    }
+
+    /// One sequential round: every rule matched in order on this thread.
+    fn sequential_round(
+        &self,
+        strategy: Strategy,
+        current: &Object,
+        delta: Option<&Delta>,
+        prefilter: &dyn Prefilter,
+        stats: &mut EvalStats,
+    ) -> Vec<(Vec<Substitution>, MatchStats)> {
+        stats.work_units += self.program.rules().len() as u64;
+        self.program
+            .rules()
+            .iter()
+            .map(|rule| match (strategy, delta) {
+                (Strategy::SemiNaive, Some(d)) => {
+                    delta_match(rule.body(), current, d, self.policy, prefilter)
+                }
+                _ => match_with(rule.body(), current, self.policy, prefilter),
+            })
+            .collect()
+    }
+
+    /// One parallel round: `rule × partition` work units (per the
+    /// run-constant `parts_per_rule` plan) fanned over the pool, merged
+    /// back in `(rule, partition)` order with per-rule deduplication —
+    /// the result is bit-identical to a sequential round.
+    #[allow(clippy::too_many_arguments)]
+    fn parallel_round(
+        &self,
+        pool: &ThreadPool,
+        program: &Arc<Program>,
+        parts_per_rule: &[usize],
+        current: &Object,
+        round_delta: &Arc<Delta>,
+        prefilter: &Arc<dyn Prefilter + Send + Sync>,
+        stats: &mut EvalStats,
+    ) -> Vec<(Vec<Substitution>, MatchStats)> {
+        let total_units: usize = parts_per_rule.iter().sum();
+        stats.work_units += total_units as u64;
+        let (tx, rx) = mpsc::channel();
+        let mut next_unit = 0usize;
+        for (rule_index, &parts) in parts_per_rule.iter().enumerate() {
+            for part in 0..parts {
+                let tx = tx.clone();
+                let program = Arc::clone(program);
+                // Interned handles make these clones reference bumps.
+                let db = current.clone();
+                let delta = Arc::clone(round_delta);
+                let prefilter = Arc::clone(prefilter);
+                let policy = self.policy;
+                let unit = next_unit;
+                next_unit += 1;
+                let partition = (parts > 1).then_some(Partition {
+                    index: part,
+                    of: parts,
+                });
+                pool.execute(move || {
+                    let rule = &program.rules()[rule_index];
+                    let out = delta_match_part(
+                        rule.body(),
+                        &db,
+                        &delta,
+                        policy,
+                        prefilter.as_ref(),
+                        partition,
+                    );
+                    // A send can only fail if the receiver is gone, which
+                    // means the engine thread panicked; nothing to do.
+                    let _ = tx.send((unit, out));
+                });
+            }
+        }
+        drop(tx);
+        let mut by_unit: Vec<Option<(Vec<Substitution>, MatchStats)>> =
+            (0..total_units).map(|_| None).collect();
+        for (unit, out) in rx.iter() {
+            by_unit[unit] = Some(out);
+        }
+        let mut units = by_unit.into_iter().map(|slot| {
+            slot.expect("a parallel match worker panicked without delivering its result")
+        });
+        parts_per_rule
+            .iter()
+            .map(|&parts| {
+                let mut substs: Vec<Substitution> = Vec::new();
+                let mut mstats = MatchStats::default();
+                for _ in 0..parts {
+                    let (part_substs, part_stats) = units.next().expect("unit count");
+                    substs.extend(part_substs);
+                    mstats.merge(part_stats);
+                }
+                if parts > 1 {
+                    // Distinct partitions can derive the same substitution
+                    // through different root witnesses: dedup to match the
+                    // sequential (set-semantics) result exactly. (A single
+                    // unit is already sorted and deduplicated.)
+                    substs.sort_by(|a, b| a.iter().cmp(b.iter()));
+                    substs.dedup();
+                    mstats.matches = substs.len() as u64;
+                }
+                (substs, mstats)
+            })
+            .collect()
     }
 
     fn diverged(
@@ -418,6 +685,96 @@ mod tests {
         assert_eq!(out.stats.sizes.len() as u64, out.stats.iterations);
         assert!(out.stats.final_size().unwrap() > 0);
         assert!(out.stats.to_string().contains("iterations"));
+    }
+
+    #[test]
+    fn parallel_runs_match_sequential_bit_for_bit() {
+        let db = genealogy_db();
+        let sequential = Engine::new(descendants_program())
+            .parallelism(Parallelism::Sequential)
+            .tracing(true)
+            .run(&db)
+            .unwrap();
+        for threads in [2, 3, 4, 8] {
+            for indexes in [false, true] {
+                let parallel = Engine::new(descendants_program())
+                    .threads(threads)
+                    .indexes(indexes)
+                    .tracing(true)
+                    .run(&db)
+                    .unwrap();
+                assert_eq!(
+                    parallel.database, sequential.database,
+                    "threads={threads} indexes={indexes}"
+                );
+                // Hash-consing makes "bit-identical" checkable: the same
+                // canonical value is the same interned node.
+                assert_eq!(parallel.database.node_id(), sequential.database.node_id());
+                // The merged trace is identical event-for-event.
+                assert_eq!(
+                    parallel.trace.as_ref().unwrap().events(),
+                    sequential.trace.as_ref().unwrap().events(),
+                    "threads={threads} indexes={indexes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_naive_strategy_agrees_too() {
+        let db = genealogy_db();
+        let sequential = Engine::new(descendants_program())
+            .strategy(Strategy::Naive)
+            .parallelism(Parallelism::Sequential)
+            .run(&db)
+            .unwrap();
+        let parallel = Engine::new(descendants_program())
+            .strategy(Strategy::Naive)
+            .threads(4)
+            .run(&db)
+            .unwrap();
+        assert_eq!(parallel.database, sequential.database);
+        assert_eq!(parallel.stats.iterations, sequential.stats.iterations);
+    }
+
+    #[test]
+    fn parallel_divergence_is_guarded_like_sequential() {
+        let program = Program::from_rules([
+            Rule::fact(wff!([list: {1}])).unwrap(),
+            Rule::new(
+                wff!([list: {[head: 1, tail: (x())]}]),
+                wff!([list: {(x())}]),
+            )
+            .unwrap(),
+        ]);
+        let err = Engine::new(program)
+            .threads(4)
+            .guard(Guard {
+                max_iterations: 40,
+                max_depth: 25,
+                ..Guard::default()
+            })
+            .run(&obj!([list: {}]))
+            .unwrap_err();
+        let EngineError::Diverged { reason, .. } = err;
+        assert!(reason.contains("depth") || reason.contains("iterations"));
+    }
+
+    #[test]
+    fn work_units_reflect_fan_out() {
+        let db = genealogy_db();
+        let sequential = Engine::new(descendants_program())
+            .parallelism(Parallelism::Sequential)
+            .run(&db)
+            .unwrap();
+        let parallel = Engine::new(descendants_program())
+            .threads(4)
+            .run(&db)
+            .unwrap();
+        // Two rules per iteration sequentially…
+        assert_eq!(sequential.stats.work_units, sequential.stats.iterations * 2);
+        // …and strictly more units when each rule is partitioned.
+        assert!(parallel.stats.work_units > parallel.stats.rule_applications);
     }
 
     #[test]

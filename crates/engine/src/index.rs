@@ -105,6 +105,16 @@ impl IndexRegistry {
         )
     }
 
+    /// The already-built index for `set`, if any — never builds. The
+    /// shared-lock fast path of [`IndexedPrefilter`] uses this so
+    /// concurrent probes of existing indexes don't serialize.
+    pub fn existing(&self, set: &Set) -> Option<&SetIndex> {
+        if set.len() < self.min_set_len {
+            return None;
+        }
+        self.indexes.get(&set.node_id())
+    }
+
     /// Drops indexes for sets no longer reachable from `db` (call once per
     /// iteration to bound memory; node ids are never recycled, so — unlike
     /// the old pointer-keyed scheme — a stale entry can go *unused* but can
@@ -149,9 +159,13 @@ fn collect_set_keys(o: &Object, out: &mut FxHashSet<NodeId>) {
 /// A [`Prefilter`] backed by an [`IndexRegistry`].
 ///
 /// Interior mutability (the registry builds indexes lazily during matching)
-/// is confined to a `RefCell`; the matcher is single-threaded.
+/// is confined to a reader-writer lock, so one prefilter — and hence one
+/// registry of indexes — is shared by all workers of a parallel evaluation
+/// round: an index built by any worker serves every later probe of that
+/// set value, and probes of *existing* indexes (the steady state after the
+/// first iteration) take only the shared lock and run concurrently.
 pub struct IndexedPrefilter {
-    registry: std::cell::RefCell<IndexRegistry>,
+    registry: parking_lot::RwLock<IndexRegistry>,
     policy: MatchPolicy,
 }
 
@@ -159,20 +173,53 @@ impl IndexedPrefilter {
     /// Creates a prefilter for the given policy.
     pub fn new(policy: MatchPolicy) -> IndexedPrefilter {
         IndexedPrefilter {
-            registry: std::cell::RefCell::new(IndexRegistry::new()),
+            registry: parking_lot::RwLock::new(IndexRegistry::new()),
             policy,
         }
     }
 
     /// See [`IndexRegistry::retain_reachable`].
     pub fn retain_reachable(&self, db: &Object) {
-        self.registry.borrow_mut().retain_reachable(db);
+        self.registry.write().retain_reachable(db);
     }
 
     /// Number of materialized indexes (diagnostics).
     pub fn index_count(&self) -> usize {
-        self.registry.borrow().len()
+        self.registry.read().len()
     }
+}
+
+/// Probes `index` with the most selective constant/bound-atom constraint
+/// of a tuple member formula. Constant atoms probe by reference — no clone
+/// on the hot path.
+fn probe_best(
+    index: &SetIndex,
+    entries: &[(Attr, Formula)],
+    bindings: &dyn Fn(Var) -> Option<Object>,
+    policy: MatchPolicy,
+) -> Option<Vec<usize>> {
+    let mut best: Option<&[usize]> = None;
+    for (a, f) in entries {
+        let hits = match f {
+            Formula::Atom(atom) => Some(index.probe(*a, atom)),
+            Formula::Var(v) if policy == MatchPolicy::Strict => {
+                match bindings(*v) {
+                    // Only an *atomic* binding pins the element's value:
+                    // σX already = that atom, and shrinking to ⊥ prunes
+                    // under Strict.
+                    Some(Object::Atom(atom)) => Some(index.probe(*a, &atom)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some(hits) = hits {
+            if best.map(|b| hits.len() < b.len()).unwrap_or(true) {
+                best = Some(hits);
+            }
+        }
+    }
+    best.map(|b| b.to_vec())
 }
 
 impl Prefilter for IndexedPrefilter {
@@ -185,32 +232,26 @@ impl Prefilter for IndexedPrefilter {
         let Formula::Tuple(entries) = member else {
             return None;
         };
-        let mut registry = self.registry.borrow_mut();
-        let index = registry.index_for(set)?;
-        // Probe the most selective constant/bound-atom constraint. Constant
-        // atoms probe by reference — no clone on the hot path.
-        let mut best: Option<&[usize]> = None;
-        for (a, f) in entries {
-            let hits = match f {
-                Formula::Atom(atom) => Some(index.probe(*a, atom)),
-                Formula::Var(v) if self.policy == MatchPolicy::Strict => {
-                    match bindings(*v) {
-                        // Only an *atomic* binding pins the element's value:
-                        // σX already = that atom, and shrinking to ⊥ prunes
-                        // under Strict.
-                        Some(Object::Atom(atom)) => Some(index.probe(*a, &atom)),
-                        _ => None,
-                    }
-                }
-                _ => None,
-            };
-            if let Some(hits) = hits {
-                if best.map(|b| hits.len() < b.len()).unwrap_or(true) {
-                    best = Some(hits);
-                }
+        // Fast path: shared-lock probe of an already-built index — the
+        // steady state once the first iteration has indexed the large
+        // sets. Workers of a parallel round run this concurrently.
+        {
+            let registry = self.registry.read();
+            // Early out for small sets *here*, not just inside
+            // `existing`: otherwise every probe of a below-threshold set
+            // would fall through to the exclusive-lock build path below.
+            if set.len() < registry.min_set_len {
+                return None;
+            }
+            if let Some(index) = registry.existing(set) {
+                return probe_best(index, entries, bindings, self.policy);
             }
         }
-        best.map(|b| b.to_vec())
+        // Miss: build (or lose the race to another builder — `index_for`
+        // re-checks under the exclusive lock) and probe.
+        let mut registry = self.registry.write();
+        let index = registry.index_for(set)?;
+        probe_best(index, entries, bindings, self.policy)
     }
 }
 

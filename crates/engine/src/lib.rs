@@ -19,7 +19,7 @@
 //! `co_calculus::closure` on randomized programs
 //! (`tests/engine_equivalence.rs` at the workspace root).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod delta;
@@ -33,7 +33,7 @@ mod stats;
 mod trace;
 
 pub use co_calculus::{ClosureMode, MatchPolicy};
-pub use engine::{Engine, RunOutcome, Strategy};
+pub use engine::{Engine, Parallelism, RunOutcome, Strategy};
 pub use error::EngineError;
 pub use guard::Guard;
 pub use incremental::Materialized;

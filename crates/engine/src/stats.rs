@@ -12,6 +12,10 @@ pub struct EvalStats {
     pub iterations: u64,
     /// Individual rule applications (`iterations × |R|` unless short-cut).
     pub rule_applications: u64,
+    /// Matching work units dispatched: one per rule per iteration when
+    /// sequential; one per rule × partition when parallel (see
+    /// `Engine::parallelism`).
+    pub work_units: u64,
     /// Matcher statistics accumulated over the run.
     pub matching: MatchStats,
     /// Database size (nodes) after each iteration.
@@ -31,10 +35,11 @@ impl fmt::Display for EvalStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} iterations, {} rule applications, {} candidates tried, \
-             {} matches, final size {}, {:?}",
+            "{} iterations, {} rule applications, {} work units, \
+             {} candidates tried, {} matches, final size {}, {:?}",
             self.iterations,
             self.rule_applications,
+            self.work_units,
             self.matching.candidates_tried,
             self.matching.matches,
             self.final_size().unwrap_or(0),

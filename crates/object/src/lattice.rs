@@ -7,6 +7,13 @@
 //! calculus rests: interpretations and rule applications are unions of
 //! instantiations, and the matcher computes maximal variable bindings as
 //! intersections.
+//!
+//! Both operations run over interned handles ([`crate::store`]): equality
+//! fast paths are pointer comparisons, and results for large operand pairs
+//! are memoized by `(NodeId, NodeId)` key — `∪` and `∩` commute, so their
+//! keys are symmetrized. Fixpoint evaluation unions the same sub-objects
+//! every iteration, which is exactly the access pattern the memo tables
+//! absorb (hit rates are visible in [`crate::store::stats`]).
 
 use crate::store;
 use crate::{Attr, Object, Tuple};

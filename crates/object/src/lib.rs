@@ -40,7 +40,7 @@
 //! assert!(order::le(&lattice::intersect(&a, &b), &b));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod atom;

@@ -12,6 +12,13 @@
 //! On the canonical (reduced) objects of this crate, `≤` is a partial order
 //! (Theorems 3.1–3.3) and in fact a lattice order (Theorem 3.6); the lattice
 //! operations live in [`crate::lattice`].
+//!
+//! The implementation leans on the hash-consed store ([`crate::store`]):
+//! interned equality short-circuits `a ≤ a` in O(1), cached [`crate::Meta`]
+//! gives monotone fast rejects (`a ≤ b ⇒ depth(a) ≤ depth(b)` and likewise
+//! for size on sets' merge walks), and `≤` on large pairs is memoized by
+//! `(NodeId, NodeId)` — the key is order-sensitive because `≤` is not
+//! symmetric.
 
 use crate::store;
 use crate::{Object, Set, Tuple};

@@ -1,12 +1,13 @@
 //! The hash-consed object store: interned composite nodes with stable ids,
-//! cached hashes, and precomputed structural metadata.
+//! cached hashes, and precomputed structural metadata — **sharded for
+//! concurrent interning**.
 //!
 //! # Design
 //!
 //! Every [`Tuple`](crate::Tuple) and [`Set`](crate::Set) interior in the
-//! process is a node in one global store. Construction goes through
-//! [`intern_tuple`] / [`intern_set`] (the only way to create the node
-//! types), which deduplicate by content: **canonically-equal composites are
+//! process is a node in one global store. Construction goes through the
+//! crate-internal `intern_tuple` / `intern_set` (the only way to create the
+//! node types), which deduplicate by content: **canonically-equal composites are
 //! always the same `Arc` allocation**. Three properties follow:
 //!
 //! - **O(1) equality** — `==` on tuples, sets, and therefore whole
@@ -26,15 +27,33 @@
 //! O(width) at interning time from the children's metadata, making the
 //! measures in [`crate::measure`] O(1) for interned values.
 //!
+//! # Sharding
+//!
+//! The interner is split into [`SHARD_COUNT`] shards by hash range (the top
+//! bits of the content hash select the shard), each with its own
+//! reader-writer lock. Parallel evaluation threads interning different
+//! values therefore contend only when they happen to land on the same
+//! shard; because a node's content hash — and hence its shard — never
+//! changes, sharding is invisible to callers: equal content still interns
+//! to one node with one stable [`NodeId`], regardless of which thread asked
+//! first. Each shard keeps hit/miss/contention counters (see
+//! [`StoreStats::shards`]); a tiny lock-free thread-local L1 cache sits in
+//! front of the shards and absorbs the re-interning bursts of fixpoint
+//! loops.
+//!
 //! # Memo tables
 //!
-//! The store hosts memo caches for the three binary lattice operations —
-//! the sub-object order `≤`, union, and intersection — keyed by
-//! `(NodeId, NodeId)`. Only comparisons of *large* nodes (see
+//! The store hosts memo caches for the three binary lattice operations of
+//! the paper — the sub-object order `≤` (Definition 3.1), union `∪`
+//! (Definition 3.4), and intersection `∩` (Definition 3.5) — keyed by
+//! `(NodeId, NodeId)`. Soundness rests on two invariants: interned nodes
+//! are immutable, and ids are never recycled, so a key names one pair of
+//! values forever. Only comparisons of *large* nodes (see
 //! [`MEMO_MIN_SIZE`]) are memoized: small comparisons are cheaper than a
-//! lock round-trip. Tables are bounded; on overflow they are cleared
-//! wholesale (simple epoch eviction — see ROADMAP for the planned
-//! refinement).
+//! lock round-trip. The tables are sharded by key hash like the interner,
+//! and bounded: a shard that reaches capacity is cleared wholesale (epoch
+//! eviction; the per-table [`MemoStats::epoch_clears`] counter makes the
+//! policy observable, and the ROADMAP records the planned refinement).
 //!
 //! # Lifetime
 //!
@@ -42,6 +61,26 @@
 //! life of the process, like interned attribute names. That is the right
 //! trade for fixpoint workloads (iterations recreate the same values over
 //! and over); a weak-reference + sweep design is a recorded follow-up.
+//!
+//! # Observability
+//!
+//! [`stats`] returns a [`StoreStats`] snapshot: node counts, per-shard
+//! interner hit/miss/contention counters, and per-table memo
+//! hit/miss/epoch-clear counters.
+//!
+//! ```
+//! use co_object::{obj, store};
+//!
+//! let before = store::stats();
+//! let a = obj!([doc_stats_example: {1, 2, 3}]);
+//! let b = obj!([doc_stats_example: {1, 2, 3}]);
+//! // Hash-consing: the same canonical value is the same node…
+//! assert_eq!(a.node_id(), b.node_id());
+//! let after = store::stats();
+//! // …so re-interning it is a cache hit, visible in the counters.
+//! assert!(after.intern_misses > before.intern_misses); // first build
+//! assert!(after.intern_hits > before.intern_hits);     // re-build
+//! ```
 
 use crate::{Attr, Object};
 use parking_lot::RwLock;
@@ -161,19 +200,89 @@ pub(crate) struct SetNode {
     pub(crate) elements: Box<[Object]>,
 }
 
-struct Store {
+// ---------------------------------------------------------------------------
+// The sharded interner
+// ---------------------------------------------------------------------------
+
+/// Number of interner shards (power of two). The top `log2(SHARD_COUNT)`
+/// bits of a node's content hash select its shard, so threads interning
+/// different values rarely touch the same lock.
+pub const SHARD_COUNT: usize = 16;
+
+/// The hash→tuple and hash→set maps of one shard.
+#[derive(Default)]
+struct ShardMaps {
     tuples: FxHashMap<u64, Vec<Arc<TupleNode>>>,
     sets: FxHashMap<u64, Vec<Arc<SetNode>>>,
 }
 
-fn store() -> &'static RwLock<Store> {
-    static STORE: OnceLock<RwLock<Store>> = OnceLock::new();
-    STORE.get_or_init(|| {
-        RwLock::new(Store {
-            tuples: FxHashMap::default(),
-            sets: FxHashMap::default(),
-        })
-    })
+/// One interner shard: its maps under a reader-writer lock, plus lock-free
+/// event counters.
+#[derive(Default)]
+struct Shard {
+    maps: RwLock<ShardMaps>,
+    /// Intern calls answered with an existing node (including thread-local
+    /// L1 hits attributed to this shard).
+    hits: AtomicU64,
+    /// Intern calls that created a new node.
+    misses: AtomicU64,
+    /// Lock acquisitions (read or write) that had to block because another
+    /// thread held the shard lock.
+    contended: AtomicU64,
+}
+
+/// Read-locks `lock`, counting the acquisition on `contended` when it
+/// could not be satisfied immediately.
+fn read_counted<'a, T>(
+    lock: &'a RwLock<T>,
+    contended: &AtomicU64,
+) -> parking_lot::RwLockReadGuard<'a, T> {
+    match lock.try_read() {
+        Some(g) => g,
+        None => {
+            contended.fetch_add(1, Ordering::Relaxed);
+            lock.read()
+        }
+    }
+}
+
+/// Write-locks `lock`, counting contention like [`read_counted`].
+fn write_counted<'a, T>(
+    lock: &'a RwLock<T>,
+    contended: &AtomicU64,
+) -> parking_lot::RwLockWriteGuard<'a, T> {
+    match lock.try_write() {
+        Some(g) => g,
+        None => {
+            contended.fetch_add(1, Ordering::Relaxed);
+            lock.write()
+        }
+    }
+}
+
+impl Shard {
+    /// Read-locks the shard maps, counting contention.
+    fn read(&self) -> parking_lot::RwLockReadGuard<'_, ShardMaps> {
+        read_counted(&self.maps, &self.contended)
+    }
+
+    /// Write-locks the shard maps, counting contention.
+    fn write(&self) -> parking_lot::RwLockWriteGuard<'_, ShardMaps> {
+        write_counted(&self.maps, &self.contended)
+    }
+}
+
+fn shards() -> &'static [Shard; SHARD_COUNT] {
+    static SHARDS: OnceLock<[Shard; SHARD_COUNT]> = OnceLock::new();
+    SHARDS.get_or_init(|| std::array::from_fn(|_| Shard::default()))
+}
+
+/// The shard owning a given content hash (top bits — the low bits index
+/// hash-map buckets and the thread-local L1, keeping the three uses
+/// independent).
+#[inline]
+fn shard_of(hash: u64) -> &'static Shard {
+    &shards()[(hash >> (64 - SHARD_COUNT.trailing_zeros())) as usize]
 }
 
 fn next_id() -> NodeId {
@@ -181,12 +290,45 @@ fn next_id() -> NodeId {
     NodeId(COUNTER.fetch_add(1, Ordering::Relaxed))
 }
 
-// A tiny direct-mapped thread-local L1 in front of the global store:
+// A tiny direct-mapped thread-local L1 in front of the sharded store:
 // evaluation loops re-intern the same values every iteration (rule heads,
-// result rows), and a hit here skips the shared lock entirely. Entries are
+// result rows), and a hit here skips the shard lock entirely. Entries are
 // `Arc` clones of canonical nodes, so pointer-equality guarantees are
 // unaffected; stale slots merely miss.
 const TL_CACHE_SLOTS: usize = 1 << 10;
+
+// L1 hits are counted on per-thread atomics and summed at `stats()` time:
+// the whole point of an L1 hit is to touch no shared state, so bumping a
+// shared shard counter on that path would reintroduce the cross-thread
+// cache-line traffic the L1 exists to avoid. Each thread registers one
+// counter it alone writes; the registry keeps it alive (`Arc`) after the
+// thread exits so totals stay monotone.
+fn l1_hit_registry() -> &'static parking_lot::Mutex<Vec<Arc<AtomicU64>>> {
+    static REGISTRY: OnceLock<parking_lot::Mutex<Vec<Arc<AtomicU64>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| parking_lot::Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static TL_L1_HITS: Arc<AtomicU64> = {
+        let counter = Arc::new(AtomicU64::new(0));
+        l1_hit_registry().lock().push(Arc::clone(&counter));
+        counter
+    };
+}
+
+#[inline]
+fn count_l1_hit() {
+    // Uncontended: only this thread writes this counter.
+    TL_L1_HITS.with(|c| c.fetch_add(1, Ordering::Relaxed));
+}
+
+fn l1_hits_total() -> u64 {
+    l1_hit_registry()
+        .lock()
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .sum()
+}
 
 thread_local! {
     static TL_TUPLES: std::cell::RefCell<Vec<Option<Arc<TupleNode>>>> =
@@ -223,6 +365,7 @@ fn hash_set_elements(elements: &[Object]) -> u64 {
 /// the shared node. Content-equal calls return the same allocation.
 pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
     let hash = hash_tuple_entries(&entries);
+    let shard = shard_of(hash);
     // L1: lock-free thread-local hit path.
     let l1 = TL_TUPLES.with(|c| {
         let c = c.borrow();
@@ -234,10 +377,11 @@ pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
         }
     });
     if let Some(node) = l1 {
+        count_l1_hit();
         return node;
     }
     let found = {
-        let guard = store().read();
+        let guard = shard.read();
         guard.tuples.get(&hash).and_then(|bucket| {
             bucket
                 .iter()
@@ -246,15 +390,17 @@ pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
         })
     };
     if let Some(node) = found {
+        shard.hits.fetch_add(1, Ordering::Relaxed);
         TL_TUPLES.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
         return node;
     }
-    let mut guard = store().write();
+    let mut guard = shard.write();
     let bucket = guard.tuples.entry(hash).or_default();
     // Double-check under the write lock: another thread may have interned
     // the same content between our read and write sections.
     for node in bucket.iter() {
         if node.entries.iter().eq(entries.iter()) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(node);
         }
     }
@@ -267,6 +413,7 @@ pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
     });
     bucket.push(Arc::clone(&node));
     drop(guard);
+    shard.misses.fetch_add(1, Ordering::Relaxed);
     TL_TUPLES.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
     node
 }
@@ -275,6 +422,7 @@ pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
 /// ⊥/⊤-free), returning the shared node.
 pub(crate) fn intern_set(elements: Vec<Object>) -> Arc<SetNode> {
     let hash = hash_set_elements(&elements);
+    let shard = shard_of(hash);
     // L1: lock-free thread-local hit path.
     let l1 = TL_SETS.with(|c| {
         let c = c.borrow();
@@ -286,10 +434,11 @@ pub(crate) fn intern_set(elements: Vec<Object>) -> Arc<SetNode> {
         }
     });
     if let Some(node) = l1 {
+        count_l1_hit();
         return node;
     }
     let found = {
-        let guard = store().read();
+        let guard = shard.read();
         guard.sets.get(&hash).and_then(|bucket| {
             bucket
                 .iter()
@@ -298,13 +447,15 @@ pub(crate) fn intern_set(elements: Vec<Object>) -> Arc<SetNode> {
         })
     };
     if let Some(node) = found {
+        shard.hits.fetch_add(1, Ordering::Relaxed);
         TL_SETS.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
         return node;
     }
-    let mut guard = store().write();
+    let mut guard = shard.write();
     let bucket = guard.sets.entry(hash).or_default();
     for node in bucket.iter() {
         if node.elements.iter().eq(elements.iter()) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(node);
         }
     }
@@ -317,6 +468,7 @@ pub(crate) fn intern_set(elements: Vec<Object>) -> Arc<SetNode> {
     });
     bucket.push(Arc::clone(&node));
     drop(guard);
+    shard.misses.fetch_add(1, Ordering::Relaxed);
     TL_SETS.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
     node
 }
@@ -330,39 +482,105 @@ pub(crate) fn intern_set(elements: Vec<Object>) -> Arc<SetNode> {
 /// round-trip on the shared table.
 pub const MEMO_MIN_SIZE: u64 = 12;
 
-/// Maximum entries per memo table; on overflow the table is cleared
-/// (wholesale epoch eviction).
+/// Number of shards per memo table (power of two), keyed by a mix of the
+/// two node ids.
+const MEMO_SHARD_COUNT: usize = 16;
+
+/// Default maximum entries per memo table across all shards; a shard
+/// reaching its share of this capacity is cleared (wholesale epoch
+/// eviction, counted in [`MemoStats::epoch_clears`]).
 const MEMO_CAP: usize = 1 << 20;
 
+/// Per-shard memo capacity: `MEMO_CAP / MEMO_SHARD_COUNT`, overridable
+/// with the `CO_MEMO_SHARD_CAP` environment variable (read once at first
+/// memo access — a tuning knob for memory-tight deployments and a lever
+/// for tests that need to exercise the eviction path cheaply).
+fn memo_shard_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("CO_MEMO_SHARD_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|cap| *cap > 0)
+            .unwrap_or(MEMO_CAP / MEMO_SHARD_COUNT)
+    })
+}
+
+/// The shard index of a memo key: multiply-mix both ids so that pairs
+/// sharing one operand still spread across shards.
+#[inline]
+fn memo_shard_index(key: (NodeId, NodeId)) -> usize {
+    let h = key
+        .0
+         .0
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(key.1 .0.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    (h >> (64 - MEMO_SHARD_COUNT.trailing_zeros())) as usize
+}
+
+/// One shard of a memo table: a pair-keyed map under its own lock.
+type MemoShard<V> = RwLock<FxHashMap<(NodeId, NodeId), V>>;
+
 struct MemoTable<V> {
-    map: OnceLock<RwLock<FxHashMap<(NodeId, NodeId), V>>>,
+    shards: OnceLock<[MemoShard<V>; MEMO_SHARD_COUNT]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    contended: AtomicU64,
+    epoch_clears: AtomicU64,
 }
 
 impl<V: Clone> MemoTable<V> {
     const fn new() -> Self {
         MemoTable {
-            map: OnceLock::new(),
+            shards: OnceLock::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            epoch_clears: AtomicU64::new(0),
         }
     }
 
-    fn table(&self) -> &RwLock<FxHashMap<(NodeId, NodeId), V>> {
-        self.map.get_or_init(|| RwLock::new(FxHashMap::default()))
+    fn shard(&self, key: (NodeId, NodeId)) -> &MemoShard<V> {
+        let shards = self
+            .shards
+            .get_or_init(|| std::array::from_fn(|_| RwLock::new(FxHashMap::default())));
+        &shards[memo_shard_index(key)]
     }
 
     fn get(&self, key: (NodeId, NodeId)) -> Option<V> {
-        self.table().read().get(&key).cloned()
+        let guard = read_counted(self.shard(key), &self.contended);
+        let found = guard.get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     fn put(&self, key: (NodeId, NodeId), value: V) {
-        let mut guard = self.table().write();
-        if guard.len() >= MEMO_CAP {
+        let mut guard = write_counted(self.shard(key), &self.contended);
+        if guard.len() >= memo_shard_cap() {
             guard.clear();
+            self.epoch_clears.fetch_add(1, Ordering::Relaxed);
         }
         guard.insert(key, value);
     }
 
     fn len(&self) -> usize {
-        self.table().read().len()
+        match self.shards.get() {
+            Some(shards) => shards.iter().map(|s| s.read().len()).sum(),
+            None => 0,
+        }
+    }
+
+    fn stats(&self) -> MemoStats {
+        MemoStats {
+            entries: self.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            epoch_clears: self.epoch_clears.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -440,31 +658,127 @@ pub(crate) fn intersect_cached(
     r
 }
 
-/// A point-in-time snapshot of store and memo-table sizes (diagnostics,
-/// benchmarks, capacity planning).
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+/// Counters of one interner shard (see [`StoreStats::shards`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Distinct interned tuple nodes owned by this shard.
+    pub tuple_nodes: usize,
+    /// Distinct interned set nodes owned by this shard.
+    pub set_nodes: usize,
+    /// Intern calls answered with an existing node under this shard's
+    /// lock. Thread-local L1 hits never reach a shard and are reported
+    /// separately in [`StoreStats::intern_l1_hits`].
+    pub hits: u64,
+    /// Intern calls that created a new node.
+    pub misses: u64,
+    /// Lock acquisitions that had to block behind another thread.
+    pub contended: u64,
+}
+
+/// Counters of one memo table (`≤`, `∪`, or `∩`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Entries currently cached (across all table shards).
+    pub entries: usize,
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that missed (the operation was then computed and cached).
+    pub misses: u64,
+    /// Lock acquisitions that had to block behind another thread.
+    pub contended: u64,
+    /// Wholesale shard clears performed on reaching capacity (the epoch
+    /// eviction policy — each clear discards that shard's entries).
+    pub epoch_clears: u64,
+}
+
+/// A point-in-time snapshot of store and memo-table state (diagnostics,
+/// benchmarks, capacity planning). Obtain one with [`stats`].
+///
+/// All counters are cumulative since process start and monotone; snapshot
+/// deltas (`after - before`) measure a region of interest.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Distinct interned tuple nodes.
     pub tuple_nodes: usize,
     /// Distinct interned set nodes.
     pub set_nodes: usize,
-    /// Entries in the `≤` memo table.
-    pub le_memo_entries: usize,
-    /// Entries in the union memo table.
-    pub union_memo_entries: usize,
-    /// Entries in the intersection memo table.
-    pub intersect_memo_entries: usize,
+    /// Intern calls (tuple + set) answered with an existing node: shard
+    /// hits plus thread-local L1 hits.
+    pub intern_hits: u64,
+    /// Of [`StoreStats::intern_hits`], the calls answered by the lock-free
+    /// thread-local L1 cache without touching a shard (counted on
+    /// per-thread counters, so the hot path stays contention-free).
+    pub intern_l1_hits: u64,
+    /// Intern calls that created a new node, summed over shards.
+    pub intern_misses: u64,
+    /// Shard-lock acquisitions that had to block, summed over shards.
+    pub intern_contended: u64,
+    /// Counters of the `≤` memo table.
+    pub le_memo: MemoStats,
+    /// Counters of the `∪` memo table.
+    pub union_memo: MemoStats,
+    /// Counters of the `∩` memo table.
+    pub intersect_memo: MemoStats,
+    /// Per-shard interner counters, indexed by shard.
+    pub shards: [ShardStats; SHARD_COUNT],
 }
 
 /// Current [`StoreStats`].
 pub fn stats() -> StoreStats {
-    let guard = store().read();
-    StoreStats {
-        tuple_nodes: guard.tuples.values().map(Vec::len).sum(),
-        set_nodes: guard.sets.values().map(Vec::len).sum(),
-        le_memo_entries: LE_MEMO.len(),
-        union_memo_entries: UNION_MEMO.len(),
-        intersect_memo_entries: INTERSECT_MEMO.len(),
+    let mut s = StoreStats::default();
+    for (i, shard) in shards().iter().enumerate() {
+        let maps = shard.read();
+        let per = ShardStats {
+            tuple_nodes: maps.tuples.values().map(Vec::len).sum(),
+            set_nodes: maps.sets.values().map(Vec::len).sum(),
+            hits: shard.hits.load(Ordering::Relaxed),
+            misses: shard.misses.load(Ordering::Relaxed),
+            contended: shard.contended.load(Ordering::Relaxed),
+        };
+        drop(maps);
+        s.shards[i] = per;
+        s.tuple_nodes += per.tuple_nodes;
+        s.set_nodes += per.set_nodes;
+        s.intern_hits += per.hits;
+        s.intern_misses += per.misses;
+        s.intern_contended += per.contended;
+    }
+    s.intern_l1_hits = l1_hits_total();
+    s.intern_hits += s.intern_l1_hits;
+    s.le_memo = LE_MEMO.stats();
+    s.union_memo = UNION_MEMO.stats();
+    s.intersect_memo = INTERSECT_MEMO.stats();
+    s
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "store: {} tuple nodes, {} set nodes across {} shards",
+            self.tuple_nodes, self.set_nodes, SHARD_COUNT,
+        )?;
+        writeln!(
+            f,
+            "  intern: {} hits ({} thread-local), {} misses, {} contended acquisitions",
+            self.intern_hits, self.intern_l1_hits, self.intern_misses, self.intern_contended
+        )?;
+        for (label, m) in [
+            ("≤", self.le_memo),
+            ("∪", self.union_memo),
+            ("∩", self.intersect_memo),
+        ] {
+            writeln!(
+                f,
+                "  memo {}: {} entries, {} hits, {} misses, {} epoch clears",
+                label, m.entries, m.hits, m.misses, m.epoch_clears
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -579,5 +893,57 @@ mod tests {
         let after = stats();
         assert!(after.tuple_nodes > before.tuple_nodes);
         assert!(after.set_nodes > before.set_nodes);
+        // New content is an intern miss; shard totals agree with the sums.
+        assert!(after.intern_misses > before.intern_misses);
+        let shard_tuples: usize = after.shards.iter().map(|s| s.tuple_nodes).sum();
+        let shard_misses: u64 = after.shards.iter().map(|s| s.misses).sum();
+        assert_eq!(shard_tuples, after.tuple_nodes);
+        assert_eq!(shard_misses, after.intern_misses);
+    }
+
+    #[test]
+    fn reinterning_counts_as_hits() {
+        let before = stats();
+        let a = obj!([unique_attr_for_hit_counter: {77_001, 77_002}]);
+        let b = obj!([unique_attr_for_hit_counter: {77_001, 77_002}]);
+        assert_eq!(a.node_id(), b.node_id());
+        let after = stats();
+        assert!(
+            after.intern_hits > before.intern_hits,
+            "rebuilding an existing value must count as an intern hit"
+        );
+    }
+
+    #[test]
+    fn parallel_interning_converges_to_one_node() {
+        // Many threads race to intern the same fresh values; everyone must
+        // end up with the same node per value, and the store must count the
+        // duplicates as hits.
+        let before = stats();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..64)
+                        .map(|i| {
+                            Object::tuple([
+                                ("parallel_intern_k", Object::int(i)),
+                                ("parallel_intern_v", Object::int(i * 1_000_003)),
+                            ])
+                            .node_id()
+                            .unwrap()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<NodeId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for other in &results[1..] {
+            assert_eq!(&results[0], other, "all threads see the same node ids");
+        }
+        let after = stats();
+        // 8 threads × 64 fresh values: at most 64 (+ the atoms' parents)
+        // distinct new tuple nodes; the other ~448 rebuilds were hits.
+        assert!(after.intern_hits > before.intern_hits);
+        assert!(after.intern_misses >= before.intern_misses + 64);
     }
 }

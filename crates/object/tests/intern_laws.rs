@@ -219,6 +219,77 @@ proptest! {
 }
 
 #[test]
+fn memo_counters_observe_misses_then_hits() {
+    use co_object::store;
+    // Two fresh, memo-worthy values (set size 21 ≥ MEMO_MIN_SIZE) that no
+    // other test constructs. The first operation on the pair must record a
+    // memo miss — safe to assert directly: a lookup of a never-computed
+    // (or even just-evicted) key always counts a miss, and concurrent
+    // tests only add to the counters. The hit assertion is retried: a
+    // concurrent test could in principle push this pair's memo shard past
+    // capacity between two of our probes, epoch-clearing the entry; two
+    // adjacent probes of a cached pair land a hit on any retry where no
+    // clear intervenes.
+    let a = Object::set((0..20).map(|i| Object::tuple([("memo_counter_probe", Object::int(i))])));
+    let b = Object::set(
+        (0..20).map(|i| Object::tuple([("memo_counter_probe", Object::int(i + 1_000_000))])),
+    );
+    assert!(a.meta().unwrap().size >= store::MEMO_MIN_SIZE);
+
+    fn assert_hit_eventually(
+        op: impl Fn() -> u64,
+        table: impl Fn(&store::StoreStats) -> store::MemoStats,
+        label: &str,
+    ) {
+        for _ in 0..100 {
+            let before = table(&store::stats());
+            let r1 = op();
+            let r2 = op();
+            let after = table(&store::stats());
+            assert_eq!(r1, r2, "{label}: cached result must be stable");
+            if after.hits > before.hits {
+                return;
+            }
+        }
+        panic!("{label}: no memo hit in 100 attempts — hit counter stuck");
+    }
+
+    // ≤ — fingerprint the result as a u64 so one helper serves all three.
+    let before = store::stats();
+    let first = le(&a, &b);
+    assert!(
+        store::stats().le_memo.misses > before.le_memo.misses,
+        "first ≤ on a fresh pair is a memo miss"
+    );
+    assert_hit_eventually(|| u64::from(le(&a, &b)), |s| s.le_memo, "≤");
+    assert_eq!(first, le(&a, &b));
+
+    let before = store::stats();
+    let u = union(&a, &b);
+    assert!(store::stats().union_memo.misses > before.union_memo.misses);
+    assert_hit_eventually(
+        || union(&a, &b).node_id().map_or(0, co_object::NodeId::get),
+        |s| s.union_memo,
+        "∪",
+    );
+    assert_eq!(u, union(&a, &b));
+
+    let before = store::stats();
+    let i = intersect(&a, &b);
+    assert!(store::stats().intersect_memo.misses > before.intersect_memo.misses);
+    assert_hit_eventually(
+        || {
+            intersect(&a, &b)
+                .node_id()
+                .map_or(0, co_object::NodeId::get)
+        },
+        |s| s.intersect_memo,
+        "∩",
+    );
+    assert_eq!(i, intersect(&a, &b));
+}
+
+#[test]
 fn equality_is_pointer_identity_for_composites() {
     let mut g1 = Generator::new(0xC0FFEE, Profile::large());
     let mut g2 = Generator::new(0xC0FFEE, Profile::large());

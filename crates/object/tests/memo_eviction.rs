@@ -1,0 +1,56 @@
+//! The memo tables' epoch-eviction path, exercised cheaply by shrinking
+//! the per-shard capacity through the `CO_MEMO_SHARD_CAP` knob.
+//!
+//! This lives in its own integration-test binary (hence its own process)
+//! with a single `#[test]`, so the environment variable is guaranteed to
+//! be set before the first memo-table access reads it.
+
+use co_object::order::le;
+use co_object::{store, Object};
+
+#[test]
+fn epoch_clears_fire_at_capacity_and_are_counted() {
+    // Must run before any memo access in this process: the cap is read
+    // once. 32 entries per shard instead of the production 65 536.
+    std::env::set_var("CO_MEMO_SHARD_CAP", "32");
+
+    // 80 distinct memo-worthy sets (each ~40 nodes) → 6 400 ordered pairs,
+    // ~400 per memo shard: an order of magnitude over the shrunken cap.
+    let objects: Vec<Object> = (0..80)
+        .map(|i| {
+            Object::set((0..13).map(|j| {
+                Object::tuple([
+                    ("memo_evict_group", Object::int(i)),
+                    ("memo_evict_member", Object::int(j)),
+                ])
+            }))
+        })
+        .collect();
+    assert!(objects[0].meta().unwrap().size >= store::MEMO_MIN_SIZE);
+
+    let before = store::stats();
+    for a in &objects {
+        for b in &objects {
+            let _ = le(a, b);
+        }
+    }
+    let after = store::stats();
+
+    assert!(
+        after.le_memo.epoch_clears > before.le_memo.epoch_clears,
+        "filling the ≤ table past capacity must clear shards: {:?} → {:?}",
+        before.le_memo,
+        after.le_memo
+    );
+    assert!(after.le_memo.misses > before.le_memo.misses);
+    // The table stays bounded by cap × shard count (16 shards; one extra
+    // entry per shard is admissible because the clear precedes the insert).
+    assert!(
+        after.le_memo.entries <= 33 * 16,
+        "entries {} exceed the shrunken capacity",
+        after.le_memo.entries
+    );
+    // Re-asking anything still gives consistent answers after clears.
+    assert!(le(&objects[3], &objects[3]));
+    assert!(!le(&objects[3], &objects[4]));
+}

@@ -8,7 +8,7 @@
 //!
 //! - [`Relation`]/[`Database`] and [`algebra`] — a classical flat
 //!   relational algebra (σ, π, ρ, ⋈, ∪, ∩, −, ×) with set semantics;
-//! - [`encode`]/[`decode`](decode_relation) — the paper's "a relational
+//! - [`encode_database`]/[`decode`](decode_relation) — the paper's "a relational
 //!   database is an object" embedding, and its partial inverse;
 //! - [`Query`] — a small logical plan language evaluable both directly and
 //!   via translation to calculus rules ([`translate_query`]), which the

@@ -1,6 +1,6 @@
 //! NF² (nested relational) operators: `nest` and `unnest`.
 //!
-//! The paper's §1 cites Jaeschke & Schek [6] and Schek & Scholl [12] as the
+//! The paper's §1 cites Jaeschke & Schek \[6\] and Schek & Scholl \[12\] as the
 //! non-first-normal-form lineage it generalizes; `nest`/`unnest` are those
 //! models' signature operators, implemented here directly over complex
 //! objects (sets of tuples with possibly set-valued attributes). They also

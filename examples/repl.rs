@@ -31,7 +31,7 @@ commands:
   run                run the program to its closure (updates the database)
   policy strict|literal   choose the match policy (default strict)
   clear              drop all rules
-  stats              database size/depth
+  stats              database size/depth + object-store counters
   help               this text
   quit               exit";
 
@@ -57,9 +57,10 @@ impl Session {
             },
             "show" => println!("{}", display::pretty(&self.db, 72)),
             "stats" => println!(
-                "size = {} nodes, depth = {}",
+                "size = {} nodes, depth = {}\n{}",
                 measure::size(&self.db),
-                measure::depth(&self.db)
+                measure::depth(&self.db),
+                complex_objects::object::store::stats(),
             ),
             "?" => match parse_formula(rest) {
                 Ok(f) => println!("{}", interpret(&f, &self.db, self.policy)),
@@ -101,6 +102,7 @@ impl Session {
                 match engine.run(&self.db) {
                     Ok(out) => {
                         println!("closure reached: {}", out.stats);
+                        println!("{}", complex_objects::object::store::stats());
                         self.db = out.database;
                     }
                     Err(e) => println!("{e}"),

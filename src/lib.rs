@@ -80,7 +80,7 @@ pub mod prelude {
     pub use co_calculus::{
         apply_program, apply_rule, interpret, Formula, MatchPolicy, Program, Rule, Substitution,
     };
-    pub use co_engine::{ClosureMode, Engine, EvalStats, Guard, Strategy};
+    pub use co_engine::{ClosureMode, Engine, EvalStats, Guard, Parallelism, Strategy};
     pub use co_object::{obj, Atom, Attr, Object};
     pub use co_parser::{parse_formula, parse_object, parse_program, parse_rule};
     pub use co_relational::{Database, Relation};

@@ -1,0 +1,142 @@
+//! Parallel evaluation is an execution choice, not a semantic one:
+//! for every closure mode, strategy, and thread count, the parallel
+//! engine must produce **exactly** the sequential result — the same
+//! fixpoint (bit-identical: equal canonical databases are the same
+//! interned node), the same trace (same rule firing order with the same
+//! substitutions), and on guarded divergence the same partial database.
+
+mod common;
+
+use co_engine::{Parallelism, Strategy};
+use common::{program_library, random_graph_db};
+use complex_objects::engine::EngineError;
+use complex_objects::prelude::*;
+use proptest::prelude::*;
+
+/// Runs one configuration sequentially and with `threads` workers and
+/// checks the outcomes are indistinguishable.
+fn assert_parallel_matches_sequential(
+    program: &Program,
+    db: &complex_objects::object::Object,
+    mode: ClosureMode,
+    strategy: Strategy,
+    threads: usize,
+    context: &str,
+) {
+    let guard = Guard {
+        max_iterations: 50,
+        ..Guard::default()
+    };
+    let engine = |parallelism: Parallelism| {
+        Engine::new(program.clone())
+            .mode(mode)
+            .strategy(strategy)
+            .guard(guard)
+            .tracing(true)
+            .parallelism(parallelism)
+            .run(db)
+    };
+    let sequential = engine(Parallelism::Sequential);
+    let parallel = engine(Parallelism::Threads(threads));
+    match (sequential, parallel) {
+        (Ok(s), Ok(p)) => {
+            assert_eq!(p.database, s.database, "fixpoint: {context}");
+            // Hash-consing: equality means identity — same interned node.
+            assert_eq!(
+                p.database.node_id(),
+                s.database.node_id(),
+                "interned identity: {context}"
+            );
+            assert_eq!(
+                p.trace.as_ref().unwrap().events(),
+                s.trace.as_ref().unwrap().events(),
+                "trace: {context}"
+            );
+        }
+        (Err(se), Err(pe)) => {
+            let EngineError::Diverged {
+                partial: sp,
+                reason: sr,
+                ..
+            } = se;
+            let EngineError::Diverged {
+                partial: pp,
+                reason: pr,
+                ..
+            } = pe;
+            assert_eq!(pp, sp, "diverged partial: {context}");
+            assert_eq!(pr, sr, "diverged reason: {context}");
+        }
+        (s, p) => {
+            panic!(
+                "modes disagree on convergence ({context}): \
+                 sequential={s:?} parallel={p:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random databases × the program library × both closure modes ×
+    /// both strategies × several thread counts.
+    #[test]
+    fn parallel_equals_sequential_on_random_programs(
+        seed in any::<u64>(), nodes in 2i64..8, edges in 1usize..14
+    ) {
+        let db = random_graph_db(seed, nodes, edges);
+        for (name, program) in program_library() {
+            for mode in [ClosureMode::Inflationary, ClosureMode::PaperLiteral] {
+                for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+                    for threads in [2usize, 4] {
+                        let context = format!(
+                            "program={name} mode={mode:?} strategy={strategy:?} threads={threads}"
+                        );
+                        assert_parallel_matches_sequential(
+                            &program, &db, mode, strategy, threads, &context,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The Literal match policy takes the same parallel path.
+    #[test]
+    fn parallel_equals_sequential_under_literal_policy(
+        seed in any::<u64>(), nodes in 2i64..6, edges in 1usize..8
+    ) {
+        let db = random_graph_db(seed, nodes, edges);
+        let program = common::reachability_program();
+        let run = |parallelism: Parallelism| {
+            Engine::new(program.clone())
+                .policy(MatchPolicy::Literal)
+                .tracing(true)
+                .parallelism(parallelism)
+                .run(&db)
+                .unwrap()
+        };
+        let s = run(Parallelism::Sequential);
+        let p = run(Parallelism::Threads(3));
+        prop_assert_eq!(&p.database, &s.database);
+        prop_assert_eq!(
+            p.trace.as_ref().unwrap().events(),
+            s.trace.as_ref().unwrap().events()
+        );
+    }
+}
+
+/// Oversubscription far beyond the rule count exercises empty partitions.
+#[test]
+fn many_threads_on_a_tiny_program_still_agree() {
+    let db = common::chain_family_db(12);
+    let program = common::descendants_program("p0");
+    let sequential = Engine::new(program.clone())
+        .parallelism(Parallelism::Sequential)
+        .run(&db)
+        .unwrap();
+    let parallel = Engine::new(program).threads(16).run(&db).unwrap();
+    assert_eq!(parallel.database, sequential.database);
+    assert_eq!(parallel.database.node_id(), sequential.database.node_id());
+}

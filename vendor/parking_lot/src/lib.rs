@@ -5,6 +5,14 @@
 
 use std::sync;
 
+/// Shared read guard for [`RwLock`] (the std guard — this shim has no
+/// custom guard types).
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+/// Guard for [`Mutex`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
 /// A reader-writer lock with `parking_lot`'s non-poisoning API.
 #[derive(Default, Debug)]
 pub struct RwLock<T>(sync::RwLock<T>);
@@ -23,6 +31,27 @@ impl<T> RwLock<T> {
     /// Acquires an exclusive write guard (never poisons).
     pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire a shared read guard without blocking. Returns
+    /// `None` when the lock is currently held exclusively (never poisons).
+    pub fn try_read(&self) -> Option<sync::RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire an exclusive write guard without blocking.
+    /// Returns `None` when the lock is held by any other guard (never
+    /// poisons).
+    pub fn try_write(&self) -> Option<sync::RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Consumes the lock, returning the inner value.
@@ -73,6 +102,25 @@ mod tests {
         assert_eq!(*l.read(), 1);
         *l.write() += 1;
         assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(5);
+        {
+            let r = l.try_read().expect("uncontended read");
+            assert_eq!(*r, 5);
+            // A second reader coexists; a writer does not.
+            assert!(l.try_read().is_some());
+            assert!(l.try_write().is_none());
+        }
+        {
+            let mut w = l.try_write().expect("uncontended write");
+            *w += 1;
+            assert!(l.try_read().is_none());
+            assert!(l.try_write().is_none());
+        }
+        assert_eq!(*l.read(), 6);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Offline shim for the `threadpool` crate: a minimal fixed-size worker
+//! pool backed by `std::thread` and `std::sync::mpsc`.
+//!
+//! Workers are spawned once at construction and pull boxed jobs from a
+//! shared channel, so per-job dispatch cost is a heap allocation plus a
+//! channel round-trip — cheap enough to fan out work every fixpoint round
+//! rather than re-spawning OS threads. Dropping the pool closes the channel
+//! and joins every worker (each worker finishes the job it is running).
+//!
+//! The API is the familiar subset of the real `threadpool` crate
+//! (`new` / `execute` / `max_count`, plus `join` via `Drop`); swapping in
+//! the registry crate is a one-line change in the workspace manifest.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed jobs in FIFO order
+/// of submission (each job runs on whichever worker frees up first).
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> ThreadPool {
+        assert!(threads > 0, "a thread pool needs at least one worker");
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{i}"))
+                    .spawn(move || loop {
+                        // Take the lock only to receive; run the job outside
+                        // it so workers execute concurrently.
+                        let job = {
+                            let guard = receiver.lock().unwrap_or_else(|p| p.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // channel closed: pool dropped
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Submits a job for execution on some worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool is live until dropped")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// The number of worker threads.
+    pub fn max_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every idle worker's recv() fail; busy
+        // workers finish their current job first.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.max_count(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins workers
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn results_can_be_collected_in_submission_order() {
+        let pool = ThreadPool::new(3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32usize {
+            let tx = tx.clone();
+            pool.execute(move || {
+                tx.send((i, i * i)).unwrap();
+            });
+        }
+        drop(tx);
+        let mut results: Vec<(usize, usize)> = rx.iter().collect();
+        results.sort_unstable();
+        assert_eq!(results.len(), 32);
+        for (i, sq) in results {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = ThreadPool::new(0);
+    }
+}

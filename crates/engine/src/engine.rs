@@ -23,7 +23,7 @@ use co_calculus::{
     match_with, ClosureMode, MatchPolicy, MatchStats, Prefilter, Program, ScanAll, Substitution,
 };
 use co_object::lattice::{union, union_many};
-use co_object::{measure, Object};
+use co_object::{measure, store, Object};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 use threadpool::ThreadPool;
@@ -56,6 +56,52 @@ pub enum Parallelism {
     /// Fan rule × partition work units across this many worker threads.
     /// `Threads(0)` and `Threads(1)` behave like `Sequential`.
     Threads(usize),
+}
+
+/// When the engine asks the object store to garbage-collect (see
+/// `co_object::store::collect`).
+///
+/// Collection is an *execution* choice like [`Parallelism`]: it frees
+/// interned nodes nobody references any more (superseded intermediate
+/// databases, dropped match results) but never changes values, so the
+/// fixpoint is bit-identical with any cadence (property-tested in
+/// `tests/gc_soak.rs`). The engine pins its round snapshot as a GC root
+/// before fanning work out, so a sweep can never free the database under
+/// evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GcCadence {
+    /// Never collect during a run: the seed behaviour, right for short
+    /// batch evaluations.
+    #[default]
+    Off,
+    /// Collect after every `n`-th changed round (`n ≥ 1`): bounds store
+    /// growth for long-running fixpoints whose working set drifts.
+    EveryRounds(u32),
+}
+
+impl GcCadence {
+    /// The cadence requested by the `CO_GC_EVERY_ROUND` environment
+    /// variable: unset, unparsable, or `0` mean [`GcCadence::Off`]; `n ≥ 1`
+    /// means [`GcCadence::EveryRounds`]`(n)`. So `CO_GC_EVERY_ROUND=1
+    /// cargo test` runs an entire suite with collection forced after every
+    /// round, without code changes.
+    pub fn from_env() -> GcCadence {
+        match std::env::var("CO_GC_EVERY_ROUND")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+        {
+            Some(n) if n >= 1 => GcCadence::EveryRounds(n),
+            _ => GcCadence::Off,
+        }
+    }
+
+    /// True when a collection should run after iteration `iteration`.
+    fn fires_after(self, iteration: u64) -> bool {
+        match self {
+            GcCadence::Off => false,
+            GcCadence::EveryRounds(n) => iteration.is_multiple_of(u64::from(n.max(1))),
+        }
+    }
 }
 
 impl Parallelism {
@@ -130,12 +176,14 @@ pub struct Engine {
     use_indexes: bool,
     tracing: bool,
     parallelism: Parallelism,
+    gc: GcCadence,
 }
 
 impl Engine {
     /// Creates an engine with the default configuration: semi-naive,
     /// inflationary, strict matching, indexes on, default guard, no trace,
-    /// parallelism from the environment ([`Parallelism::from_env`]).
+    /// parallelism from the environment ([`Parallelism::from_env`]), GC
+    /// cadence from the environment ([`GcCadence::from_env`]).
     pub fn new(program: Program) -> Engine {
         Engine {
             program,
@@ -146,6 +194,7 @@ impl Engine {
             use_indexes: true,
             tracing: false,
             parallelism: Parallelism::from_env(),
+            gc: GcCadence::from_env(),
         }
     }
 
@@ -184,6 +233,37 @@ impl Engine {
     /// Convenience for [`Engine::parallelism`]`(Parallelism::Threads(n))`.
     pub fn threads(self, n: usize) -> Engine {
         self.parallelism(Parallelism::Threads(n))
+    }
+
+    /// Selects when the engine garbage-collects the object store.
+    ///
+    /// ```
+    /// use co_engine::{Engine, GcCadence};
+    /// use co_parser::{parse_object, parse_program};
+    ///
+    /// let db = parse_object("[edge: {[s: a, t: b], [s: b, t: c]}]").unwrap();
+    /// let program = parse_program(
+    ///     "[path: {[s: X, t: Y]}] :- [edge: {[s: X, t: Y]}].
+    ///      [path: {[s: X, t: Z]}] :- [edge: {[s: X, t: Y]}, path: {[s: Y, t: Z]}].",
+    /// )
+    /// .unwrap();
+    /// let plain = Engine::new(program.clone()).run(&db).unwrap();
+    /// let collected = Engine::new(program)
+    ///     .gc_cadence(GcCadence::EveryRounds(1))
+    ///     .run(&db)
+    ///     .unwrap();
+    /// // Collection frees garbage, never values: identical fixpoints.
+    /// assert_eq!(plain.database, collected.database);
+    /// assert!(collected.stats.gc_sweeps > 0);
+    /// ```
+    pub fn gc_cadence(mut self, c: GcCadence) -> Engine {
+        self.gc = c;
+        self
+    }
+
+    /// Convenience for [`Engine::gc_cadence`]`(GcCadence::EveryRounds(n))`.
+    pub fn gc_every_rounds(self, n: u32) -> Engine {
+        self.gc_cadence(GcCadence::EveryRounds(n))
     }
 
     /// Selects the closure mode (see `co_calculus::ClosureMode`).
@@ -304,6 +384,16 @@ impl Engine {
                 t.record(TraceEvent::IterationStart { iteration });
             }
 
+            // When GC can run, pin this round's snapshot as an explicit
+            // root before fanning work units out: workers only ever borrow
+            // `Arc` clones of it, and the pin guarantees a sweep scheduled
+            // anywhere (another engine, an operator task) keeps the
+            // database under evaluation alive for the whole round.
+            let round_root: Option<store::Root> = match self.gc {
+                GcCadence::Off => None,
+                GcCadence::EveryRounds(_) => store::pin(&current),
+            };
+
             // Match every rule body — sequentially or fanned out over the
             // pool — into one substitution list per rule, in rule order.
             let per_rule = match &pool {
@@ -387,7 +477,22 @@ impl Engine {
             if let Some(p) = &indexed {
                 p.retain_reachable(&next);
             }
+            // Promote `next` before a potential sweep: unpinning the round
+            // root and dropping the superseded database here turns the old
+            // generation into garbage this round's collection reclaims.
+            drop(round_root);
             current = next;
+            if self.gc.fires_after(iteration) {
+                // Pin the new database, sweep, and account for it. The
+                // superseded generation and this round's match
+                // intermediates are the garbage being reclaimed; `current`
+                // (pinned), the trace, and anything the caller holds are
+                // reachable and therefore untouchable.
+                let _db_root = store::pin(&current);
+                let swept = store::collect();
+                stats.gc_sweeps += 1;
+                stats.gc_freed_nodes += swept.freed_nodes() as u64;
+            }
         }
     }
 

@@ -33,7 +33,7 @@ mod stats;
 mod trace;
 
 pub use co_calculus::{ClosureMode, MatchPolicy};
-pub use engine::{Engine, Parallelism, RunOutcome, Strategy};
+pub use engine::{Engine, GcCadence, Parallelism, RunOutcome, Strategy};
 pub use error::EngineError;
 pub use guard::Guard;
 pub use incremental::Materialized;

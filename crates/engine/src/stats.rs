@@ -18,6 +18,11 @@ pub struct EvalStats {
     pub work_units: u64,
     /// Matcher statistics accumulated over the run.
     pub matching: MatchStats,
+    /// Store garbage collections run by the engine (see
+    /// `Engine::gc_cadence`).
+    pub gc_sweeps: u64,
+    /// Interned nodes those collections freed.
+    pub gc_freed_nodes: u64,
     /// Database size (nodes) after each iteration.
     pub sizes: Vec<u64>,
     /// Wall-clock duration of the run.
@@ -44,7 +49,15 @@ impl fmt::Display for EvalStats {
             self.matching.matches,
             self.final_size().unwrap_or(0),
             self.elapsed,
-        )
+        )?;
+        if self.gc_sweeps > 0 {
+            write!(
+                f,
+                ", {} gc sweeps freeing {} nodes",
+                self.gc_sweeps, self.gc_freed_nodes
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -51,22 +51,36 @@
 //! values forever. Only comparisons of *large* nodes (see
 //! [`MEMO_MIN_SIZE`]) are memoized: small comparisons are cheaper than a
 //! lock round-trip. The tables are sharded by key hash like the interner,
-//! and bounded: a shard that reaches capacity is cleared wholesale (epoch
-//! eviction; the per-table [`MemoStats::epoch_clears`] counter makes the
-//! policy observable, and the ROADMAP records the planned refinement).
+//! and bounded by `CO_MEMO_SHARD_CAP` entries per shard. The default
+//! eviction policy is **second chance** ([`MemoPolicy::SecondChance`]):
+//! each shard keeps its keys on a clock ring with a referenced bit that
+//! lookups set, and a full shard evicts the first un-referenced (cold)
+//! key instead of clearing wholesale — hot pairs that fixpoint rounds
+//! re-ask every iteration survive. The pre-PR-3 wholesale-clear policy
+//! remains selectable ([`MemoPolicy::EpochClear`]) for comparison, and
+//! [`MemoPolicy::Disabled`] turns memoization off; all three are runtime
+//! knobs (see [`set_memo_policy`]) observable through the `evicted` /
+//! `retained` / `epoch_clears` counters of [`MemoStats`].
 //!
 //! # Lifetime
 //!
-//! The store holds strong references: interned nodes currently live for the
-//! life of the process, like interned attribute names. That is the right
-//! trade for fixpoint workloads (iterations recreate the same values over
-//! and over); a weak-reference + sweep design is a recorded follow-up.
+//! Interned nodes are held by strong references and live until an explicit
+//! [`collect`] call sweeps them: a node is freed when nothing outside the
+//! store itself references it — no live [`Object`] handle, no thread-local
+//! L1 slot, no memo-table value, and no pinned [`Root`] guard. `NodeId`s
+//! are **never recycled**, even across sweeps, so a stale id held by a
+//! downstream layer (an engine index, a log line) can go unused but can
+//! never silently alias a different value. Long-running servers whose
+//! working set drifts call [`collect`] periodically (the engine can do it
+//! between fixpoint rounds — see its GC cadence knob); batch workloads
+//! can ignore the whole mechanism and keep the immortal-store behaviour.
 //!
 //! # Observability
 //!
 //! [`stats`] returns a [`StoreStats`] snapshot: node counts, per-shard
-//! interner hit/miss/contention counters, and per-table memo
-//! hit/miss/epoch-clear counters.
+//! interner hit/miss/contention counters, per-table memo
+//! hit/miss/eviction counters, and GC sweep/freed-node totals. Each
+//! [`collect`] additionally returns a [`SweepStats`] for that sweep.
 //!
 //! ```
 //! use co_object::{obj, store};
@@ -84,7 +98,7 @@
 
 use crate::{Attr, Object};
 use parking_lot::RwLock;
-use rustc_hash::{FxHashMap, FxHasher};
+use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -209,11 +223,14 @@ pub(crate) struct SetNode {
 /// different values rarely touch the same lock.
 pub const SHARD_COUNT: usize = 16;
 
-/// The hash→tuple and hash→set maps of one shard.
+/// The hash→tuple and hash→set maps of one shard, plus the ids of every
+/// node the shard currently owns (kept in sync on intern and sweep) so
+/// [`contains_node`] answers in O(1) instead of scanning buckets.
 #[derive(Default)]
 struct ShardMaps {
     tuples: FxHashMap<u64, Vec<Arc<TupleNode>>>,
     sets: FxHashMap<u64, Vec<Arc<SetNode>>>,
+    ids: FxHashSet<NodeId>,
 }
 
 /// One interner shard: its maps under a reader-writer lock, plus lock-free
@@ -342,6 +359,53 @@ fn tl_slot(hash: u64) -> usize {
     (hash as usize) & (TL_CACHE_SLOTS - 1)
 }
 
+// L1 slots hold *strong* node references: a node sitting in any thread's L1
+// is simply retained by `collect` (its strong count exceeds the store's own
+// reference), never freed — which keeps the hit path lock-free and makes
+// resurrection-after-free impossible by construction. The price is that a
+// sweep cannot reclaim nodes parked in another thread's L1. To bound that
+// retention, every sweep bumps a global flush epoch; each thread compares
+// its local epoch on the next intern call and clears its own caches first,
+// so L1-retained garbage survives at most until its owner's next intern
+// plus one more sweep.
+static L1_FLUSH_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_SEEN_EPOCH: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Clears this thread's L1 caches when a [`collect`] has happened since the
+/// thread last looked. Called on every intern; one relaxed load when idle.
+#[inline]
+fn maybe_flush_l1() {
+    let current = L1_FLUSH_EPOCH.load(Ordering::Acquire);
+    TL_SEEN_EPOCH.with(|seen| {
+        if seen.get() != current {
+            seen.set(current);
+            flush_thread_caches();
+        }
+    });
+}
+
+/// Drops every entry of the calling thread's L1 intern caches.
+///
+/// [`collect`] does this for its own thread automatically and schedules it
+/// for every other thread (effective at their next intern call); call it
+/// directly on a worker thread that is about to idle for a long time, so
+/// its cached nodes do not outlive their last real user until then.
+pub fn flush_thread_caches() {
+    TL_TUPLES.with(|c| {
+        for slot in c.borrow_mut().iter_mut() {
+            *slot = None;
+        }
+    });
+    TL_SETS.with(|c| {
+        for slot in c.borrow_mut().iter_mut() {
+            *slot = None;
+        }
+    });
+}
+
 fn hash_tuple_entries(entries: &[(Attr, Object)]) -> u64 {
     let mut h = FxHasher::default();
     h.write_u8(1); // kind discriminator: tuple
@@ -364,6 +428,7 @@ fn hash_set_elements(elements: &[Object]) -> u64 {
 /// Interns canonical tuple entries (sorted, distinct, ⊥/⊤-free), returning
 /// the shared node. Content-equal calls return the same allocation.
 pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
+    maybe_flush_l1();
     let hash = hash_tuple_entries(&entries);
     let shard = shard_of(hash);
     // L1: lock-free thread-local hit path.
@@ -412,6 +477,7 @@ pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
         entries: entries.into_boxed_slice(),
     });
     bucket.push(Arc::clone(&node));
+    guard.ids.insert(node.id);
     drop(guard);
     shard.misses.fetch_add(1, Ordering::Relaxed);
     TL_TUPLES.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
@@ -421,6 +487,7 @@ pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
 /// Interns canonical set elements (sorted, deduplicated, reduced,
 /// ⊥/⊤-free), returning the shared node.
 pub(crate) fn intern_set(elements: Vec<Object>) -> Arc<SetNode> {
+    maybe_flush_l1();
     let hash = hash_set_elements(&elements);
     let shard = shard_of(hash);
     // L1: lock-free thread-local hit path.
@@ -467,6 +534,7 @@ pub(crate) fn intern_set(elements: Vec<Object>) -> Arc<SetNode> {
         elements: elements.into_boxed_slice(),
     });
     bucket.push(Arc::clone(&node));
+    guard.ids.insert(node.id);
     drop(guard);
     shard.misses.fetch_add(1, Ordering::Relaxed);
     TL_SETS.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
@@ -487,23 +555,124 @@ pub const MEMO_MIN_SIZE: u64 = 12;
 const MEMO_SHARD_COUNT: usize = 16;
 
 /// Default maximum entries per memo table across all shards; a shard
-/// reaching its share of this capacity is cleared (wholesale epoch
-/// eviction, counted in [`MemoStats::epoch_clears`]).
+/// reaching its share of this capacity evicts per [`MemoPolicy`].
 const MEMO_CAP: usize = 1 << 20;
 
-/// Per-shard memo capacity: `MEMO_CAP / MEMO_SHARD_COUNT`, overridable
-/// with the `CO_MEMO_SHARD_CAP` environment variable (read once at first
-/// memo access — a tuning knob for memory-tight deployments and a lever
-/// for tests that need to exercise the eviction path cheaply).
-fn memo_shard_cap() -> usize {
-    static CAP: OnceLock<usize> = OnceLock::new();
-    *CAP.get_or_init(|| {
-        std::env::var("CO_MEMO_SHARD_CAP")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|cap| *cap > 0)
-            .unwrap_or(MEMO_CAP / MEMO_SHARD_COUNT)
-    })
+/// Sentinel meaning "capacity not yet initialized from the environment".
+const MEMO_CAP_UNSET: usize = 0;
+
+/// Per-shard memo capacity, runtime-adjustable. Initialized lazily from
+/// the `CO_MEMO_SHARD_CAP` environment variable (default
+/// `MEMO_CAP / MEMO_SHARD_COUNT`).
+static MEMO_SHARD_CAP: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(MEMO_CAP_UNSET);
+
+/// Per-shard memo capacity: a tuning knob for memory-tight deployments and
+/// a lever for tests and benchmarks that need to exercise the eviction
+/// path cheaply. See [`set_memo_shard_cap`].
+pub fn memo_shard_cap() -> usize {
+    match MEMO_SHARD_CAP.load(Ordering::Relaxed) {
+        MEMO_CAP_UNSET => {
+            let cap = std::env::var("CO_MEMO_SHARD_CAP")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|cap| *cap > 0)
+                .unwrap_or(MEMO_CAP / MEMO_SHARD_COUNT);
+            // Only initialize from UNSET: a concurrent explicit
+            // `set_memo_shard_cap` must not be clobbered by the lazy
+            // env default.
+            match MEMO_SHARD_CAP.compare_exchange(
+                MEMO_CAP_UNSET,
+                cap,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => cap,
+                Err(set_concurrently) => set_concurrently,
+            }
+        }
+        cap => cap,
+    }
+}
+
+/// Overrides the per-shard memo capacity at runtime (values below 1 are
+/// clamped to 1). Shards above the new capacity shrink lazily, on their
+/// next insert. Intended for tests, benchmarks, and operational tuning.
+pub fn set_memo_shard_cap(cap: usize) {
+    MEMO_SHARD_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// Eviction policy of the bounded memo tables (process-wide).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MemoPolicy {
+    /// Second-chance (clock) eviction: lookups set a referenced bit on the
+    /// entry; a full shard sweeps its ring, granting one more round to
+    /// referenced (hot) entries and evicting the first cold one. Keeps the
+    /// pairs that fixpoint rounds re-ask every iteration.
+    #[default]
+    SecondChance,
+    /// The pre-second-chance policy: a full shard is cleared wholesale
+    /// (counted in [`MemoStats::epoch_clears`]). Kept selectable as the
+    /// comparison baseline for benchmarks.
+    EpochClear,
+    /// Memoization off: every operation recomputes. The differential
+    /// baseline for correctness tests.
+    Disabled,
+}
+
+/// Encodes a policy for the process-wide atomic cell.
+fn memo_policy_code(p: MemoPolicy) -> u8 {
+    match p {
+        MemoPolicy::SecondChance => 1,
+        MemoPolicy::EpochClear => 2,
+        MemoPolicy::Disabled => 3,
+    }
+}
+
+/// Process-wide memo policy; 0 = not yet initialized from the environment.
+static MEMO_POLICY: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// The current process-wide [`MemoPolicy`]. Initialized lazily from the
+/// `CO_MEMO_POLICY` environment variable (`second-chance` (default),
+/// `epoch`, or `off`).
+pub fn memo_policy() -> MemoPolicy {
+    match MEMO_POLICY.load(Ordering::Relaxed) {
+        1 => MemoPolicy::SecondChance,
+        2 => MemoPolicy::EpochClear,
+        3 => MemoPolicy::Disabled,
+        _ => {
+            let policy = match std::env::var("CO_MEMO_POLICY").ok().as_deref() {
+                Some("epoch") => MemoPolicy::EpochClear,
+                Some("off") | Some("disabled") => MemoPolicy::Disabled,
+                _ => MemoPolicy::SecondChance,
+            };
+            // Only initialize from the unset sentinel: a concurrent
+            // explicit `set_memo_policy` must win over the env default.
+            let _ = MEMO_POLICY.compare_exchange(
+                0,
+                memo_policy_code(policy),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            memo_policy()
+        }
+    }
+}
+
+/// Selects the process-wide memo eviction policy at runtime. Cached
+/// entries survive a policy switch (switch to [`MemoPolicy::Disabled`]
+/// merely stops consulting them; see [`clear_memo_tables`] to drop them).
+pub fn set_memo_policy(p: MemoPolicy) {
+    MEMO_POLICY.store(memo_policy_code(p), Ordering::Relaxed);
+}
+
+/// Drops every entry of the `≤`/`∪`/`∩` memo tables (counters are
+/// untouched). A test/benchmark lever: lets one process compare eviction
+/// policies from identical cold starts.
+pub fn clear_memo_tables() {
+    LE_MEMO.clear();
+    UNION_MEMO.clear();
+    INTERSECT_MEMO.clear();
 }
 
 /// The shard index of a memo key: multiply-mix both ids so that pairs
@@ -518,8 +687,35 @@ fn memo_shard_index(key: (NodeId, NodeId)) -> usize {
     (h >> (64 - MEMO_SHARD_COUNT.trailing_zeros())) as usize
 }
 
-/// One shard of a memo table: a pair-keyed map under its own lock.
-type MemoShard<V> = RwLock<FxHashMap<(NodeId, NodeId), V>>;
+/// One cached result plus its second-chance referenced bit (set by lookups
+/// under the shared lock, cleared by the clock hand under the exclusive
+/// one).
+struct MemoEntry<V> {
+    value: V,
+    referenced: std::sync::atomic::AtomicBool,
+}
+
+/// The interior of one memo shard: the pair-keyed map and the clock ring.
+///
+/// Invariant: every map key is on the ring exactly once (the ring may also
+/// carry stale keys whose entries a GC purge removed; the clock hand drops
+/// those as it encounters them).
+struct MemoShardState<V> {
+    map: FxHashMap<(NodeId, NodeId), MemoEntry<V>>,
+    ring: std::collections::VecDeque<(NodeId, NodeId)>,
+}
+
+impl<V> Default for MemoShardState<V> {
+    fn default() -> Self {
+        MemoShardState {
+            map: FxHashMap::default(),
+            ring: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+/// One shard of a memo table under its own lock.
+type MemoShard<V> = RwLock<MemoShardState<V>>;
 
 struct MemoTable<V> {
     shards: OnceLock<[MemoShard<V>; MEMO_SHARD_COUNT]>,
@@ -527,6 +723,9 @@ struct MemoTable<V> {
     misses: AtomicU64,
     contended: AtomicU64,
     epoch_clears: AtomicU64,
+    evicted: AtomicU64,
+    retained: AtomicU64,
+    swept: AtomicU64,
 }
 
 impl<V: Clone> MemoTable<V> {
@@ -537,19 +736,29 @@ impl<V: Clone> MemoTable<V> {
             misses: AtomicU64::new(0),
             contended: AtomicU64::new(0),
             epoch_clears: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            retained: AtomicU64::new(0),
+            swept: AtomicU64::new(0),
         }
     }
 
+    fn all_shards(&self) -> &[MemoShard<V>; MEMO_SHARD_COUNT] {
+        self.shards
+            .get_or_init(|| std::array::from_fn(|_| RwLock::new(MemoShardState::default())))
+    }
+
     fn shard(&self, key: (NodeId, NodeId)) -> &MemoShard<V> {
-        let shards = self
-            .shards
-            .get_or_init(|| std::array::from_fn(|_| RwLock::new(FxHashMap::default())));
-        &shards[memo_shard_index(key)]
+        &self.all_shards()[memo_shard_index(key)]
     }
 
     fn get(&self, key: (NodeId, NodeId)) -> Option<V> {
         let guard = read_counted(self.shard(key), &self.contended);
-        let found = guard.get(&key).cloned();
+        let found = guard.map.get(&key).map(|e| {
+            // Second chance: mark the entry hot. A relaxed store is enough;
+            // the bit is a heuristic, not a synchronization point.
+            e.referenced.store(true, Ordering::Relaxed);
+            e.value.clone()
+        });
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -559,16 +768,87 @@ impl<V: Clone> MemoTable<V> {
 
     fn put(&self, key: (NodeId, NodeId), value: V) {
         let mut guard = write_counted(self.shard(key), &self.contended);
-        if guard.len() >= memo_shard_cap() {
-            guard.clear();
-            self.epoch_clears.fetch_add(1, Ordering::Relaxed);
+        let state = &mut *guard;
+        if let Some(existing) = state.map.get_mut(&key) {
+            // Lost a race with another thread computing the same pair: the
+            // results are equal (the operations are deterministic), so just
+            // refresh in place — the key is already on the ring.
+            existing.value = value;
+            return;
         }
-        guard.insert(key, value);
+        let cap = memo_shard_cap();
+        match memo_policy() {
+            MemoPolicy::Disabled => return,
+            MemoPolicy::EpochClear => {
+                if state.map.len() >= cap {
+                    state.map.clear();
+                    state.ring.clear();
+                    self.epoch_clears.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            MemoPolicy::SecondChance => {
+                // Clock sweep: hot (referenced) keys get their bit cleared
+                // and one more round; the first cold key is evicted. A full
+                // cycle clears every bit, so the loop terminates.
+                while state.map.len() >= cap {
+                    let Some(hand) = state.ring.pop_front() else {
+                        break; // unreachable: map keys ⊆ ring
+                    };
+                    let Some(entry) = state.map.get(&hand) else {
+                        continue; // stale ring key (GC-purged entry)
+                    };
+                    if entry.referenced.swap(false, Ordering::Relaxed) {
+                        state.ring.push_back(hand);
+                        self.retained.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        state.map.remove(&hand);
+                        self.evicted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        state.map.insert(
+            key,
+            MemoEntry {
+                value,
+                referenced: std::sync::atomic::AtomicBool::new(false),
+            },
+        );
+        state.ring.push_back(key);
+    }
+
+    /// Drops entries whose key mentions a freed node id. Their keys can
+    /// never be asked again (ids are not recycled), so they are pure
+    /// garbage — and their values may be the last references keeping
+    /// other nodes alive.
+    fn purge_freed(&self, freed: &FxHashSet<NodeId>) -> u64 {
+        let mut dropped = 0u64;
+        for shard in self.all_shards() {
+            let mut guard = write_counted(shard, &self.contended);
+            let MemoShardState { map, ring } = &mut *guard;
+            let before = map.len();
+            map.retain(|(a, b), _| !freed.contains(a) && !freed.contains(b));
+            let removed = before - map.len();
+            if removed > 0 {
+                ring.retain(|k| map.contains_key(k));
+            }
+            dropped += removed as u64;
+        }
+        self.swept.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    fn clear(&self) {
+        for shard in self.all_shards() {
+            let mut guard = write_counted(shard, &self.contended);
+            guard.map.clear();
+            guard.ring.clear();
+        }
     }
 
     fn len(&self) -> usize {
         match self.shards.get() {
-            Some(shards) => shards.iter().map(|s| s.read().len()).sum(),
+            Some(shards) => shards.iter().map(|s| s.read().map.len()).sum(),
             None => 0,
         }
     }
@@ -580,6 +860,9 @@ impl<V: Clone> MemoTable<V> {
             misses: self.misses.load(Ordering::Relaxed),
             contended: self.contended.load(Ordering::Relaxed),
             epoch_clears: self.epoch_clears.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            retained: self.retained.load(Ordering::Relaxed),
+            swept: self.swept.load(Ordering::Relaxed),
         }
     }
 }
@@ -598,9 +881,9 @@ fn symmetric(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 
 /// True when a pair of nodes is worth memoizing: both subtrees at least
 /// [`MEMO_MIN_SIZE`] nodes (smaller comparisons are cheaper than a lock
-/// round-trip on the shared table).
+/// round-trip on the shared table), and memoization is not disabled.
 fn memo_worthy(a: &Meta, b: &Meta) -> bool {
-    a.size >= MEMO_MIN_SIZE && b.size >= MEMO_MIN_SIZE
+    a.size >= MEMO_MIN_SIZE && b.size >= MEMO_MIN_SIZE && memo_policy() != MemoPolicy::Disabled
 }
 
 /// `a ≤ b` through the memo table (order-sensitive key), falling back to
@@ -659,6 +942,304 @@ pub(crate) fn intersect_cached(
 }
 
 // ---------------------------------------------------------------------------
+// Garbage collection: pinned roots and the sweep
+// ---------------------------------------------------------------------------
+
+/// The pin registry: node id → number of live [`Root`] guards. Purely
+/// observational belt-and-suspenders — every `Root` also *holds* its
+/// object, so a pinned node's strong count already protects it from the
+/// sweep — but the explicit id set lets [`collect`] report root counts and
+/// double-check itself.
+fn pin_registry() -> &'static parking_lot::Mutex<FxHashMap<NodeId, usize>> {
+    static PINS: OnceLock<parking_lot::Mutex<FxHashMap<NodeId, usize>>> = OnceLock::new();
+    PINS.get_or_init(|| parking_lot::Mutex::new(FxHashMap::default()))
+}
+
+/// An RAII guard pinning a composite object's node (and, transitively, its
+/// whole subtree) across [`collect`] calls.
+///
+/// The engine pins its fixpoint database and per-round snapshots this way
+/// before sweeping between rounds; any long-lived cache that holds only
+/// `NodeId`s (not `Object`s) should pin what it expects to resolve later.
+/// Dropping the guard unpins; the node then lives exactly as long as
+/// ordinary references to it do.
+///
+/// ```
+/// use co_object::{obj, store};
+///
+/// let db = obj!([pinned_doc_example: {1, 2, 3}]);
+/// let root = store::pin(&db).expect("composites are pinnable");
+/// assert_eq!(root.object(), &db);
+/// assert_eq!(Some(root.id()), db.node_id());
+/// // While `root` lives, a sweep will never free the node…
+/// store::collect();
+/// assert!(store::contains_node(root.id()));
+/// ```
+#[derive(Debug)]
+pub struct Root {
+    id: NodeId,
+    object: Object,
+}
+
+impl Root {
+    /// The pinned node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The pinned object.
+    pub fn object(&self) -> &Object {
+        &self.object
+    }
+}
+
+impl Clone for Root {
+    fn clone(&self) -> Root {
+        pin(&self.object).expect("a Root always wraps a composite")
+    }
+}
+
+impl Drop for Root {
+    fn drop(&mut self) {
+        let mut pins = pin_registry().lock();
+        if let Some(count) = pins.get_mut(&self.id) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.id);
+            }
+        }
+    }
+}
+
+/// Pins `o`'s interned node as a GC root, returning the RAII guard — or
+/// `None` for atoms/⊥/⊤, which have no node to pin (and nothing a sweep
+/// could ever free).
+pub fn pin(o: &Object) -> Option<Root> {
+    let id = o.node_id()?;
+    *pin_registry().lock().entry(id).or_insert(0) += 1;
+    Some(Root {
+        id,
+        object: o.clone(),
+    })
+}
+
+/// Number of distinct node ids currently pinned by live [`Root`] guards.
+pub fn pinned_roots() -> usize {
+    pin_registry().lock().len()
+}
+
+/// True when the store still holds a node with this id. A *false* answer
+/// for an id you once saw means the node was swept — and because ids are
+/// never recycled, the id can never come back: dangling ids are permanently
+/// detectable, never silently re-bound.
+///
+/// O(1) per shard (each shard keeps an id set alongside its buckets), so
+/// downstream layers holding bare `NodeId`s can probe liveness freely.
+pub fn contains_node(id: NodeId) -> bool {
+    shards().iter().any(|shard| shard.read().ids.contains(&id))
+}
+
+/// What one [`collect`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Tuple nodes freed by this sweep.
+    pub freed_tuples: usize,
+    /// Set nodes freed by this sweep.
+    pub freed_sets: usize,
+    /// Nodes examined (live before the sweep).
+    pub examined: usize,
+    /// Memo entries dropped because a key mentioned a freed id.
+    pub memo_entries_swept: u64,
+    /// Mark/sweep passes run (> 1 when dropping memo values released
+    /// further nodes).
+    pub passes: u32,
+    /// Distinct node ids pinned by [`Root`] guards at sweep time.
+    pub pinned_roots: usize,
+}
+
+impl SweepStats {
+    /// Total nodes freed by this sweep.
+    pub fn freed_nodes(&self) -> usize {
+        self.freed_tuples + self.freed_sets
+    }
+}
+
+impl std::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep: freed {} of {} nodes ({} tuples, {} sets) in {} passes, \
+             {} memo entries swept, {} pinned roots",
+            self.freed_nodes(),
+            self.examined,
+            self.freed_tuples,
+            self.freed_sets,
+            self.passes,
+            self.memo_entries_swept,
+            self.pinned_roots,
+        )
+    }
+}
+
+/// Cumulative [`collect`] calls (see [`StoreStats::gc_sweeps`]).
+static GC_SWEEPS: AtomicU64 = AtomicU64::new(0);
+/// Cumulative nodes freed (see [`StoreStats::gc_freed_nodes`]).
+static GC_FREED_NODES: AtomicU64 = AtomicU64::new(0);
+
+/// Upper bound on mark/sweep passes per [`collect`]: each extra pass only
+/// chases nodes released by dropped memo values, a chain that is flat in
+/// practice. Anything deeper is left for the next collection.
+const MAX_SWEEP_PASSES: u32 = 8;
+
+/// Sweeps the interner, freeing every node unreachable from outside the
+/// store, and purges memo entries keyed by freed ids. Returns what it did.
+///
+/// A node is **reachable** — and guaranteed to survive — iff something
+/// other than the store itself holds it: a live [`Object`] handle anywhere
+/// (including inside another retained node, a memo-table value, or any
+/// thread's L1 intern cache), or a pinned [`Root`]. The sweep is
+/// stop-the-world for interning (it briefly holds every shard's write
+/// lock), processes candidates deepest-first so a dead parent releases its
+/// children within the same pass, and re-runs (bounded by
+/// `MAX_SWEEP_PASSES`) when purging memo values released more nodes.
+///
+/// Two invariants make this safe to run at any quiescent or concurrent
+/// point:
+///
+/// - **no resurrection**: a freed node had strong count 1 *while the shard
+///   write lock was held*, so no other thread could have been cloning it
+///   (every clone source is itself a strong reference, and interning new
+///   references requires the lock we hold);
+/// - **no id recycling**: the id counter is never rewound, so the same
+///   canonical value re-interned later gets a fresh id, and any stale id
+///   held downstream is detectably dead ([`contains_node`]) rather than
+///   silently re-bound.
+///
+/// Determinism: collection never changes *values* — re-evaluating after a
+/// sweep rebuilds bit-identical canonical objects (fresh ids, equal
+/// structure), and objects that stayed reachable keep their ids, so
+/// re-interning equal content still hits the same node.
+///
+/// ```
+/// use co_object::{store, Object};
+///
+/// let before = store::stats();
+/// // Build transient garbage nobody keeps…
+/// for i in 0..256 {
+///     let _ = Object::tuple([("collect_doc_example", Object::int(i))]);
+/// }
+/// let swept = store::collect();
+/// // …the sweep reclaims it (our own thread's L1 is flushed first).
+/// assert!(swept.freed_nodes() >= 256);
+/// assert!(store::stats().gc_sweeps > before.gc_sweeps);
+/// ```
+pub fn collect() -> SweepStats {
+    // One collector at a time; others queue behind the same mutex.
+    static GC_GATE: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    let _gate = GC_GATE.lock();
+
+    // Flush this thread's L1 and schedule every other thread's flush (they
+    // self-flush on their next intern, bounding cross-sweep retention).
+    L1_FLUSH_EPOCH.fetch_add(1, Ordering::Release);
+    TL_SEEN_EPOCH.with(|seen| seen.set(L1_FLUSH_EPOCH.load(Ordering::Acquire)));
+    flush_thread_caches();
+
+    // Stop the world for interning: hold every shard's write lock for the
+    // whole sweep (lock order is fixed — only `collect` takes several).
+    let all = shards();
+    let mut guards: Vec<parking_lot::RwLockWriteGuard<'_, ShardMaps>> =
+        all.iter().map(|s| s.write()).collect();
+
+    let pinned: FxHashSet<NodeId> = pin_registry().lock().keys().copied().collect();
+    let mut stats = SweepStats {
+        pinned_roots: pinned.len(),
+        ..SweepStats::default()
+    };
+    stats.examined = guards
+        .iter()
+        .map(|g| {
+            g.tuples.values().map(Vec::len).sum::<usize>()
+                + g.sets.values().map(Vec::len).sum::<usize>()
+        })
+        .sum();
+
+    while stats.passes < MAX_SWEEP_PASSES {
+        stats.passes += 1;
+        // Candidates: every unpinned node, deepest-first, so parents drop
+        // before their children are examined (a parent's depth strictly
+        // exceeds its children's). Liveness is re-checked at removal time.
+        let mut candidates: Vec<(u64, usize, bool, u64, NodeId)> = Vec::new();
+        for (si, guard) in guards.iter().enumerate() {
+            for (hash, bucket) in &guard.tuples {
+                for node in bucket {
+                    if !pinned.contains(&node.id) {
+                        candidates.push((node.meta.depth, si, false, *hash, node.id));
+                    }
+                }
+            }
+            for (hash, bucket) in &guard.sets {
+                for node in bucket {
+                    if !pinned.contains(&node.id) {
+                        candidates.push((node.meta.depth, si, true, *hash, node.id));
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
+
+        let mut freed: FxHashSet<NodeId> = FxHashSet::default();
+        for (_, si, is_set, hash, id) in candidates {
+            let guard = &mut guards[si];
+            let mut removed = false;
+            if is_set {
+                if let Some(bucket) = guard.sets.get_mut(&hash) {
+                    if let Some(ix) = bucket.iter().position(|n| n.id == id) {
+                        // Strong count 1 = only the store's own reference.
+                        if Arc::strong_count(&bucket[ix]) == 1 {
+                            bucket.swap_remove(ix);
+                            if bucket.is_empty() {
+                                guard.sets.remove(&hash);
+                            }
+                            removed = true;
+                            stats.freed_sets += 1;
+                        }
+                    }
+                }
+            } else if let Some(bucket) = guard.tuples.get_mut(&hash) {
+                if let Some(ix) = bucket.iter().position(|n| n.id == id) {
+                    if Arc::strong_count(&bucket[ix]) == 1 {
+                        bucket.swap_remove(ix);
+                        if bucket.is_empty() {
+                            guard.tuples.remove(&hash);
+                        }
+                        removed = true;
+                        stats.freed_tuples += 1;
+                    }
+                }
+            }
+            if removed {
+                guard.ids.remove(&id);
+                freed.insert(id);
+            }
+        }
+
+        if freed.is_empty() {
+            break;
+        }
+        // Memo entries keyed by a freed id are unreachable garbage (the id
+        // never comes back); dropping them may release the values' nodes,
+        // which the next pass collects.
+        stats.memo_entries_swept += LE_MEMO.purge_freed(&freed)
+            + UNION_MEMO.purge_freed(&freed)
+            + INTERSECT_MEMO.purge_freed(&freed);
+    }
+
+    GC_SWEEPS.fetch_add(1, Ordering::Relaxed);
+    GC_FREED_NODES.fetch_add(stats.freed_nodes() as u64, Ordering::Relaxed);
+    stats
+}
+
+// ---------------------------------------------------------------------------
 // Statistics
 // ---------------------------------------------------------------------------
 
@@ -690,16 +1271,36 @@ pub struct MemoStats {
     pub misses: u64,
     /// Lock acquisitions that had to block behind another thread.
     pub contended: u64,
-    /// Wholesale shard clears performed on reaching capacity (the epoch
-    /// eviction policy — each clear discards that shard's entries).
+    /// Wholesale shard clears performed on reaching capacity — only under
+    /// [`MemoPolicy::EpochClear`], the legacy policy kept for comparison.
     pub epoch_clears: u64,
+    /// Cold entries evicted one-by-one by the second-chance clock.
+    pub evicted: u64,
+    /// Second chances granted: the clock hand found the entry referenced
+    /// since its last visit, cleared the bit, and kept it.
+    pub retained: u64,
+    /// Entries dropped by [`collect`] because a key mentioned a freed node
+    /// id (pure garbage: freed ids never recur).
+    pub swept: u64,
+}
+
+impl MemoStats {
+    /// Fraction of lookups answered from the table, in `[0, 1]`; `None`
+    /// before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
 }
 
 /// A point-in-time snapshot of store and memo-table state (diagnostics,
 /// benchmarks, capacity planning). Obtain one with [`stats`].
 ///
-/// All counters are cumulative since process start and monotone; snapshot
-/// deltas (`after - before`) measure a region of interest.
+/// Event counters (hits, misses, evictions, sweeps, …) are cumulative
+/// since process start and monotone, so snapshot deltas (`after - before`)
+/// measure a region of interest. Population gauges (node counts, memo
+/// `entries`, `pinned_roots`) move both ways once [`collect`] and memo
+/// eviction are in play.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Distinct interned tuple nodes.
@@ -723,6 +1324,12 @@ pub struct StoreStats {
     pub union_memo: MemoStats,
     /// Counters of the `∩` memo table.
     pub intersect_memo: MemoStats,
+    /// [`collect`] calls since process start.
+    pub gc_sweeps: u64,
+    /// Nodes freed by all sweeps since process start.
+    pub gc_freed_nodes: u64,
+    /// Distinct node ids currently pinned by live [`Root`] guards.
+    pub pinned_roots: usize,
     /// Per-shard interner counters, indexed by shard.
     pub shards: [ShardStats; SHARD_COUNT],
 }
@@ -752,6 +1359,9 @@ pub fn stats() -> StoreStats {
     s.le_memo = LE_MEMO.stats();
     s.union_memo = UNION_MEMO.stats();
     s.intersect_memo = INTERSECT_MEMO.stats();
+    s.gc_sweeps = GC_SWEEPS.load(Ordering::Relaxed);
+    s.gc_freed_nodes = GC_FREED_NODES.load(Ordering::Relaxed);
+    s.pinned_roots = pinned_roots();
     s
 }
 
@@ -774,10 +1384,16 @@ impl std::fmt::Display for StoreStats {
         ] {
             writeln!(
                 f,
-                "  memo {}: {} entries, {} hits, {} misses, {} epoch clears",
-                label, m.entries, m.hits, m.misses, m.epoch_clears
+                "  memo {}: {} entries, {} hits, {} misses, {} evicted, \
+                 {} retained, {} swept, {} epoch clears",
+                label, m.entries, m.hits, m.misses, m.evicted, m.retained, m.swept, m.epoch_clears
             )?;
         }
+        writeln!(
+            f,
+            "  gc: {} sweeps, {} nodes freed, {} pinned roots",
+            self.gc_sweeps, self.gc_freed_nodes, self.pinned_roots
+        )?;
         Ok(())
     }
 }

@@ -227,9 +227,9 @@ fn memo_counters_observe_misses_then_hits() {
     // (or even just-evicted) key always counts a miss, and concurrent
     // tests only add to the counters. The hit assertion is retried: a
     // concurrent test could in principle push this pair's memo shard past
-    // capacity between two of our probes, epoch-clearing the entry; two
-    // adjacent probes of a cached pair land a hit on any retry where no
-    // clear intervenes.
+    // capacity between two of our probes, evicting the entry (clock or
+    // epoch clear, depending on policy); two adjacent probes of a cached
+    // pair land a hit on any retry where no eviction intervenes.
     let a = Object::set((0..20).map(|i| Object::tuple([("memo_counter_probe", Object::int(i))])));
     let b = Object::set(
         (0..20).map(|i| Object::tuple([("memo_counter_probe", Object::int(i + 1_000_000))])),

@@ -1,56 +1,186 @@
-//! The memo tables' epoch-eviction path, exercised cheaply by shrinking
-//! the per-shard capacity through the `CO_MEMO_SHARD_CAP` knob.
+//! Differential correctness of the memo-table eviction policies.
+//!
+//! The `≤`/`∪`/`∩` memo tables are a pure cache: no matter the capacity
+//! (`CO_MEMO_SHARD_CAP` down to 1 entry per shard), the eviction policy
+//! (second-chance clock or the legacy wholesale epoch clear), or whether
+//! memoization is on at all, every operation must return the same result.
+//! This test computes a reference answer matrix with memoization disabled
+//! and replays it under each policy/capacity combination, then checks the
+//! policies' observable behaviour: the clock keeps hot pairs that epoch
+//! clears throws away.
 //!
 //! This lives in its own integration-test binary (hence its own process)
-//! with a single `#[test]`, so the environment variable is guaranteed to
-//! be set before the first memo-table access reads it.
+//! with a single `#[test]`, because it drives the process-wide policy and
+//! capacity knobs; interleaving with other tests would race on them.
 
+use co_object::lattice::{intersect, union};
 use co_object::order::le;
-use co_object::{store, Object};
+use co_object::store::{self, MemoPolicy};
+use co_object::Object;
 
-#[test]
-fn epoch_clears_fire_at_capacity_and_are_counted() {
-    // Must run before any memo access in this process: the cap is read
-    // once. 32 entries per shard instead of the production 65 536.
-    std::env::set_var("CO_MEMO_SHARD_CAP", "32");
-
-    // 80 distinct memo-worthy sets (each ~40 nodes) → 6 400 ordered pairs,
-    // ~400 per memo shard: an order of magnitude over the shrunken cap.
-    let objects: Vec<Object> = (0..80)
+/// Distinct memo-worthy objects (each comfortably over `MEMO_MIN_SIZE`
+/// nodes) with overlapping structure so `≤`/`∪`/`∩` all exercise real
+/// work.
+fn corpus() -> Vec<Object> {
+    (0..40)
         .map(|i| {
             Object::set((0..13).map(|j| {
                 Object::tuple([
-                    ("memo_evict_group", Object::int(i)),
-                    ("memo_evict_member", Object::int(j)),
+                    ("memo_evict_group", Object::int(i % 7)),
+                    ("memo_evict_member", Object::int(j + i % 3)),
+                    ("memo_evict_salt", Object::int(i)),
+                ])
+            }))
+        })
+        .collect()
+}
+
+/// The full answer matrix over the corpus under the *current* policy.
+fn evaluate(objects: &[Object]) -> (Vec<bool>, Vec<Object>, Vec<Object>) {
+    let mut les = Vec::new();
+    let mut unions = Vec::new();
+    let mut intersections = Vec::new();
+    for a in objects {
+        for b in objects {
+            les.push(le(a, b));
+            unions.push(union(a, b));
+            intersections.push(intersect(a, b));
+        }
+    }
+    (les, unions, intersections)
+}
+
+/// A hot/cold workload: one hot pair re-asked between every cold pair of a
+/// once-through stream. Returns the hit-count delta it produced.
+fn hot_cold_hits(hot: (&Object, &Object), cold: &[Object]) -> u64 {
+    let before = store::stats().le_memo.hits;
+    let _ = le(hot.0, hot.1); // seed the hot entry
+    for c in cold {
+        let _ = le(hot.0, hot.1);
+        for d in cold.iter().take(4) {
+            let _ = le(c, d);
+        }
+    }
+    store::stats().le_memo.hits - before
+}
+
+/// Single `#[test]` entry point: both scenarios drive the process-wide
+/// policy/capacity knobs, so they must run sequentially in this process.
+#[test]
+fn memo_eviction_lifecycle() {
+    eviction_policies_agree_with_memo_disabled_reference();
+    second_chance_keeps_hot_pairs_that_epoch_clearing_loses();
+}
+
+fn eviction_policies_agree_with_memo_disabled_reference() {
+    let objects = corpus();
+    assert!(objects[0].meta().unwrap().size >= store::MEMO_MIN_SIZE);
+
+    // Reference: memoization off — every answer structurally recomputed.
+    store::set_memo_policy(MemoPolicy::Disabled);
+    let reference = evaluate(&objects);
+
+    // Unbounded second chance (nothing ever evicted).
+    store::set_memo_policy(MemoPolicy::SecondChance);
+    store::set_memo_shard_cap(usize::MAX);
+    store::clear_memo_tables();
+    assert_eq!(evaluate(&objects), reference, "unbounded second chance");
+
+    // Pathologically tiny capacity: one entry per shard, constant churn.
+    store::set_memo_shard_cap(1);
+    store::clear_memo_tables();
+    let before = store::stats();
+    assert_eq!(evaluate(&objects), reference, "second chance, cap 1");
+    let after = store::stats();
+    assert!(
+        after.le_memo.evicted > before.le_memo.evicted,
+        "cap 1 must churn the clock: {:?}",
+        after.le_memo
+    );
+    for (label, m) in [
+        ("≤", after.le_memo),
+        ("∪", after.union_memo),
+        ("∩", after.intersect_memo),
+    ] {
+        assert!(
+            m.entries <= 16,
+            "memo {label} holds {} entries with cap 1 × 16 shards",
+            m.entries
+        );
+    }
+
+    // Legacy epoch clearing at a small capacity.
+    store::set_memo_policy(MemoPolicy::EpochClear);
+    store::set_memo_shard_cap(32);
+    store::clear_memo_tables();
+    let before = store::stats();
+    assert_eq!(evaluate(&objects), reference, "epoch clear, cap 32");
+    let after = store::stats();
+    assert!(
+        after.le_memo.epoch_clears > before.le_memo.epoch_clears,
+        "filling the ≤ table past capacity must clear shards: {:?}",
+        after.le_memo
+    );
+    assert!(
+        after.le_memo.entries <= 33 * 16,
+        "entries {} exceed the epoch capacity bound",
+        after.le_memo.entries
+    );
+
+    // Second chance at the same capacity: same answers, bounded at cap
+    // (the clock evicts *before* inserting).
+    store::set_memo_policy(MemoPolicy::SecondChance);
+    store::clear_memo_tables();
+    let before = store::stats();
+    assert_eq!(evaluate(&objects), reference, "second chance, cap 32");
+    let after = store::stats();
+    assert!(after.le_memo.entries <= 32 * 16);
+    assert!(
+        after.le_memo.evicted > before.le_memo.evicted,
+        "the corpus overflows cap 32, so the clock must evict"
+    );
+}
+
+fn second_chance_keeps_hot_pairs_that_epoch_clearing_loses() {
+    let hot_a = Object::set(
+        (0..20)
+            .map(|j| Object::tuple([("hot_member", Object::int(j)), ("hot_tag", Object::int(0))])),
+    );
+    let hot_b = Object::set((0..20).map(|j| {
+        Object::tuple([
+            ("hot_member", Object::int(j)),
+            ("hot_tag", Object::int(j % 2)),
+        ])
+    }));
+    let cold: Vec<Object> = (0..600)
+        .map(|i| {
+            Object::set((0..13).map(|j| {
+                Object::tuple([
+                    ("cold_member", Object::int(j)),
+                    ("cold_salt", Object::int(i * 64 + j)),
                 ])
             }))
         })
         .collect();
-    assert!(objects[0].meta().unwrap().size >= store::MEMO_MIN_SIZE);
 
-    let before = store::stats();
-    for a in &objects {
-        for b in &objects {
-            let _ = le(a, b);
-        }
-    }
-    let after = store::stats();
+    store::set_memo_shard_cap(32);
 
+    store::set_memo_policy(MemoPolicy::EpochClear);
+    store::clear_memo_tables();
+    let epoch_hits = hot_cold_hits((&hot_a, &hot_b), &cold);
+
+    store::set_memo_policy(MemoPolicy::SecondChance);
+    store::clear_memo_tables();
+    let clock_hits = hot_cold_hits((&hot_a, &hot_b), &cold);
+
+    let retained = store::stats().le_memo.retained;
     assert!(
-        after.le_memo.epoch_clears > before.le_memo.epoch_clears,
-        "filling the ≤ table past capacity must clear shards: {:?} → {:?}",
-        before.le_memo,
-        after.le_memo
+        retained > 0,
+        "the clock hand must have granted second chances to the hot pair"
     );
-    assert!(after.le_memo.misses > before.le_memo.misses);
-    // The table stays bounded by cap × shard count (16 shards; one extra
-    // entry per shard is admissible because the clear precedes the insert).
     assert!(
-        after.le_memo.entries <= 33 * 16,
-        "entries {} exceed the shrunken capacity",
-        after.le_memo.entries
+        clock_hits > epoch_hits,
+        "second chance must out-hit epoch clearing on a hot/cold mix: \
+         {clock_hits} vs {epoch_hits}"
     );
-    // Re-asking anything still gives consistent answers after clears.
-    assert!(le(&objects[3], &objects[3]));
-    assert!(!le(&objects[3], &objects[4]));
 }

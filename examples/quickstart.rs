@@ -92,8 +92,28 @@ fn main() {
     // 6. The hash-consed store behind it all: every composite built above
     //    was interned (canonical equality = pointer equality), and the
     //    lattice operations were memoized. The counters tell the story;
-    //    shrink the memo capacity with CO_MEMO_SHARD_CAP or force
-    //    parallel evaluation with CO_ENGINE_THREADS to watch them change.
+    //    shrink the memo capacity with CO_MEMO_SHARD_CAP, switch eviction
+    //    with CO_MEMO_POLICY, or force parallel evaluation with
+    //    CO_ENGINE_THREADS to watch them change.
     // -----------------------------------------------------------------
     println!("\n{}", complex_objects::object::store::stats());
+
+    // -----------------------------------------------------------------
+    // 7. Lifecycle: interned nodes live until a sweep proves them
+    //    unreachable. Pin what must survive, drop the rest, collect.
+    //    (Engines can do this automatically between rounds:
+    //    `Engine::gc_every_rounds(1)` or CO_GC_EVERY_ROUND=1.)
+    // -----------------------------------------------------------------
+    use complex_objects::object::store;
+    let root = store::pin(&out.database).expect("composites are pinnable");
+    {
+        // Transient intermediates nobody keeps…
+        let _scratch: Vec<Object> = (0..1000)
+            .map(|i| obj!([scratch: (i), pad: {(i), (i + 1)}]))
+            .collect();
+    }
+    let swept = store::collect();
+    println!("\nafter dropping 1000 scratch objects: {swept}");
+    assert!(store::contains_node(root.id()), "pinned roots survive");
+    println!("{}", store::stats());
 }

@@ -32,6 +32,7 @@ commands:
   policy strict|literal   choose the match policy (default strict)
   clear              drop all rules
   stats              database size/depth + object-store counters
+  gc                 sweep the object store (the database stays pinned)
   help               this text
   quit               exit";
 
@@ -62,6 +63,12 @@ impl Session {
                 measure::depth(&self.db),
                 complex_objects::object::store::stats(),
             ),
+            "gc" => {
+                // The session database is reachable (we hold it), but pin
+                // it anyway: explicitness is the point of the command.
+                let _root = complex_objects::object::store::pin(&self.db);
+                println!("{}", complex_objects::object::store::collect());
+            }
             "?" => match parse_formula(rest) {
                 Ok(f) => println!("{}", interpret(&f, &self.db, self.policy)),
                 Err(e) => println!("{}", e.render(rest)),

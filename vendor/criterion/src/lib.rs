@@ -7,10 +7,75 @@
 //! until a time budget is spent, and print the mean time per iteration.
 //! No statistical analysis, plots, or baselines — numbers are indicative,
 //! which is all an offline smoke run needs.
+//!
+//! # Machine-readable results
+//!
+//! Passing `--save-json <path>` to a bench binary (i.e. `cargo bench --
+//! --save-json BENCH.json`), or setting `CRITERION_SAVE_JSON=<path>`,
+//! makes every measurement also append a record to `<path>`, which is
+//! maintained as a valid JSON array across bench binaries and runs (each
+//! append rewrites only the closing bracket). Benches can add custom
+//! records — derived rates, counters — with [`save_json_record`].
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// The JSON results path configured for this process: the argument after
+/// `--save-json` on the command line, else the `CRITERION_SAVE_JSON`
+/// environment variable, else `None`.
+pub fn json_output_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--save-json" {
+            if let Some(p) = args.next() {
+                return Some(PathBuf::from(p));
+            }
+        }
+    }
+    std::env::var_os("CRITERION_SAVE_JSON").map(PathBuf::from)
+}
+
+/// Appends one JSON object (`record` must be a serialized `{…}`) to the
+/// configured results file, keeping the file a valid JSON array. No-op
+/// when no path is configured. Errors are reported to stderr, never fatal:
+/// losing a record must not fail a bench run.
+pub fn save_json_record(record: &str) {
+    let Some(path) = json_output_path() else {
+        return;
+    };
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let trimmed = existing.trim_end();
+    let content = match trimmed.strip_suffix(']') {
+        // Append inside the existing array.
+        Some(body) => {
+            let body = body.trim_end();
+            if body.ends_with('[') {
+                format!("{body}\n  {record}\n]\n")
+            } else {
+                format!("{body},\n  {record}\n]\n")
+            }
+        }
+        // Fresh (or foreign) file: start a new array.
+        None => format!("[\n  {record}\n]\n"),
+    };
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("criterion shim: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Minimal JSON string escaping for benchmark ids.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
 
 /// Re-export of [`std::hint::black_box`] (criterion-compatible).
 pub fn black_box<T>(x: T) -> T {
@@ -161,6 +226,13 @@ impl BenchmarkGroup<'_> {
             "{}/{id}: {per_iter:?}/iter over {} iters{rate}",
             self.name, b.iters
         );
+        save_json_record(&format!(
+            "{{\"bench\": \"{}\", \"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+            json_escape(&self.name),
+            json_escape(id),
+            b.ns_per_iter,
+            b.iters,
+        ));
     }
 
     /// Finishes the group (prints a separator).
@@ -232,6 +304,28 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_append_keeps_a_valid_array() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_json_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_SAVE_JSON", &path);
+        save_json_record("{\"bench\": \"a\", \"ns_per_iter\": 1.5}");
+        save_json_record("{\"bench\": \"b\", \"ns_per_iter\": 2.0}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::env::remove_var("CRITERION_SAVE_JSON");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.starts_with("[\n"), "not an array: {text}");
+        assert!(text.trim_end().ends_with(']'), "unterminated: {text}");
+        assert!(text.contains("\"bench\": \"a\""));
+        assert!(text.contains("\"bench\": \"b\""));
+        assert_eq!(text.matches('[').count(), 1);
+        assert!(text.contains("},\n"), "records must be comma-separated");
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
 
     #[test]
     fn bench_loop_measures_something() {

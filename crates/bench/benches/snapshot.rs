@@ -1,0 +1,122 @@
+//! F10 — persistence: `co-wire` snapshot write/read throughput, on-disk
+//! bytes per node, and the sharing ratio (naive tree encoding vs the
+//! hash-cons-aware node table) on three shapes:
+//!
+//! - a *flat relation* (no sharing beyond attribute names — the format's
+//!   floor);
+//! - a *closed genealogy database* (the engine's natural output, with
+//!   organic substructure sharing);
+//! - a *shared tower* (2^16 tree expansion over 17 nodes — the ceiling).
+//!
+//! Run with `--save-json BENCH_pr4.json` (or `CRITERION_SAVE_JSON`) to
+//! record every measurement plus the derived ratios; relative paths land
+//! at the workspace root.
+
+use co_bench::{chain_family, flat_relation};
+use co_engine::Engine;
+use co_object::{measure, Object};
+use co_parser::parse_program;
+use co_wire::{naive_encoding_len, read_snapshot, write_snapshot};
+use criterion::{
+    criterion_group, criterion_main, save_json_record, BenchmarkId, Criterion, Throughput,
+};
+use std::hint::black_box;
+
+/// A tower where each level contains the previous twice: n + 1 distinct
+/// nodes, 2^n leaf occurrences — maximal sharing.
+fn tower(levels: usize) -> Object {
+    let mut level = Object::set([Object::str("base")]);
+    for _ in 0..levels {
+        level = Object::tuple([("left", level.clone()), ("right", level)]);
+    }
+    level
+}
+
+/// The closed descendants database over a 90-person chain.
+fn closed_genealogy() -> Object {
+    let program = parse_program(
+        "[doa: {p0}].
+         [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+    )
+    .unwrap();
+    Engine::new(program)
+        .run(&chain_family(90))
+        .unwrap()
+        .database
+}
+
+fn workloads() -> Vec<(&'static str, Object)> {
+    vec![
+        ("flat_relation_5000", flat_relation(5_000, 97, "k", "v")),
+        ("closed_genealogy_90", closed_genealogy()),
+        ("shared_tower_16", tower(16)),
+    ]
+}
+
+fn bench_write_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    for (name, root) in workloads() {
+        let roots = [root];
+        let mut bytes = Vec::new();
+        let stats = write_snapshot(&mut bytes, &roots, b"").unwrap();
+
+        group.throughput(Throughput::Bytes(stats.total_bytes));
+        group.bench_with_input(BenchmarkId::new("write", name), &roots, |b, roots| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(bytes.len());
+                write_snapshot(&mut out, black_box(roots), b"").unwrap();
+                out
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("read", name), &bytes, |b, bytes| {
+            b.iter(|| read_snapshot(black_box(bytes.as_slice())).unwrap())
+        });
+
+        // Derived, machine-readable: the on-disk economics of sharing.
+        let naive = naive_encoding_len(&roots);
+        let ratio = naive as f64 / stats.payload_bytes as f64;
+        let tree_nodes = measure::size(&roots[0]);
+        println!(
+            "snapshot/{name}: {} distinct nodes ({tree_nodes} tree nodes), \
+             {} payload bytes ({:.1} B/node), naive {naive} B, sharing ratio {ratio:.2}x",
+            stats.nodes,
+            stats.payload_bytes,
+            stats.bytes_per_node().unwrap_or(0.0),
+        );
+        save_json_record(&format!(
+            "{{\"bench\": \"snapshot\", \"id\": \"sharing/{name}\", \
+             \"nodes\": {}, \"tree_nodes\": {tree_nodes}, \"payload_bytes\": {}, \
+             \"bytes_per_node\": {:.2}, \"naive_bytes\": {naive}, \
+             \"sharing_ratio\": {ratio:.3}}}",
+            stats.nodes,
+            stats.payload_bytes,
+            stats.bytes_per_node().unwrap_or(0.0),
+        ));
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot/checkpoint");
+    let program = parse_program(
+        "[doa: {p0}].
+         [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+    )
+    .unwrap();
+    let engine = Engine::new(program);
+    let db = closed_genealogy();
+    let path = std::env::temp_dir().join(format!("co_bench_ckpt_{}.cow", std::process::id()));
+
+    group.bench_function("checkpoint/genealogy90", |b| {
+        b.iter(|| engine.checkpoint(black_box(&db), &path).unwrap())
+    });
+    engine.checkpoint(&db, &path).unwrap();
+    group.bench_function("restore/genealogy90", |b| {
+        b.iter(|| Engine::restore(black_box(&path)).unwrap())
+    });
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_read, bench_checkpoint_restore);
+criterion_main!(benches);

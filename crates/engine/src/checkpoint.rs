@@ -1,0 +1,470 @@
+//! Engine checkpoint/restore: durable fixpoint state on the `co-wire`
+//! snapshot format.
+//!
+//! A checkpoint captures everything a fresh process needs to continue an
+//! evaluation and reach the **same** fixpoint with the **same** trace:
+//!
+//! - the database object (snapshot root 0), plus one root per top-level
+//!   relation (so tooling can load a single relation without decoding the
+//!   database wrapper — they share the node table, costing only a root
+//!   reference each);
+//! - the program, rendered in the concrete syntax (its `Display` form
+//!   round-trips through `co_parser::parse_program` — property-tested in
+//!   the parser crate);
+//! - the semantic configuration: strategy, closure mode, match policy,
+//!   index usage, tracing, and the full [`Guard`].
+//!
+//! Execution choices — [`Parallelism`](crate::Parallelism) and
+//! [`GcCadence`](crate::GcCadence) — are deliberately **not** persisted:
+//! they never affect results (bit-identical fixpoints and traces are the
+//! engine's contract), and the restoring host's core count and memory
+//! budget are what should pick them. A restored engine resolves both from
+//! the environment, exactly like [`Engine::new`].
+//!
+//! The database is pinned as a GC root for the duration of the write, so
+//! a concurrent or auto-triggered [`co_object::store::collect`] can never
+//! free nodes mid-serialization.
+
+use crate::{Engine, Guard, Strategy};
+use co_calculus::{ClosureMode, MatchPolicy, Program};
+use co_object::{store, Object};
+use co_wire::codec::{put_str, put_varint, Cursor};
+use co_wire::{WireError, WriteStats};
+use std::path::Path;
+use std::time::Duration;
+
+/// Version byte of the engine metadata blob inside the snapshot.
+const META_VERSION: u8 = 1;
+
+/// Why a checkpoint could not be written, or a snapshot not restored
+/// into an engine.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying snapshot write/read failed.
+    Wire(WireError),
+    /// The snapshot decoded, but its engine metadata is missing or
+    /// inconsistent (not an engine checkpoint, or a damaged one).
+    Meta {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The persisted program text failed to re-parse.
+    Program {
+        /// The rendered parse error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Wire(e) => write!(f, "{e}"),
+            CheckpointError::Meta { detail } => {
+                write!(f, "invalid engine checkpoint metadata: {detail}")
+            }
+            CheckpointError::Program { detail } => {
+                write!(f, "checkpoint program failed to re-parse: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for CheckpointError {
+    fn from(e: WireError) -> Self {
+        CheckpointError::Wire(e)
+    }
+}
+
+/// A successfully restored checkpoint: the reconfigured engine and the
+/// database it was evaluating.
+#[derive(Clone, Debug)]
+pub struct Restored {
+    /// An engine with the persisted program and semantic configuration
+    /// (parallelism and GC cadence re-resolved from this host's
+    /// environment).
+    pub engine: Engine,
+    /// The database object at checkpoint time, re-interned canonically.
+    pub database: Object,
+}
+
+fn strategy_code(s: Strategy) -> u8 {
+    match s {
+        Strategy::Naive => 0,
+        Strategy::SemiNaive => 1,
+    }
+}
+
+fn mode_code(m: ClosureMode) -> u8 {
+    match m {
+        ClosureMode::Inflationary => 0,
+        ClosureMode::PaperLiteral => 1,
+    }
+}
+
+fn policy_code(p: MatchPolicy) -> u8 {
+    match p {
+        MatchPolicy::Strict => 0,
+        MatchPolicy::Literal => 1,
+    }
+}
+
+/// Encodes the engine metadata blob: version, config, guard, program
+/// text, and the relation names pairing with snapshot roots `1..`.
+fn encode_meta(engine: &Engine, relation_names: &[String]) -> Vec<u8> {
+    let mut meta = vec![
+        META_VERSION,
+        strategy_code(engine.strategy),
+        mode_code(engine.mode),
+        policy_code(engine.policy),
+    ];
+    let mut flags = 0u8;
+    if engine.use_indexes {
+        flags |= 1;
+    }
+    if engine.tracing {
+        flags |= 2;
+    }
+    meta.push(flags);
+    put_varint(&mut meta, engine.guard.max_iterations);
+    put_varint(&mut meta, engine.guard.max_size);
+    put_varint(&mut meta, engine.guard.max_depth);
+    match engine.guard.time_limit {
+        None => meta.push(0),
+        Some(d) => {
+            meta.push(1);
+            put_varint(&mut meta, d.as_secs());
+            put_varint(&mut meta, u64::from(d.subsec_nanos()));
+        }
+    }
+    put_str(&mut meta, &engine.program.to_string());
+    put_varint(&mut meta, relation_names.len() as u64);
+    for name in relation_names {
+        put_str(&mut meta, name);
+    }
+    meta
+}
+
+/// Decodes what [`encode_meta`] wrote.
+fn decode_meta(meta: &[u8]) -> Result<(Engine, Vec<String>), CheckpointError> {
+    let bad = |detail: String| CheckpointError::Meta { detail };
+    let mut c = Cursor::new(meta);
+    let ctx = "engine metadata";
+    let wire = |e: WireError| match e {
+        WireError::Truncated { .. } => CheckpointError::Meta {
+            detail: "metadata truncated".into(),
+        },
+        e => CheckpointError::Meta {
+            detail: e.to_string(),
+        },
+    };
+    let version = c.u8(ctx).map_err(wire)?;
+    if version != META_VERSION {
+        return Err(bad(format!(
+            "unsupported metadata version {version} (this build reads version {META_VERSION})"
+        )));
+    }
+    let strategy = match c.u8(ctx).map_err(wire)? {
+        0 => Strategy::Naive,
+        1 => Strategy::SemiNaive,
+        other => return Err(bad(format!("unknown strategy code {other}"))),
+    };
+    let mode = match c.u8(ctx).map_err(wire)? {
+        0 => ClosureMode::Inflationary,
+        1 => ClosureMode::PaperLiteral,
+        other => return Err(bad(format!("unknown closure-mode code {other}"))),
+    };
+    let policy = match c.u8(ctx).map_err(wire)? {
+        0 => MatchPolicy::Strict,
+        1 => MatchPolicy::Literal,
+        other => return Err(bad(format!("unknown match-policy code {other}"))),
+    };
+    let flags = c.u8(ctx).map_err(wire)?;
+    if flags & !0b11 != 0 {
+        return Err(bad(format!("unknown flag bits {flags:#04x}")));
+    }
+    let guard = Guard {
+        max_iterations: c.varint(ctx).map_err(wire)?,
+        max_size: c.varint(ctx).map_err(wire)?,
+        max_depth: c.varint(ctx).map_err(wire)?,
+        time_limit: match c.u8(ctx).map_err(wire)? {
+            0 => None,
+            1 => {
+                let secs = c.varint(ctx).map_err(wire)?;
+                let nanos = c.varint(ctx).map_err(wire)?;
+                // A valid writer emits subsec nanos < 1e9; anything else
+                // is corrupt — and would make `Duration::new` carry past
+                // u64::MAX seconds and panic on hostile input.
+                let nanos = u32::try_from(nanos)
+                    .ok()
+                    .filter(|n| *n < 1_000_000_000)
+                    .ok_or_else(|| bad(format!("guard time-limit nanos {nanos} out of range")))?;
+                Some(Duration::new(secs, nanos))
+            }
+            other => return Err(bad(format!("unknown time-limit presence byte {other}"))),
+        },
+    };
+    let text = c.str(ctx).map_err(wire)?.to_owned();
+    let program = if text.trim().is_empty() {
+        Program::new()
+    } else {
+        co_parser::parse_program(&text).map_err(|e| CheckpointError::Program {
+            detail: e.render(&text),
+        })?
+    };
+    let relation_count = c.varint(ctx).map_err(wire)?;
+    let mut relation_names = Vec::new();
+    for _ in 0..relation_count {
+        relation_names.push(c.str(ctx).map_err(wire)?.to_owned());
+    }
+    if c.remaining() != 0 {
+        return Err(bad(format!("{} trailing metadata bytes", c.remaining())));
+    }
+    let engine = Engine::new(program)
+        .strategy(strategy)
+        .mode(mode)
+        .policy(policy)
+        .indexes(flags & 1 != 0)
+        .tracing(flags & 2 != 0)
+        .guard(guard);
+    Ok((engine, relation_names))
+}
+
+impl Engine {
+    /// Writes a checkpoint of this engine's configuration, program, and
+    /// `db` to `path` (atomically — temp file + rename), pinning `db` as
+    /// a GC root for the duration of the write.
+    ///
+    /// The snapshot stores the database as root 0 and each top-level
+    /// relation (tuple attribute) as an additional root sharing the same
+    /// node table. Restore it — in this process or a fresh one — with
+    /// [`Engine::restore`]; the restored engine reaches the same fixpoint
+    /// with a bit-identical trace.
+    ///
+    /// ```
+    /// use co_engine::Engine;
+    /// use co_parser::{parse_object, parse_program};
+    ///
+    /// let db = parse_object("[edge: {[s: a, t: b], [s: b, t: c]}]").unwrap();
+    /// let program = parse_program(
+    ///     "[path: {[s: X, t: Y]}] :- [edge: {[s: X, t: Y]}].
+    ///      [path: {[s: X, t: Z]}] :- [edge: {[s: X, t: Y]}, path: {[s: Y, t: Z]}].",
+    /// )
+    /// .unwrap();
+    /// let engine = Engine::new(program);
+    /// let path = std::env::temp_dir().join(format!("ckpt_doc_{}.cow", std::process::id()));
+    ///
+    /// engine.checkpoint(&db, &path).unwrap();
+    /// let restored = Engine::restore(&path).unwrap();
+    /// std::fs::remove_file(&path).unwrap();
+    ///
+    /// assert_eq!(restored.database, db);
+    /// let before = engine.run(&db).unwrap();
+    /// let after = restored.engine.run(&restored.database).unwrap();
+    /// // Bit-identical continuation: same fixpoint, same interned node.
+    /// assert_eq!(before.database, after.database);
+    /// assert_eq!(before.database.node_id(), after.database.node_id());
+    /// ```
+    pub fn checkpoint(
+        &self,
+        db: &Object,
+        path: impl AsRef<Path>,
+    ) -> Result<WriteStats, CheckpointError> {
+        // Pin for the whole write: the writer's own strong references
+        // already keep the nodes alive, but the pin also keeps their
+        // *ids* stable against a sweep triggered by a concurrent engine
+        // (ids are what the node table is keyed off while we walk).
+        let _pin = store::pin(db);
+        let mut roots = vec![db.clone()];
+        let mut relation_names = Vec::new();
+        if let Object::Tuple(t) = db {
+            for (attr, value) in t.entries() {
+                relation_names.push(attr.name().to_string());
+                roots.push(value.clone());
+            }
+        }
+        let meta = encode_meta(self, &relation_names);
+        Ok(co_wire::save_to_path(path, &roots, &meta)?)
+    }
+
+    /// Loads a checkpoint written by [`Engine::checkpoint`], returning
+    /// the restored engine (program + semantic configuration; parallelism
+    /// and GC cadence from this host's environment) and the database.
+    ///
+    /// The database is re-interned bottom-up through the canonicalizing
+    /// constructors, so it deduplicates against whatever this process's
+    /// store already holds, and running the restored engine on it
+    /// produces a fixpoint and trace bit-identical to what the
+    /// checkpointing process would have computed — under any thread
+    /// count and GC cadence.
+    pub fn restore(path: impl AsRef<Path>) -> Result<Restored, CheckpointError> {
+        let snapshot = co_wire::load_from_path(path)?;
+        let (engine, relation_names) = decode_meta(&snapshot.meta)?;
+        let mut roots = snapshot.roots.into_iter();
+        let database = roots.next().ok_or_else(|| CheckpointError::Meta {
+            detail: "snapshot has no database root".into(),
+        })?;
+        // Cross-check the per-relation roots against the database: they
+        // must be exactly its top-level attribute values. Catches files
+        // whose roots and metadata were spliced from different snapshots.
+        if roots.len() != relation_names.len() {
+            return Err(CheckpointError::Meta {
+                detail: format!(
+                    "{} relation roots but {} relation names",
+                    roots.len(),
+                    relation_names.len()
+                ),
+            });
+        }
+        for (name, root) in relation_names.iter().zip(roots) {
+            if database.dot(name.as_str()) != &root {
+                return Err(CheckpointError::Meta {
+                    detail: format!("relation root `{name}` disagrees with the database"),
+                });
+            }
+        }
+        Ok(Restored { engine, database })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::obj;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("co_engine_ckpt_{}_{name}.cow", std::process::id()))
+    }
+
+    fn sample_engine() -> Engine {
+        let program = co_parser::parse_program(
+            "[doa: {abraham}].
+             [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+        )
+        .unwrap();
+        Engine::new(program)
+            .strategy(Strategy::SemiNaive)
+            .policy(MatchPolicy::Strict)
+            .tracing(true)
+            .guard(Guard {
+                max_iterations: 123,
+                max_size: 456,
+                max_depth: 78,
+                time_limit: Some(Duration::from_millis(1500)),
+            })
+    }
+
+    fn sample_db() -> Object {
+        obj!([family: {
+            [name: abraham, children: {[name: isaac]}],
+            [name: isaac, children: {[name: esau], [name: jacob]}]
+        }, seen: {abraham}])
+    }
+
+    #[test]
+    fn config_and_program_roundtrip() {
+        let path = temp("config");
+        let engine = sample_engine();
+        let db = sample_db();
+        engine.checkpoint(&db, &path).unwrap();
+        let restored = Engine::restore(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(restored.database, db);
+        assert_eq!(restored.database.node_id(), db.node_id());
+        let e = &restored.engine;
+        assert_eq!(e.strategy, Strategy::SemiNaive);
+        assert_eq!(e.mode, ClosureMode::Inflationary);
+        assert_eq!(e.policy, MatchPolicy::Strict);
+        assert!(e.use_indexes);
+        assert!(e.tracing);
+        assert_eq!(e.guard.max_iterations, 123);
+        assert_eq!(e.guard.max_size, 456);
+        assert_eq!(e.guard.max_depth, 78);
+        assert_eq!(e.guard.time_limit, Some(Duration::from_millis(1500)));
+        assert_eq!(e.program.to_string(), engine.program.to_string());
+    }
+
+    #[test]
+    fn per_relation_roots_are_recorded() {
+        let path = temp("relations");
+        let engine = Engine::new(Program::new());
+        let db = sample_db();
+        let stats = engine.checkpoint(&db, &path).unwrap();
+        // database root + one per top-level relation
+        assert_eq!(stats.roots, 3);
+        let snap = co_wire::load_from_path(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(&snap.roots[0], &db);
+        assert_eq!(&snap.roots[1], db.dot("family"));
+        assert_eq!(&snap.roots[2], db.dot("seen"));
+    }
+
+    #[test]
+    fn empty_program_and_non_tuple_database() {
+        let path = temp("atom_db");
+        let engine = Engine::new(Program::new());
+        let db = obj!({1, 2, 3});
+        engine.checkpoint(&db, &path).unwrap();
+        let restored = Engine::restore(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(restored.database, db);
+        assert!(restored.engine.program.is_empty());
+    }
+
+    #[test]
+    fn spliced_metadata_is_rejected() {
+        // A snapshot whose roots do not match its metadata must not
+        // restore silently.
+        let path = temp("spliced");
+        let db = obj!([r: {1}]);
+        let meta = encode_meta(&Engine::new(Program::new()), &["wrong_name".into()]);
+        let other = obj!({ 9 });
+        co_wire::save_to_path(&path, &[db, other], &meta).unwrap();
+        let err = Engine::restore(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            matches!(err, CheckpointError::Meta { ref detail }
+                if detail.contains("wrong_name")),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn hostile_guard_nanos_are_rejected_not_panicking() {
+        // secs near u64::MAX with subsec nanos ≥ 1e9 would make
+        // `Duration::new` carry past u64::MAX seconds and panic; crafted
+        // metadata must surface as a typed error instead.
+        let mut meta = vec![META_VERSION, 1, 0, 0, 0b01];
+        put_varint(&mut meta, 100); // guard: max_iterations
+        put_varint(&mut meta, 100); // max_size
+        put_varint(&mut meta, 100); // max_depth
+        meta.push(1); // time limit present
+        put_varint(&mut meta, u64::MAX); // secs
+        put_varint(&mut meta, 1_500_000_000); // nanos ≥ 1e9: invalid
+        put_str(&mut meta, ""); // empty program
+        put_varint(&mut meta, 0); // no relations
+        let err = decode_meta(&meta).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Meta { ref detail }
+                if detail.contains("nanos 1500000000 out of range")),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn non_checkpoint_snapshot_is_rejected() {
+        let path = temp("bare");
+        co_wire::save_to_path(&path, &[obj!({ 1 })], b"").unwrap();
+        let err = Engine::restore(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(err, CheckpointError::Meta { .. }), "got: {err}");
+    }
+}

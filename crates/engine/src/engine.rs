@@ -45,14 +45,20 @@ pub enum Strategy {
 /// Parallel evaluation is an *execution* choice, not a semantic one: for
 /// any [`Strategy`] and [`ClosureMode`], the parallel engine produces the
 /// same fixpoint (down to interned `NodeId` identity) and the same trace
-/// as sequential evaluation. The default is [`Parallelism::Sequential`]
-/// unless the `CO_ENGINE_THREADS` environment variable requests otherwise
-/// (see [`Parallelism::from_env`]).
+/// as sequential evaluation. [`Engine::new`] starts from
+/// [`Parallelism::from_env`]: [`Parallelism::Auto`] (size the pool to the
+/// machine) unless the `CO_ENGINE_THREADS` environment variable requests
+/// an explicit count.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Parallelism {
     /// Apply rules one after another on the calling thread.
-    #[default]
     Sequential,
+    /// Resolve the worker count from the machine at run start:
+    /// [`std::thread::available_parallelism`] workers (so a 1-core host
+    /// degrades to sequential evaluation with no pool at all). This is
+    /// the adaptive default.
+    #[default]
+    Auto,
     /// Fan rule × partition work units across this many worker threads.
     /// `Threads(0)` and `Threads(1)` behave like `Sequential`.
     Threads(usize),
@@ -106,11 +112,14 @@ impl GcCadence {
 
 impl Parallelism {
     /// The parallelism requested by the `CO_ENGINE_THREADS` environment
-    /// variable: unset, unparsable, `0`, or `1` mean [`Sequential`];
-    /// `n ≥ 2` means [`Threads`]`(n)`. This is what [`Engine::new`] starts
-    /// from, so `CO_ENGINE_THREADS=4 cargo test` runs an entire suite in
-    /// parallel mode without code changes.
+    /// variable: `0` selects [`Auto`] explicitly, `1` means
+    /// [`Sequential`], `n ≥ 2` means [`Threads`]`(n)`, and unset or
+    /// unparsable fall back to the adaptive default [`Auto`]. This is what
+    /// [`Engine::new`] starts from, so `CO_ENGINE_THREADS=4 cargo test`
+    /// runs an entire suite in parallel mode — and `CO_ENGINE_THREADS=1`
+    /// pins it sequential — without code changes.
     ///
+    /// [`Auto`]: Parallelism::Auto
     /// [`Sequential`]: Parallelism::Sequential
     /// [`Threads`]: Parallelism::Threads
     pub fn from_env() -> Parallelism {
@@ -118,15 +127,24 @@ impl Parallelism {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
         {
-            Some(n) if n >= 2 => Parallelism::Threads(n),
-            _ => Parallelism::Sequential,
+            Some(0) => Parallelism::Auto,
+            Some(1) => Parallelism::Sequential,
+            Some(n) => Parallelism::Threads(n),
+            None => Parallelism::Auto,
         }
     }
 
-    /// Effective worker count: 1 for sequential execution.
+    /// Effective worker count: 1 for sequential execution; for [`Auto`],
+    /// whatever [`std::thread::available_parallelism`] reports (1 when
+    /// even that is unknowable).
+    ///
+    /// [`Auto`]: Parallelism::Auto
     fn worker_count(self) -> usize {
         match self {
             Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
             Parallelism::Threads(n) => n.max(1),
         }
     }
@@ -168,15 +186,15 @@ pub struct RunOutcome {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Engine {
-    program: Program,
-    strategy: Strategy,
-    mode: ClosureMode,
-    policy: MatchPolicy,
-    guard: Guard,
-    use_indexes: bool,
-    tracing: bool,
-    parallelism: Parallelism,
-    gc: GcCadence,
+    pub(crate) program: Program,
+    pub(crate) strategy: Strategy,
+    pub(crate) mode: ClosureMode,
+    pub(crate) policy: MatchPolicy,
+    pub(crate) guard: Guard,
+    pub(crate) use_indexes: bool,
+    pub(crate) tracing: bool,
+    pub(crate) parallelism: Parallelism,
+    pub(crate) gc: GcCadence,
 }
 
 impl Engine {
@@ -196,6 +214,16 @@ impl Engine {
             parallelism: Parallelism::from_env(),
             gc: GcCadence::from_env(),
         }
+    }
+
+    /// The program this engine evaluates.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The configured match policy.
+    pub fn match_policy(&self) -> MatchPolicy {
+        self.policy
     }
 
     /// Selects the iteration strategy.

@@ -13,7 +13,11 @@
 //!   iterations via `Arc` identity;
 //! - [`Guard`] — iteration/size/depth/time limits that turn the paper's
 //!   Example 4.6 divergence into a clean [`EngineError::Diverged`];
-//! - [`EvalStats`] / [`Trace`] — observability.
+//! - [`EvalStats`] / [`Trace`] — observability;
+//! - [`Engine::checkpoint`] / [`Engine::restore`] — durable snapshots of
+//!   the database + program + configuration on the `co-wire` format: a
+//!   restored engine (same process or a fresh one) reaches the same
+//!   fixpoint with a bit-identical trace.
 //!
 //! The engine is differentially tested against the reference
 //! `co_calculus::closure` on randomized programs
@@ -22,6 +26,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod checkpoint;
 pub mod delta;
 pub mod dmatch;
 mod engine;
@@ -32,6 +37,7 @@ pub mod index;
 mod stats;
 mod trace;
 
+pub use checkpoint::{CheckpointError, Restored};
 pub use co_calculus::{ClosureMode, MatchPolicy};
 pub use engine::{Engine, GcCadence, Parallelism, RunOutcome, Strategy};
 pub use error::EngineError;

@@ -15,6 +15,8 @@
 //! - [`obj!`] — literal syntax mirroring the paper's notation;
 //! - [`path`]/[`update`] — navigation and persistent update primitives
 //!   (the update primitives answer a §5 future-work item);
+//! - [`walk`] — child iteration and the unique-postorder DAG walk that
+//!   serializers (`co-wire`) build on;
 //! - [`random`] — seeded random object generation (for property tests and
 //!   benchmarks);
 //! - serde support (feature `serde`, on by default) with re-normalization
@@ -59,6 +61,7 @@ mod serde_impl;
 pub mod store;
 pub mod update;
 mod value;
+pub mod walk;
 
 pub use atom::{is_bare_attr, is_bare_ident, Atom, F64, RESERVED_WORDS};
 pub use attr::Attr;

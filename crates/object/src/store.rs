@@ -480,7 +480,9 @@ pub(crate) fn intern_tuple(entries: Vec<(Attr, Object)>) -> Arc<TupleNode> {
     guard.ids.insert(node.id);
     drop(guard);
     shard.misses.fetch_add(1, Ordering::Relaxed);
+    LIVE_NODES.fetch_add(1, Ordering::Relaxed);
     TL_TUPLES.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
+    maybe_auto_collect();
     node
 }
 
@@ -537,7 +539,9 @@ pub(crate) fn intern_set(elements: Vec<Object>) -> Arc<SetNode> {
     guard.ids.insert(node.id);
     drop(guard);
     shard.misses.fetch_add(1, Ordering::Relaxed);
+    LIVE_NODES.fetch_add(1, Ordering::Relaxed);
     TL_SETS.with(|c| c.borrow_mut()[tl_slot(hash)] = Some(Arc::clone(&node)));
+    maybe_auto_collect();
     node
 }
 
@@ -1085,6 +1089,120 @@ impl std::fmt::Display for SweepStats {
 static GC_SWEEPS: AtomicU64 = AtomicU64::new(0);
 /// Cumulative nodes freed (see [`StoreStats::gc_freed_nodes`]).
 static GC_FREED_NODES: AtomicU64 = AtomicU64::new(0);
+/// Cumulative automatic high-water-mark collections (see
+/// [`StoreStats::gc_auto_triggers`]).
+static GC_AUTO_TRIGGERS: AtomicU64 = AtomicU64::new(0);
+/// Live interned nodes (tuples + sets): incremented on every intern miss,
+/// decremented per freed node by [`collect`]. The O(1) gauge the
+/// high-water trigger reads on the intern path.
+static LIVE_NODES: AtomicU64 = AtomicU64::new(0);
+
+/// One collector at a time; others queue behind the same mutex (automatic
+/// triggers skip instead of queuing — see [`maybe_auto_collect`]).
+static GC_GATE: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+// ---------------------------------------------------------------------------
+// Size-triggered collection: the high-water mark
+// ---------------------------------------------------------------------------
+
+/// Sentinel meaning "high-water mark not yet initialized from the
+/// environment".
+const GC_HIGH_WATER_UNSET: u64 = u64::MAX;
+
+/// The configured high-water mark (`0` = automatic collection disabled).
+static GC_HIGH_WATER: AtomicU64 = AtomicU64::new(GC_HIGH_WATER_UNSET);
+
+/// The live-node count at which the next automatic collection fires
+/// (`u64::MAX` = never). Re-armed with hysteresis after every auto sweep.
+static GC_NEXT_AUTO: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// The current high-water mark in live nodes: when an intern pushes the
+/// live-node count past it, the store runs [`collect`] automatically
+/// (counted in [`StoreStats::gc_auto_triggers`]). `0` means disabled.
+///
+/// Initialized lazily from the `CO_GC_HIGH_WATER` environment variable
+/// (default: disabled); override at runtime with [`set_gc_high_water`].
+pub fn gc_high_water() -> u64 {
+    match GC_HIGH_WATER.load(Ordering::Relaxed) {
+        GC_HIGH_WATER_UNSET => {
+            let hw = std::env::var("CO_GC_HIGH_WATER")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(0);
+            // Only initialize from UNSET: a concurrent explicit
+            // `set_gc_high_water` must not be clobbered by the env default.
+            match GC_HIGH_WATER.compare_exchange(
+                GC_HIGH_WATER_UNSET,
+                hw,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    if hw > 0 {
+                        GC_NEXT_AUTO.store(hw, Ordering::Relaxed);
+                    }
+                    hw
+                }
+                Err(set_concurrently) => set_concurrently,
+            }
+        }
+        hw => hw,
+    }
+}
+
+/// Sets the high-water mark: once more than `nodes` interned nodes are
+/// live, the store collects itself on the intern path — servers no longer
+/// need to guess a GC cadence. `0` disables automatic collection.
+///
+/// After an automatic sweep whose survivors still exceed the mark (the
+/// working set is simply that large), the next trigger is re-armed half a
+/// mark above the surviving population, so a big live set degrades into
+/// periodic background sweeps instead of a collect-per-intern storm.
+///
+/// ```
+/// use co_object::{obj, store};
+///
+/// store::set_gc_high_water(1_000_000); // collect past a million nodes
+/// let _ = obj!([high_water_doc: {1, 2}]);
+/// store::set_gc_high_water(0); // back to explicit-only collection
+/// ```
+pub fn set_gc_high_water(nodes: u64) {
+    GC_HIGH_WATER.store(nodes, Ordering::Relaxed);
+    GC_NEXT_AUTO.store(if nodes == 0 { u64::MAX } else { nodes }, Ordering::Relaxed);
+}
+
+/// Intern-path check: fires an automatic collection when the live-node
+/// count has crossed the armed threshold. One relaxed load when idle or
+/// below the mark.
+#[inline]
+fn maybe_auto_collect() {
+    let hw = gc_high_water();
+    if hw == 0 || LIVE_NODES.load(Ordering::Relaxed) < GC_NEXT_AUTO.load(Ordering::Relaxed) {
+        return;
+    }
+    auto_collect(hw);
+}
+
+/// The cold path of [`maybe_auto_collect`]: runs one sweep unless a
+/// collection is already in flight (in which case that one is doing our
+/// work and we skip rather than queue interners behind the gate).
+#[cold]
+fn auto_collect(hw: u64) {
+    let Some(_gate) = GC_GATE.try_lock() else {
+        return;
+    };
+    GC_AUTO_TRIGGERS.fetch_add(1, Ordering::Relaxed);
+    let _ = collect_locked();
+    // Hysteresis: normally re-arm at the mark; when the surviving working
+    // set already exceeds it, arm half a mark above the survivors instead.
+    let live = LIVE_NODES.load(Ordering::Relaxed);
+    let next = if live >= hw {
+        live.saturating_add(hw / 2)
+    } else {
+        hw
+    };
+    GC_NEXT_AUTO.store(next, Ordering::Relaxed);
+}
 
 /// Upper bound on mark/sweep passes per [`collect`]: each extra pass only
 /// chases nodes released by dropped memo values, a chain that is flat in
@@ -1134,10 +1252,12 @@ const MAX_SWEEP_PASSES: u32 = 8;
 /// assert!(store::stats().gc_sweeps > before.gc_sweeps);
 /// ```
 pub fn collect() -> SweepStats {
-    // One collector at a time; others queue behind the same mutex.
-    static GC_GATE: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
     let _gate = GC_GATE.lock();
+    collect_locked()
+}
 
+/// The body of [`collect`]; the caller holds [`GC_GATE`].
+fn collect_locked() -> SweepStats {
     // Flush this thread's L1 and schedule every other thread's flush (they
     // self-flush on their next intern, bounding cross-sweep retention).
     L1_FLUSH_EPOCH.fetch_add(1, Ordering::Release);
@@ -1223,6 +1343,7 @@ pub fn collect() -> SweepStats {
             }
         }
 
+        LIVE_NODES.fetch_sub(freed.len() as u64, Ordering::Relaxed);
         if freed.is_empty() {
             break;
         }
@@ -1328,6 +1449,9 @@ pub struct StoreStats {
     pub gc_sweeps: u64,
     /// Nodes freed by all sweeps since process start.
     pub gc_freed_nodes: u64,
+    /// Of [`StoreStats::gc_sweeps`], the collections fired automatically
+    /// by the high-water mark (see [`set_gc_high_water`]).
+    pub gc_auto_triggers: u64,
     /// Distinct node ids currently pinned by live [`Root`] guards.
     pub pinned_roots: usize,
     /// Per-shard interner counters, indexed by shard.
@@ -1361,6 +1485,7 @@ pub fn stats() -> StoreStats {
     s.intersect_memo = INTERSECT_MEMO.stats();
     s.gc_sweeps = GC_SWEEPS.load(Ordering::Relaxed);
     s.gc_freed_nodes = GC_FREED_NODES.load(Ordering::Relaxed);
+    s.gc_auto_triggers = GC_AUTO_TRIGGERS.load(Ordering::Relaxed);
     s.pinned_roots = pinned_roots();
     s
 }
@@ -1391,8 +1516,8 @@ impl std::fmt::Display for StoreStats {
         }
         writeln!(
             f,
-            "  gc: {} sweeps, {} nodes freed, {} pinned roots",
-            self.gc_sweeps, self.gc_freed_nodes, self.pinned_roots
+            "  gc: {} sweeps ({} auto), {} nodes freed, {} pinned roots",
+            self.gc_sweeps, self.gc_auto_triggers, self.gc_freed_nodes, self.pinned_roots
         )?;
         Ok(())
     }

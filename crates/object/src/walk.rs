@@ -1,0 +1,207 @@
+//! Child-walk helpers over the object graph.
+//!
+//! Interned objects form a DAG: canonically-equal subtrees are one shared
+//! node (see [`crate::store`]). Consumers that serialize, analyze, or
+//! otherwise traverse that DAG — the `co-wire` snapshot writer is the
+//! canonical example — need two stable primitives:
+//!
+//! - [`Object::children`] — the immediate sub-objects of a composite, in
+//!   canonical order (tuple entries by attribute id, set elements by the
+//!   canonical total order);
+//! - [`visit_unique_postorder`] — every **distinct** composite node
+//!   reachable from a set of roots, children strictly before parents,
+//!   each node exactly once regardless of how often it is shared.
+//!
+//! Both are cheap: children iterate borrowed slices, and the unique walk
+//! deduplicates on [`NodeId`], so a deeply shared structure is traversed
+//! in time proportional to its *node count*, not its tree expansion.
+
+use crate::store::NodeId;
+use crate::{Attr, Object};
+use rustc_hash::FxHashSet;
+
+/// Iterator over the immediate sub-objects of an object, in canonical
+/// order. Atoms, ⊥, and ⊤ have no children. See [`Object::children`].
+pub struct Children<'a> {
+    inner: ChildrenInner<'a>,
+}
+
+enum ChildrenInner<'a> {
+    None,
+    Tuple(std::slice::Iter<'a, (Attr, Object)>),
+    Set(std::slice::Iter<'a, Object>),
+}
+
+impl<'a> Iterator for Children<'a> {
+    type Item = &'a Object;
+
+    fn next(&mut self) -> Option<&'a Object> {
+        match &mut self.inner {
+            ChildrenInner::None => None,
+            ChildrenInner::Tuple(it) => it.next().map(|(_, o)| o),
+            ChildrenInner::Set(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            ChildrenInner::None => (0, Some(0)),
+            ChildrenInner::Tuple(it) => it.size_hint(),
+            ChildrenInner::Set(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for Children<'_> {}
+
+impl Object {
+    /// Iterates the immediate sub-objects of this object in canonical
+    /// order: tuple values by attribute id, set elements by the canonical
+    /// total order. Atoms, ⊥, and ⊤ yield nothing.
+    ///
+    /// ```
+    /// use co_object::obj;
+    ///
+    /// let o = obj!([a: 1, b: {2, 3}]);
+    /// let kinds: Vec<_> = o.children().map(|c| c.kind_name()).collect();
+    /// assert_eq!(kinds, ["atom", "set"]);
+    /// ```
+    pub fn children(&self) -> Children<'_> {
+        let inner = match self {
+            Object::Tuple(t) => ChildrenInner::Tuple(t.entries().iter()),
+            Object::Set(s) => ChildrenInner::Set(s.elements().iter()),
+            _ => ChildrenInner::None,
+        };
+        Children { inner }
+    }
+}
+
+/// Visits every **distinct** composite (tuple/set) node reachable from
+/// `roots`, in a postorder: a node's composite children are always visited
+/// before the node itself, and each node is visited exactly once even when
+/// it is shared by many parents (or repeated across roots).
+///
+/// This is precisely the order a serializer needs to emit a
+/// topologically-ordered node table in one pass — every child reference
+/// points backwards. Atom/⊥/⊤ roots contribute nothing.
+///
+/// ```
+/// use co_object::{obj, walk::visit_unique_postorder};
+///
+/// let shared = obj!({1, 2});
+/// let a = obj!([left: {1, 2}, right: {1, 2}]);
+/// let mut seen = Vec::new();
+/// visit_unique_postorder([&a, &shared], |o| seen.push(o.clone()));
+/// // The shared set appears once, before its parent tuple.
+/// assert_eq!(seen, vec![shared, a]);
+/// ```
+pub fn visit_unique_postorder<'a, I, F>(roots: I, mut visit: F)
+where
+    I: IntoIterator<Item = &'a Object>,
+    F: FnMut(&Object),
+{
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    // Explicit stack: (object, children-expanded?). Objects are cheap to
+    // clone (Arc bumps), but we can borrow since roots outlive the walk…
+    // children borrow from their parent though, so hold parents by clone.
+    enum Frame {
+        Enter(Object),
+        Exit(Object),
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    for root in roots {
+        if root.node_id().is_some() {
+            stack.push(Frame::Enter(root.clone()));
+        }
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(o) => {
+                    let id = o.node_id().expect("only composites are stacked");
+                    if !seen.insert(id) {
+                        continue;
+                    }
+                    let children: Vec<Object> = o
+                        .children()
+                        .filter(|c| c.node_id().is_some_and(|cid| !seen.contains(&cid)))
+                        .cloned()
+                        .collect();
+                    stack.push(Frame::Exit(o));
+                    // Reverse so canonical-order children are entered
+                    // first (purely cosmetic: any postorder is topological).
+                    for child in children.into_iter().rev() {
+                        stack.push(Frame::Enter(child));
+                    }
+                }
+                Frame::Exit(o) => visit(&o),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obj;
+
+    #[test]
+    fn children_of_leaves_are_empty() {
+        assert_eq!(obj!(5).children().count(), 0);
+        assert_eq!(Object::Bottom.children().count(), 0);
+        assert_eq!(Object::Top.children().count(), 0);
+    }
+
+    #[test]
+    fn children_follow_canonical_order() {
+        let o = obj!([b: 2, a: 1]);
+        let vals: Vec<_> = o.children().cloned().collect();
+        // Entries are sorted by attribute id (a interned before b in this
+        // test's literal, but order is by id — compare against entries()).
+        let expected: Vec<_> = o
+            .as_tuple()
+            .unwrap()
+            .entries()
+            .iter()
+            .map(|(_, v)| v.clone())
+            .collect();
+        assert_eq!(vals, expected);
+        assert_eq!(o.children().len(), 2);
+    }
+
+    #[test]
+    fn postorder_emits_children_before_parents_once() {
+        let leaf = obj!({1, 2});
+        let mid = obj!([x: {1, 2}]);
+        let top = obj!({[x: {1, 2}], {1, 2}});
+        let mut order: Vec<Object> = Vec::new();
+        visit_unique_postorder([&top], |o| order.push(o.clone()));
+        // Every distinct node once…
+        assert_eq!(order.len(), 3);
+        // …children strictly before parents.
+        let pos = |o: &Object| order.iter().position(|x| x == o).unwrap();
+        assert!(pos(&leaf) < pos(&mid));
+        assert!(pos(&mid) < pos(&top));
+        assert!(pos(&leaf) < pos(&top));
+    }
+
+    #[test]
+    fn postorder_dedups_across_roots() {
+        let a = obj!({1, 2});
+        let b = obj!([k: {1, 2}]);
+        let mut count = 0;
+        visit_unique_postorder([&a, &b, &a], |_| count += 1);
+        assert_eq!(count, 2); // the set node + the tuple node
+    }
+
+    #[test]
+    fn deeply_shared_structure_is_linear_in_nodes() {
+        // A tower where each level contains the previous twice: 2^n tree
+        // expansion, n + 1 distinct nodes.
+        let mut level = obj!({ 1 });
+        for i in 0..40 {
+            level = Object::tuple([("l", level.clone()), ("r", level), ("tag", obj!((i)))]);
+        }
+        let mut count = 0u64;
+        visit_unique_postorder([&level], |_| count += 1);
+        assert_eq!(count, 41);
+    }
+}

@@ -119,6 +119,7 @@ fn counters_reconcile_and_display_is_pinned() {
         intersect_memo: MemoStats::default(),
         gc_sweeps: 2,
         gc_freed_nodes: 7,
+        gc_auto_triggers: 1,
         pinned_roots: 1,
         shards: [ShardStats::default(); SHARD_COUNT],
     }
@@ -129,7 +130,7 @@ store: 12 tuple nodes, 3 set nodes across 16 shards
   memo ≤: 5 entries, 10 hits, 9 misses, 3 evicted, 2 retained, 1 swept, 0 epoch clears
   memo ∪: 0 entries, 0 hits, 0 misses, 0 evicted, 0 retained, 0 swept, 0 epoch clears
   memo ∩: 0 entries, 0 hits, 0 misses, 0 evicted, 0 retained, 0 swept, 0 epoch clears
-  gc: 2 sweeps, 7 nodes freed, 1 pinned roots
+  gc: 2 sweeps (1 auto), 7 nodes freed, 1 pinned roots
 ";
     assert_eq!(rendered, expected);
 

@@ -1,0 +1,676 @@
+//! # co-wire — hash-cons-aware binary snapshots
+//!
+//! The object store ([`co_object::store`]) hash-conses every composite:
+//! a deeply shared structure is a DAG of distinct interned nodes, however
+//! large its tree expansion. This crate turns that in-memory sharing into
+//! an **on-disk asset**: a snapshot serializes a set of root objects as a
+//! topologically-ordered *node table* in which each distinct node is
+//! encoded exactly once and referenced by a dense local id — so the file
+//! size tracks the store's node count, not the exponential tree size.
+//!
+//! # Format (version 1)
+//!
+//! ```text
+//! header   48 bytes  magic "COWIRE\r\n" · version u32 · reserved u32
+//!                    · node count u64 · root count u64
+//!                    · payload length u64 · FNV-1a-64 checksum u64
+//! payload            symbol table   varint count, then per symbol a
+//!                                   length-prefixed UTF-8 string
+//!                                   (attribute names + string atoms,
+//!                                   each distinct spelling once)
+//!                    node table     `node count` records, children
+//!                                   strictly before parents; each record
+//!                                   is a tuple/set tag, a child count,
+//!                                   and per child an attribute symbol
+//!                                   (tuples only) plus a value
+//!                    root table     `root count` values
+//!                    metadata       varint length + opaque bytes for the
+//!                                   embedding application (co-engine
+//!                                   stores its program and config here)
+//! ```
+//!
+//! A *value* is one tagged unit: ⊥, ⊤, an inline atom (bool/int/float,
+//! strings by symbol index), or a backward reference into the node table.
+//! Forward or out-of-range references are a typed error — the topological
+//! order is what lets the reader work in one streaming pass.
+//!
+//! # Re-interning
+//!
+//! The reader rebuilds each node **bottom-up through the ordinary
+//! canonicalizing constructors** and the hash-consing store. Two
+//! consequences:
+//!
+//! - a loaded snapshot is structurally bit-identical to what was saved
+//!   (canonical form is unique, whatever attribute-interning order the
+//!   reading process happens to have), and
+//! - loading **re-deduplicates against whatever is already live**: nodes
+//!   the process already interned are recognized, not duplicated, so
+//!   restoring a snapshot into a warm server costs only the nodes it did
+//!   not already have.
+//!
+//! Corrupt, truncated, or wrong-version input never panics — every
+//! failure is a [`WireError`] with a precise rendering.
+//!
+//! ```
+//! use co_object::obj;
+//!
+//! let shared = obj!({[k: 1, v: {a, b}], [k: 2, v: {a, b}]});
+//! let mut bytes = Vec::new();
+//! co_wire::write_snapshot(&mut bytes, &[shared.clone()], b"").unwrap();
+//! let snap = co_wire::read_snapshot(bytes.as_slice()).unwrap();
+//! assert_eq!(snap.roots, vec![shared.clone()]);
+//! // Same process, same content: re-interning finds the same node.
+//! assert_eq!(snap.roots[0].node_id(), shared.node_id());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+mod error;
+
+pub use error::WireError;
+
+use co_object::walk::visit_unique_postorder;
+use co_object::{Atom, Attr, Object};
+use codec::{checksum, put_str, put_varint, put_varint_i64, Cursor};
+use rustc_hash::FxHashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The eight magic bytes opening every snapshot. The `\r\n` tail detects
+/// line-ending translation by transfer tools that treated the file as
+/// text.
+pub const MAGIC: [u8; 8] = *b"COWIRE\r\n";
+
+/// The format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed size of the snapshot header in bytes.
+pub const HEADER_LEN: usize = 48;
+
+// Node-record tags (node table).
+const NODE_TUPLE: u8 = 0x10;
+const NODE_SET: u8 = 0x11;
+
+// Value tags (inside node records and the root table).
+const VAL_BOTTOM: u8 = 0x00;
+const VAL_TOP: u8 = 0x01;
+const VAL_FALSE: u8 = 0x02;
+const VAL_TRUE: u8 = 0x03;
+const VAL_INT: u8 = 0x04;
+const VAL_FLOAT: u8 = 0x05;
+const VAL_STR: u8 = 0x06;
+const VAL_NODE: u8 = 0x07;
+
+/// A decoded snapshot: the root objects (re-interned, canonical) and the
+/// embedding application's opaque metadata blob.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The root objects, in the order they were passed to the writer.
+    pub roots: Vec<Object>,
+    /// The opaque metadata blob the writer attached (empty if none).
+    pub meta: Vec<u8>,
+}
+
+/// What one snapshot write produced — the inputs for capacity planning
+/// and for the sharing-ratio accounting the benches record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Distinct composite nodes encoded (each exactly once).
+    pub nodes: u64,
+    /// Root values encoded.
+    pub roots: u64,
+    /// Distinct symbols (attribute names + string atoms) encoded.
+    pub symbols: u64,
+    /// Bytes of payload (everything after the header).
+    pub payload_bytes: u64,
+    /// Total bytes written, header included.
+    pub total_bytes: u64,
+}
+
+impl WriteStats {
+    /// Average on-disk payload bytes per distinct node; `None` for a
+    /// snapshot of zero composite nodes.
+    pub fn bytes_per_node(&self) -> Option<f64> {
+        (self.nodes > 0).then(|| self.payload_bytes as f64 / self.nodes as f64)
+    }
+}
+
+impl std::fmt::Display for WriteStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot: {} nodes, {} roots, {} symbols, {} payload bytes ({} total)",
+            self.nodes, self.roots, self.symbols, self.payload_bytes, self.total_bytes
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Interns a symbol (attribute name or string-atom payload) into the
+/// write-side symbol table, returning its dense index.
+fn symbol_index(
+    symbols: &mut Vec<String>,
+    by_name: &mut FxHashMap<String, u64>,
+    name: &str,
+) -> u64 {
+    if let Some(&ix) = by_name.get(name) {
+        return ix;
+    }
+    let ix = symbols.len() as u64;
+    symbols.push(name.to_owned());
+    by_name.insert(name.to_owned(), ix);
+    ix
+}
+
+/// Encodes one value (an immediate child or a root) into `out`.
+fn put_value(
+    out: &mut Vec<u8>,
+    o: &Object,
+    locals: &FxHashMap<co_object::NodeId, u64>,
+    symbols: &mut Vec<String>,
+    by_name: &mut FxHashMap<String, u64>,
+) {
+    match o {
+        Object::Bottom => out.push(VAL_BOTTOM),
+        Object::Top => out.push(VAL_TOP),
+        Object::Atom(Atom::Bool(false)) => out.push(VAL_FALSE),
+        Object::Atom(Atom::Bool(true)) => out.push(VAL_TRUE),
+        Object::Atom(Atom::Int(v)) => {
+            out.push(VAL_INT);
+            put_varint_i64(out, *v);
+        }
+        Object::Atom(Atom::Float(v)) => {
+            out.push(VAL_FLOAT);
+            out.extend_from_slice(&v.get().to_bits().to_le_bytes());
+        }
+        Object::Atom(Atom::Str(s)) => {
+            out.push(VAL_STR);
+            put_varint(out, symbol_index(symbols, by_name, s));
+        }
+        Object::Tuple(_) | Object::Set(_) => {
+            let id = o.node_id().expect("composites have node ids");
+            let local = locals[&id];
+            out.push(VAL_NODE);
+            put_varint(out, local);
+        }
+    }
+}
+
+/// Serializes `roots` (plus `meta`, an opaque blob the reader hands back
+/// verbatim) as one snapshot into `w`. Each distinct interned node
+/// reachable from the roots is encoded exactly once, children before
+/// parents.
+///
+/// The writer holds strong references to every root for the whole write,
+/// so a concurrent [`co_object::store::collect`] cannot free anything
+/// mid-serialization; callers that also want the ids pinned across later
+/// sweeps should pin roots themselves (see `Engine::checkpoint`).
+pub fn write_snapshot<W: Write>(
+    mut w: W,
+    roots: &[Object],
+    meta: &[u8],
+) -> Result<WriteStats, WireError> {
+    // Pass 1: the distinct-node table, children before parents.
+    let mut nodes: Vec<Object> = Vec::new();
+    visit_unique_postorder(roots.iter(), |o| nodes.push(o.clone()));
+    let mut locals: FxHashMap<co_object::NodeId, u64> = FxHashMap::default();
+    for (ix, node) in nodes.iter().enumerate() {
+        locals.insert(node.node_id().expect("walk yields composites"), ix as u64);
+    }
+
+    // Pass 2: encode node records (interning symbols as they appear).
+    let mut symbols: Vec<String> = Vec::new();
+    let mut by_name: FxHashMap<String, u64> = FxHashMap::default();
+    let mut table: Vec<u8> = Vec::new();
+    for node in &nodes {
+        match node {
+            Object::Tuple(t) => {
+                table.push(NODE_TUPLE);
+                put_varint(&mut table, t.len() as u64);
+                for (attr, value) in t.entries() {
+                    let ix = symbol_index(&mut symbols, &mut by_name, &attr.name());
+                    put_varint(&mut table, ix);
+                    put_value(&mut table, value, &locals, &mut symbols, &mut by_name);
+                }
+            }
+            Object::Set(s) => {
+                table.push(NODE_SET);
+                put_varint(&mut table, s.len() as u64);
+                for element in s.elements() {
+                    put_value(&mut table, element, &locals, &mut symbols, &mut by_name);
+                }
+            }
+            _ => unreachable!("the unique walk only yields composites"),
+        }
+    }
+    let mut root_table: Vec<u8> = Vec::new();
+    for root in roots {
+        put_value(&mut root_table, root, &locals, &mut symbols, &mut by_name);
+    }
+
+    // Assemble the payload: symbols, nodes, roots, metadata.
+    let mut payload: Vec<u8> = Vec::new();
+    put_varint(&mut payload, symbols.len() as u64);
+    for s in &symbols {
+        put_str(&mut payload, s);
+    }
+    payload.extend_from_slice(&table);
+    payload.extend_from_slice(&root_table);
+    put_varint(&mut payload, meta.len() as u64);
+    payload.extend_from_slice(meta);
+
+    // Header last: it needs the counts and the payload checksum.
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    header.extend_from_slice(&(nodes.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(roots.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    header.extend_from_slice(&checksum(&payload).to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_LEN);
+
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(WriteStats {
+        nodes: nodes.len() as u64,
+        roots: roots.len() as u64,
+        symbols: symbols.len() as u64,
+        payload_bytes: payload.len() as u64,
+        total_bytes: (HEADER_LEN + payload.len()) as u64,
+    })
+}
+
+/// [`write_snapshot`] to a file, atomically: the bytes go to a
+/// same-directory temporary first and are renamed over `path` only once
+/// fully written, so a crash mid-write can never leave a half-snapshot
+/// under the final name.
+pub fn save_to_path(
+    path: impl AsRef<Path>,
+    roots: &[Object],
+    meta: &[u8],
+) -> Result<WriteStats, WireError> {
+    // Unique per process AND per call: two threads checkpointing to the
+    // same destination concurrently must not interleave writes into one
+    // temp inode (the loser's rename would install a corrupt file).
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}.{seq}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut buffered = std::io::BufWriter::new(file);
+        let stats = write_snapshot(&mut buffered, roots, meta)?;
+        buffered
+            .into_inner()
+            .map_err(|e| e.into_error())?
+            .sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(stats)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Decodes one value; composites must be backward references into the
+/// already-decoded prefix of the node table.
+fn get_value(
+    c: &mut Cursor<'_>,
+    context: &'static str,
+    nodes: &[Object],
+    symbols: &[String],
+    allow_extremes: bool,
+) -> Result<Object, WireError> {
+    let tag = c.u8(context)?;
+    match tag {
+        VAL_BOTTOM | VAL_TOP if !allow_extremes => Err(WireError::Malformed {
+            detail: format!(
+                "{} inside a composite node (canonical nodes contain neither)",
+                if tag == VAL_BOTTOM { "⊥" } else { "⊤" }
+            ),
+        }),
+        VAL_BOTTOM => Ok(Object::Bottom),
+        VAL_TOP => Ok(Object::Top),
+        VAL_FALSE => Ok(Object::bool(false)),
+        VAL_TRUE => Ok(Object::bool(true)),
+        VAL_INT => Ok(Object::int(c.varint_i64(context)?)),
+        VAL_FLOAT => {
+            let bytes: [u8; 8] = c.take(8, context)?.try_into().expect("8 bytes");
+            Ok(Object::float(f64::from_bits(u64::from_le_bytes(bytes))))
+        }
+        VAL_STR => {
+            let ix = c.varint(context)?;
+            let s = symbols
+                .get(usize::try_from(ix).unwrap_or(usize::MAX))
+                .ok_or_else(|| WireError::Malformed {
+                    detail: format!(
+                        "symbol index {ix} out of range ({} symbols) in {context}",
+                        symbols.len()
+                    ),
+                })?;
+            Ok(Object::str(s))
+        }
+        VAL_NODE => {
+            let id = c.varint(context)?;
+            match usize::try_from(id).ok().and_then(|ix| nodes.get(ix)) {
+                Some(node) => Ok(node.clone()),
+                None => Err(WireError::DanglingRef {
+                    id,
+                    defined: nodes.len() as u64,
+                }),
+            }
+        }
+        tag => Err(WireError::BadTag { tag, context }),
+    }
+}
+
+/// Reads one snapshot from `r`, re-interning every node bottom-up through
+/// the canonicalizing constructors — see the module docs for why the
+/// result is structurally identical to what was written and deduplicates
+/// against nodes already live in this process's store.
+pub fn read_snapshot<R: Read>(mut r: R) -> Result<Snapshot, WireError> {
+    // Header.
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated { context: "header" }
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    let magic: [u8; 8] = header[0..8].try_into().expect("8 bytes");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let node_count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let root_count = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
+    let payload_len = u64::from_le_bytes(header[32..40].try_into().expect("8 bytes"));
+    let declared_checksum = u64::from_le_bytes(header[40..48].try_into().expect("8 bytes"));
+
+    // Payload: read exactly the declared bytes, then verify the checksum
+    // before trusting any of the structure.
+    let payload_len = usize::try_from(payload_len).map_err(|_| WireError::Malformed {
+        detail: format!("declared payload length {payload_len} exceeds addressable memory"),
+    })?;
+    let mut payload = Vec::new();
+    let got = r
+        .by_ref()
+        .take(payload_len as u64)
+        .read_to_end(&mut payload)?;
+    if got < payload_len {
+        return Err(WireError::Truncated { context: "payload" });
+    }
+    let actual = checksum(&payload);
+    if actual != declared_checksum {
+        return Err(WireError::ChecksumMismatch {
+            expected: declared_checksum,
+            actual,
+        });
+    }
+
+    let mut c = Cursor::new(&payload);
+
+    // Symbol table.
+    let symbol_count = c.varint("symbol table")?;
+    let mut symbols: Vec<String> = Vec::new();
+    for _ in 0..symbol_count {
+        symbols.push(c.str("symbol table")?.to_owned());
+    }
+
+    // Node table, bottom-up: every child reference resolves into the
+    // prefix decoded so far, and every decoded node goes straight through
+    // the interning constructors.
+    let mut nodes: Vec<Object> = Vec::new();
+    for _ in 0..node_count {
+        let tag = c.u8("node table")?;
+        let node = match tag {
+            NODE_TUPLE => {
+                let len = c.varint("node table")?;
+                let mut entries: Vec<(Attr, Object)> = Vec::new();
+                for _ in 0..len {
+                    let ix = c.varint("node table")?;
+                    let name = symbols
+                        .get(usize::try_from(ix).unwrap_or(usize::MAX))
+                        .ok_or_else(|| WireError::Malformed {
+                            detail: format!(
+                                "attribute symbol index {ix} out of range ({} symbols)",
+                                symbols.len()
+                            ),
+                        })?;
+                    let value = get_value(&mut c, "node table", &nodes, &symbols, false)?;
+                    entries.push((Attr::new(name), value));
+                }
+                Object::try_tuple(entries).map_err(|e| WireError::Malformed {
+                    detail: format!("invalid tuple node: {e}"),
+                })?
+            }
+            NODE_SET => {
+                let len = c.varint("node table")?;
+                let mut elements: Vec<Object> = Vec::new();
+                for _ in 0..len {
+                    elements.push(get_value(&mut c, "node table", &nodes, &symbols, false)?);
+                }
+                Object::set(elements)
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    tag,
+                    context: "node table",
+                })
+            }
+        };
+        nodes.push(node);
+    }
+
+    // Roots and metadata.
+    let mut roots: Vec<Object> = Vec::new();
+    for _ in 0..root_count {
+        roots.push(get_value(&mut c, "root table", &nodes, &symbols, true)?);
+    }
+    let meta_len = c.varint("metadata")?;
+    let meta_len = usize::try_from(meta_len).map_err(|_| WireError::Malformed {
+        detail: format!("metadata length {meta_len} exceeds addressable memory"),
+    })?;
+    let meta = c.take(meta_len, "metadata")?.to_vec();
+    if c.remaining() != 0 {
+        return Err(WireError::Malformed {
+            detail: format!(
+                "{} trailing bytes after the snapshot payload",
+                c.remaining()
+            ),
+        });
+    }
+    Ok(Snapshot { roots, meta })
+}
+
+/// [`read_snapshot`] from a file.
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<Snapshot, WireError> {
+    let file = std::fs::File::open(path.as_ref())?;
+    read_snapshot(std::io::BufReader::new(file))
+}
+
+// ---------------------------------------------------------------------------
+// Naive-encoding accounting (the sharing-ratio denominator)
+// ---------------------------------------------------------------------------
+
+/// The size in bytes this snapshot's *values* would occupy in a naive
+/// tree encoding — same tags, varints, and inline strings, but **no node
+/// table and no symbol table**: every shared subtree re-encoded at every
+/// occurrence, every attribute name spelled out inline. The ratio
+/// `naive_encoding_len / WriteStats::payload_bytes` is the sharing factor
+/// a snapshot gains from hash-consing (≥ 1; equal only for structures
+/// with no sharing at all).
+///
+/// Computed arithmetically over the DAG — a bottom-up pass over the
+/// distinct nodes (no call-stack recursion, so graph depth is bounded by
+/// heap, like the writer's own walk) — so it is O(nodes) even when the
+/// naive expansion itself would be exponential; saturates at `u64::MAX`
+/// rather than overflowing.
+pub fn naive_encoding_len(roots: &[Object]) -> u64 {
+    fn varint_len(v: u64) -> u64 {
+        (64 - u64::from(v.leading_zeros())).max(1).div_ceil(7)
+    }
+    /// The inline length of a non-composite value; `None` for composites
+    /// (their lengths come from the memo).
+    fn leaf_len(o: &Object) -> Option<u64> {
+        match o {
+            Object::Bottom | Object::Top | Object::Atom(Atom::Bool(_)) => Some(1),
+            Object::Atom(Atom::Int(v)) => Some(1 + varint_len(((v << 1) ^ (v >> 63)) as u64)),
+            Object::Atom(Atom::Float(_)) => Some(9),
+            Object::Atom(Atom::Str(s)) => Some(1 + varint_len(s.len() as u64) + s.len() as u64),
+            Object::Tuple(_) | Object::Set(_) => None,
+        }
+    }
+    // Postorder: every composite child's length is memoized before its
+    // parent is visited.
+    let mut memo: FxHashMap<co_object::NodeId, u64> = FxHashMap::default();
+    visit_unique_postorder(roots.iter(), |o| {
+        let id = o.node_id().expect("the walk yields composites");
+        let mut n: u64 = 1 + varint_len(o.children().len() as u64);
+        if let Object::Tuple(t) = o {
+            for (attr, _) in t.entries() {
+                let name = attr.name();
+                n = n.saturating_add(varint_len(name.len() as u64) + name.len() as u64);
+            }
+        }
+        for child in o.children() {
+            let len =
+                leaf_len(child).unwrap_or_else(|| memo[&child.node_id().expect("composite child")]);
+            n = n.saturating_add(len);
+        }
+        memo.insert(id, n);
+    });
+    roots.iter().fold(0u64, |acc, r| {
+        let len = leaf_len(r).unwrap_or_else(|| memo[&r.node_id().expect("composite root")]);
+        acc.saturating_add(len)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use co_object::obj;
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let mut bytes = Vec::new();
+        let stats = write_snapshot(&mut bytes, &[], b"hello").unwrap();
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.total_bytes as usize, bytes.len());
+        let snap = read_snapshot(bytes.as_slice()).unwrap();
+        assert!(snap.roots.is_empty());
+        assert_eq!(snap.meta, b"hello");
+    }
+
+    #[test]
+    fn atoms_and_extremes_roundtrip_as_roots() {
+        let roots = vec![
+            Object::Bottom,
+            Object::Top,
+            obj!(42),
+            obj!(-7),
+            Object::float(2.5),
+            Object::bool(true),
+            Object::str("héllo wörld"),
+        ];
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, &roots, b"").unwrap();
+        let snap = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(snap.roots, roots);
+    }
+
+    #[test]
+    fn nested_objects_roundtrip_to_the_same_nodes() {
+        let o = obj!([family: {
+            [name: abraham, children: {[name: isaac]}],
+            [name: isaac, children: {[name: esau], [name: jacob]}]
+        }]);
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, std::slice::from_ref(&o), b"").unwrap();
+        let snap = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(snap.roots, vec![o.clone()]);
+        // Same process: re-interning must find the identical node.
+        assert_eq!(snap.roots[0].node_id(), o.node_id());
+    }
+
+    #[test]
+    fn shared_subtrees_are_encoded_once() {
+        // 2^20 tree expansion, 21 distinct nodes.
+        let mut level = obj!({ base });
+        for _ in 0..20 {
+            level = Object::tuple([("l", level.clone()), ("r", level)]);
+        }
+        let mut bytes = Vec::new();
+        let stats = write_snapshot(&mut bytes, &[level.clone()], b"").unwrap();
+        assert_eq!(stats.nodes, 21);
+        assert!(
+            bytes.len() < 1024,
+            "a 21-node DAG must stay tiny on disk, got {}",
+            bytes.len()
+        );
+        let naive = naive_encoding_len(&[level.clone()]);
+        assert!(
+            naive / stats.payload_bytes > 1000,
+            "sharing ratio must be enormous here: naive {naive} vs {}",
+            stats.payload_bytes
+        );
+        let snap = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(snap.roots[0], level);
+    }
+
+    #[test]
+    fn repeated_roots_share_the_table() {
+        let a = obj!({1, 2, 3});
+        let roots = vec![a.clone(), a.clone(), a];
+        let mut bytes = Vec::new();
+        let stats = write_snapshot(&mut bytes, &roots, b"").unwrap();
+        assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.roots, 3);
+        let snap = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(snap.roots, roots);
+        assert_eq!(snap.roots[0].node_id(), snap.roots[2].node_id());
+    }
+
+    #[test]
+    fn save_and_load_paths() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("co_wire_test_{}.cow", std::process::id()));
+        let o = obj!([r: {[a: 1], [a: 2]}]);
+        save_to_path(&path, std::slice::from_ref(&o), b"meta").unwrap();
+        let snap = load_from_path(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(snap.roots, vec![o]);
+        assert_eq!(snap.meta, b"meta");
+    }
+
+    #[test]
+    fn naive_len_counts_every_occurrence() {
+        let leaf = obj!({1, 2});
+        let shared = Object::tuple([("l", leaf.clone()), ("r", leaf.clone())]);
+        let single = Object::tuple([("l", leaf.clone())]);
+        let n_leaf = naive_encoding_len(&[leaf]);
+        let n_single = naive_encoding_len(&[single]);
+        let n_shared = naive_encoding_len(&[shared]);
+        // The shared tuple pays for the leaf twice.
+        assert!(n_shared > n_single);
+        assert!(n_shared >= 2 * n_leaf);
+    }
+}

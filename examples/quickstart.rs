@@ -116,4 +116,43 @@ fn main() {
     println!("\nafter dropping 1000 scratch objects: {swept}");
     assert!(store::contains_node(root.id()), "pinned roots survive");
     println!("{}", store::stats());
+
+    // -----------------------------------------------------------------
+    // 8. Persistence: checkpoint → kill → restore → continue. A
+    //    checkpoint is a `co-wire` snapshot — every distinct interned
+    //    node encoded once, so the file tracks the DAG, not the tree —
+    //    carrying the database, the program, and the engine config.
+    //    Restoring (here; in practice in a *fresh* process after a crash
+    //    or deploy) re-interns bottom-up and reaches the same fixpoint
+    //    with a bit-identical trace.
+    // -----------------------------------------------------------------
+    let path = std::env::temp_dir().join(format!("quickstart_{}.cow", std::process::id()));
+    let engine = Engine::new(
+        parse_program(
+            "[doa: {abraham}].
+             [doa: {X}] :- [family: {[name: Y, children: {[name: X]}]}, doa: {Y}].",
+        )
+        .unwrap(),
+    );
+    let genealogy = parse_object(
+        "[family: {[name: abraham, children: {[name: isaac]}],
+                   [name: isaac,   children: {[name: esau], [name: jacob]}]}]",
+    )
+    .unwrap();
+    let stats = engine.checkpoint(&genealogy, &path).expect("checkpoint");
+    println!("\ncheckpointed the database: {stats}");
+
+    // …process exits, machine reboots, traffic moves…
+
+    let restored = Engine::restore(&path).expect("restore");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored.database, genealogy); // bit-identical structure
+    let resumed = restored
+        .engine
+        .run(&restored.database)
+        .expect("continues to the fixpoint");
+    println!(
+        "restored and resumed: descendants = {}",
+        resumed.database.dot("doa")
+    );
 }

@@ -33,6 +33,8 @@ commands:
   clear              drop all rules
   stats              database size/depth + object-store counters
   gc                 sweep the object store (the database stays pinned)
+  save <path>        checkpoint the database + rules + policy to a file
+  load <path>        restore a checkpoint (replaces database and rules)
   help               this text
   quit               exit";
 
@@ -68,6 +70,36 @@ impl Session {
                 // it anyway: explicitness is the point of the command.
                 let _root = complex_objects::object::store::pin(&self.db);
                 println!("{}", complex_objects::object::store::collect());
+            }
+            "save" => {
+                if rest.is_empty() {
+                    println!("usage: save <path>");
+                } else {
+                    let engine = Engine::new(self.program.clone()).policy(self.policy);
+                    match engine.checkpoint(&self.db, rest) {
+                        Ok(stats) => println!("saved to {rest}: {stats}"),
+                        Err(e) => println!("{e}"),
+                    }
+                }
+            }
+            "load" => {
+                if rest.is_empty() {
+                    println!("usage: load <path>");
+                } else {
+                    match Engine::restore(rest) {
+                        Ok(restored) => {
+                            self.db = restored.database;
+                            self.program = restored.engine.program().clone();
+                            self.policy = restored.engine.match_policy();
+                            println!(
+                                "loaded {rest}: {} nodes, {} rules",
+                                measure::size(&self.db),
+                                self.program.len()
+                            );
+                        }
+                        Err(e) => println!("{e}"),
+                    }
+                }
             }
             "?" => match parse_formula(rest) {
                 Ok(f) => println!("{}", interpret(&f, &self.db, self.policy)),

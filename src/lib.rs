@@ -40,6 +40,12 @@
 //!   encodings deduplicate structurally.
 //! - [`schema`] (`crates/schema`, `co_schema`) — the §5 future-work item: a
 //!   type system for complex objects.
+//! - [`wire`] (`crates/wire`, `co_wire`) — hash-cons-aware binary
+//!   snapshots: a topologically-ordered node table encodes each distinct
+//!   interned node exactly once, so on-disk size tracks the DAG, not the
+//!   tree expansion; the reader re-interns bottom-up and deduplicates
+//!   against the live store. `Engine::checkpoint` / `Engine::restore`
+//!   build on it.
 //!
 //! Two more pieces are not re-exported: `crates/bench` (`co_bench`,
 //! workload builders, experiment binaries, and the criterion benches) and
@@ -74,6 +80,7 @@ pub use co_object as object;
 pub use co_parser as parser;
 pub use co_relational as relational;
 pub use co_schema as schema;
+pub use co_wire as wire;
 
 /// Convenient single-import surface for applications and examples.
 pub mod prelude {

@@ -25,16 +25,47 @@ use std::time::{Duration, Instant};
 /// The JSON results path configured for this process: the argument after
 /// `--save-json` on the command line, else the `CRITERION_SAVE_JSON`
 /// environment variable, else `None`.
+///
+/// **Relative paths resolve against the workspace root** (the nearest
+/// ancestor of the current directory containing a `Cargo.lock`), not the
+/// process CWD: cargo runs bench binaries with the *package* directory as
+/// CWD, so `cargo bench -- --save-json BENCH.json` would otherwise
+/// scatter results under `crates/bench/` — a footgun nobody wants.
+/// Absolute paths are used as given.
 pub fn json_output_path() -> Option<PathBuf> {
     let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--save-json" {
-            if let Some(p) = args.next() {
-                return Some(PathBuf::from(p));
+    let raw = loop {
+        match args.next() {
+            Some(a) if a == "--save-json" => {
+                if let Some(p) = args.next() {
+                    break PathBuf::from(p);
+                }
             }
+            Some(_) => continue,
+            None => break std::env::var_os("CRITERION_SAVE_JSON").map(PathBuf::from)?,
+        }
+    };
+    if raw.is_absolute() {
+        return Some(raw);
+    }
+    Some(workspace_root().join(raw))
+}
+
+/// The nearest ancestor of the current directory containing a
+/// `Cargo.lock` — the workspace root under `cargo bench`/`cargo test` —
+/// falling back to the current directory when none is found.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd,
         }
     }
-    std::env::var_os("CRITERION_SAVE_JSON").map(PathBuf::from)
 }
 
 /// Appends one JSON object (`record` must be a serialized `{…}`) to the
@@ -305,8 +336,39 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that mutate the process-wide
+    /// `CRITERION_SAVE_JSON` environment variable.
+    static ENV_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn relative_json_paths_resolve_to_the_workspace_root() {
+        let _gate = ENV_GATE.lock().unwrap();
+        std::env::set_var("CRITERION_SAVE_JSON", "REL_BENCH_TEST.json");
+        let p = json_output_path().unwrap();
+        std::env::remove_var("CRITERION_SAVE_JSON");
+        assert!(p.is_absolute(), "resolved: {}", p.display());
+        assert!(p.ends_with("REL_BENCH_TEST.json"));
+        // The anchor is the workspace root: the directory with Cargo.lock.
+        assert!(
+            p.parent().unwrap().join("Cargo.lock").is_file(),
+            "not anchored at the workspace root: {}",
+            p.display()
+        );
+    }
+
+    #[test]
+    fn absolute_json_paths_pass_through() {
+        let _gate = ENV_GATE.lock().unwrap();
+        let abs = std::env::temp_dir().join("criterion_abs.json");
+        std::env::set_var("CRITERION_SAVE_JSON", &abs);
+        let p = json_output_path().unwrap();
+        std::env::remove_var("CRITERION_SAVE_JSON");
+        assert_eq!(p, abs);
+    }
+
     #[test]
     fn json_append_keeps_a_valid_array() {
+        let _gate = ENV_GATE.lock().unwrap();
         let path = std::env::temp_dir().join(format!(
             "criterion_shim_json_test_{}.json",
             std::process::id()

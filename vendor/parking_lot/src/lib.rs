@@ -84,6 +84,16 @@ impl<T> Mutex<T> {
         self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
+    /// Attempts to acquire the lock without blocking. Returns `None` when
+    /// the mutex is held by another guard (never poisons).
+    pub fn try_lock(&self) -> Option<sync::MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.0
@@ -128,5 +138,16 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn mutex_try_lock() {
+        let m = Mutex::new(7);
+        {
+            let g = m.try_lock().expect("uncontended");
+            assert_eq!(*g, 7);
+            assert!(m.try_lock().is_none());
+        }
+        assert!(m.try_lock().is_some());
     }
 }

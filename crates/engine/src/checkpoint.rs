@@ -24,13 +24,30 @@
 //! The database is pinned as a GC root for the duration of the write, so
 //! a concurrent or auto-triggered [`co_object::store::collect`] can never
 //! free nodes mid-serialization.
+//!
+//! # Incremental checkpoints
+//!
+//! Fixpoint databases grow monotonically and mostly slowly: between two
+//! checkpoints of a hot engine, the overwhelming share of interned nodes
+//! is unchanged. [`Engine::checkpoint`] therefore auto-selects **delta
+//! snapshots** once a chain is live: the first call writes a full
+//! (version 1) snapshot, later calls write version-2 deltas carrying only
+//! the nodes the chain lacks, and [`Engine::restore_chain`] replays the
+//! layers — full first, then each delta — verifying every link's base
+//! identity (payload checksum + cumulative node count). GC between
+//! deltas is safe: the handle maps live `NodeId`s, freed ids are never
+//! recycled, and content that is re-derived after a sweep simply
+//! re-encodes in the next delta (never silently mis-references). Chains
+//! are capped at [`co_wire::MAX_CHAIN_DEPTH`] layers; the auto mode then
+//! rolls over into a fresh full snapshot, and [`co_wire::compact_chain`]
+//! rewrites an existing chain offline.
 
 use crate::{Engine, Guard, Strategy};
 use co_calculus::{ClosureMode, MatchPolicy, Program};
 use co_object::{store, Object};
 use co_wire::codec::{put_str, put_varint, Cursor};
-use co_wire::{WireError, WriteStats};
-use std::path::Path;
+use co_wire::{SnapshotHandle, WireError, WriteStats};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Version byte of the engine metadata blob inside the snapshot.
@@ -53,6 +70,13 @@ pub enum CheckpointError {
         /// The rendered parse error.
         detail: String,
     },
+    /// A delta checkpoint targeted a path that is already a layer of its
+    /// own base chain: the atomic rename would destroy the base and make
+    /// the chain unrestorable.
+    LayerClobber {
+        /// The colliding path.
+        path: PathBuf,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -65,6 +89,12 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Program { detail } => {
                 write!(f, "checkpoint program failed to re-parse: {detail}")
             }
+            CheckpointError::LayerClobber { path } => write!(
+                f,
+                "delta checkpoint would overwrite `{}`, a layer of its own base chain — \
+                 write a full checkpoint or pick another path",
+                path.display()
+            ),
         }
     }
 }
@@ -90,10 +120,40 @@ impl From<WireError> for CheckpointError {
 pub struct Restored {
     /// An engine with the persisted program and semantic configuration
     /// (parallelism and GC cadence re-resolved from this host's
-    /// environment).
+    /// environment). The restored chain is its live checkpoint handle,
+    /// so a further [`Engine::checkpoint`] continues it with a delta.
     pub engine: Engine,
     /// The database object at checkpoint time, re-interned canonically.
     pub database: Object,
+}
+
+/// A handle onto a written checkpoint chain: the wire-level base identity
+/// plus the on-disk layer paths, in restore order. What
+/// [`Engine::checkpoint_delta`] encodes against, and what
+/// [`Engine::restore_chain`] needs to reassemble the state.
+#[derive(Clone, Debug)]
+pub struct CheckpointHandle {
+    pub(crate) wire: SnapshotHandle,
+    pub(crate) layers: Vec<PathBuf>,
+}
+
+impl CheckpointHandle {
+    /// The chain's layer files, oldest (the full snapshot) first — the
+    /// argument [`Engine::restore_chain`] expects.
+    pub fn layers(&self) -> &[PathBuf] {
+        &self.layers
+    }
+
+    /// How many layers the chain has (1 = a single full snapshot).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The wire-level identity (payload checksum + cumulative node
+    /// count) a delta written against this handle will declare.
+    pub fn base_id(&self) -> co_wire::BaseId {
+        self.wire.base_id()
+    }
 }
 
 fn strategy_code(s: Strategy) -> u8 {
@@ -151,6 +211,22 @@ fn encode_meta(engine: &Engine, relation_names: &[String]) -> Vec<u8> {
         put_str(&mut meta, name);
     }
     meta
+}
+
+/// Whether `target` names one of the chain's layer files: writing a
+/// delta there would rename over its own base. Compared canonically when
+/// the paths exist (so `./db.cow` and `db.cow` collide); a target that
+/// does not exist yet cannot be a live layer.
+fn collides_with_chain(target: &Path, layers: &[PathBuf]) -> bool {
+    let canonical_target = match std::fs::canonicalize(target) {
+        Ok(p) => p,
+        // Not on disk (or unreadable): it cannot be a restorable layer,
+        // and the raw-equality fallback still catches exact respellings.
+        Err(_) => return layers.iter().any(|l| l == target),
+    };
+    layers
+        .iter()
+        .any(|l| std::fs::canonicalize(l).map_or(l == target, |c| c == canonical_target))
 }
 
 /// Decodes what [`encode_meta`] wrote.
@@ -249,6 +325,18 @@ impl Engine {
     /// [`Engine::restore`]; the restored engine reaches the same fixpoint
     /// with a bit-identical trace.
     ///
+    /// **Full vs delta is automatic.** The first checkpoint an engine
+    /// writes is a full (version 1) snapshot. While a prior checkpoint
+    /// handle is live ([`Engine::last_checkpoint`]), later calls write
+    /// **delta** (version 2) snapshots carrying only the nodes the chain
+    /// lacks — restore them together with [`Engine::restore_chain`]. When
+    /// the chain reaches [`co_wire::MAX_CHAIN_DEPTH`] layers, the next
+    /// call starts a fresh full snapshot — as does a call targeting one
+    /// of the live chain's own layer files (a delta there would rename
+    /// over its own base), so periodic checkpoints to a single path keep
+    /// their always-restorable semantics. Use [`Engine::checkpoint_full`]
+    /// / [`Engine::checkpoint_delta`] to pick explicitly.
+    ///
     /// ```
     /// use co_engine::Engine;
     /// use co_parser::{parse_object, parse_program};
@@ -278,11 +366,92 @@ impl Engine {
         db: &Object,
         path: impl AsRef<Path>,
     ) -> Result<WriteStats, CheckpointError> {
+        // Auto-select: continue the live chain with a delta while there
+        // is one and it has room; otherwise (first checkpoint, or the
+        // chain is at MAX_CHAIN_DEPTH) start fresh with a full snapshot.
+        // Writing over one of the live chain's own layers — the PR 4
+        // idiom of periodic checkpoints to a single path — also falls
+        // back to full: a delta there would atomically destroy its own
+        // base.
+        let base = self.lock_chain().clone();
+        match base {
+            Some(h)
+                if h.depth() < co_wire::MAX_CHAIN_DEPTH
+                    && !collides_with_chain(path.as_ref(), h.layers()) =>
+            {
+                self.checkpoint_delta(db, path, &h).map(|(stats, _)| stats)
+            }
+            _ => self.checkpoint_full(db, path),
+        }
+    }
+
+    /// Writes a **full** (version 1) checkpoint unconditionally, making
+    /// it the engine's new live chain of depth 1: the next
+    /// [`Engine::checkpoint`] writes a delta against it.
+    pub fn checkpoint_full(
+        &self,
+        db: &Object,
+        path: impl AsRef<Path>,
+    ) -> Result<WriteStats, CheckpointError> {
         // Pin for the whole write: the writer's own strong references
         // already keep the nodes alive, but the pin also keeps their
         // *ids* stable against a sweep triggered by a concurrent engine
         // (ids are what the node table is keyed off while we walk).
         let _pin = store::pin(db);
+        let (roots, meta) = self.checkpoint_roots_meta(db);
+        let (stats, wire) = co_wire::save_to_path_handle(path.as_ref(), &roots, &meta)?;
+        *self.lock_chain() = Some(CheckpointHandle {
+            wire,
+            layers: vec![path.as_ref().to_path_buf()],
+        });
+        Ok(stats)
+    }
+
+    /// Writes a **delta** (version 2) checkpoint of `db` to `path`,
+    /// encoding only the nodes `base` lacks. Returns the stats and the
+    /// extended chain handle, which also becomes the engine's live chain
+    /// (so a following [`Engine::checkpoint`] chains another delta).
+    ///
+    /// Fails with [`WireError::ChainTooDeep`](co_wire::WireError) when
+    /// `base` is already at [`co_wire::MAX_CHAIN_DEPTH`] layers — compact
+    /// first ([`co_wire::compact_chain`]) or write a full checkpoint.
+    pub fn checkpoint_delta(
+        &self,
+        db: &Object,
+        path: impl AsRef<Path>,
+        base: &CheckpointHandle,
+    ) -> Result<(WriteStats, CheckpointHandle), CheckpointError> {
+        if base.depth() >= co_wire::MAX_CHAIN_DEPTH {
+            return Err(CheckpointError::Wire(WireError::ChainTooDeep {
+                depth: base.depth() + 1,
+            }));
+        }
+        if collides_with_chain(path.as_ref(), base.layers()) {
+            return Err(CheckpointError::LayerClobber {
+                path: path.as_ref().to_path_buf(),
+            });
+        }
+        let _pin = store::pin(db);
+        let (roots, meta) = self.checkpoint_roots_meta(db);
+        let (stats, wire) = co_wire::save_delta_to_path(path.as_ref(), &roots, &meta, &base.wire)?;
+        let mut layers = base.layers.clone();
+        layers.push(path.as_ref().to_path_buf());
+        let handle = CheckpointHandle { wire, layers };
+        *self.lock_chain() = Some(handle.clone());
+        Ok((stats, handle))
+    }
+
+    /// The engine's live checkpoint chain: set by
+    /// [`Engine::checkpoint`] / [`Engine::checkpoint_full`] /
+    /// [`Engine::checkpoint_delta`] and by [`Engine::restore_chain`],
+    /// shared across clones. `None` until the first checkpoint.
+    pub fn last_checkpoint(&self) -> Option<CheckpointHandle> {
+        self.lock_chain().clone()
+    }
+
+    /// The database root plus one root per top-level relation, and the
+    /// encoded engine metadata naming those relations.
+    fn checkpoint_roots_meta(&self, db: &Object) -> (Vec<Object>, Vec<u8>) {
         let mut roots = vec![db.clone()];
         let mut relation_names = Vec::new();
         if let Object::Tuple(t) = db {
@@ -292,7 +461,13 @@ impl Engine {
             }
         }
         let meta = encode_meta(self, &relation_names);
-        Ok(co_wire::save_to_path(path, &roots, &meta)?)
+        (roots, meta)
+    }
+
+    fn lock_chain(&self) -> std::sync::MutexGuard<'_, Option<CheckpointHandle>> {
+        self.chain
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Loads a checkpoint written by [`Engine::checkpoint`], returning
@@ -306,8 +481,23 @@ impl Engine {
     /// checkpointing process would have computed — under any thread
     /// count and GC cadence.
     pub fn restore(path: impl AsRef<Path>) -> Result<Restored, CheckpointError> {
-        let snapshot = co_wire::load_from_path(path)?;
+        Engine::restore_chain(&[path])
+    }
+
+    /// Loads a checkpoint **chain** — the full snapshot first, then each
+    /// delta in write order (see [`CheckpointHandle::layers`]). Every
+    /// link's base identity is verified; a wrong or out-of-order base is
+    /// a typed [`WireError::BaseMismatch`](co_wire::WireError). The
+    /// restored chain becomes the returned engine's live checkpoint
+    /// handle, so continuing with [`Engine::checkpoint`] appends deltas
+    /// to the same chain.
+    pub fn restore_chain(layers: &[impl AsRef<Path>]) -> Result<Restored, CheckpointError> {
+        let (snapshot, wire) = co_wire::load_chain(layers)?;
         let (engine, relation_names) = decode_meta(&snapshot.meta)?;
+        *engine.lock_chain() = Some(CheckpointHandle {
+            wire,
+            layers: layers.iter().map(|p| p.as_ref().to_path_buf()).collect(),
+        });
         let mut roots = snapshot.roots.into_iter();
         let database = roots.next().ok_or_else(|| CheckpointError::Meta {
             detail: "snapshot has no database root".into(),
@@ -457,6 +647,179 @@ mod tests {
                 if detail.contains("nanos 1500000000 out of range")),
             "got: {err}"
         );
+    }
+
+    #[test]
+    fn auto_checkpoint_selects_full_then_delta() {
+        let dir = std::env::temp_dir().join(format!("co_ckpt_auto_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = sample_engine();
+        assert!(engine.last_checkpoint().is_none());
+
+        // First checkpoint: full.
+        let db1 = sample_db();
+        let s1 = engine.checkpoint(&db1, dir.join("0.cow")).unwrap();
+        assert_eq!(s1.version, co_wire::FORMAT_VERSION);
+        let h1 = engine.last_checkpoint().unwrap();
+        assert_eq!(h1.depth(), 1);
+
+        // Second checkpoint, grown database: auto-delta.
+        let db2 = co_object::lattice::union(&db1, &obj!([seen: {isaac}]));
+        let s2 = engine.checkpoint(&db2, dir.join("1.cow")).unwrap();
+        assert_eq!(s2.version, co_wire::FORMAT_VERSION_DELTA);
+        assert!(
+            s2.nodes < s1.nodes,
+            "delta {} < full {}",
+            s2.nodes,
+            s1.nodes
+        );
+        let h2 = engine.last_checkpoint().unwrap();
+        assert_eq!(h2.depth(), 2);
+        assert_eq!(h2.layers()[0], dir.join("0.cow"));
+        assert_eq!(h2.layers()[1], dir.join("1.cow"));
+
+        // The inspector agrees about what landed on disk.
+        let info = co_wire::describe(dir.join("1.cow")).unwrap();
+        assert!(info.is_delta());
+        assert_eq!(info.base.unwrap(), h1.base_id());
+
+        // Chain restore: the final database, engine config, and a live
+        // handle for continuing the chain.
+        let restored = Engine::restore_chain(h2.layers()).unwrap();
+        assert_eq!(restored.database, db2);
+        assert_eq!(restored.database.node_id(), db2.node_id());
+        assert_eq!(restored.engine.guard.max_iterations, 123);
+        let h3 = restored.engine.last_checkpoint().unwrap();
+        assert_eq!(h3.depth(), 2);
+        assert_eq!(h3.base_id(), h2.base_id());
+
+        // …and the continued chain restores too.
+        let db3 = co_object::lattice::union(&db2, &obj!([seen: {esau}]));
+        let (s3, h4) = restored
+            .engine
+            .checkpoint_delta(&db3, dir.join("2.cow"), &h3)
+            .unwrap();
+        assert_eq!(s3.version, co_wire::FORMAT_VERSION_DELTA);
+        let restored2 = Engine::restore_chain(h4.layers()).unwrap();
+        assert_eq!(restored2.database, db3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_full_restarts_the_chain_and_the_cap_rolls_over() {
+        let dir = std::env::temp_dir().join(format!("co_ckpt_cap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::new(Program::new());
+        let mut db = obj!({ 0 });
+        engine.checkpoint(&db, dir.join("full0.cow")).unwrap();
+
+        // Drive the auto chain to the cap.
+        for i in 1..co_wire::MAX_CHAIN_DEPTH as i64 {
+            db = co_object::lattice::union(&db, &Object::set([Object::int(i)]));
+            let stats = engine
+                .checkpoint(&db, dir.join(format!("d{i}.cow")))
+                .unwrap();
+            assert_eq!(stats.version, co_wire::FORMAT_VERSION_DELTA);
+        }
+        let full_chain = engine.last_checkpoint().unwrap();
+        assert_eq!(full_chain.depth(), co_wire::MAX_CHAIN_DEPTH);
+
+        // At the cap, auto mode rolls over to a fresh full snapshot…
+        let stats = engine.checkpoint(&db, dir.join("rollover.cow")).unwrap();
+        assert_eq!(stats.version, co_wire::FORMAT_VERSION);
+        assert_eq!(engine.last_checkpoint().unwrap().depth(), 1);
+
+        // …and the explicit delta API refuses to exceed it.
+        let err = engine
+            .checkpoint_delta(&db, dir.join("too_deep.cow"), &full_chain)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Wire(WireError::ChainTooDeep { depth })
+                    if depth == co_wire::MAX_CHAIN_DEPTH + 1
+            ),
+            "got: {err}"
+        );
+
+        // checkpoint_full always restarts, even mid-chain.
+        engine.checkpoint(&db, dir.join("d_again.cow")).unwrap();
+        assert_eq!(engine.last_checkpoint().unwrap().depth(), 2);
+        let stats = engine.checkpoint_full(&db, dir.join("full1.cow")).unwrap();
+        assert_eq!(stats.version, co_wire::FORMAT_VERSION);
+        assert_eq!(engine.last_checkpoint().unwrap().depth(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpointing_over_a_live_chain_layer_never_destroys_the_base() {
+        // The PR 4 idiom: periodic checkpoints to ONE path. With a live
+        // chain handle the auto API must not delta over its own base —
+        // every overwrite of a layer falls back to a fresh full
+        // snapshot, and the file stays restorable throughout.
+        let dir = std::env::temp_dir().join(format!("co_ckpt_clobber_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::new(Program::new());
+        let path = dir.join("db.cow");
+        let mut db = obj!({ 0 });
+        for i in 1..=3i64 {
+            db = co_object::lattice::union(&db, &Object::set([Object::int(i)]));
+            let stats = engine.checkpoint(&db, &path).unwrap();
+            assert_eq!(
+                stats.version,
+                co_wire::FORMAT_VERSION,
+                "overwrite #{i} must be full"
+            );
+            let restored = Engine::restore(&path).unwrap();
+            assert_eq!(restored.database, db);
+        }
+
+        // Same idiom after a restore (which arms the chain handle).
+        let restored = Engine::restore(&path).unwrap();
+        let stats = restored.engine.checkpoint(&db, &path).unwrap();
+        assert_eq!(stats.version, co_wire::FORMAT_VERSION);
+        assert!(Engine::restore(&path).is_ok());
+
+        // A *different* path still deltas — and respelling a layer path
+        // through `./` is caught canonically by the explicit API.
+        let stats = restored.engine.checkpoint(&db, dir.join("d.cow")).unwrap();
+        assert_eq!(stats.version, co_wire::FORMAT_VERSION_DELTA);
+        let handle = restored.engine.last_checkpoint().unwrap();
+        let respelled = dir.join(".").join("d.cow");
+        let err = restored
+            .engine
+            .checkpoint_delta(&db, &respelled, &handle)
+            .unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::LayerClobber { .. }),
+            "got: {err}"
+        );
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "delta checkpoint would overwrite `{}`, a layer of its own base chain — \
+                 write a full checkpoint or pick another path",
+                respelled.display()
+            )
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restoring_a_delta_without_its_base_is_typed() {
+        let dir = std::env::temp_dir().join(format!("co_ckpt_nobase_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::new(Program::new());
+        let db = obj!({1, 2});
+        engine.checkpoint(&db, dir.join("0.cow")).unwrap();
+        let db2 = obj!({1, 2, 3});
+        engine.checkpoint(&db2, dir.join("1.cow")).unwrap();
+        let err = Engine::restore(dir.join("1.cow")).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Wire(WireError::BaseRequired { .. })),
+            "got: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -195,6 +195,11 @@ pub struct Engine {
     pub(crate) tracing: bool,
     pub(crate) parallelism: Parallelism,
     pub(crate) gc: GcCadence,
+    /// The live checkpoint chain, when this engine has checkpointed (or
+    /// was restored from a chain): `Engine::checkpoint` auto-selects
+    /// delta snapshots against it. Shared across clones — a cloned engine
+    /// continues the same chain.
+    pub(crate) chain: std::sync::Arc<std::sync::Mutex<Option<crate::checkpoint::CheckpointHandle>>>,
 }
 
 impl Engine {
@@ -213,6 +218,7 @@ impl Engine {
             tracing: false,
             parallelism: Parallelism::from_env(),
             gc: GcCadence::from_env(),
+            chain: std::sync::Arc::new(std::sync::Mutex::new(None)),
         }
     }
 

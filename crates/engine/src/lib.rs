@@ -37,7 +37,7 @@ pub mod index;
 mod stats;
 mod trace;
 
-pub use checkpoint::{CheckpointError, Restored};
+pub use checkpoint::{CheckpointError, CheckpointHandle, Restored};
 pub use co_calculus::{ClosureMode, MatchPolicy};
 pub use engine::{Engine, GcCadence, Parallelism, RunOutcome, Strategy};
 pub use error::EngineError;

@@ -95,9 +95,43 @@ impl Object {
 /// // The shared set appears once, before its parent tuple.
 /// assert_eq!(seen, vec![shared, a]);
 /// ```
-pub fn visit_unique_postorder<'a, I, F>(roots: I, mut visit: F)
+pub fn visit_unique_postorder<'a, I, F>(roots: I, visit: F)
 where
     I: IntoIterator<Item = &'a Object>,
+    F: FnMut(&Object),
+{
+    visit_unique_postorder_pruned(roots, |_| false, visit)
+}
+
+/// [`visit_unique_postorder`] with a prune predicate: any composite for
+/// which `prune` returns `true` is neither visited nor descended into —
+/// its entire subtree is cut off (unless some part of it is also
+/// reachable through a non-pruned path).
+///
+/// This is the primitive a **delta** serializer needs: pruning on
+/// "`NodeId` is already in the base snapshot" enumerates exactly the
+/// nodes the base lacks. Because every snapshot is closed under children
+/// (a node's descendants are always written with it), a base-resident
+/// node can never shadow a missing descendant, so the pruned walk is
+/// complete — and it runs in O(new nodes), not O(reachable nodes).
+///
+/// ```
+/// use co_object::{obj, walk::visit_unique_postorder_pruned};
+///
+/// let old = obj!({1, 2});
+/// let db = obj!([stale: {1, 2}, fresh: {3}]);
+/// let base = old.node_id().unwrap();
+/// let mut new_nodes = Vec::new();
+/// visit_unique_postorder_pruned([&db], |id| id == base, |o| {
+///     new_nodes.push(o.clone())
+/// });
+/// // Only the fresh set and the wrapper tuple are new.
+/// assert_eq!(new_nodes, vec![obj!({3}), db.clone()]);
+/// ```
+pub fn visit_unique_postorder_pruned<'a, I, P, F>(roots: I, mut prune: P, mut visit: F)
+where
+    I: IntoIterator<Item = &'a Object>,
+    P: FnMut(NodeId) -> bool,
     F: FnMut(&Object),
 {
     let mut seen: FxHashSet<NodeId> = FxHashSet::default();
@@ -118,6 +152,11 @@ where
                 Frame::Enter(o) => {
                     let id = o.node_id().expect("only composites are stacked");
                     if !seen.insert(id) {
+                        continue;
+                    }
+                    if prune(id) {
+                        // Marked seen above: the predicate is asked at most
+                        // once per distinct node, however shared it is.
                         continue;
                     }
                     let children: Vec<Object> = o
@@ -190,6 +229,53 @@ mod tests {
         let mut count = 0;
         visit_unique_postorder([&a, &b, &a], |_| count += 1);
         assert_eq!(count, 2); // the set node + the tuple node
+    }
+
+    #[test]
+    fn pruned_walk_skips_whole_subtrees_but_keeps_shared_survivors() {
+        // base: {1, 2} and its wrapper [k: {1, 2}] — a closed id-set.
+        let leaf = obj!({1, 2});
+        let wrapped = obj!([k: {1, 2}]);
+        let base: Vec<_> = [&leaf, &wrapped]
+            .iter()
+            .map(|o| o.node_id().unwrap())
+            .collect();
+        // New structure referencing the base leaf and a fresh set.
+        let db = obj!({[k: {1, 2}], [fresh: {3, 4}]});
+        let mut new_nodes = Vec::new();
+        visit_unique_postorder_pruned(
+            [&db],
+            |id| base.contains(&id),
+            |o| new_nodes.push(o.clone()),
+        );
+        // The base leaf and wrapper are pruned; only {3,4}, its wrapper
+        // tuple, and the outer set are new — children before parents.
+        assert_eq!(new_nodes.len(), 3);
+        assert_eq!(new_nodes[0], obj!({3, 4}));
+        assert_eq!(new_nodes[2], db);
+        assert!(!new_nodes.contains(&leaf));
+        assert!(!new_nodes.contains(&wrapped));
+    }
+
+    #[test]
+    fn pruned_walk_on_an_exponential_tower_is_linear_in_new_nodes() {
+        // Base: a 30-level tower. New: 10 more levels on top. The pruned
+        // walk must touch only the 10 new nodes, not re-enumerate the 31
+        // base nodes (let alone the 2^40 tree expansion).
+        let mut level = obj!({ 1 });
+        let mut base_ids = Vec::new();
+        base_ids.push(level.node_id().unwrap());
+        for _ in 0..30 {
+            level = Object::tuple([("l", level.clone()), ("r", level)]);
+            base_ids.push(level.node_id().unwrap());
+        }
+        let base_set: std::collections::HashSet<_> = base_ids.into_iter().collect();
+        for _ in 0..10 {
+            level = Object::tuple([("l", level.clone()), ("r", level)]);
+        }
+        let mut count = 0u64;
+        visit_unique_postorder_pruned([&level], |id| base_set.contains(&id), |_| count += 1);
+        assert_eq!(count, 10);
     }
 
     #[test]

@@ -25,6 +25,34 @@ pub enum WireError {
         /// The version found in the header.
         found: u32,
     },
+    /// A delta (version-2) snapshot was read without its base: delta
+    /// records only carry the nodes their base lacks, so they can only be
+    /// restored as a chain (see `read_chain` / `load_chain`).
+    BaseRequired {
+        /// Payload checksum of the base the delta was written against.
+        checksum: u64,
+        /// Node count of that base (cumulative over its own chain).
+        nodes: u64,
+    },
+    /// A delta snapshot was applied to the wrong base: the base identity
+    /// the delta declares (payload checksum + cumulative node count) does
+    /// not match the chain restored so far.
+    BaseMismatch {
+        /// The base checksum the delta declares.
+        expected_checksum: u64,
+        /// The base node count the delta declares.
+        expected_nodes: u64,
+        /// The checksum of the base actually supplied.
+        found_checksum: u64,
+        /// The node count of the base actually supplied.
+        found_nodes: u64,
+    },
+    /// A snapshot chain exceeds [`MAX_CHAIN_DEPTH`](crate::MAX_CHAIN_DEPTH)
+    /// layers. Compact it (`compact_chain`) instead of growing it further.
+    ChainTooDeep {
+        /// How many layers the chain has.
+        depth: usize,
+    },
     /// The input ended before the structure it promised was complete.
     Truncated {
         /// What was being read when the input ran out.
@@ -79,8 +107,31 @@ impl fmt::Display for WireError {
             }
             WireError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported snapshot format version {found} (this reader supports version {})",
-                crate::FORMAT_VERSION
+                "unsupported snapshot format version {found} (this reader supports versions {}-{})",
+                crate::FORMAT_VERSION,
+                crate::FORMAT_VERSION_DELTA
+            ),
+            WireError::BaseRequired { checksum, nodes } => write!(
+                f,
+                "delta snapshot requires its base (checksum {checksum:#018x}, {nodes} nodes): \
+                 restore the chain base-first"
+            ),
+            WireError::BaseMismatch {
+                expected_checksum,
+                expected_nodes,
+                found_checksum,
+                found_nodes,
+            } => write!(
+                f,
+                "delta snapshot base mismatch: written against base {expected_checksum:#018x} \
+                 with {expected_nodes} nodes, but the supplied base is {found_checksum:#018x} \
+                 with {found_nodes} nodes"
+            ),
+            WireError::ChainTooDeep { depth } => write!(
+                f,
+                "snapshot chain of {depth} layers exceeds the maximum depth {} — compact it \
+                 into a full snapshot first",
+                crate::MAX_CHAIN_DEPTH
             ),
             WireError::Truncated { context } => write!(
                 f,

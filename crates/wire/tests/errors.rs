@@ -67,7 +67,107 @@ fn unknown_version_is_rejected_before_the_payload() {
     assert!(matches!(err, WireError::UnsupportedVersion { found: 99 }));
     assert_eq!(
         err.to_string(),
-        "unsupported snapshot format version 99 (this reader supports version 1)"
+        "unsupported snapshot format version 99 (this reader supports versions 1-2)"
+    );
+}
+
+#[test]
+fn nonzero_reserved_bytes_are_rejected() {
+    // The header is not covered by the payload checksum; the reserved
+    // field being pinned to zero is part of what makes every header bit
+    // detectable (see tests/adversarial.rs).
+    let mut bytes = healthy();
+    bytes[13] = 0x01; // reserved u32 lives at offset 12..16
+    let err = read_snapshot(bytes.as_slice()).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "malformed snapshot: reserved header bytes are not zero (0x00000100)"
+    );
+}
+
+#[test]
+fn implausible_header_counts_are_rejected_before_decoding() {
+    // Each node record is at least one payload byte, so a node count
+    // larger than the payload cannot be honest — same for roots.
+    let mut bytes = healthy();
+    bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+    let err = read_snapshot(bytes.as_slice()).unwrap_err();
+    let text = err.to_string();
+    assert!(
+        text.starts_with("malformed snapshot: declared node count 18446744073709551615 exceeds"),
+        "got: {text}"
+    );
+    let mut bytes = healthy();
+    bytes[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+    let err = read_snapshot(bytes.as_slice()).unwrap_err();
+    assert!(
+        err.to_string()
+            .starts_with("malformed snapshot: declared root count 18446744073709551615 exceeds"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn base_required_is_typed_with_the_base_identity() {
+    let mut base = Vec::new();
+    let (_, handle) = co_wire::write_snapshot_handle(&mut base, &[obj!({1, 2})], b"").unwrap();
+    let mut delta = Vec::new();
+    co_wire::write_delta_snapshot(&mut delta, &[obj!({1, 2, 3})], b"", &handle).unwrap();
+    let err = read_snapshot(delta.as_slice()).unwrap_err();
+    assert!(matches!(err, WireError::BaseRequired { .. }));
+    assert_eq!(
+        err.to_string(),
+        format!(
+            "delta snapshot requires its base (checksum {:#018x}, {} nodes): \
+             restore the chain base-first",
+            handle.checksum(),
+            handle.nodes()
+        )
+    );
+}
+
+#[test]
+fn base_mismatch_is_typed_with_both_identities() {
+    let mut base_a = Vec::new();
+    let (_, handle_a) = co_wire::write_snapshot_handle(&mut base_a, &[obj!({ 1 })], b"").unwrap();
+    let mut base_b = Vec::new();
+    let (_, handle_b) = co_wire::write_snapshot_handle(&mut base_b, &[obj!({2, 3})], b"").unwrap();
+    let mut delta = Vec::new();
+    co_wire::write_delta_snapshot(&mut delta, &[obj!({1, 9})], b"", &handle_a).unwrap();
+    let err = co_wire::read_chain([base_b.as_slice(), delta.as_slice()]).unwrap_err();
+    assert!(matches!(err, WireError::BaseMismatch { .. }));
+    assert_eq!(
+        err.to_string(),
+        format!(
+            "delta snapshot base mismatch: written against base {:#018x} with {} nodes, \
+             but the supplied base is {:#018x} with {} nodes",
+            handle_a.checksum(),
+            handle_a.nodes(),
+            handle_b.checksum(),
+            handle_b.nodes()
+        )
+    );
+}
+
+#[test]
+fn chain_too_deep_display_is_pinned() {
+    let err = WireError::ChainTooDeep { depth: 17 };
+    assert_eq!(
+        err.to_string(),
+        "snapshot chain of 17 layers exceeds the maximum depth 16 — compact it \
+         into a full snapshot first"
+    );
+}
+
+#[test]
+fn a_full_snapshot_mid_chain_is_malformed() {
+    let mut base = Vec::new();
+    co_wire::write_snapshot_handle(&mut base, &[obj!({ 1 })], b"").unwrap();
+    let err = co_wire::read_chain([base.as_slice(), base.as_slice()]).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "malformed snapshot: full (version 1) snapshot in the middle of a chain — \
+         only the first layer may be full"
     );
 }
 

@@ -145,7 +145,6 @@ fn main() {
     // …process exits, machine reboots, traffic moves…
 
     let restored = Engine::restore(&path).expect("restore");
-    std::fs::remove_file(&path).ok();
     assert_eq!(restored.database, genealogy); // bit-identical structure
     let resumed = restored
         .engine
@@ -155,4 +154,31 @@ fn main() {
         "restored and resumed: descendants = {}",
         resumed.database.dot("doa")
     );
+
+    // Checkpoint → mutate → **delta** → restore the chain. The second
+    // checkpoint auto-selects a version-2 delta because the engine's
+    // chain is live: it carries only the nodes the base lacks (the
+    // fixpoint grew the database a little; everything else is referenced
+    // by base-local id). `restore_chain` replays base then delta,
+    // verifying each link's checksum.
+    let delta_path =
+        std::env::temp_dir().join(format!("quickstart_{}_delta.cow", std::process::id()));
+    let stats = restored
+        .engine
+        .checkpoint(&resumed.database, &delta_path)
+        .expect("delta checkpoint");
+    println!("checkpointed the fixpoint as a delta: {stats}");
+    println!(
+        "on disk: {}",
+        complex_objects::wire::describe(&delta_path).expect("inspectable")
+    );
+    let chain = Engine::restore_chain(&[path.clone(), delta_path.clone()]).expect("chain restore");
+    assert_eq!(chain.database, resumed.database); // same node, same fixpoint
+    assert_eq!(chain.database.node_id(), resumed.database.node_id());
+    println!(
+        "chain restored: descendants = {}",
+        chain.database.dot("doa")
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&delta_path).ok();
 }

@@ -11,6 +11,7 @@
 //! co> help
 //! ```
 
+use complex_objects::engine::CheckpointHandle;
 use complex_objects::object::{display, measure, Object};
 use complex_objects::prelude::*;
 use std::io::{BufRead, Write};
@@ -19,6 +20,9 @@ struct Session {
     db: Object,
     program: Program,
     policy: MatchPolicy,
+    /// The live checkpoint chain: set by `save`, extended by
+    /// `save --delta`, replaced by `load`.
+    ckpt: Option<CheckpointHandle>,
 }
 
 const HELP: &str = "\
@@ -33,8 +37,12 @@ commands:
   clear              drop all rules
   stats              database size/depth + object-store counters
   gc                 sweep the object store (the database stays pinned)
-  save <path>        checkpoint the database + rules + policy to a file
-  load <path>        restore a checkpoint (replaces database and rules)
+  save <path>        full checkpoint of database + rules + policy
+  save --delta <path>   checkpoint only what changed since the last save
+                     (restores as a chain: pass every layer to load)
+  load <path>...     restore a checkpoint chain, oldest layer first
+                     (replaces database and rules)
+  inspect <path>     describe a snapshot file without restoring it
   help               this text
   quit               exit";
 
@@ -72,31 +80,82 @@ impl Session {
                 println!("{}", complex_objects::object::store::collect());
             }
             "save" => {
-                if rest.is_empty() {
-                    println!("usage: save <path>");
+                // `--delta` must be a whole token: `save --deltax foo`
+                // is a usage error, not a delta to the file `x foo`.
+                let (delta, path) = match rest.strip_prefix("--delta") {
+                    Some(r) if r.is_empty() || r.starts_with(char::is_whitespace) => {
+                        (true, r.trim())
+                    }
+                    _ => (false, rest),
+                };
+                if path.is_empty() || path.starts_with("--") {
+                    println!("usage: save [--delta] <path>");
                 } else {
                     let engine = Engine::new(self.program.clone()).policy(self.policy);
-                    match engine.checkpoint(&self.db, rest) {
-                        Ok(stats) => println!("saved to {rest}: {stats}"),
+                    let result = if delta {
+                        match &self.ckpt {
+                            Some(base) => engine
+                                .checkpoint_delta(&self.db, path, base)
+                                .map(|(stats, handle)| (stats, Some(handle))),
+                            None => {
+                                println!("no base checkpoint in this session — `save` first");
+                                return true;
+                            }
+                        }
+                    } else {
+                        engine
+                            .checkpoint_full(&self.db, path)
+                            .map(|stats| (stats, engine.last_checkpoint()))
+                    };
+                    match result {
+                        Ok((stats, handle)) => {
+                            self.ckpt = handle;
+                            println!("saved to {path}: {stats}");
+                            if let Some(h) = &self.ckpt {
+                                if h.depth() > 1 {
+                                    println!(
+                                        "chain is {} layers — restore with: load {}",
+                                        h.depth(),
+                                        h.layers()
+                                            .iter()
+                                            .map(|p| p.display().to_string())
+                                            .collect::<Vec<_>>()
+                                            .join(" ")
+                                    );
+                                }
+                            }
+                        }
                         Err(e) => println!("{e}"),
                     }
                 }
             }
             "load" => {
-                if rest.is_empty() {
-                    println!("usage: load <path>");
+                let layers: Vec<&str> = rest.split_whitespace().collect();
+                if layers.is_empty() {
+                    println!("usage: load <path> [<delta path>...]");
                 } else {
-                    match Engine::restore(rest) {
+                    match Engine::restore_chain(&layers) {
                         Ok(restored) => {
                             self.db = restored.database;
                             self.program = restored.engine.program().clone();
                             self.policy = restored.engine.match_policy();
+                            self.ckpt = restored.engine.last_checkpoint();
                             println!(
                                 "loaded {rest}: {} nodes, {} rules",
                                 measure::size(&self.db),
                                 self.program.len()
                             );
                         }
+                        Err(e) => println!("{e}"),
+                    }
+                }
+            }
+            "inspect" => {
+                if rest.is_empty() {
+                    println!("usage: inspect <path>");
+                } else {
+                    match complex_objects::wire::describe(rest) {
+                        Ok(info) => println!("{info}"),
                         Err(e) => println!("{e}"),
                     }
                 }
@@ -159,6 +218,7 @@ fn main() {
         db: Object::empty_tuple(),
         program: Program::new(),
         policy: MatchPolicy::Strict,
+        ckpt: None,
     };
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();

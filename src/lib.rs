@@ -44,8 +44,12 @@
 //!   snapshots: a topologically-ordered node table encodes each distinct
 //!   interned node exactly once, so on-disk size tracks the DAG, not the
 //!   tree expansion; the reader re-interns bottom-up and deduplicates
-//!   against the live store. `Engine::checkpoint` / `Engine::restore`
-//!   build on it.
+//!   against the live store. Version-2 **delta snapshots** encode only
+//!   the nodes a base snapshot lacks and restore as verified chains
+//!   (`wire::read_chain`, `wire::compact_chain`, `wire::describe`).
+//!   `Engine::checkpoint` / `Engine::restore` /
+//!   `Engine::restore_chain` build on it, auto-selecting deltas while a
+//!   checkpoint chain is live.
 //!
 //! Two more pieces are not re-exported: `crates/bench` (`co_bench`,
 //! workload builders, experiment binaries, and the criterion benches) and

@@ -154,6 +154,121 @@ proptest! {
     }
 }
 
+/// The database after at most `k` fixpoint rounds: a mid-evaluation
+/// state to checkpoint (the guard trips before convergence on long
+/// chains; short ones just close).
+fn state_after(db: &Object, k: u64) -> Object {
+    match engine()
+        .guard(Guard {
+            max_iterations: k,
+            ..Guard::default()
+        })
+        .run(db)
+    {
+        Err(complex_objects::engine::EngineError::Diverged { partial, .. }) => *partial,
+        Ok(out) => out.database,
+    }
+}
+
+/// Checkpoints `db` as full-then-`deltas` layers (collecting the store
+/// between layers, so GC runs against the live chain handle) and
+/// returns the chain plus the final state it captured.
+fn write_chain(dir: &Path, db: &Object, deltas: u64) -> (Vec<PathBuf>, Object) {
+    let writer = engine();
+    writer.checkpoint_full(db, dir.join("layer0.cow")).unwrap();
+    let mut handle = writer.last_checkpoint().unwrap();
+    for k in 1..=deltas {
+        // Intermediate states are computed, checkpointed, and *dropped*:
+        // the sweep below may free their nodes. The chain handle must
+        // survive that — freed ids are never recycled, so re-derived
+        // content simply re-encodes in a later delta.
+        let state = if k == deltas {
+            engine().run(db).unwrap().database
+        } else {
+            state_after(db, k)
+        };
+        let path = dir.join(format!("layer{k}.cow"));
+        let (stats, next) = writer.checkpoint_delta(&state, &path, &handle).unwrap();
+        assert_eq!(stats.version, 2, "layer {k} must be a delta");
+        handle = next;
+        drop(state);
+        complex_objects::object::store::collect();
+    }
+    let final_state = engine().run(db).unwrap().database;
+    (handle.layers().to_vec(), final_state)
+}
+
+/// The chain and an equivalent single full snapshot must restore to the
+/// same `NodeId` and resume to line-identical fixpoints and traces — at
+/// 1 and 4 threads, with GC after every round, with sweeps between the
+/// delta writes.
+fn assert_chain_equivalent_to_full(dir: &Path, db: &Object, deltas: u64) {
+    let (layers, final_state) = write_chain(dir, db, deltas);
+    let reference = engine().run(db).unwrap();
+    assert_eq!(reference.database, final_state);
+
+    // A single full snapshot of the same final state.
+    let full_path = dir.join("equivalent_full.cow");
+    engine().checkpoint_full(&final_state, &full_path).unwrap();
+
+    for threads in [1usize, 4] {
+        let from_chain = Engine::restore_chain(&layers).unwrap();
+        let from_full = Engine::restore(&full_path).unwrap();
+        // Bit-identical restored databases: the very same interned node.
+        assert_eq!(from_chain.database, from_full.database);
+        assert_eq!(from_chain.database.node_id(), from_full.database.node_id());
+        assert_eq!(from_chain.database, final_state);
+        assert_eq!(from_chain.database.node_id(), final_state.node_id());
+
+        // Resuming both reaches the reference fixpoint with identical
+        // traces, under GC every round.
+        let out_chain = from_chain
+            .engine
+            .threads(threads)
+            .gc_cadence(GcCadence::EveryRounds(1))
+            .run(&from_chain.database)
+            .unwrap();
+        let out_full = from_full
+            .engine
+            .threads(threads)
+            .gc_cadence(GcCadence::EveryRounds(1))
+            .run(&from_full.database)
+            .unwrap();
+        assert_eq!(out_chain.database, reference.database, "threads={threads}");
+        assert_eq!(out_chain.database.node_id(), reference.database.node_id());
+        assert_eq!(out_full.database.node_id(), out_chain.database.node_id());
+        assert_eq!(
+            fingerprint(&out_chain),
+            fingerprint(&out_full),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn a_base_plus_three_delta_chain_is_bit_identical_to_a_full_snapshot() {
+    let dir = temp_dir("chain3");
+    let db = chain_db(14);
+    assert_chain_equivalent_to_full(&dir, &db, 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random programs (chain lengths) checkpointed as full-then-N
+    /// deltas: the chain must restore bit-identically to a single full
+    /// snapshot and resume to the same fixpoint, at 1 and 4 threads,
+    /// with GC forced between deltas and every round.
+    #[test]
+    fn chain_differential_matches_full_snapshots(n in 3usize..14, deltas in 1u64..4) {
+        let dir = temp_dir(&format!("chain_prop_{n}_{deltas}"));
+        let db = chain_db(n);
+        assert_chain_equivalent_to_full(&dir, &db, deltas);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 /// Child-process worker: restore the snapshot `$CKPT_CHILD_DIR/initial.cow`
 /// into this (fresh) process's store, run to fixpoint under whatever
 /// `CO_ENGINE_THREADS` / `CO_GC_EVERY_ROUND` the parent set, and write the

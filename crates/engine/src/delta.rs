@@ -53,6 +53,24 @@ impl Delta {
         }
     }
 
+    /// A conservative count of this delta's new-marked regions: every
+    /// `true` set-element flag counts one, and a bare `New` sub-tree —
+    /// whose extent is unknown without the object it describes —
+    /// saturates to `u64::MAX`. Tiny-delta heuristics (the engine's
+    /// fan-out skip) compare this against a small threshold, so the
+    /// saturation guarantees a wholesale change is never mistaken for a
+    /// small one.
+    pub fn new_marks(&self) -> u64 {
+        match self {
+            Delta::Clean => 0,
+            Delta::New => u64::MAX,
+            Delta::Tuple(entries) => entries
+                .iter()
+                .fold(0u64, |acc, (_, d)| acc.saturating_add(d.new_marks())),
+            Delta::Set(flags) => flags.iter().filter(|f| **f).count() as u64,
+        }
+    }
+
     /// The delta for attribute `a` of a tuple-shaped node.
     pub fn attr(&self, a: Attr) -> &Delta {
         match self {

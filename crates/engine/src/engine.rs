@@ -28,6 +28,14 @@ use std::sync::{mpsc, Arc};
 use std::time::Instant;
 use threadpool::ThreadPool;
 
+/// Rounds whose delta carries at most this many new marks (see
+/// [`Delta::new_marks`]) run on the engine thread even when a worker pool
+/// exists, under [`Parallelism::Auto`]: with so few new binding seeds the
+/// fan-out's per-unit dispatch overhead exceeds the matching work it
+/// would spread. Naive rounds and first iterations match an all-`New`
+/// delta (`new_marks == u64::MAX`) and are never skipped.
+pub const SMALL_DELTA_FANOUT_THRESHOLD: u64 = 4;
+
 /// Fixpoint iteration strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Strategy {
@@ -436,15 +444,35 @@ impl Engine {
                         (Strategy::SemiNaive, Some(d)) => d,
                         _ => &all_new,
                     };
-                    self.parallel_round(
-                        pool,
-                        program,
-                        parts_per_rule,
-                        &current,
-                        round_delta,
-                        &prefilter,
-                        &mut stats,
-                    )
+                    // Under the adaptive default, a round whose delta
+                    // carries only a handful of new marks (the long tail
+                    // of a converging fixpoint) is cheaper to run on this
+                    // thread than to fan out: dispatch is a boxed closure
+                    // plus a channel round-trip per work unit either way.
+                    // Sequential and parallel rounds are bit-identical,
+                    // so this is purely an execution choice.
+                    if self.parallelism == Parallelism::Auto
+                        && round_delta.new_marks() <= SMALL_DELTA_FANOUT_THRESHOLD
+                    {
+                        stats.fanout_skipped_rounds += 1;
+                        self.sequential_round(
+                            strategy,
+                            &current,
+                            delta.as_deref(),
+                            prefilter.as_ref(),
+                            &mut stats,
+                        )
+                    } else {
+                        self.parallel_round(
+                            pool,
+                            program,
+                            parts_per_rule,
+                            &current,
+                            round_delta,
+                            &prefilter,
+                            &mut stats,
+                        )
+                    }
                 }
                 None => self.sequential_round(
                     strategy,
@@ -685,6 +713,50 @@ mod tests {
 
     fn expected_descendants() -> Object {
         obj!({abraham, isaac, esau, jacob, joseph, judah})
+    }
+
+    #[test]
+    fn auto_skips_fanout_on_tiny_delta_rounds() {
+        let db = genealogy_db();
+        let sequential = Engine::new(descendants_program())
+            .parallelism(Parallelism::Sequential)
+            .run(&db)
+            .unwrap();
+        let auto = Engine::new(descendants_program())
+            .parallelism(Parallelism::Auto)
+            .run(&db)
+            .unwrap();
+        // The skip is an execution choice only: bit-identical fixpoint.
+        assert_eq!(auto.database, sequential.database);
+        assert_eq!(auto.database.node_id(), sequential.database.node_id());
+        let multi_core = std::thread::available_parallelism()
+            .map(|n| n.get() >= 2)
+            .unwrap_or(false);
+        if multi_core {
+            // The genealogy fixpoint's late rounds derive a handful of
+            // descendants each — they must stay on the engine thread.
+            assert!(
+                auto.stats.fanout_skipped_rounds >= 1,
+                "expected tiny-delta rounds to skip fan-out: {}",
+                auto.stats
+            );
+            // Never-skipped configurations: explicit thread counts...
+            let threads = Engine::new(descendants_program())
+                .parallelism(Parallelism::Threads(4))
+                .run(&db)
+                .unwrap();
+            assert_eq!(threads.stats.fanout_skipped_rounds, 0);
+            // ...and naive rounds (always an all-New delta).
+            let naive = Engine::new(descendants_program())
+                .parallelism(Parallelism::Auto)
+                .strategy(Strategy::Naive)
+                .run(&db)
+                .unwrap();
+            assert_eq!(naive.stats.fanout_skipped_rounds, 0);
+        } else {
+            // No pool on a single-core host: nothing to skip.
+            assert_eq!(auto.stats.fanout_skipped_rounds, 0);
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@
 mod atom;
 mod attr;
 pub mod builder;
+pub mod columnar;
 pub mod display;
 mod error;
 pub mod lattice;

@@ -1054,6 +1054,9 @@ pub struct SweepStats {
     pub examined: usize,
     /// Memo entries dropped because a key mentioned a freed id.
     pub memo_entries_swept: u64,
+    /// Columnar arena cache entries dropped because their set was freed
+    /// (see [`crate::columnar`]).
+    pub columnar_entries_swept: u64,
     /// Mark/sweep passes run (> 1 when dropping memo values released
     /// further nodes).
     pub passes: u32,
@@ -1073,13 +1076,14 @@ impl std::fmt::Display for SweepStats {
         write!(
             f,
             "sweep: freed {} of {} nodes ({} tuples, {} sets) in {} passes, \
-             {} memo entries swept, {} pinned roots",
+             {} memo entries swept, {} columnar arenas swept, {} pinned roots",
             self.freed_nodes(),
             self.examined,
             self.freed_tuples,
             self.freed_sets,
             self.passes,
             self.memo_entries_swept,
+            self.columnar_entries_swept,
             self.pinned_roots,
         )
     }
@@ -1353,6 +1357,8 @@ fn collect_locked() -> SweepStats {
         stats.memo_entries_swept += LE_MEMO.purge_freed(&freed)
             + UNION_MEMO.purge_freed(&freed)
             + INTERSECT_MEMO.purge_freed(&freed);
+        // The columnar arena cache is keyed by set ids the same way.
+        stats.columnar_entries_swept += crate::columnar::purge_freed(&freed);
     }
 
     GC_SWEEPS.fetch_add(1, Ordering::Relaxed);

@@ -139,6 +139,7 @@ store: 12 tuple nodes, 3 set nodes across 16 shards
         freed_sets: 2,
         examined: 10,
         memo_entries_swept: 3,
+        columnar_entries_swept: 1,
         passes: 2,
         pinned_roots: 1,
     }
@@ -146,7 +147,7 @@ store: 12 tuple nodes, 3 set nodes across 16 shards
     assert_eq!(
         sweep_line,
         "sweep: freed 6 of 10 nodes (4 tuples, 2 sets) in 2 passes, \
-         3 memo entries swept, 1 pinned roots"
+         3 memo entries swept, 1 columnar arenas swept, 1 pinned roots"
     );
 
     // hit_rate helper sanity.

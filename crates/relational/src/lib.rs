@@ -14,12 +14,16 @@
 //!   via translation to calculus rules ([`translate_query`]), which the
 //!   differential tests use to validate the calculus against the algebra;
 //! - [`nf2`] — `nest`/`unnest` from the non-first-normal-form lineage the
-//!   paper cites (Jaeschke–Schek), working on complex objects directly.
+//!   paper cites (Jaeschke–Schek), working on complex objects directly;
+//! - [`columnar`] — vectorized select/project/join/union over the dense
+//!   column arenas of `co_object::columnar`, producing bit-identical
+//!   canonical objects without the per-row decode/encode round trip.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod algebra;
+pub mod columnar;
 mod database;
 mod encode;
 mod error;

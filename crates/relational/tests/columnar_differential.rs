@@ -1,0 +1,212 @@
+//! Differential proptests for the columnar fast path: every vectorized
+//! operator must be *bit-identical* to the supported interned path
+//! (`decode_relation` → `algebra` → `encode_relation`) — not just equal
+//! as values, but the very same `NodeId`, because callers downstream
+//! (memo tables, snapshots, the engine's set index) key on identity.
+//!
+//! The arena threshold is dropped to 2 rows so the generated relations —
+//! deliberately small, to let proptest shrink — actually take the
+//! columnar path. Dedicated tests interleave full store collections
+//! (the in-process analogue of the `CO_GC_EVERY_ROUND=1` CI lane, which
+//! runs this suite too) and race four threads over shared relations:
+//! whatever order arenas are built and caches are purged in, the
+//! canonical boundary must hand back the same node.
+
+use co_object::columnar::set_columnar_min_rows;
+use co_object::{store, Atom, Attr, Object};
+use co_relational::{algebra, columnar, decode_relation, encode_relation, Relation};
+use proptest::prelude::*;
+
+const ATTR_POOL: [&str; 5] = ["a", "b", "c", "d", "k"];
+
+fn atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        (0i64..12).prop_map(Atom::from),
+        any::<bool>().prop_map(Atom::from),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Atom::from),
+    ]
+}
+
+fn schema() -> impl Strategy<Value = Vec<Attr>> {
+    proptest::sample::subsequence(ATTR_POOL.to_vec(), 1..=4)
+        .prop_map(|names| names.into_iter().map(Attr::new).collect())
+}
+
+/// A non-empty flat relation over `schema` (an empty set has no schema
+/// to infer, so both paths reject it before any comparison is possible).
+fn relation(schema: Vec<Attr>) -> impl Strategy<Value = Object> {
+    let arity = schema.len();
+    proptest::collection::vec(proptest::collection::vec(atom(), arity..arity + 1), 1..24).prop_map(
+        move |rows| {
+            Object::set(rows.into_iter().map(|row| {
+                Object::tuple(
+                    schema
+                        .iter()
+                        .copied()
+                        .zip(row.into_iter().map(Object::Atom)),
+                )
+            }))
+        },
+    )
+}
+
+/// A schema paired with a relation over it.
+fn schema_and_relation() -> impl Strategy<Value = (Vec<Attr>, Object)> {
+    schema().prop_flat_map(|s| (Just(s.clone()), relation(s)))
+}
+
+/// The interned baseline for unary operators.
+fn slow(rel: &Object, op: impl Fn(&Relation) -> Relation) -> Object {
+    encode_relation(&op(&decode_relation(rel).unwrap()))
+}
+
+/// The interned baseline for binary operators.
+fn slow2(l: &Object, r: &Object, op: impl Fn(&Relation, &Relation) -> Relation) -> Object {
+    encode_relation(&op(
+        &decode_relation(l).unwrap(),
+        &decode_relation(r).unwrap(),
+    ))
+}
+
+proptest! {
+    #[test]
+    fn select_eq_matches_the_interned_path(
+        (sch, rel) in schema_and_relation(),
+        attr_ix in 0usize..4,
+        value in atom(),
+    ) {
+        set_columnar_min_rows(2);
+        let set = rel.as_set().unwrap();
+        let attr = sch[attr_ix % sch.len()];
+        let fast = columnar::select_eq(set, attr, &value).unwrap();
+        let reference = slow(&rel, |r| algebra::select_eq(r, attr, &value).unwrap());
+        prop_assert_eq!(fast.node_id(), reference.node_id());
+    }
+
+    #[test]
+    fn project_matches_the_interned_path(
+        (sch, rel) in schema_and_relation(),
+        attr_ix in 0usize..4,
+    ) {
+        set_columnar_min_rows(2);
+        let set = rel.as_set().unwrap();
+        // A single attribute, and the full schema in reversed (i.e.
+        // non-canonical) order: projection is order-insensitive.
+        let one = [sch[attr_ix % sch.len()]];
+        let reversed: Vec<Attr> = sch.iter().rev().copied().collect();
+        for attrs in [&one[..], &reversed[..]] {
+            let fast = columnar::project(set, attrs).unwrap();
+            let reference = slow(&rel, |r| algebra::project(r, attrs).unwrap());
+            prop_assert_eq!(fast.node_id(), reference.node_id());
+        }
+    }
+
+    #[test]
+    fn natural_join_matches_the_interned_path(
+        (_, left) in schema_and_relation(),
+        (_, right) in schema_and_relation(),
+    ) {
+        set_columnar_min_rows(2);
+        // Schemas overlap or not as the generator pleases: both the hash
+        // join and the cartesian fallback must agree with the algebra.
+        let fast =
+            columnar::natural_join(left.as_set().unwrap(), right.as_set().unwrap()).unwrap();
+        let reference = slow2(&left, &right, |l, r| algebra::natural_join(l, r).unwrap());
+        prop_assert_eq!(fast.node_id(), reference.node_id());
+    }
+
+    #[test]
+    fn union_matches_the_interned_path(
+        (sch, left) in schema_and_relation(),
+        extra_rows in proptest::collection::vec(proptest::collection::vec(atom(), 4..5), 1..24),
+    ) {
+        set_columnar_min_rows(2);
+        // Same schema on both sides (union demands it); overlapping rows
+        // are likely, so dedup across the seam is exercised.
+        let right = Object::set(extra_rows.into_iter().map(|row| {
+            Object::tuple(sch.iter().copied().zip(row.into_iter().map(Object::Atom)))
+        }));
+        let fast = columnar::union(left.as_set().unwrap(), right.as_set().unwrap()).unwrap();
+        let reference = slow2(&left, &right, |l, r| algebra::union(l, r).unwrap());
+        prop_assert_eq!(fast.node_id(), reference.node_id());
+    }
+
+    /// The arena cache is purged by every full collection; rebuilding it
+    /// afterwards must land on the same canonical results as long as the
+    /// inputs are alive.
+    #[test]
+    fn results_are_stable_across_store_collections(
+        (sch, rel) in schema_and_relation(),
+        value in atom(),
+    ) {
+        set_columnar_min_rows(2);
+        let set = rel.as_set().unwrap();
+        let attr = sch[0];
+        let before = columnar::select_eq(set, attr, &value).unwrap();
+        store::collect();
+        let after = columnar::select_eq(set, attr, &value).unwrap();
+        prop_assert_eq!(before.node_id(), after.node_id());
+        store::collect();
+        let reference = slow(&rel, |r| algebra::select_eq(r, attr, &value).unwrap());
+        prop_assert_eq!(after.node_id(), reference.node_id());
+    }
+}
+
+/// Four threads race the same shared relations through every operator;
+/// arenas are built and memoized concurrently, and every thread must
+/// re-intern to the same nodes the interned path produces.
+#[test]
+fn four_threads_agree_with_the_interned_path() {
+    set_columnar_min_rows(2);
+    let (k, v, w) = (Attr::new("k"), Attr::new("v"), Attr::new("w"));
+    let left = Object::set(
+        (0..300i64).map(|i| Object::tuple([(k, Object::int(i % 50)), (v, Object::int(i % 7))])),
+    );
+    let right = Object::set(
+        (0..40i64).map(|i| Object::tuple([(k, Object::int(i)), (w, Object::int(i % 3))])),
+    );
+    let three = Atom::from(3i64);
+
+    let expected = [
+        slow(&left, |r| algebra::select_eq(r, v, &three).unwrap()).node_id(),
+        slow(&left, |r| algebra::project(r, &[v]).unwrap()).node_id(),
+        slow2(&left, &right, |l, r| algebra::natural_join(l, r).unwrap()).node_id(),
+        slow2(&left, &right, |l, r| {
+            algebra::union(
+                &algebra::project(l, &[k]).unwrap(),
+                &algebra::project(r, &[k]).unwrap(),
+            )
+            .unwrap()
+        })
+        .node_id(),
+    ];
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let (left, right, three) = (&left, &right, &three);
+                scope.spawn(move || {
+                    let (ls, rs) = (left.as_set().unwrap(), right.as_set().unwrap());
+                    [
+                        columnar::select_eq(ls, v, three).unwrap().node_id(),
+                        columnar::project(ls, &[v]).unwrap().node_id(),
+                        columnar::natural_join(ls, rs).unwrap().node_id(),
+                        columnar::union(
+                            columnar::project(ls, &[k]).unwrap().as_set().unwrap(),
+                            columnar::project(rs, &[k]).unwrap().as_set().unwrap(),
+                        )
+                        .unwrap()
+                        .node_id(),
+                    ]
+                })
+            })
+            .collect();
+        for worker in workers {
+            assert_eq!(
+                worker.join().expect("worker panicked"),
+                expected,
+                "every thread must land on the interned path's nodes"
+            );
+        }
+    });
+}

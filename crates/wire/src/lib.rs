@@ -12,6 +12,8 @@
 //!
 //! ```text
 //! header   48 bytes  magic "COWIRE\r\n" · version u32 · reserved u32
+//!                    (zero in versions 1 and 2; the columnar record
+//!                    count in version 3)
 //!                    · node count u64 · root count u64
 //!                    · payload length u64 · FNV-1a-64 checksum u64
 //! payload            symbol table   varint count, then per symbol a
@@ -67,11 +69,50 @@
 //! first with [`compact_chain`]. [`describe`] inspects any snapshot file
 //! without restoring it.
 //!
+//! # Format (version 3 — columnar full snapshots)
+//!
+//! A flat relation — a set whose elements are all same-schema tuples of
+//! atoms — shares almost nothing: every row tuple is distinct, so the
+//! node table pays a full record (tag, arity, and one attribute symbol
+//! index per column) for every row. [`write_snapshot_columnar`] encodes
+//! such sets as one **columnar** record instead:
+//!
+//! ```text
+//! flat-set record    tag 0x12 · arity varint
+//!                    · per column an attribute symbol index
+//!                    · row count varint
+//!                    · the cells, column-major: per column `row count`
+//!                      atom values (inline tags only — never ⊥/⊤ and
+//!                      never a node reference)
+//! ```
+//!
+//! The schema is spelled once, and row tuples whose only references are
+//! from columnar sets are **pruned** from the node table entirely (a row
+//! tuple that is also a root or a child of an ordinary node keeps its
+//! record — the columns carry an inline copy). The reader rebuilds every
+//! row bottom-up through the same canonicalizing constructors as any
+//! other node, so a columnar snapshot restores to bit-identical objects
+//! and `NodeId`s. Eligibility and the row threshold are
+//! [`co_object::columnar`]'s (`CO_COLUMNAR_MIN_ROWS`); when no set
+//! qualifies, the writer falls back to a byte-identical **version 1**
+//! snapshot, and a version-3 file that contains no columnar record is
+//! rejected as [`WireError::Malformed`] — so a flipped version byte
+//! cannot silently reinterpret a v1 payload. Deltas (version 2) never
+//! emit the columnar tag.
+//!
+//! A version-3 header stores the columnar record count in the 4 bytes
+//! that versions 1 and 2 reserve as zero: [`describe`] can report it
+//! without restoring, and a flipped version byte fails **header**
+//! validation in either direction (a v3 header with a zero count, or a
+//! v1/v2 header with a nonzero "reserved" field, is malformed). The
+//! reader additionally verifies the declared count against the records
+//! actually decoded.
+//!
 //! **Compatibility policy:** version 1 remains readable forever — every
 //! reader entry point accepts it, and full snapshots are still written as
 //! version 1 so older tooling can read new checkpoints that don't use
-//! deltas. Unknown versions are hard [`WireError::UnsupportedVersion`]
-//! errors, never a best-effort parse.
+//! deltas or the columnar fast path. Unknown versions are hard
+//! [`WireError::UnsupportedVersion`] errors, never a best-effort parse.
 //!
 //! # Re-interning
 //!
@@ -149,6 +190,11 @@ pub const FORMAT_VERSION: u32 = 1;
 /// encoded against a base snapshot; restored as a chain).
 pub const FORMAT_VERSION_DELTA: u32 = 2;
 
+/// The format version [`write_snapshot_columnar`] writes when at least
+/// one flat relation qualified for a columnar record (see the module
+/// docs); with no qualifying set it falls back to [`FORMAT_VERSION`].
+pub const FORMAT_VERSION_COLUMNAR: u32 = 3;
+
 /// The maximum number of layers (one full + deltas) a snapshot chain may
 /// have. Deeper chains are rejected with [`WireError::ChainTooDeep`];
 /// compact them with [`compact_chain`]. Restore cost and failure surface
@@ -158,9 +204,11 @@ pub const MAX_CHAIN_DEPTH: usize = 16;
 /// Fixed size of the snapshot header in bytes.
 pub const HEADER_LEN: usize = 48;
 
-// Node-record tags (node table).
+// Node-record tags (node table). `NODE_FLAT_SET` is only accepted in
+// version-3 payloads; anywhere else it is a [`WireError::BadTag`].
 const NODE_TUPLE: u8 = 0x10;
 const NODE_SET: u8 = 0x11;
+const NODE_FLAT_SET: u8 = 0x12;
 
 // Value tags (inside node records and the root table).
 const VAL_BOTTOM: u8 = 0x00;
@@ -248,8 +296,9 @@ impl SnapshotHandle {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WriteStats {
     /// Format version written: [`FORMAT_VERSION`] for full snapshots,
-    /// [`FORMAT_VERSION_DELTA`] for deltas (0 for a default value that
-    /// never came from a write).
+    /// [`FORMAT_VERSION_DELTA`] for deltas, [`FORMAT_VERSION_COLUMNAR`]
+    /// for full snapshots that used the columnar fast path (0 for a
+    /// default value that never came from a write).
     pub version: u32,
     /// Distinct composite nodes encoded (each exactly once). For a delta,
     /// only the nodes the base lacked.
@@ -268,6 +317,12 @@ pub struct WriteStats {
     /// `full.nodes == delta.nodes + reachable base nodes`, of which
     /// `base_nodes_reused` are the ones referenced directly.
     pub base_nodes_reused: u64,
+    /// Flat relations encoded as columnar records (0 unless the write
+    /// came from [`write_snapshot_columnar`] and at least one set
+    /// qualified — in which case `version` is
+    /// [`FORMAT_VERSION_COLUMNAR`]). Counted in `nodes`; the row tuples
+    /// the columns absorbed are not.
+    pub columnar_sets: u64,
 }
 
 impl WriteStats {
@@ -297,7 +352,11 @@ impl std::fmt::Display for WriteStats {
                 f,
                 "snapshot: {} nodes, {} roots, {} symbols, {} payload bytes ({} total)",
                 self.nodes, self.roots, self.symbols, self.payload_bytes, self.total_bytes
-            )
+            )?;
+            if self.columnar_sets > 0 {
+                write!(f, ", {} columnar relations", self.columnar_sets)?;
+            }
+            Ok(())
         }
     }
 }
@@ -331,26 +390,34 @@ impl Encoder<'_> {
         ix
     }
 
+    /// Encodes one atom (inline, never a node reference) into `out` —
+    /// the cell encoding of columnar records, shared with [`Self::value`].
+    fn atom(&mut self, out: &mut Vec<u8>, a: &Atom) {
+        match a {
+            Atom::Bool(false) => out.push(VAL_FALSE),
+            Atom::Bool(true) => out.push(VAL_TRUE),
+            Atom::Int(v) => {
+                out.push(VAL_INT);
+                put_varint_i64(out, *v);
+            }
+            Atom::Float(v) => {
+                out.push(VAL_FLOAT);
+                out.extend_from_slice(&v.get().to_bits().to_le_bytes());
+            }
+            Atom::Str(s) => {
+                out.push(VAL_STR);
+                let ix = self.symbol(s);
+                put_varint(out, ix);
+            }
+        }
+    }
+
     /// Encodes one value (an immediate child or a root) into `out`.
     fn value(&mut self, out: &mut Vec<u8>, o: &Object) {
         match o {
             Object::Bottom => out.push(VAL_BOTTOM),
             Object::Top => out.push(VAL_TOP),
-            Object::Atom(Atom::Bool(false)) => out.push(VAL_FALSE),
-            Object::Atom(Atom::Bool(true)) => out.push(VAL_TRUE),
-            Object::Atom(Atom::Int(v)) => {
-                out.push(VAL_INT);
-                put_varint_i64(out, *v);
-            }
-            Object::Atom(Atom::Float(v)) => {
-                out.push(VAL_FLOAT);
-                out.extend_from_slice(&v.get().to_bits().to_le_bytes());
-            }
-            Object::Atom(Atom::Str(s)) => {
-                out.push(VAL_STR);
-                let ix = self.symbol(s);
-                put_varint(out, ix);
-            }
+            Object::Atom(a) => self.atom(out, a),
             Object::Tuple(_) | Object::Set(_) => {
                 let id = o.node_id().expect("composites have node ids");
                 let local = match self.locals.get(&id) {
@@ -377,6 +444,7 @@ fn write_snapshot_impl<W: Write>(
     roots: &[Object],
     meta: &[u8],
     base: Option<&SnapshotHandle>,
+    columnar: bool,
 ) -> Result<(WriteStats, SnapshotHandle), WireError> {
     let base_count = base.map_or(0, |b| b.count);
 
@@ -392,6 +460,52 @@ fn write_snapshot_impl<W: Write>(
         ),
         None => visit_unique_postorder(roots.iter(), |o| nodes.push(o.clone())),
     }
+
+    // Columnar pass (full snapshots only): pick the flat relations that
+    // get a `NODE_FLAT_SET` record, then prune the row tuples whose only
+    // references are from those relations — their cells carry them. A
+    // row tuple that is also a root, or a child of any ordinary node,
+    // keeps its own record (`Encoder::value` must be able to name it).
+    let mut columnar_of: FxHashMap<NodeId, std::sync::Arc<co_object::columnar::ColumnarRel>> =
+        FxHashMap::default();
+    if columnar && base.is_none() {
+        for node in &nodes {
+            if let Object::Set(s) = node {
+                if let Some(cols) = co_object::columnar::arena_for(s) {
+                    columnar_of.insert(s.node_id(), cols);
+                }
+            }
+        }
+        if !columnar_of.is_empty() {
+            let mut prunable: FxHashSet<NodeId> = FxHashSet::default();
+            for node in &nodes {
+                let id = node.node_id().expect("walk yields composites");
+                if columnar_of.contains_key(&id) {
+                    for row in node.children() {
+                        prunable.insert(row.node_id().expect("flat-relation rows are tuples"));
+                    }
+                }
+            }
+            for node in &nodes {
+                let id = node.node_id().expect("walk yields composites");
+                if columnar_of.contains_key(&id) {
+                    continue;
+                }
+                for child in node.children() {
+                    if let Some(cid) = child.node_id() {
+                        prunable.remove(&cid);
+                    }
+                }
+            }
+            for root in roots {
+                if let Some(rid) = root.node_id() {
+                    prunable.remove(&rid);
+                }
+            }
+            nodes.retain(|n| !prunable.contains(&n.node_id().expect("walk yields composites")));
+        }
+    }
+
     let mut enc = Encoder {
         symbols: Vec::new(),
         by_name: FxHashMap::default(),
@@ -409,6 +523,23 @@ fn write_snapshot_impl<W: Write>(
     // Pass 2: encode node records (interning symbols as they appear).
     let mut table: Vec<u8> = Vec::new();
     for node in &nodes {
+        if let Some(cols) = node.node_id().and_then(|id| columnar_of.get(&id)) {
+            // Columnar record: the schema spelled once, then the cells
+            // column-major — all inline atoms, no node references.
+            table.push(NODE_FLAT_SET);
+            put_varint(&mut table, cols.arity() as u64);
+            for attr in cols.schema() {
+                let ix = enc.symbol(&attr.name());
+                put_varint(&mut table, ix);
+            }
+            put_varint(&mut table, cols.rows() as u64);
+            for c in 0..cols.arity() {
+                for atom in cols.column(c) {
+                    enc.atom(&mut table, atom);
+                }
+            }
+            continue;
+        }
         match node {
             Object::Tuple(t) => {
                 table.push(NODE_TUPLE);
@@ -449,17 +580,24 @@ fn write_snapshot_impl<W: Write>(
     put_varint(&mut payload, meta.len() as u64);
     payload.extend_from_slice(meta);
 
-    // Header last: it needs the counts and the payload checksum.
+    // Header last: it needs the counts and the payload checksum. A
+    // columnar write with zero qualifying sets emitted no 0x12 records,
+    // so it *is* a plain version-1 snapshot — label it as one.
     let version = if base.is_some() {
         FORMAT_VERSION_DELTA
+    } else if !columnar_of.is_empty() {
+        FORMAT_VERSION_COLUMNAR
     } else {
         FORMAT_VERSION
     };
     let sum = checksum(&payload);
+    let columnar_count =
+        u32::try_from(columnar_of.len()).expect("columnar record count fits the header field");
     let mut header = Vec::with_capacity(HEADER_LEN);
     header.extend_from_slice(&MAGIC);
     header.extend_from_slice(&version.to_le_bytes());
-    header.extend_from_slice(&0u32.to_le_bytes()); // reserved, must be zero
+    // Reserved in versions 1 and 2 (zero); the columnar count in v3.
+    header.extend_from_slice(&columnar_count.to_le_bytes());
     header.extend_from_slice(&(nodes.len() as u64).to_le_bytes());
     header.extend_from_slice(&(roots.len() as u64).to_le_bytes());
     header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
@@ -478,6 +616,7 @@ fn write_snapshot_impl<W: Write>(
         payload_bytes: payload.len() as u64,
         total_bytes: (HEADER_LEN + payload.len()) as u64,
         base_nodes_reused: enc.reused.len() as u64,
+        columnar_sets: columnar_of.len() as u64,
     };
     let locals = match base {
         Some(b) => {
@@ -509,7 +648,7 @@ pub fn write_snapshot<W: Write>(
     roots: &[Object],
     meta: &[u8],
 ) -> Result<WriteStats, WireError> {
-    write_snapshot_impl(w, roots, meta, None).map(|(stats, _)| stats)
+    write_snapshot_impl(w, roots, meta, None, false).map(|(stats, _)| stats)
 }
 
 /// [`write_snapshot`], additionally returning a [`SnapshotHandle`] for
@@ -519,7 +658,27 @@ pub fn write_snapshot_handle<W: Write>(
     roots: &[Object],
     meta: &[u8],
 ) -> Result<(WriteStats, SnapshotHandle), WireError> {
-    write_snapshot_impl(w, roots, meta, None)
+    write_snapshot_impl(w, roots, meta, None, false)
+}
+
+/// [`write_snapshot`], with the **columnar fast path**: flat relations
+/// that qualify for a [`co_object::columnar`] arena (same-schema rows of
+/// atoms, at least `CO_COLUMNAR_MIN_ROWS` of them) are encoded as
+/// schema-once column-major records, and their row tuples — when nothing
+/// outside the relation references them — are pruned from the node
+/// table. Writes [`FORMAT_VERSION_COLUMNAR`] when at least one set
+/// qualified (see [`WriteStats::columnar_sets`]), otherwise falls back
+/// to a byte-identical version-1 snapshot.
+///
+/// Restoring re-interns every row through the canonicalizing
+/// constructors, so the result is bit-identical to a version-1 write of
+/// the same roots — the columnar record is purely an encoding choice.
+pub fn write_snapshot_columnar<W: Write>(
+    w: W,
+    roots: &[Object],
+    meta: &[u8],
+) -> Result<(WriteStats, SnapshotHandle), WireError> {
+    write_snapshot_impl(w, roots, meta, None, true)
 }
 
 /// Serializes `roots` as a **delta** (version 2) snapshot against `base`:
@@ -535,7 +694,7 @@ pub fn write_delta_snapshot<W: Write>(
     meta: &[u8],
     base: &SnapshotHandle,
 ) -> Result<(WriteStats, SnapshotHandle), WireError> {
-    write_snapshot_impl(w, roots, meta, Some(base))
+    write_snapshot_impl(w, roots, meta, Some(base), false)
 }
 
 // ---------------------------------------------------------------------------
@@ -619,6 +778,16 @@ pub fn save_to_path_handle(
     save_atomically(path.as_ref(), |w| write_snapshot_handle(w, roots, meta))
 }
 
+/// [`write_snapshot_columnar`] to a file, atomically (same temp + rename
+/// contract as [`save_to_path`]).
+pub fn save_columnar_to_path(
+    path: impl AsRef<Path>,
+    roots: &[Object],
+    meta: &[u8],
+) -> Result<(WriteStats, SnapshotHandle), WireError> {
+    save_atomically(path.as_ref(), |w| write_snapshot_columnar(w, roots, meta))
+}
+
 /// [`write_delta_snapshot`] to a file, atomically (same temp + rename
 /// contract as [`save_to_path`]).
 pub fn save_delta_to_path(
@@ -639,6 +808,8 @@ pub fn save_delta_to_path(
 /// A validated snapshot header.
 struct Header {
     version: u32,
+    /// Columnar records declared (version 3 only; zero otherwise).
+    columnar: u32,
     node_count: u64,
     root_count: u64,
     payload_len: usize,
@@ -664,16 +835,34 @@ fn read_header<R: Read>(r: &mut R) -> Result<Header, WireError> {
         return Err(WireError::BadMagic { found: magic });
     }
     let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION && version != FORMAT_VERSION_DELTA {
+    if version != FORMAT_VERSION
+        && version != FORMAT_VERSION_DELTA
+        && version != FORMAT_VERSION_COLUMNAR
+    {
         return Err(WireError::UnsupportedVersion { found: version });
     }
     let reserved = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
-    if reserved != 0 {
+    if version == FORMAT_VERSION_COLUMNAR {
+        if reserved == 0 {
+            return Err(WireError::Malformed {
+                detail: "version 3 header declares zero columnar records — a plain full \
+                         snapshot must declare version 1"
+                    .into(),
+            });
+        }
+    } else if reserved != 0 {
         return Err(WireError::Malformed {
             detail: format!("reserved header bytes are not zero ({reserved:#010x})"),
         });
     }
     let node_count = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    if u64::from(reserved) > node_count {
+        return Err(WireError::Malformed {
+            detail: format!(
+                "declared columnar record count {reserved} exceeds the node count {node_count}"
+            ),
+        });
+    }
     let root_count = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
     let payload_len = u64::from_le_bytes(header[32..40].try_into().expect("8 bytes"));
     let declared_checksum = u64::from_le_bytes(header[40..48].try_into().expect("8 bytes"));
@@ -696,6 +885,7 @@ fn read_header<R: Read>(r: &mut R) -> Result<Header, WireError> {
     })?;
     Ok(Header {
         version,
+        columnar: reserved,
         node_count,
         root_count,
         payload_len,
@@ -776,6 +966,85 @@ fn get_value(
     }
 }
 
+/// Decodes one columnar (`NODE_FLAT_SET`) record into a canonical set:
+/// schema, row count, then the cells column-major. Every cell must be an
+/// inline atom — ⊥/⊤ are refused by `get_value` and node references are
+/// refused here (a flat relation's rows contain no composites). Rows are
+/// rebuilt through [`Object::try_tuple`] / [`Object::set`], so whatever
+/// the writing process's attribute order was, the result re-interns to
+/// the canonical node.
+fn decode_flat_set(
+    c: &mut Cursor<'_>,
+    nodes: &[Object],
+    symbols: &[String],
+) -> Result<Object, WireError> {
+    let context = "columnar node";
+    let arity = c.varint(context)?;
+    let arity = usize::try_from(arity)
+        .ok()
+        .filter(|&a| a > 0 && a <= c.remaining())
+        .ok_or_else(|| WireError::Malformed {
+            detail: format!("columnar record declares an implausible arity ({arity})"),
+        })?;
+    let mut schema: Vec<Attr> = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let ix = c.varint(context)?;
+        let name = symbols
+            .get(usize::try_from(ix).unwrap_or(usize::MAX))
+            .ok_or_else(|| WireError::Malformed {
+                detail: format!(
+                    "attribute symbol index {ix} out of range ({} symbols) in {context}",
+                    symbols.len()
+                ),
+            })?;
+        schema.push(Attr::new(name));
+    }
+    let rows = c.varint(context)?;
+    // Each cell is at least one payload byte, so `arity × rows` beyond
+    // the remaining payload cannot be honest — fail before allocating.
+    let rows = usize::try_from(rows)
+        .ok()
+        .filter(|&r| {
+            r > 0
+                && r.checked_mul(arity)
+                    .is_some_and(|cells| cells <= c.remaining())
+        })
+        .ok_or_else(|| WireError::Malformed {
+            detail: format!(
+                "columnar record declares an implausible row count ({rows} rows × {arity} \
+                 columns against {} remaining payload bytes)",
+                c.remaining()
+            ),
+        })?;
+    let mut columns: Vec<Vec<Object>> = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let mut column = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let value = get_value(c, context, nodes, symbols, false)?;
+            if !matches!(value, Object::Atom(_)) {
+                return Err(WireError::Malformed {
+                    detail: "node reference inside a columnar record (rows are atoms only)".into(),
+                });
+            }
+            column.push(value);
+        }
+        columns.push(column);
+    }
+    let mut elements: Vec<Object> = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let entries = schema
+            .iter()
+            .zip(&columns)
+            .map(|(attr, column)| (*attr, column[r].clone()));
+        elements.push(
+            Object::try_tuple(entries).map_err(|e| WireError::Malformed {
+                detail: format!("invalid columnar row: {e}"),
+            })?,
+        );
+    }
+    Ok(Object::set(elements))
+}
+
 /// One decoded chain layer: its roots and metadata (each layer carries
 /// its own) and its payload checksum (the next layer's base identity).
 struct Layer {
@@ -823,8 +1092,8 @@ fn read_layer<R: Read>(
         }
     } else if !first {
         return Err(WireError::Malformed {
-            detail: "full (version 1) snapshot in the middle of a chain — only the first \
-                     layer may be full"
+            detail: "full snapshot in the middle of a chain — only the first layer may \
+                     be full"
                 .into(),
         });
     }
@@ -839,6 +1108,7 @@ fn read_layer<R: Read>(
     // Node table, bottom-up: every child reference resolves into the
     // combined prefix decoded so far (base layers included), and every
     // decoded node goes straight through the interning constructors.
+    let mut columnar_records = 0u64;
     for _ in 0..header.node_count {
         let tag = c.u8("node table")?;
         let node = match tag {
@@ -870,6 +1140,10 @@ fn read_layer<R: Read>(
                 }
                 Object::set(elements)
             }
+            NODE_FLAT_SET if header.version == FORMAT_VERSION_COLUMNAR => {
+                columnar_records += 1;
+                decode_flat_set(&mut c, nodes, &symbols)?
+            }
             tag => {
                 return Err(WireError::BadTag {
                     tag,
@@ -878,6 +1152,14 @@ fn read_layer<R: Read>(
             }
         };
         nodes.push(node);
+    }
+    if columnar_records != u64::from(header.columnar) {
+        return Err(WireError::Malformed {
+            detail: format!(
+                "header declares {} columnar records, the node table contains {columnar_records}",
+                header.columnar
+            ),
+        });
     }
 
     // Roots and metadata.
@@ -1097,7 +1379,8 @@ pub fn compact_chain<P: AsRef<Path>>(
 /// the base link for deltas.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SnapshotInfo {
-    /// Format version ([`FORMAT_VERSION`] or [`FORMAT_VERSION_DELTA`]).
+    /// Format version ([`FORMAT_VERSION`], [`FORMAT_VERSION_DELTA`], or
+    /// [`FORMAT_VERSION_COLUMNAR`]).
     pub version: u32,
     /// Node records in this file (for a delta: new nodes only).
     pub nodes: u64,
@@ -1114,6 +1397,9 @@ pub struct SnapshotInfo {
     /// The base this delta was written against; `None` for full
     /// snapshots.
     pub base: Option<BaseId>,
+    /// Columnar records in the node table (nonzero exactly when
+    /// `version` is [`FORMAT_VERSION_COLUMNAR`]).
+    pub columnar_sets: u64,
 }
 
 impl SnapshotInfo {
@@ -1128,9 +1414,14 @@ impl std::fmt::Display for SnapshotInfo {
         match &self.base {
             None => write!(
                 f,
-                "co-wire v{} full snapshot: {} nodes, {} roots, {} payload bytes \
+                "co-wire v{} {}snapshot: {} nodes, {} roots, {} payload bytes \
                  ({} total), checksum {:#018x}",
                 self.version,
+                if self.version == FORMAT_VERSION_COLUMNAR {
+                    "columnar full "
+                } else {
+                    "full "
+                },
                 self.nodes,
                 self.roots,
                 self.payload_bytes,
@@ -1184,6 +1475,7 @@ pub fn describe_snapshot<R: Read>(mut r: R) -> Result<SnapshotInfo, WireError> {
         total_bytes: (HEADER_LEN + payload.len()) as u64,
         checksum: header.checksum,
         base,
+        columnar_sets: u64::from(header.columnar),
     })
 }
 
@@ -1340,6 +1632,151 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         assert_eq!(snap.roots, vec![o]);
         assert_eq!(snap.meta, b"meta");
+    }
+
+    /// A flat relation of `rows` same-schema atom tuples — large enough
+    /// (≥ the default `CO_COLUMNAR_MIN_ROWS` of 64) to qualify for a
+    /// columnar arena without touching the process-global threshold.
+    fn flat_relation(rows: i64) -> Object {
+        Object::set((0..rows).map(|i| {
+            Object::tuple([
+                ("id", Object::int(i)),
+                ("name", Object::str(format!("n{}", i % 7))),
+                ("score", Object::float(i as f64 / 2.0)),
+            ])
+        }))
+    }
+
+    #[test]
+    fn columnar_snapshot_roundtrips_to_identical_nodes() {
+        let rel = flat_relation(100);
+        let wrapper = Object::tuple([("r", rel.clone())]);
+        let mut bytes = Vec::new();
+        let (stats, handle) =
+            write_snapshot_columnar(&mut bytes, std::slice::from_ref(&wrapper), b"m").unwrap();
+        assert_eq!(stats.version, FORMAT_VERSION_COLUMNAR);
+        assert_eq!(stats.columnar_sets, 1);
+        // The 100 row tuples were pruned: only the set and the wrapper remain.
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(handle.nodes(), 2);
+        assert!(stats.to_string().contains("1 columnar relations"));
+
+        let snap = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(snap.roots, vec![wrapper.clone()]);
+        assert_eq!(snap.roots[0].node_id(), wrapper.node_id());
+        assert_eq!(snap.meta, b"m");
+
+        let info = describe_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(info.version, FORMAT_VERSION_COLUMNAR);
+        assert!(!info.is_delta());
+        assert!(info.to_string().contains("columnar full snapshot"));
+    }
+
+    #[test]
+    fn columnar_encoding_is_smaller_than_row_encoding() {
+        let rel = flat_relation(500);
+        let mut row_bytes = Vec::new();
+        write_snapshot(&mut row_bytes, std::slice::from_ref(&rel), b"").unwrap();
+        let mut col_bytes = Vec::new();
+        let (stats, _) =
+            write_snapshot_columnar(&mut col_bytes, std::slice::from_ref(&rel), b"").unwrap();
+        assert_eq!(stats.columnar_sets, 1);
+        assert!(
+            col_bytes.len() * 10 < row_bytes.len() * 8,
+            "columnar must be well under 80% of the row encoding: {} vs {}",
+            col_bytes.len(),
+            row_bytes.len()
+        );
+    }
+
+    #[test]
+    fn columnar_write_without_flat_relations_is_plain_version_1() {
+        let o = obj!([family: {[name: a, children: {[name: b]}]}, n: 3]);
+        let mut plain = Vec::new();
+        write_snapshot(&mut plain, std::slice::from_ref(&o), b"x").unwrap();
+        let mut columnar = Vec::new();
+        let (stats, _) =
+            write_snapshot_columnar(&mut columnar, std::slice::from_ref(&o), b"x").unwrap();
+        assert_eq!(stats.version, FORMAT_VERSION);
+        assert_eq!(stats.columnar_sets, 0);
+        assert_eq!(plain, columnar, "the fallback must be byte-identical");
+    }
+
+    #[test]
+    fn externally_referenced_rows_keep_their_node_records() {
+        let rel = flat_relation(80);
+        let pinned_row = rel.as_set().unwrap().elements()[3].clone();
+        // The row is both inside the columnar relation and a root — it
+        // must stay in the node table for the root reference to resolve.
+        let roots = vec![rel.clone(), pinned_row.clone()];
+        let mut bytes = Vec::new();
+        let (stats, _) = write_snapshot_columnar(&mut bytes, &roots, b"").unwrap();
+        assert_eq!(stats.columnar_sets, 1);
+        assert_eq!(stats.nodes, 2, "the relation plus the one pinned row");
+        let snap = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(snap.roots, roots);
+        assert_eq!(snap.roots[1].node_id(), pinned_row.node_id());
+    }
+
+    #[test]
+    fn deltas_against_a_columnar_base_roundtrip() {
+        let v1 = flat_relation(70);
+        let mut base = Vec::new();
+        let (_, handle) =
+            write_snapshot_columnar(&mut base, std::slice::from_ref(&v1), b"").unwrap();
+        let v2 = co_object::lattice::union(&v1, &Object::set([Object::int(999)]));
+        let mut delta = Vec::new();
+        let (stats, _) =
+            write_delta_snapshot(&mut delta, std::slice::from_ref(&v2), b"", &handle).unwrap();
+        assert_eq!(stats.version, FORMAT_VERSION_DELTA);
+        let (snap, _) = read_chain([base.as_slice(), delta.as_slice()]).unwrap();
+        assert_eq!(snap.roots, vec![v2.clone()]);
+        assert_eq!(snap.roots[0].node_id(), v2.node_id());
+    }
+
+    #[test]
+    fn version_3_without_columnar_records_is_rejected() {
+        // A plain v1 snapshot whose version byte was flipped to 3 must
+        // fail typed, not silently reparse.
+        let o = obj!({1, 2, 3});
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, std::slice::from_ref(&o), b"").unwrap();
+        bytes[8] = 3;
+        match read_snapshot(bytes.as_slice()) {
+            Err(WireError::Malformed { detail }) => {
+                assert!(detail.contains("zero columnar records"), "got: {detail}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // The flip fails at the header, so `describe` refuses it too.
+        assert!(matches!(
+            describe_snapshot(bytes.as_slice()),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn columnar_tag_outside_version_3_is_a_bad_tag() {
+        let rel = flat_relation(90);
+        let mut bytes = Vec::new();
+        write_snapshot_columnar(&mut bytes, std::slice::from_ref(&rel), b"").unwrap();
+        // A version flip alone dies at the header: v1 demands a zeroed
+        // reserved field, which v3 uses for the columnar count.
+        let mut flipped = bytes.clone();
+        flipped[8] = 1;
+        assert!(matches!(
+            read_snapshot(flipped.as_slice()),
+            Err(WireError::Malformed { .. })
+        ));
+        // Forging a fully self-consistent v1 header over the same
+        // payload still fails: the columnar tag is not a v1 node tag.
+        let mut forged = bytes;
+        forged[8] = 1;
+        forged[12..16].fill(0);
+        match read_snapshot(forged.as_slice()) {
+            Err(WireError::BadTag { tag, .. }) => assert_eq!(tag, NODE_FLAT_SET),
+            other => panic!("expected BadTag, got {other:?}"),
+        }
     }
 
     #[test]

@@ -15,10 +15,11 @@
 //! non-empty (the typed-rendering contract `tests/errors.rs` pins
 //! string-by-string).
 
-use co_object::obj;
+use co_object::{obj, Object};
 use co_wire::{
     describe_snapshot, read_chain, read_snapshot, write_delta_snapshot, write_snapshot,
-    write_snapshot_handle, Snapshot, WireError, HEADER_LEN,
+    write_snapshot_columnar, write_snapshot_handle, Snapshot, WireError, FORMAT_VERSION_COLUMNAR,
+    HEADER_LEN, MAGIC,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -223,6 +224,177 @@ fn the_inspector_never_panics_and_catches_what_the_checksum_covers() {
             }
         }
     }
+}
+
+/// A columnar (v3) snapshot: a flat relation large enough for the
+/// default `CO_COLUMNAR_MIN_ROWS` threshold, mixing every atom kind the
+/// columns can carry, plus one ordinary root alongside.
+fn columnar_corpus_bytes() -> Vec<u8> {
+    let rel = Object::set((0..100i64).map(|i| {
+        Object::tuple([
+            ("flag", Object::bool(i % 2 == 0)),
+            ("id", Object::int(i)),
+            ("name", Object::str(format!("row{}", i % 5))),
+            ("score", Object::float(i as f64 * 0.5)),
+        ])
+    }));
+    let roots = vec![rel, obj!({extra, 7})];
+    let mut bytes = Vec::new();
+    let (stats, _) = write_snapshot_columnar(&mut bytes, &roots, b"columnar-meta").unwrap();
+    assert_eq!(stats.version, FORMAT_VERSION_COLUMNAR);
+    assert_eq!(stats.columnar_sets, 1);
+    bytes
+}
+
+#[test]
+fn v3_reader_survives_every_truncation_and_bit_flip() {
+    let bytes = columnar_corpus_bytes();
+    // Sanity: the pristine blob reads back.
+    let original = read_snapshot(bytes.as_slice()).unwrap();
+    assert_eq!(original.roots.len(), 2);
+    assert_eq!(original.meta, b"columnar-meta");
+
+    let read: &dyn Fn(&[u8]) -> Result<Snapshot, WireError> = &|b| read_snapshot(b);
+    assert_all_truncations_fail("v3", &bytes, read);
+    assert_bit_flips_fail("v3 header", &bytes, 0..HEADER_LEN, read);
+    assert_bit_flips_fail("v3 payload", &bytes, HEADER_LEN..bytes.len(), read);
+}
+
+#[test]
+fn the_inspector_is_as_strict_on_v3_headers_as_on_v1() {
+    let bytes = columnar_corpus_bytes();
+    let pristine = describe_snapshot(bytes.as_slice()).unwrap();
+    assert_eq!(pristine.version, FORMAT_VERSION_COLUMNAR);
+    assert_eq!(pristine.columnar_sets, 1);
+
+    for len in 0..bytes.len() {
+        assert_typed_failure(&format!("describe v3: truncation to {len}"), || {
+            describe_snapshot(&bytes[..len])
+        });
+    }
+    for ix in 0..HEADER_LEN {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[ix] ^= 1 << bit;
+            // As for v1: magic/version/size flips fail typed; flips in
+            // the count fields — which for v3 include the columnar
+            // count at bytes 12..16 — may describe, and the full reader
+            // is what decode-verifies them.
+            let label = format!("describe v3: header bit {bit} of byte {ix}");
+            if let Ok(info) = sound_read(&label, || describe_snapshot(corrupt.as_slice())) {
+                assert!(
+                    (12..32).contains(&ix),
+                    "only count-field flips may still describe, got Ok on {label}: {info}"
+                );
+            }
+        }
+    }
+}
+
+/// Hand-crafts a v3 snapshot from parts — header fields and a raw
+/// payload — with a **correct** checksum, so the corruption under test
+/// is the only thing wrong with the bytes.
+fn craft_v3(columnar: u32, node_count: u64, root_count: u64, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION_COLUMNAR.to_le_bytes());
+    bytes.extend_from_slice(&columnar.to_le_bytes());
+    bytes.extend_from_slice(&node_count.to_le_bytes());
+    bytes.extend_from_slice(&root_count.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&co_wire::codec::checksum(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// The payload of a minimal v3 snapshot — symbols `a`, `b`; one columnar
+/// record (`schema` and `rows` overridable); one root referencing it —
+/// so each semantic corruption below changes exactly one knob.
+fn craft_v3_payload(schema: &[u64], cells: &[&[u8]]) -> Vec<u8> {
+    use co_wire::codec::{put_str, put_varint};
+    let mut p = Vec::new();
+    put_varint(&mut p, 2); // symbol table: "a", "b"
+    put_str(&mut p, "a");
+    put_str(&mut p, "b");
+    p.push(0x12); // NODE_FLAT_SET
+    put_varint(&mut p, schema.len() as u64);
+    for &ix in schema {
+        put_varint(&mut p, ix);
+    }
+    let rows = cells.first().map_or(0, |c| c.len());
+    put_varint(&mut p, rows as u64);
+    for column in cells {
+        for &v in *column {
+            p.push(0x04); // VAL_INT
+            put_varint(&mut p, u64::from(v) << 1); // zigzag, non-negative
+        }
+    }
+    p.push(0x07); // root table: VAL_NODE
+    put_varint(&mut p, 0);
+    put_varint(&mut p, 0); // empty metadata
+    p
+}
+
+#[test]
+fn hand_crafted_columnar_corruptions_fail_typed() {
+    // Sanity: the pristine crafted snapshot decodes to the real relation.
+    let good = craft_v3(1, 1, 1, &craft_v3_payload(&[0, 1], &[&[1, 2], &[10, 20]]));
+    let snap = read_snapshot(good.as_slice()).unwrap();
+    assert_eq!(snap.roots, vec![obj!({[a: 1, b: 10], [a: 2, b: 20]})]);
+
+    // Zero columns.
+    assert_typed_failure("columnar record with zero arity", || {
+        read_snapshot(craft_v3(1, 1, 1, &craft_v3_payload(&[], &[])).as_slice())
+    });
+    // Zero rows.
+    assert_typed_failure("columnar record with zero rows", || {
+        read_snapshot(craft_v3(1, 1, 1, &craft_v3_payload(&[0, 1], &[&[], &[]])).as_slice())
+    });
+    // A schema symbol index beyond the symbol table.
+    assert_typed_failure("columnar schema symbol out of range", || {
+        read_snapshot(craft_v3(1, 1, 1, &craft_v3_payload(&[0, 9], &[&[1], &[2]])).as_slice())
+    });
+    // The same attribute twice: no canonical tuple has that.
+    assert_typed_failure("columnar schema with a duplicate attribute", || {
+        read_snapshot(craft_v3(1, 1, 1, &craft_v3_payload(&[0, 0], &[&[1], &[2]])).as_slice())
+    });
+    // A row count the remaining payload cannot possibly satisfy.
+    {
+        use co_wire::codec::{put_str, put_varint};
+        let mut p = Vec::new();
+        put_varint(&mut p, 1);
+        put_str(&mut p, "a");
+        p.push(0x12);
+        put_varint(&mut p, 1); // arity 1
+        put_varint(&mut p, 0); // attr "a"
+        put_varint(&mut p, 1_000_000); // a million rows in a dozen bytes
+        assert_typed_failure("columnar record with an implausible row count", || {
+            read_snapshot(craft_v3(1, 1, 0, &p).as_slice())
+        });
+    }
+    // A cell that is a node reference (rows must be atoms) and a cell
+    // that is ⊥ (canonical nodes contain neither extreme).
+    for (label, tag) in [("node-reference cell", 0x07u8), ("bottom cell", 0x00u8)] {
+        use co_wire::codec::{put_str, put_varint};
+        let mut p = Vec::new();
+        put_varint(&mut p, 1);
+        put_str(&mut p, "a");
+        p.push(0x12);
+        put_varint(&mut p, 1);
+        put_varint(&mut p, 0);
+        put_varint(&mut p, 1); // one row
+        p.push(tag);
+        put_varint(&mut p, 0); // the reference/ignored operand
+        assert_typed_failure(label, || read_snapshot(craft_v3(1, 1, 0, &p).as_slice()));
+    }
+    // Header/table count disagreements: more declared than present, and
+    // a declared count of zero under version 3.
+    assert_typed_failure("columnar count exceeding the node count", || {
+        read_snapshot(craft_v3(2, 1, 1, &craft_v3_payload(&[0, 1], &[&[1], &[2]])).as_slice())
+    });
+    assert_typed_failure("version 3 with a zero columnar count", || {
+        read_snapshot(craft_v3(0, 1, 1, &craft_v3_payload(&[0, 1], &[&[1], &[2]])).as_slice())
+    });
 }
 
 #[test]

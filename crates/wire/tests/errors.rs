@@ -166,7 +166,7 @@ fn a_full_snapshot_mid_chain_is_malformed() {
     let err = co_wire::read_chain([base.as_slice(), base.as_slice()]).unwrap_err();
     assert_eq!(
         err.to_string(),
-        "malformed snapshot: full (version 1) snapshot in the middle of a chain — \
+        "malformed snapshot: full snapshot in the middle of a chain — \
          only the first layer may be full"
     );
 }

@@ -171,6 +171,7 @@ fn display_renderings_are_pinned() {
         payload_bytes: 412,
         total_bytes: 460,
         base_nodes_reused: 0,
+        columnar_sets: 0,
     };
     assert_eq!(
         full.to_string(),
@@ -184,6 +185,7 @@ fn display_renderings_are_pinned() {
         payload_bytes: 61,
         total_bytes: 109,
         base_nodes_reused: 41,
+        columnar_sets: 0,
     };
     assert_eq!(
         delta.to_string(),
@@ -199,6 +201,7 @@ fn display_renderings_are_pinned() {
         total_bytes: 460,
         checksum: 0x00ab_cdef_0123_4567,
         base: None,
+        columnar_sets: 0,
     };
     assert_eq!(
         full_info.to_string(),
@@ -216,6 +219,7 @@ fn display_renderings_are_pinned() {
             checksum: 0x00ab_cdef_0123_4567,
             nodes: 43,
         }),
+        columnar_sets: 0,
     };
     assert_eq!(
         delta_info.to_string(),

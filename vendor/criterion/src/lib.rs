@@ -15,7 +15,10 @@
 //! makes every measurement also append a record to `<path>`, which is
 //! maintained as a valid JSON array across bench binaries and runs (each
 //! append rewrites only the closing bracket). Benches can add custom
-//! records — derived rates, counters — with [`save_json_record`].
+//! records — derived rates, counters — with [`save_json_record`]. Every
+//! record is stamped with the machine context (core count and active
+//! `CO_*` environment knobs, see [`machine_context_json`]) so saved
+//! numbers stay interpretable after the run.
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
@@ -68,14 +71,47 @@ fn workspace_root() -> PathBuf {
     }
 }
 
+/// The machine context stamped into every saved record: the logical
+/// core count ([`std::thread::available_parallelism`], 0 when unknown)
+/// and the active `CO_*` environment knobs, sorted by name — so a
+/// BENCH_*.json number can always be traced back to the parallelism and
+/// store configuration that produced it.
+pub fn machine_context_json() -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut knobs: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("CO_"))
+        .collect();
+    knobs.sort();
+    let env = knobs
+        .iter()
+        .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("\"cores\": {cores}, \"co_env\": {{{env}}}")
+}
+
 /// Appends one JSON object (`record` must be a serialized `{…}`) to the
-/// configured results file, keeping the file a valid JSON array. No-op
-/// when no path is configured. Errors are reported to stderr, never fatal:
-/// losing a record must not fail a bench run.
+/// configured results file, keeping the file a valid JSON array. The
+/// [`machine_context_json`] fields are spliced into every record before
+/// its closing brace. No-op when no path is configured. Errors are
+/// reported to stderr, never fatal: losing a record must not fail a
+/// bench run.
 pub fn save_json_record(record: &str) {
     let Some(path) = json_output_path() else {
         return;
     };
+    let record = match record.trim_end().strip_suffix('}') {
+        Some(body) if body.trim_start().starts_with('{') => {
+            let sep = if body.trim_end().ends_with('{') {
+                ""
+            } else {
+                ", "
+            };
+            format!("{body}{sep}{}}}", machine_context_json())
+        }
+        _ => record.to_string(),
+    };
+    let record = record.as_str();
     let existing = std::fs::read_to_string(&path).unwrap_or_default();
     let trimmed = existing.trim_end();
     let content = match trimmed.strip_suffix(']') {
@@ -387,6 +423,38 @@ mod tests {
         assert_eq!(text.matches('[').count(), 1);
         assert!(text.contains("},\n"), "records must be comma-separated");
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn every_record_carries_the_machine_context() {
+        let _gate = ENV_GATE.lock().unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_context_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_SAVE_JSON", &path);
+        std::env::set_var("CO_SHIM_CONTEXT_PROBE", "17");
+        save_json_record("{\"bench\": \"ctx\", \"ns_per_iter\": 1.0}");
+        save_json_record("{}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::env::remove_var("CO_SHIM_CONTEXT_PROBE");
+        std::env::remove_var("CRITERION_SAVE_JSON");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            text.matches("\"cores\": ").count(),
+            2,
+            "both records must be stamped: {text}"
+        );
+        assert!(
+            text.contains("\"co_env\": {") && text.contains("\"CO_SHIM_CONTEXT_PROBE\": \"17\""),
+            "CO_* knobs must be recorded: {text}"
+        );
+        let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+        assert!(text.contains(&format!("\"cores\": {cores}")));
+        // The splice must keep each record a syntactically closed
+        // object: the co_env object plus the record's own brace.
+        assert!(text.contains("}},\n"), "record not re-closed: {text}");
     }
 
     #[test]

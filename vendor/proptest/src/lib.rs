@@ -1,8 +1,10 @@
 //! Offline shim for the `proptest` crate.
 //!
 //! Implements the subset of the proptest API this workspace uses — the
-//! [`proptest!`] macro, [`Strategy`] with `prop_map`, `any::<T>()`, integer
-//! ranges as strategies, and the `prop_assert*` / `prop_assume!` macros —
+//! [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! `any::<T>()`, integer ranges as strategies, [`prop_oneof!`],
+//! [`collection::vec`], [`sample::subsequence`], and the `prop_assert*` /
+//! `prop_assume!` macros —
 //! with a **deterministic** runner: case `i` of a test is always generated
 //! from the same internal seed, so failures reproduce without a persistence
 //! file. There is no shrinking; a failing case panics with the generated
@@ -82,6 +84,17 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derives a dependent strategy from each generated value — the
+    /// standard way to generate "a schema, and a relation over it".
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// The [`Strategy::prop_map`] adapter.
@@ -98,6 +111,119 @@ where
     type Value = O;
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The [`Strategy::prop_flat_map`] adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> S2,
+    S2: Strategy,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A boxed, type-erased strategy — what [`prop_oneof!`] unions over.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies (built by [`prop_oneof!`];
+/// the real crate's per-arm weights are not supported).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "empty prop_oneof!");
+        self.0[rng.below(self.0.len() as u64) as usize].generate(rng)
+    }
+}
+
+/// Picks uniformly among the given strategies (all must generate the same
+/// type). Weighted arms are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$(Box::new($strat) as $crate::BoxedStrategy<_>),+])
+    };
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Generates `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use std::ops::RangeInclusive;
+
+    /// Picks a random subsequence of `items` (original order preserved)
+    /// whose length is drawn from `size`, clamped to `items.len()`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: RangeInclusive<usize>) -> Subsequence<T> {
+        Subsequence { items, size }
+    }
+
+    /// The [`subsequence`] strategy.
+    pub struct Subsequence<T: Clone> {
+        items: Vec<T>,
+        size: RangeInclusive<usize>,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let lo = (*self.size.start()).min(self.items.len());
+            let hi = (*self.size.end()).min(self.items.len());
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            // Partial Fisher–Yates over the index set, then re-sort so the
+            // picked items keep their original relative order.
+            let mut indices: Vec<usize> = (0..self.items.len()).collect();
+            for i in 0..len {
+                let j = i + rng.below((indices.len() - i) as u64) as usize;
+                indices.swap(i, j);
+            }
+            indices.truncate(len);
+            indices.sort_unstable();
+            indices.into_iter().map(|i| self.items[i].clone()).collect()
+        }
     }
 }
 
@@ -231,7 +357,7 @@ impl<T: Clone> Strategy for Just<T> {
 /// Everything a proptest-style test module usually imports.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
         ProptestConfig, Strategy,
     };
 }
@@ -341,6 +467,34 @@ mod tests {
         fn assumptions(v in 0u64..10) {
             prop_assume!(v < 5);
             prop_assert!(v < 5);
+        }
+
+        /// `prop_oneof!` only yields values from its arms.
+        #[test]
+        fn oneof_arms(v in prop_oneof![Just(1u8), Just(4u8), 7u8..9]) {
+            prop_assert!(matches!(v, 1u8 | 4 | 7 | 8));
+        }
+
+        /// `collection::vec` respects its length range.
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0i64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+
+        /// `subsequence` keeps order, uniqueness, and length bounds.
+        #[test]
+        fn subsequences(v in crate::sample::subsequence(vec![1, 2, 3, 4, 5], 1..=3)) {
+            prop_assert!((1..=3).contains(&v.len()));
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        /// `prop_flat_map` feeds the generated value to the next strategy.
+        #[test]
+        fn flat_mapped((n, v) in (1usize..5).prop_flat_map(
+            |n| (Just(n), crate::collection::vec(any::<bool>(), n..n + 1)),
+        )) {
+            prop_assert_eq!(v.len(), n);
         }
     }
 

@@ -1,0 +1,197 @@
+//! Load generator for the serving layer: hundreds of concurrent client
+//! sessions against one shared store, measuring throughput and
+//! per-request latency percentiles.
+//!
+//! Every session is a real `co_server::Client` over TCP against an
+//! in-process `Server`. All sessions connect and pin a snapshot **before**
+//! a start barrier drops, so the recorded concurrency is genuine — the
+//! binary aborts unless the server confirms every session live at the
+//! barrier. The mix: every session runs selective queries against its
+//! pinned snapshot; one session in 32 doubles as a writer committing
+//! fresh facts, so reads race commits the entire run.
+//!
+//! Knobs (defaults in parentheses): `CO_LOADGEN_SESSIONS` (256),
+//! `CO_LOADGEN_REQUESTS` (16 per session), `CO_LOADGEN_OUT`
+//! (`BENCH_pr7.json`). Results append as JSON records shaped like the
+//! criterion-shim BENCH files: one `mixed/` summary row plus per-class
+//! latency rows, each stamped with `cores` and the `CO_*` environment.
+//!
+//! Run with `cargo run --release -p co-bench --bin loadgen`.
+
+use co_engine::{Engine, SharedEngine};
+use co_server::{Client, Server, ServerConfig};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// `"cores": …, "co_env": {…}` — the same machine stamp the criterion
+/// shim puts on BENCH records (inlined here: bins cannot use dev-deps).
+fn machine_context_json() -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut knobs: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("CO_"))
+        .collect();
+    knobs.sort();
+    let env = knobs
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "\"{k}\": \"{}\"",
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("\"cores\": {cores}, \"co_env\": {{{env}}}")
+}
+
+/// Latencies for one request class, in nanoseconds.
+#[derive(Default)]
+struct Series {
+    ns: Vec<u64>,
+}
+
+impl Series {
+    fn merge(&mut self, other: Series) {
+        self.ns.extend(other.ns);
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        debug_assert!(self.ns.windows(2).all(|w| w[0] <= w[1]));
+        if self.ns.is_empty() {
+            return 0;
+        }
+        let rank = ((self.ns.len() as f64 - 1.0) * p).round() as usize;
+        self.ns[rank.min(self.ns.len() - 1)]
+    }
+
+    fn row(&mut self, id: &str, context: &str) -> String {
+        self.ns.sort_unstable();
+        format!(
+            "  {{\"bench\": \"server_loadgen\", \"id\": \"{id}\", \"requests\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, {context}}}",
+            self.ns.len(),
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.ns.last().copied().unwrap_or(0),
+        )
+    }
+}
+
+struct SessionResult {
+    queries: Series,
+    advances: Series,
+}
+
+/// One simulated client session: pin a snapshot, then run the request
+/// mix, timing each call.
+fn session(
+    addr: std::net::SocketAddr,
+    id: usize,
+    requests: usize,
+    start: Arc<Barrier>,
+) -> SessionResult {
+    let mut client = Client::connect(addr).expect("connect");
+    let (version, _) = client.snapshot().expect("pin snapshot");
+    let is_writer = id.is_multiple_of(32);
+    start.wait();
+
+    let mut queries = Series::default();
+    let mut advances = Series::default();
+    for step in 0..requests {
+        // Selective point query against the frozen snapshot: one join
+        // class out of eight.
+        let formula = format!("[r1: {{[a: X, b: {}]}}]", (id + step) % 8);
+        let t = Instant::now();
+        let (v, result) = client.query(&formula).expect("query");
+        queries.ns.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(v, version, "pinned reads must stay at their version");
+        assert!(
+            result.dot("r1").as_set().is_some(),
+            "a selective query over the seed relation matches"
+        );
+        if is_writer && step % 4 == 3 {
+            let fact = format!("[r1: {{[a: w{id}x{step}, b: w]}}].");
+            let t = Instant::now();
+            client.advance(&fact).expect("advance");
+            advances.ns.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+    SessionResult { queries, advances }
+}
+
+fn main() {
+    let sessions = env_usize("CO_LOADGEN_SESSIONS", 256);
+    let requests = env_usize("CO_LOADGEN_REQUESTS", 16);
+    let out = std::env::var("CO_LOADGEN_OUT").unwrap_or_else(|_| "BENCH_pr7.json".to_owned());
+
+    // One shared store: a two-relation join database, eight join classes.
+    let shared = SharedEngine::new(Engine::new(Default::default()), co_bench::join_db(512, 8));
+    let config = ServerConfig {
+        max_sessions: sessions + 8,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind(shared, config).expect("bind");
+    let addr = handle.addr();
+
+    // All sessions connect and pin before the barrier drops.
+    let start = Arc::new(Barrier::new(sessions + 1));
+    let workers: Vec<_> = (0..sessions)
+        .map(|id| {
+            let start = Arc::clone(&start);
+            std::thread::Builder::new()
+                .stack_size(256 * 1024)
+                .spawn(move || session(addr, id, requests, start))
+                .expect("spawn session thread")
+        })
+        .collect();
+    start.wait();
+    let concurrent = handle.active_sessions();
+    assert!(
+        concurrent >= sessions,
+        "only {concurrent}/{sessions} sessions live at the barrier"
+    );
+    eprintln!("loadgen: {concurrent} concurrent sessions live, measuring…");
+
+    let t0 = Instant::now();
+    let mut queries = Series::default();
+    let mut advances = Series::default();
+    for w in workers {
+        let r = w.join().expect("session thread");
+        queries.merge(r.queries);
+        advances.merge(r.advances);
+    }
+    let wall = t0.elapsed();
+    handle.shutdown();
+
+    let total = queries.ns.len() + advances.ns.len();
+    let throughput = total as f64 / wall.as_secs_f64();
+    let context = machine_context_json();
+    let json = format!(
+        "[\n  {{\"bench\": \"server_loadgen\", \"id\": \"mixed/{sessions}_sessions\", \
+         \"sessions\": {sessions}, \"concurrent_sessions\": {concurrent}, \
+         \"requests\": {total}, \"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, {context}}},\n\
+         {},\n{}\n]\n",
+        wall.as_secs_f64() * 1e3,
+        throughput,
+        queries.row(&format!("query_latency/{sessions}_sessions"), &context),
+        advances.row(&format!("advance_latency/{sessions}_sessions"), &context),
+    );
+    std::fs::write(&out, &json).expect("write BENCH json");
+    println!("{json}");
+    eprintln!(
+        "loadgen: {total} requests over {concurrent} sessions in {:.2}s → {:.0} req/s \
+         (p50 query {} µs, p99 {} µs) → {out}",
+        wall.as_secs_f64(),
+        throughput,
+        queries.percentile(0.50) / 1_000,
+        queries.percentile(0.99) / 1_000,
+    );
+}

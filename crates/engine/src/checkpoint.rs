@@ -441,6 +441,28 @@ impl Engine {
         Ok((stats, handle))
     }
 
+    /// Writes a **full** checkpoint of this engine and `db` into any
+    /// writer — the transport variant of [`Engine::checkpoint_full`] for
+    /// shipping a consistent snapshot over a socket or into a buffer.
+    ///
+    /// The engine's live chain is deliberately **not** touched: a
+    /// writer-targeted snapshot has no on-disk layer path a later delta
+    /// could be restored against, so chaining against it would produce
+    /// unrestorable [`CheckpointHandle::layers`]. Restore the bytes with
+    /// [`co_wire::read_snapshot`] + the ordinary chain entry points, or
+    /// persist them and use [`Engine::restore`].
+    pub fn checkpoint_full_to<W: std::io::Write>(
+        &self,
+        db: &Object,
+        mut w: W,
+    ) -> Result<WriteStats, CheckpointError> {
+        // Pin for the whole write, as in `checkpoint_full`: ids are what
+        // the node table is keyed off while we walk.
+        let _pin = store::pin(db);
+        let (roots, meta) = self.checkpoint_roots_meta(db);
+        Ok(co_wire::write_snapshot(&mut w, &roots, &meta)?)
+    }
+
     /// The engine's live checkpoint chain: set by
     /// [`Engine::checkpoint`] / [`Engine::checkpoint_full`] /
     /// [`Engine::checkpoint_delta`] and by [`Engine::restore_chain`],

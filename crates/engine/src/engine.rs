@@ -235,6 +235,21 @@ impl Engine {
         &self.program
     }
 
+    /// This engine's configuration applied to a different program: the
+    /// strategy, mode, policy, guard, index/tracing flags, parallelism,
+    /// and GC cadence are kept; the checkpoint chain is **not** shared
+    /// (a chain's delta layers carry the program they were written with,
+    /// so a new program starts a new chain). This is how a
+    /// [`SharedEngine`](crate::SharedEngine) runs per-request programs
+    /// under one server-wide configuration.
+    pub fn with_program(&self, program: Program) -> Engine {
+        Engine {
+            program,
+            chain: std::sync::Arc::new(std::sync::Mutex::new(None)),
+            ..self.clone()
+        }
+    }
+
     /// The configured match policy.
     pub fn match_policy(&self) -> MatchPolicy {
         self.policy

@@ -34,6 +34,7 @@ mod error;
 mod guard;
 pub mod incremental;
 pub mod index;
+pub mod shared;
 mod stats;
 mod trace;
 
@@ -45,5 +46,6 @@ pub use engine::{
 pub use error::EngineError;
 pub use guard::Guard;
 pub use incremental::Materialized;
+pub use shared::{AdvanceOutcome, PinnedDb, SharedEngine};
 pub use stats::EvalStats;
 pub use trace::{Trace, TraceEvent};

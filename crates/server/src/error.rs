@@ -1,0 +1,120 @@
+//! Typed protocol errors.
+//!
+//! Every way a frame or its body can be unreadable maps to one
+//! [`ProtocolError`] variant with a precise `Display` rendering, mirroring
+//! `co_wire::WireError`'s discipline: the decoder **never panics** on
+//! malformed input, and corruption can never produce a silently-wrong
+//! message (the frame header's checksum covers every body byte).
+
+use co_wire::WireError;
+use std::fmt;
+use std::io;
+
+/// Why a request/response frame could not be read or written.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying socket/stream failed.
+    Io(io::Error),
+    /// The input ended before the structure it promised was complete.
+    Truncated {
+        /// What was being read when the input ran out.
+        context: &'static str,
+    },
+    /// The frame header declares a zero-length body. Every valid body
+    /// carries at least its kind byte, so this is corruption (or a
+    /// hostile peer), rejected before any allocation.
+    ZeroLengthFrame,
+    /// The frame header declares a body larger than the configured
+    /// maximum, rejected **before** any allocation — a flipped length
+    /// bit or a hostile peer cannot make the server reserve gigabytes.
+    Oversized {
+        /// The declared body length.
+        declared: u64,
+        /// The maximum this endpoint accepts.
+        max: u64,
+    },
+    /// The body does not hash to the checksum the frame header declares:
+    /// the frame was corrupted in flight. No decoded content escapes —
+    /// the checksum is verified before the body is parsed.
+    ChecksumMismatch {
+        /// The checksum recorded in the frame header.
+        expected: u64,
+        /// The checksum of the body actually read.
+        actual: u64,
+    },
+    /// An unknown message-kind byte.
+    BadKind {
+        /// The kind byte found.
+        kind: u8,
+        /// Whether a request or a response was being decoded.
+        context: &'static str,
+    },
+    /// The frame decoded but violates a structural invariant (trailing
+    /// bytes after the message, an out-of-range field, …).
+    Malformed {
+        /// What invariant was violated.
+        detail: String,
+    },
+    /// An embedded `co-wire` object payload failed to decode (the outer
+    /// frame was intact — its checksum passed — so this indicates a
+    /// misbehaving peer, not transport corruption).
+    Wire(WireError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "protocol io error: {e}"),
+            ProtocolError::Truncated { context } => write!(
+                f,
+                "truncated frame: unexpected end of input while reading {context}"
+            ),
+            ProtocolError::ZeroLengthFrame => {
+                write!(f, "malformed frame: zero-length body declared")
+            }
+            ProtocolError::Oversized { declared, max } => write!(
+                f,
+                "oversized frame: declared body of {declared} bytes exceeds the \
+                 {max}-byte limit"
+            ),
+            ProtocolError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch: header declares {expected:#018x}, \
+                 body hashes to {actual:#018x}"
+            ),
+            ProtocolError::BadKind { kind, context } => {
+                write!(f, "malformed frame: unknown {context} kind {kind:#04x}")
+            }
+            ProtocolError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            ProtocolError::Wire(e) => write!(f, "embedded object payload unreadable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            ProtocolError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        // An EOF from `read_exact` mid-frame is a truncated frame, not an
+        // environment failure; keep the distinction callers match on.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated { context: "frame" }
+        } else {
+            ProtocolError::Io(e)
+        }
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Wire(e)
+    }
+}

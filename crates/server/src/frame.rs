@@ -1,0 +1,237 @@
+//! Length-prefixed, checksummed frames: the transport unit of the
+//! serving protocol.
+//!
+//! ```text
+//! header   12 bytes   body length u32 LE · FNV-1a-64 body checksum u64 LE
+//! body     1..=max    kind byte + message fields (see `protocol`)
+//! ```
+//!
+//! The header is validated **before** any allocation: a declared length
+//! of zero (no valid body lacks its kind byte) or above the configured
+//! maximum is rejected while only the 12 header bytes are in memory, so
+//! a flipped length bit or a hostile peer cannot make an endpoint
+//! reserve gigabytes. The checksum — the same FNV-1a-64 the snapshot
+//! format uses — covers every body byte and is verified before the body
+//! is parsed, so a single bit flip anywhere in a frame is a typed
+//! [`ProtocolError`], never a silently-wrong message
+//! (`tests/protocol_adversarial.rs` proves this byte by byte).
+
+use crate::ProtocolError;
+use co_wire::codec::checksum;
+use std::io::{Read, Write};
+
+/// Fixed size of the frame header in bytes.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// The default cap on a frame body, in bytes (16 MiB). Override with
+/// [`ServerConfig::max_frame_len`](crate::ServerConfig) /
+/// `CO_SERVER_MAX_FRAME`.
+pub const DEFAULT_MAX_FRAME_LEN: u64 = 16 * 1024 * 1024;
+
+/// The frame-body cap requested by the `CO_SERVER_MAX_FRAME` environment
+/// variable (bytes); unset, unparsable, or zero mean
+/// [`DEFAULT_MAX_FRAME_LEN`].
+pub fn max_frame_len_from_env() -> u64 {
+    match std::env::var("CO_SERVER_MAX_FRAME")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => DEFAULT_MAX_FRAME_LEN,
+    }
+}
+
+/// Frames `body` into a standalone byte vector (header + body).
+///
+/// # Panics
+///
+/// If `body` is empty or longer than `u32::MAX` — both impossible for
+/// the bodies this crate's encoders produce.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    assert!(!body.is_empty(), "a frame body carries at least its kind");
+    let len = u32::try_from(body.len()).expect("frame body exceeds u32::MAX");
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&checksum(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes one frame to `w` and flushes.
+pub fn write_frame<W: Write>(mut w: W, body: &[u8]) -> Result<(), ProtocolError> {
+    w.write_all(&encode_frame(body))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Validates a frame header, returning the body length to read.
+fn parse_header(header: &[u8; FRAME_HEADER_LEN], max: u64) -> Result<(usize, u64), ProtocolError> {
+    let declared = u64::from(u32::from_le_bytes(
+        header[0..4].try_into().expect("4 bytes"),
+    ));
+    let expected = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    if declared == 0 {
+        return Err(ProtocolError::ZeroLengthFrame);
+    }
+    if declared > max {
+        return Err(ProtocolError::Oversized { declared, max });
+    }
+    Ok((declared as usize, expected))
+}
+
+/// Verifies `body` against the header's declared checksum.
+fn verify(body: &[u8], expected: u64) -> Result<(), ProtocolError> {
+    let actual = checksum(body);
+    if actual != expected {
+        return Err(ProtocolError::ChecksumMismatch { expected, actual });
+    }
+    Ok(())
+}
+
+/// Reads one frame from `r`, returning its verified body — or `None` for
+/// a clean end-of-stream (the peer closed between frames, the normal end
+/// of a session). EOF *inside* a frame is [`ProtocolError::Truncated`].
+pub fn read_frame<R: Read>(mut r: R, max: u64) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // Hand-rolled first read: zero bytes at a frame boundary is a clean
+    // close, not a truncation.
+    let mut have = 0usize;
+    while have < FRAME_HEADER_LEN {
+        let n = r.read(&mut header[have..])?;
+        if n == 0 {
+            if have == 0 {
+                return Ok(None);
+            }
+            return Err(ProtocolError::Truncated {
+                context: "frame header",
+            });
+        }
+        have += n;
+    }
+    let (len, expected) = parse_header(&header, max)?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated {
+                context: "frame body",
+            }
+        } else {
+            ProtocolError::Io(e)
+        }
+    })?;
+    verify(&body, expected)?;
+    Ok(Some(body))
+}
+
+/// Decodes `bytes` as exactly one frame, returning the verified body.
+/// Pure — the adversarial harness drives every truncation and bit flip
+/// through this. Shorter input than the frame promises is
+/// [`ProtocolError::Truncated`]; longer is [`ProtocolError::Malformed`]
+/// (a stream would mis-frame everything after).
+pub fn decode_frame(bytes: &[u8], max: u64) -> Result<&[u8], ProtocolError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(ProtocolError::Truncated {
+            context: "frame header",
+        });
+    }
+    let header: &[u8; FRAME_HEADER_LEN] = bytes[..FRAME_HEADER_LEN].try_into().expect("12 bytes");
+    let (len, expected) = parse_header(header, max)?;
+    let rest = &bytes[FRAME_HEADER_LEN..];
+    if rest.len() < len {
+        return Err(ProtocolError::Truncated {
+            context: "frame body",
+        });
+    }
+    if rest.len() > len {
+        return Err(ProtocolError::Malformed {
+            detail: format!("{} bytes after the declared frame end", rest.len() - len),
+        });
+    }
+    let body = &rest[..len];
+    verify(body, expected)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_streams_and_buffers() {
+        let body = b"\x01hello frame".to_vec();
+        let framed = encode_frame(&body);
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + body.len());
+        assert_eq!(
+            decode_frame(&framed, DEFAULT_MAX_FRAME_LEN).unwrap(),
+            &body[..]
+        );
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &body).unwrap();
+        write_frame(&mut stream, b"\x02").unwrap();
+        let mut r = stream.as_slice();
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap(),
+            body
+        );
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap(),
+            b"\x02"
+        );
+        // Clean end-of-stream at a frame boundary.
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn zero_length_and_oversize_are_rejected_before_allocation() {
+        let mut zero = encode_frame(b"x");
+        zero[0..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&zero, DEFAULT_MAX_FRAME_LEN).unwrap_err(),
+            ProtocolError::ZeroLengthFrame
+        ));
+        // A header declaring 4 GiB - 1 with no body behind it: rejected on
+        // the declaration alone — before allocation — not on truncation.
+        let mut huge = u32::MAX.to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0u8; 8]);
+        let err = decode_frame(&huge, DEFAULT_MAX_FRAME_LEN).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtocolError::Oversized { declared, max }
+                    if declared == u64::from(u32::MAX) && max == DEFAULT_MAX_FRAME_LEN
+            ),
+            "got: {err}"
+        );
+        // Same through the stream reader.
+        let err = read_frame(huge.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap_err();
+        assert!(matches!(err, ProtocolError::Oversized { .. }), "got: {err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut framed = encode_frame(b"\x01abc");
+        framed.push(0);
+        assert!(matches!(
+            decode_frame(&framed, DEFAULT_MAX_FRAME_LEN).unwrap_err(),
+            ProtocolError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_truncation_not_clean_close() {
+        let framed = encode_frame(b"\x01abcdef");
+        for cut in 1..framed.len() {
+            let err = read_frame(&framed[..cut], DEFAULT_MAX_FRAME_LEN).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Truncated { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn env_cap_parses_like_the_other_knobs() {
+        // Not an env-mutation test (process-wide state); just the parse.
+        assert_eq!(max_frame_len_from_env(), DEFAULT_MAX_FRAME_LEN);
+    }
+}

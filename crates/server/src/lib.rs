@@ -1,0 +1,245 @@
+//! # co-server — a multi-client serving layer with snapshot-isolated reads
+//!
+//! A threaded TCP front-end over one shared
+//! [`SharedEngine`] — many concurrent sessions
+//! submit programs and queries against a single hash-consed object store,
+//! and every read runs against a *pinned snapshot* — frozen, GC-protected,
+//! bit-identical to a single-threaded run quiesced at that version — while
+//! writers advance the head underneath (see `co_engine::shared` for why
+//! the store's immutable, never-recycled-id design makes this MVCC for
+//! free).
+//!
+//! ## Protocol
+//!
+//! Length-prefixed, checksummed [`frame`]s carry [`Request`]/[`Response`]
+//! messages; results ship back as co-wire snapshot payloads (the same
+//! hash-cons-aware encoding checkpoints use). Corruption anywhere —
+//! truncation at any byte, any single bit flip — yields a typed
+//! [`ProtocolError`], never a panic and never a silently-wrong reply
+//! (`tests/protocol_adversarial.rs` proves this exhaustively).
+//!
+//! ## Serving a store
+//!
+//! ```no_run
+//! use co_engine::{Engine, SharedEngine};
+//! use co_parser::parse_object;
+//! use co_server::{Client, Server, ServerConfig};
+//!
+//! let db = parse_object("[edge: {[s: a, t: b]}]").unwrap();
+//! let shared = SharedEngine::new(Engine::new(Default::default()), db);
+//! let handle = Server::bind(shared, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.snapshot().unwrap(); // pin: reads now snapshot-isolated
+//! let (_version, result) = client.query("[edge: {[s: X, t: Y]}]").unwrap();
+//! assert!(result.dot("edge").as_set().is_some());
+//! handle.shutdown();
+//! ```
+//!
+//! ## Knobs
+//!
+//! | env | default | meaning |
+//! |---|---|---|
+//! | `CO_SERVER_ADDR` | `127.0.0.1:0` | listen address (`:0` = ephemeral port) |
+//! | `CO_SERVER_MAX_SESSIONS` | `1024` | concurrent sessions before new connections are rejected with a typed `SessionLimit` error |
+//! | `CO_SERVER_MAX_FRAME` | 16 MiB | per-frame body cap, enforced before allocation |
+//!
+//! Engine-side knobs (`CO_ENGINE_THREADS`, `CO_GC_EVERY_ROUND`, …) apply
+//! unchanged — the serving layer adds no semantics of its own.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod client;
+mod error;
+pub mod frame;
+pub mod protocol;
+mod session;
+
+pub use client::{Advanced, Client, ClientError};
+pub use error::ProtocolError;
+pub use frame::{DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN};
+pub use protocol::{ErrorCode, Request, Response, StatsDigest};
+
+use co_engine::SharedEngine;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How the accept loop polls its shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+/// How long [`ServerHandle::shutdown`] waits for live sessions to drain
+/// before abandoning them (they die with the process; a session blocked
+/// on a read holds no server lock).
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(2);
+
+/// Listener configuration. [`ServerConfig::from_env`] reads the knobs
+/// documented at the crate root.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind (default `127.0.0.1:0` — an ephemeral port,
+    /// reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Concurrent-session cap; further connections get a typed
+    /// [`ErrorCode::SessionLimit`] rejection and are closed.
+    pub max_sessions: usize,
+    /// Per-frame body cap in bytes, enforced before allocation.
+    pub max_frame_len: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_sessions: 1024,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Configuration from `CO_SERVER_ADDR`, `CO_SERVER_MAX_SESSIONS`, and
+    /// `CO_SERVER_MAX_FRAME`; unset or unparsable variables keep the
+    /// defaults.
+    pub fn from_env() -> ServerConfig {
+        let mut cfg = ServerConfig::default();
+        if let Ok(addr) = std::env::var("CO_SERVER_ADDR") {
+            let addr = addr.trim();
+            if !addr.is_empty() {
+                cfg.addr = addr.to_owned();
+            }
+        }
+        if let Some(n) = std::env::var("CO_SERVER_MAX_SESSIONS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            cfg.max_sessions = n;
+        }
+        cfg.max_frame_len = frame::max_frame_len_from_env();
+        cfg
+    }
+}
+
+/// The serving front-end. [`Server::bind`] starts the accept loop and
+/// returns a [`ServerHandle`]; there is no long-lived `Server` value.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts accepting sessions against
+    /// `shared`. Each session runs on its own thread; reads are
+    /// snapshot-isolated per the [`co_engine::shared`] contract.
+    pub fn bind(shared: SharedEngine, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let active = Arc::clone(&active);
+            thread::Builder::new()
+                .name("co-server-accept".to_owned())
+                .spawn(move || accept_loop(listener, shared, config, shutdown, active))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            active,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: SharedEngine,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+) {
+    while !shutdown.load(Ordering::Acquire) {
+        // Drain everything queued, then sleep one poll tick.
+        loop {
+            match listener.accept() {
+                Ok((mut stream, _peer)) => {
+                    // Claim a session slot optimistically; hand it back if
+                    // over the cap (keeps the check race-free without a lock).
+                    if active.fetch_add(1, Ordering::AcqRel) >= config.max_sessions {
+                        active.fetch_sub(1, Ordering::AcqRel);
+                        session::send_session_limit(&mut stream, config.max_sessions);
+                        continue;
+                    }
+                    let shared = shared.clone();
+                    let session_active = Arc::clone(&active);
+                    let max_frame = config.max_frame_len;
+                    let spawned = thread::Builder::new()
+                        .name("co-server-session".to_owned())
+                        // Sessions keep almost nothing on the stack (the
+                        // engine's own workers do the deep recursion), so a
+                        // small stack lets thousands coexist.
+                        .stack_size(128 * 1024)
+                        .spawn(move || {
+                            session::serve_session(stream, shared, max_frame);
+                            session_active.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    if spawned.is_err() {
+                        active.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Transient accept failures (per-connection resets, fd
+                // pressure): keep serving the sessions that exist.
+                Err(_) => break,
+            }
+        }
+        thread::sleep(ACCEPT_POLL);
+    }
+}
+
+/// A running server: its bound address and its shutdown lever. Dropping
+/// the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (the real port when `addr` asked for
+    /// `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently being served.
+    pub fn active_sessions(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, then waits (bounded) for live sessions to drain.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let deadline = Instant::now() + SHUTDOWN_DRAIN;
+        while self.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            thread::sleep(ACCEPT_POLL);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}

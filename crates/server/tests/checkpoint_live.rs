@@ -1,0 +1,154 @@
+//! Regression: a checkpoint of the shared head must not block reads (or
+//! writes) while sessions hold pinned roots.
+//!
+//! The lever is a *gating writer*: an `io::Write` that parks the
+//! checkpoint on its very first byte until the test releases it. While
+//! the checkpoint is provably mid-write, server sessions pin snapshots,
+//! query, and commit advances to completion — none of which would finish
+//! if `SharedEngine::checkpoint_to` held the head lock (or the writer
+//! mutex) across serialization.
+
+use co_engine::{Engine, SharedEngine};
+use co_parser::parse_object;
+use co_server::{Client, Server, ServerConfig};
+use std::io::{self, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared gate state: `started` flips when the checkpoint reaches the
+/// writer; `released` lets it proceed.
+#[derive(Default)]
+struct GateState {
+    started: bool,
+    released: bool,
+}
+
+#[derive(Clone, Default)]
+struct Gate {
+    state: Arc<(Mutex<GateState>, Condvar)>,
+}
+
+impl Gate {
+    /// Blocks until the checkpoint has hit the gate (is mid-write).
+    fn wait_started(&self) {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        while !st.started {
+            st = cvar.wait(st).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        let (lock, cvar) = &*self.state;
+        lock.lock().unwrap().released = true;
+        cvar.notify_all();
+    }
+
+    fn is_released(&self) -> bool {
+        self.state.0.lock().unwrap().released
+    }
+}
+
+/// The gating writer: parks on the first byte, then sinks into a buffer
+/// so the finished checkpoint can be verified byte-for-byte.
+struct GatingWriter {
+    gate: Gate,
+    parked_once: bool,
+    sink: Vec<u8>,
+}
+
+impl Write for GatingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if !self.parked_once {
+            self.parked_once = true;
+            let (lock, cvar) = &*self.gate.state;
+            let mut st = lock.lock().unwrap();
+            st.started = true;
+            cvar.notify_all();
+            while !st.released {
+                st = cvar.wait(st).unwrap();
+            }
+        }
+        self.sink.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn checkpoint_mid_write_blocks_neither_readers_nor_writers() {
+    let seed = parse_object("[edge: {[s: a, t: b], [s: b, t: c]}]").unwrap();
+    let shared = SharedEngine::new(Engine::new(Default::default()), seed);
+    let handle = Server::bind(shared.clone(), ServerConfig::default()).unwrap();
+
+    // A session pins a root *before* the checkpoint starts — the exact
+    // state the original hazard was about.
+    let mut pinned_session = Client::connect(handle.addr()).unwrap();
+    let (pinned_version, _) = pinned_session.snapshot().unwrap();
+    assert_eq!(pinned_version, 1);
+    let (_, frozen) = pinned_session.query("[edge: {[s: X, t: Y]}]").unwrap();
+
+    let gate = Gate::default();
+    let checkpoint = {
+        let gate = gate.clone();
+        let shared = shared.clone();
+        std::thread::spawn(move || {
+            let mut w = GatingWriter {
+                gate,
+                parked_once: false,
+                sink: Vec::new(),
+            };
+            let (stats, pinned) = shared.checkpoint_to(&mut w).unwrap();
+            (stats, pinned.version(), w.sink)
+        })
+    };
+    gate.wait_started();
+    assert!(!gate.is_released(), "the checkpoint is parked mid-write");
+
+    // While parked: fresh sessions connect, pin, read, and commit —
+    // deterministically concurrent with the in-flight checkpoint.
+    let mut live = Client::connect(handle.addr()).unwrap();
+    live.ping().unwrap();
+    let (v, _) = live.snapshot().unwrap();
+    assert_eq!(v, 1);
+    let (_, seen) = live.query("[edge: {[s: X, t: Y]}]").unwrap();
+    assert_eq!(seen.node_id(), frozen.node_id());
+    live.release().unwrap();
+    let out = live.advance("[edge: {[s: c, t: d]}].").unwrap();
+    assert_eq!(out.version, 2);
+    let (_, after) = pinned_session.query("[edge: {[s: X, t: Y]}]").unwrap();
+    assert_eq!(after.node_id(), frozen.node_id(), "pin survives everything");
+
+    // Only now let the checkpoint finish; it wrote the version it pinned
+    // (1 — the head moved to 2 after it started), and the bytes decode to
+    // a snapshot whose first root is that frozen database.
+    gate.release();
+    let (stats, ckpt_version, bytes) = checkpoint.join().unwrap();
+    assert_eq!(ckpt_version, 1);
+    assert!(stats.nodes > 0);
+    let snap = co_wire::read_snapshot(bytes.as_slice()).unwrap();
+    assert_eq!(
+        snap.roots[0].dot("edge").as_set().unwrap().len(),
+        2,
+        "the checkpoint froze version 1, not the concurrently advanced head"
+    );
+
+    // And a checkpoint taken after the advance sees version 2.
+    let mut w = GatingWriter {
+        gate: {
+            let g = Gate::default();
+            g.release(); // no parking this time
+            g
+        },
+        parked_once: true,
+        sink: Vec::new(),
+    };
+    let (_, pinned) = shared.checkpoint_to(&mut w).unwrap();
+    assert_eq!(pinned.version(), 2);
+    let snap = co_wire::read_snapshot(w.sink.as_slice()).unwrap();
+    assert_eq!(snap.roots[0].dot("edge").as_set().unwrap().len(), 3);
+
+    handle.shutdown();
+}

@@ -50,6 +50,12 @@
 //!   `Engine::checkpoint` / `Engine::restore` /
 //!   `Engine::restore_chain` build on it, auto-selecting deltas while a
 //!   checkpoint chain is live.
+//! - [`server`] (`crates/server`, `co_server`) — the multi-client serving
+//!   layer: a threaded TCP front-end over one
+//!   [`engine::SharedEngine`], where each session reads against a pinned
+//!   snapshot (bit-identical to a single-threaded run quiesced at that
+//!   version) while writers advance the head, and results ship back as
+//!   checksummed co-wire frames.
 //!
 //! Two more pieces are not re-exported: `crates/bench` (`co_bench`,
 //! workload builders, experiment binaries, and the criterion benches) and
@@ -84,6 +90,7 @@ pub use co_object as object;
 pub use co_parser as parser;
 pub use co_relational as relational;
 pub use co_schema as schema;
+pub use co_server as server;
 pub use co_wire as wire;
 
 /// Convenient single-import surface for applications and examples.
@@ -91,7 +98,9 @@ pub mod prelude {
     pub use co_calculus::{
         apply_program, apply_rule, interpret, Formula, MatchPolicy, Program, Rule, Substitution,
     };
-    pub use co_engine::{ClosureMode, Engine, EvalStats, Guard, Parallelism, Strategy};
+    pub use co_engine::{
+        ClosureMode, Engine, EvalStats, Guard, Parallelism, SharedEngine, Strategy,
+    };
     pub use co_object::{obj, Atom, Attr, Object};
     pub use co_parser::{parse_formula, parse_object, parse_program, parse_rule};
     pub use co_relational::{Database, Relation};

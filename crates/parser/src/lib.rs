@@ -40,5 +40,7 @@ mod token;
 pub use ast::{ProgramAst, RuleAst, Term, TermKind};
 pub use error::{ParseError, Span};
 pub use lexer::lex;
-pub use parser::{parse_formula, parse_object, parse_program, parse_rule, parse_term};
+pub use parser::{
+    parse_formula, parse_object, parse_program, parse_rule, parse_term, MAX_NESTING_DEPTH,
+};
 pub use token::{Token, TokenKind};

@@ -17,9 +17,21 @@ use crate::lexer::lex;
 use crate::{ParseError, ProgramAst, RuleAst, Term, TermKind, Token, TokenKind};
 use co_object::Atom;
 
+/// How deep tuples/sets may nest before parsing fails with a typed
+/// error. The parser (and everything downstream of it — conversion,
+/// normalization, interpretation — whose recursion is bounded by AST
+/// depth) is recursive-descent, so without a cap a few kilobytes of
+/// `[a: [a: …` from an untrusted peer could overflow the thread stack.
+/// 128 is far beyond any real schema while keeping worst-case recursion
+/// trivially within a default stack.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current tuple/set nesting depth, checked against
+    /// [`MAX_NESTING_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
@@ -49,6 +61,17 @@ impl Parser {
 
     fn at_eof(&self) -> bool {
         self.peek().kind == TokenKind::Eof
+    }
+
+    fn descend(&mut self, span: crate::Span) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(ParseError::new(
+                format!("nesting deeper than {MAX_NESTING_DEPTH} levels"),
+                span,
+            ));
+        }
+        Ok(())
     }
 
     fn term(&mut self) -> Result<Term, ParseError> {
@@ -152,6 +175,7 @@ impl Parser {
 
     fn tuple(&mut self) -> Result<Term, ParseError> {
         let open = self.expect(&TokenKind::LBracket)?;
+        self.descend(open.span)?;
         let mut entries = Vec::new();
         if self.peek().kind != TokenKind::RBracket {
             loop {
@@ -167,6 +191,7 @@ impl Parser {
             }
         }
         let close = self.expect(&TokenKind::RBracket)?;
+        self.depth -= 1;
         Ok(Term {
             kind: TermKind::Tuple(entries),
             span: open.span.to(close.span),
@@ -175,6 +200,7 @@ impl Parser {
 
     fn set(&mut self) -> Result<Term, ParseError> {
         let open = self.expect(&TokenKind::LBrace)?;
+        self.descend(open.span)?;
         let mut elems = Vec::new();
         if self.peek().kind != TokenKind::RBrace {
             loop {
@@ -187,6 +213,7 @@ impl Parser {
             }
         }
         let close = self.expect(&TokenKind::RBrace)?;
+        self.depth -= 1;
         Ok(Term {
             kind: TermKind::Set(elems),
             span: open.span.to(close.span),
@@ -231,6 +258,7 @@ fn parser_for(src: &str) -> Result<Parser, ParseError> {
     Ok(Parser {
         tokens: lex(src)?,
         pos: 0,
+        depth: 0,
     })
 }
 
@@ -418,6 +446,52 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         assert!(parse_object("{1, 2} extra").is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_capped_with_a_typed_error() {
+        // Adversarial input: a few KB of openers would otherwise recurse
+        // thousands of frames deep. Never a stack overflow — a ParseError.
+        for deep in [
+            "{".repeat(10_000),
+            "[a: ".repeat(10_000),
+            format!("{}X{}", "{[a: ".repeat(5_000), "]}".repeat(5_000)),
+        ] {
+            let e = parse_term(&deep).unwrap_err();
+            assert!(e.message.contains("nesting deeper"), "got: {e}");
+            assert!(parse_program(&format!("{deep}.")).is_err());
+        }
+        // Exactly at the cap still parses.
+        let at_cap = format!(
+            "{}1{}",
+            "{".repeat(MAX_NESTING_DEPTH),
+            "}".repeat(MAX_NESTING_DEPTH)
+        );
+        assert!(parse_term(&at_cap).is_ok());
+        let over = format!(
+            "{}1{}",
+            "{".repeat(MAX_NESTING_DEPTH + 1),
+            "}".repeat(MAX_NESTING_DEPTH + 1)
+        );
+        assert!(parse_term(&over).is_err());
+        // Depth is nesting, not total node count: wide-but-shallow is fine.
+        let wide = format!(
+            "{{{}}}",
+            (0..2_000)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        assert!(parse_object(&wide).is_ok());
+        // Siblings each get the full budget (depth unwinds between them).
+        let siblings = format!(
+            "[a: {}1{}, b: {}2{}]",
+            "{".repeat(MAX_NESTING_DEPTH - 1),
+            "}".repeat(MAX_NESTING_DEPTH - 1),
+            "{".repeat(MAX_NESTING_DEPTH - 1),
+            "}".repeat(MAX_NESTING_DEPTH - 1)
+        );
+        assert!(parse_term(&siblings).is_ok());
     }
 
     #[test]

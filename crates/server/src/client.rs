@@ -81,17 +81,30 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects a new session. The frame cap mirrors the server's
-    /// (`CO_SERVER_MAX_FRAME`), since responses carry whole result
-    /// objects.
+    /// Connects a new session. The frame cap mirrors the server's env
+    /// default (`CO_SERVER_MAX_FRAME`), since responses carry whole
+    /// result objects. Talking to a server configured programmatically
+    /// with a different [`ServerConfig::max_frame_len`]? Use
+    /// [`Client::connect_with`] so large valid responses are not
+    /// rejected as oversized.
+    ///
+    /// [`ServerConfig::max_frame_len`]: crate::ServerConfig::max_frame_len
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with(addr, crate::frame::max_frame_len_from_env())
+    }
+
+    /// Connects a new session accepting response frames up to
+    /// `max_frame` bytes — pass the serving
+    /// [`ServerConfig::max_frame_len`](crate::ServerConfig::max_frame_len)
+    /// when it differs from the `CO_SERVER_MAX_FRAME` env default.
+    pub fn connect_with(addr: impl ToSocketAddrs, max_frame: u64) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr).map_err(ProtocolError::from)?;
         stream.set_nodelay(true).map_err(ProtocolError::from)?;
         let reader = BufReader::new(stream.try_clone().map_err(ProtocolError::from)?);
         Ok(Client {
             reader,
             writer: BufWriter::new(stream),
-            max_frame: crate::frame::max_frame_len_from_env(),
+            max_frame,
         })
     }
 

@@ -97,7 +97,13 @@ pub fn read_frame<R: Read>(mut r: R, max: u64) -> Result<Option<Vec<u8>>, Protoc
     // close, not a truncation.
     let mut have = 0usize;
     while have < FRAME_HEADER_LEN {
-        let n = r.read(&mut header[have..])?;
+        // Retry EINTR like read_exact does for the body — a stray signal
+        // must not tear down the session.
+        let n = match r.read(&mut header[have..]) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        };
         if n == 0 {
             if have == 0 {
                 return Ok(None);

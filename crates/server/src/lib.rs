@@ -154,6 +154,16 @@ impl Server {
     }
 }
 
+/// Releases one claimed session slot on drop — even when the session
+/// thread unwinds from a panic mid-request.
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     shared: SharedEngine,
@@ -174,21 +184,23 @@ fn accept_loop(
                         continue;
                     }
                     let shared = shared.clone();
-                    let session_active = Arc::clone(&active);
+                    // The guard owns the claimed slot: it decrements on
+                    // drop, so the slot is released whether the session
+                    // returns, unwinds from a panic, or the spawn itself
+                    // fails (the closure is dropped unrun) — a panicking
+                    // handler can never ratchet `active` up to the cap.
+                    let slot = SlotGuard(Arc::clone(&active));
                     let max_frame = config.max_frame_len;
-                    let spawned = thread::Builder::new()
+                    // Default-size stacks: sessions run the recursive-descent
+                    // parser and interpreter on client-supplied text, and the
+                    // pages beyond what a session actually touches are never
+                    // committed, so thousands still coexist cheaply.
+                    let _ = thread::Builder::new()
                         .name("co-server-session".to_owned())
-                        // Sessions keep almost nothing on the stack (the
-                        // engine's own workers do the deep recursion), so a
-                        // small stack lets thousands coexist.
-                        .stack_size(128 * 1024)
                         .spawn(move || {
+                            let _slot = slot;
                             session::serve_session(stream, shared, max_frame);
-                            session_active.fetch_sub(1, Ordering::AcqRel);
                         });
-                    if spawned.is_err() {
-                        active.fetch_sub(1, Ordering::AcqRel);
-                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 // Transient accept failures (per-connection resets, fd

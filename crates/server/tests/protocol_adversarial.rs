@@ -240,3 +240,40 @@ fn live_server_answers_corruption_with_typed_errors_and_survives() {
     assert_eq!(version, 1);
     handle.shutdown();
 }
+
+/// A well-formed frame carrying a pathologically nested formula must not
+/// recurse the session thread's parser off its stack (which would abort
+/// the whole process — an unauthenticated remote DoS). The parser's
+/// nesting cap types the failure as an ordinary `Parse` error and the
+/// session keeps serving.
+#[test]
+fn deeply_nested_input_is_a_parse_error_not_a_stack_overflow() {
+    let shared = SharedEngine::new(
+        Engine::new(Default::default()),
+        parse_object("[edge: {[s: a, t: b]}]").unwrap(),
+    );
+    let handle = Server::bind(shared, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // ~50 KB of openers — a few thousand nesting levels, far past any
+    // realistic stack if recursion were unbounded.
+    let bomb = format!("{}X{}", "{[a: ".repeat(5_000), "]}".repeat(5_000));
+    for (what, result) in [
+        ("query", client.query(&bomb).map(|_| ())),
+        ("eval", client.eval(&format!("{bomb}.")).map(|_| ())),
+        ("advance", client.advance(&format!("{bomb}.")).map(|_| ())),
+    ] {
+        match result {
+            Err(co_server::ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::Parse, "{what}");
+                assert!(message.contains("nesting deeper"), "{what}: {message}");
+            }
+            other => panic!("{what}: expected a typed Parse error, got {other:?}"),
+        }
+    }
+
+    // The session survived all three — an application error, not poison.
+    client.ping().unwrap();
+    assert!(client.query("[edge: {[s: X, t: Y]}]").is_ok());
+    handle.shutdown();
+}

@@ -1,27 +1,51 @@
-//! Load generator for the serving layer: hundreds of concurrent client
-//! sessions against one shared store, measuring throughput and
-//! per-request latency percentiles.
+//! Open-loop load generator for the serving layer: hundreds of
+//! concurrent client sessions against one shared store, measuring
+//! throughput and **coordinated-omission-free** latency percentiles for
+//! both serving cores at equal offered load.
+//!
+//! ## Open-loop arrival
+//!
+//! The PR 7 loadgen was closed-loop: each session sent its next request
+//! only after the previous reply, so whenever the server queued, the
+//! generator slowed down *with* it and the recorded percentiles silently
+//! dropped exactly the requests that would have hurt — the classic
+//! coordinated-omission trap. This generator is open-loop (wrk2-style):
+//! every virtual client precomputes a fixed-rate arrival schedule
+//! (uniform or Poisson inter-arrivals) and measures each request's
+//! latency from its **intended** send time, not its actual one. A
+//! request stuck behind a queueing stall is charged the whole stall,
+//! whether the stall delayed its send or its reply.
 //!
 //! Every session is a real `co_server::Client` over TCP against an
-//! in-process `Server`. All sessions connect and pin a snapshot **before**
-//! a start barrier drops, so the recorded concurrency is genuine — the
+//! in-process `Server`. All sessions connect and pin a snapshot before a
+//! start barrier drops, so the recorded concurrency is genuine — the
 //! binary aborts unless the server confirms every session live at the
 //! barrier. The mix: every session runs selective queries against its
 //! pinned snapshot; one session in 32 doubles as a writer committing
 //! fresh facts, so reads race commits the entire run.
 //!
-//! Knobs (defaults in parentheses): `CO_LOADGEN_SESSIONS` (256),
-//! `CO_LOADGEN_REQUESTS` (16 per session), `CO_LOADGEN_OUT`
-//! (`BENCH_pr7.json`). Results append as JSON records shaped like the
-//! criterion-shim BENCH files: one `mixed/` summary row plus per-class
-//! latency rows, each stamped with `cores` and the `CO_*` environment.
+//! ## Knobs
+//!
+//! Defaults in parentheses: `CO_LOADGEN_SESSIONS` (256),
+//! `CO_LOADGEN_REQUESTS` (32 schedule slots per session),
+//! `CO_LOADGEN_RPS` (4000 — *aggregate* offered load, split evenly
+//! across sessions; the default deliberately sits past the single-core
+//! saturation knee, where queueing discipline decides the tail),
+//! `CO_LOADGEN_DIST` (`poisson`; or `uniform`),
+//! `CO_LOADGEN_CORES` (`both`; or `pool` / `threaded`), `CO_LOADGEN_OUT`
+//! (`BENCH_pr8.json`). Results append as JSON records shaped like the
+//! criterion-shim BENCH files: per core, one `mixed/` summary row plus
+//! per-class latency rows, each stamped with `cores` and the `CO_*`
+//! environment.
 //!
 //! Run with `cargo run --release -p co-bench --bin loadgen`.
 
 use co_engine::{Engine, SharedEngine};
-use co_server::{Client, Server, ServerConfig};
+use co_server::{Client, Server, ServerConfig, ServingCore};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -50,6 +74,59 @@ fn machine_context_json() -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!("\"cores\": {cores}, \"co_env\": {{{env}}}")
+}
+
+/// Arrival-schedule shape: fixed interval or Poisson process, at the
+/// same mean rate.
+#[derive(Clone, Copy, PartialEq)]
+enum Dist {
+    Uniform,
+    Poisson,
+}
+
+impl Dist {
+    fn from_env() -> Dist {
+        match std::env::var("CO_LOADGEN_DIST").as_deref() {
+            Ok("uniform") => Dist::Uniform,
+            _ => Dist::Poisson,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Dist::Uniform => "uniform",
+            Dist::Poisson => "poisson",
+        }
+    }
+}
+
+/// A uniform sample in `[0, 1)` from the top 53 bits of one word.
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The intended send offsets (from the session's start instant) for one
+/// virtual client: `slots` arrivals at mean rate `rate` per second.
+/// Deterministic per session id. Uniform schedules get a random phase so
+/// sessions don't all fire in lockstep; Poisson schedules are memoryless
+/// already.
+fn schedule(id: usize, slots: usize, rate: f64, dist: Dist) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(0x00be_10af * 31 + id as u64);
+    let interval = 1.0 / rate;
+    let mut t = match dist {
+        Dist::Uniform => unit(&mut rng) * interval,
+        Dist::Poisson => 0.0,
+    };
+    (0..slots)
+        .map(|_| {
+            t += match dist {
+                Dist::Uniform => interval,
+                // Exponential inter-arrival: -ln(U)/λ, U in (0, 1].
+                Dist::Poisson => -(1.0 - unit(&mut rng)).ln() * interval,
+            };
+            Duration::from_secs_f64(t)
+        })
+        .collect()
 }
 
 /// Latencies for one request class, in nanoseconds.
@@ -88,54 +165,88 @@ impl Series {
 struct SessionResult {
     queries: Series,
     advances: Series,
+    /// Slots whose actual send lagged their intended time (the open-loop
+    /// generator fell behind; their latencies still start at the intent).
+    late_sends: usize,
 }
 
-/// One simulated client session: pin a snapshot, then run the request
-/// mix, timing each call.
+/// One simulated client session: pin a snapshot, then fire the arrival
+/// schedule, measuring each request from its intended send time.
 fn session(
     addr: std::net::SocketAddr,
     id: usize,
-    requests: usize,
+    arrivals: Vec<Duration>,
     start: Arc<Barrier>,
 ) -> SessionResult {
     let mut client = Client::connect(addr).expect("connect");
     let (version, _) = client.snapshot().expect("pin snapshot");
     let is_writer = id.is_multiple_of(32);
     start.wait();
+    let t0 = Instant::now();
 
     let mut queries = Series::default();
     let mut advances = Series::default();
-    for step in 0..requests {
-        // Selective point query against the frozen snapshot: one join
-        // class out of eight.
-        let formula = format!("[r1: {{[a: X, b: {}]}}]", (id + step) % 8);
-        let t = Instant::now();
-        let (v, result) = client.query(&formula).expect("query");
-        queries.ns.push(t.elapsed().as_nanos() as u64);
-        assert_eq!(v, version, "pinned reads must stay at their version");
-        assert!(
-            result.dot("r1").as_set().is_some(),
-            "a selective query over the seed relation matches"
-        );
-        if is_writer && step % 4 == 3 {
-            let fact = format!("[r1: {{[a: w{id}x{step}, b: w]}}].");
-            let t = Instant::now();
+    let mut late_sends = 0;
+    for (slot, intended) in arrivals.into_iter().enumerate() {
+        // Wait for the intended send time — but never *skip* a late slot:
+        // lateness is exactly what closed-loop generators omit.
+        let now = t0.elapsed();
+        if now < intended {
+            std::thread::sleep(intended - now);
+        } else if now > intended {
+            late_sends += 1;
+        }
+        if is_writer && slot % 4 == 3 {
+            let fact = format!("[r1: {{[a: w{id}x{slot}, b: w]}}].");
             client.advance(&fact).expect("advance");
-            advances.ns.push(t.elapsed().as_nanos() as u64);
+            advances
+                .ns
+                .push((t0.elapsed() - intended).as_nanos() as u64);
+        } else {
+            // Selective point query against the frozen snapshot: one join
+            // class out of eight.
+            let formula = format!("[r1: {{[a: X, b: {}]}}]", (id + slot) % 8);
+            let (v, result) = client.query(&formula).expect("query");
+            queries.ns.push((t0.elapsed() - intended).as_nanos() as u64);
+            assert_eq!(v, version, "pinned reads must stay at their version");
+            assert!(
+                result.dot("r1").as_set().is_some(),
+                "a selective query over the seed relation matches"
+            );
         }
     }
-    SessionResult { queries, advances }
+    SessionResult {
+        queries,
+        advances,
+        late_sends,
+    }
 }
 
-fn main() {
-    let sessions = env_usize("CO_LOADGEN_SESSIONS", 256);
-    let requests = env_usize("CO_LOADGEN_REQUESTS", 16);
-    let out = std::env::var("CO_LOADGEN_OUT").unwrap_or_else(|_| "BENCH_pr7.json".to_owned());
+struct CoreReport {
+    core_name: &'static str,
+    concurrent: usize,
+    wall: Duration,
+    total: usize,
+    late_sends: usize,
+    queries: Series,
+    advances: Series,
+}
 
-    // One shared store: a two-relation join database, eight join classes.
+/// Runs the full open-loop experiment against one serving core.
+fn run_core(
+    core: ServingCore,
+    core_name: &'static str,
+    sessions: usize,
+    requests: usize,
+    rate_per_session: f64,
+    dist: Dist,
+) -> CoreReport {
+    // One shared store per run: a two-relation join database, eight join
+    // classes. Fresh per core so both cores serve identical state.
     let shared = SharedEngine::new(Engine::new(Default::default()), co_bench::join_db(512, 8));
     let config = ServerConfig {
         max_sessions: sessions + 8,
+        core,
         ..ServerConfig::default()
     };
     let handle = Server::bind(shared, config).expect("bind");
@@ -146,9 +257,10 @@ fn main() {
     let workers: Vec<_> = (0..sessions)
         .map(|id| {
             let start = Arc::clone(&start);
+            let arrivals = schedule(id, requests, rate_per_session, dist);
             std::thread::Builder::new()
                 .stack_size(256 * 1024)
-                .spawn(move || session(addr, id, requests, start))
+                .spawn(move || session(addr, id, arrivals, start))
                 .expect("spawn session thread")
         })
         .collect();
@@ -158,40 +270,107 @@ fn main() {
         concurrent >= sessions,
         "only {concurrent}/{sessions} sessions live at the barrier"
     );
-    eprintln!("loadgen: {concurrent} concurrent sessions live, measuring…");
+    eprintln!("loadgen[{core_name}]: {concurrent} concurrent sessions live, measuring…");
 
     let t0 = Instant::now();
     let mut queries = Series::default();
     let mut advances = Series::default();
+    let mut late_sends = 0;
     for w in workers {
         let r = w.join().expect("session thread");
         queries.merge(r.queries);
         advances.merge(r.advances);
+        late_sends += r.late_sends;
     }
     let wall = t0.elapsed();
-    handle.shutdown();
-
+    assert_eq!(handle.shutdown(), 0, "sessions must drain at shutdown");
     let total = queries.ns.len() + advances.ns.len();
-    let throughput = total as f64 / wall.as_secs_f64();
+    CoreReport {
+        core_name,
+        concurrent,
+        wall,
+        total,
+        late_sends,
+        queries,
+        advances,
+    }
+}
+
+fn main() {
+    let sessions = env_usize("CO_LOADGEN_SESSIONS", 256);
+    let requests = env_usize("CO_LOADGEN_REQUESTS", 32);
+    let offered_rps = env_usize("CO_LOADGEN_RPS", 4000) as f64;
+    let dist = Dist::from_env();
+    let out = std::env::var("CO_LOADGEN_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_owned());
+    let rate_per_session = offered_rps / sessions as f64;
+
+    let cores: Vec<(ServingCore, &str)> = match std::env::var("CO_LOADGEN_CORES").as_deref() {
+        Ok("pool") => vec![(ServingCore::WorkerPool, "pool")],
+        Ok("threaded") => vec![(ServingCore::ThreadPerSession, "threaded")],
+        _ => vec![
+            (ServingCore::ThreadPerSession, "threaded"),
+            (ServingCore::WorkerPool, "pool"),
+        ],
+    };
+
     let context = machine_context_json();
-    let json = format!(
-        "[\n  {{\"bench\": \"server_loadgen\", \"id\": \"mixed/{sessions}_sessions\", \
-         \"sessions\": {sessions}, \"concurrent_sessions\": {concurrent}, \
-         \"requests\": {total}, \"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, {context}}},\n\
-         {},\n{}\n]\n",
-        wall.as_secs_f64() * 1e3,
-        throughput,
-        queries.row(&format!("query_latency/{sessions}_sessions"), &context),
-        advances.row(&format!("advance_latency/{sessions}_sessions"), &context),
-    );
+    let mut rows: Vec<String> = Vec::new();
+    let mut reports: Vec<CoreReport> = Vec::new();
+    for (core, name) in cores {
+        let mut r = run_core(core, name, sessions, requests, rate_per_session, dist);
+        let throughput = r.total as f64 / r.wall.as_secs_f64();
+        rows.push(format!(
+            "  {{\"bench\": \"server_loadgen\", \"id\": \"mixed/{name}/{sessions}_sessions\", \
+             \"core\": \"{name}\", \"sessions\": {sessions}, \
+             \"concurrent_sessions\": {}, \"requests\": {}, \
+             \"offered_rps\": {offered_rps:.1}, \"dist\": \"{}\", \
+             \"late_sends\": {}, \"wall_ms\": {:.1}, \"throughput_rps\": {throughput:.1}, \
+             {context}}}",
+            r.concurrent,
+            r.total,
+            dist.name(),
+            r.late_sends,
+            r.wall.as_secs_f64() * 1e3,
+        ));
+        rows.push(r.queries.row(
+            &format!("query_latency/{name}/{sessions}_sessions"),
+            &context,
+        ));
+        rows.push(r.advances.row(
+            &format!("advance_latency/{name}/{sessions}_sessions"),
+            &context,
+        ));
+        eprintln!(
+            "loadgen[{name}]: {} requests over {} sessions in {:.2}s → {:.0} req/s \
+             (offered {offered_rps:.0} {}), query p50 {} µs, p99 {} µs, {} late sends",
+            r.total,
+            r.concurrent,
+            r.wall.as_secs_f64(),
+            throughput,
+            dist.name(),
+            r.queries.percentile(0.50) / 1_000,
+            r.queries.percentile(0.99) / 1_000,
+            r.late_sends,
+        );
+        reports.push(r);
+    }
+
+    if let [threaded, pool] = &reports[..] {
+        let (tp99, pp99) = (
+            threaded.queries.percentile(0.99),
+            pool.queries.percentile(0.99),
+        );
+        eprintln!(
+            "loadgen: open-loop query p99 at equal offered load: {} {} µs vs {} {} µs",
+            threaded.core_name,
+            tp99 / 1_000,
+            pool.core_name,
+            pp99 / 1_000,
+        );
+    }
+
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
     std::fs::write(&out, &json).expect("write BENCH json");
     println!("{json}");
-    eprintln!(
-        "loadgen: {total} requests over {concurrent} sessions in {:.2}s → {:.0} req/s \
-         (p50 query {} µs, p99 {} µs) → {out}",
-        wall.as_secs_f64(),
-        throughput,
-        queries.percentile(0.50) / 1_000,
-        queries.percentile(0.99) / 1_000,
-    );
+    eprintln!("loadgen: → {out}");
 }

@@ -1,6 +1,6 @@
 //! # co-server — a multi-client serving layer with snapshot-isolated reads
 //!
-//! A threaded TCP front-end over one shared
+//! A TCP front-end over one shared
 //! [`SharedEngine`] — many concurrent sessions
 //! submit programs and queries against a single hash-consed object store,
 //! and every read runs against a *pinned snapshot* — frozen, GC-protected,
@@ -9,14 +9,37 @@
 //! the store's immutable, never-recycled-id design makes this MVCC for
 //! free).
 //!
+//! ## Serving cores
+//!
+//! Two interchangeable I/O cores drive the same application layer
+//! ([`protocol::handle`]), selected by [`ServerConfig::core`] /
+//! `CO_SERVER_CORE`:
+//!
+//! - [`ServingCore::WorkerPool`] (default) — a readiness-driven reactor:
+//!   one thread `poll(2)`s the whole session fd set (nonblocking sockets,
+//!   the vendored `polling` shim — no async runtime), reassembles frames
+//!   incrementally, and feeds bounded per-session queues drained by a
+//!   fixed worker pool. Full queues pause the socket (TCP pushes back to
+//!   the client); a server-wide in-flight cap answers excess requests
+//!   with typed [`ErrorCode::Overloaded`] rejections instead of
+//!   collapsing.
+//! - [`ServingCore::ThreadPerSession`] — the classic one-thread-per
+//!   -connection core: simple, and the baseline the load generator
+//!   compares the pool against.
+//!
+//! Both cores share every session semantics: the MVCC contract, the
+//! typed-error protocol discipline, and shutdown that wakes and drains
+//! idle sessions (`active_sessions` reaches zero).
+//!
 //! ## Protocol
 //!
 //! Length-prefixed, checksummed [`frame`]s carry [`Request`]/[`Response`]
 //! messages; results ship back as co-wire snapshot payloads (the same
 //! hash-cons-aware encoding checkpoints use). Corruption anywhere —
-//! truncation at any byte, any single bit flip — yields a typed
-//! [`ProtocolError`], never a panic and never a silently-wrong reply
-//! (`tests/protocol_adversarial.rs` proves this exhaustively).
+//! truncation at any byte, any single bit flip, frames fragmented across
+//! readiness wakeups — yields a typed [`ProtocolError`], never a panic
+//! and never a silently-wrong reply (`tests/protocol_adversarial.rs`
+//! proves this exhaustively against both cores).
 //!
 //! ## Serving a store
 //!
@@ -41,11 +64,17 @@
 //! | env | default | meaning |
 //! |---|---|---|
 //! | `CO_SERVER_ADDR` | `127.0.0.1:0` | listen address (`:0` = ephemeral port) |
+//! | `CO_SERVER_CORE` | `pool` | serving core: `pool` (reactor + workers) or `threaded` (thread per session) |
+//! | `CO_SERVER_WORKERS` | `0` (auto) | worker threads for the pool core; `0` = `max(2 × available_parallelism, 4)` (workers can park on the engine's writer mutex, so the pool oversubscribes the cores) |
+//! | `CO_SERVER_SESSION_QUEUE` | `16` | per-session queued-request bound; at the bound the socket stops being read (backpressure) |
+//! | `CO_SERVER_MAX_INFLIGHT` | `1024` | server-wide admitted-request cap; beyond it requests get a typed `Overloaded` rejection |
 //! | `CO_SERVER_MAX_SESSIONS` | `1024` | concurrent sessions before new connections are rejected with a typed `SessionLimit` error |
 //! | `CO_SERVER_MAX_FRAME` | 16 MiB | per-frame body cap, enforced before allocation |
 //!
-//! Engine-side knobs (`CO_ENGINE_THREADS`, `CO_GC_EVERY_ROUND`, …) apply
-//! unchanged — the serving layer adds no semantics of its own.
+//! A set-but-unparsable value keeps the default **and prints a one-line
+//! stderr warning** naming the variable and the rejected value. Engine
+//! knobs (`CO_ENGINE_THREADS`, `CO_GC_EVERY_ROUND`, …) apply unchanged —
+//! the serving layer adds no semantics of its own.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -53,13 +82,15 @@
 mod client;
 mod error;
 pub mod frame;
+mod pool;
 pub mod protocol;
+mod reactor;
 mod session;
 
 pub use client::{Advanced, Client, ClientError};
 pub use error::ProtocolError;
-pub use frame::{DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN};
-pub use protocol::{ErrorCode, Request, Response, StatsDigest};
+pub use frame::{FrameDecoder, DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN};
+pub use protocol::{handle, ErrorCode, Request, Response, SessionState, StatsDigest};
 
 use co_engine::SharedEngine;
 use std::io;
@@ -69,12 +100,48 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// How the accept loop polls its shutdown flag.
+/// The thread-per-session accept loop's initial (and minimum) idle
+/// sleep; doubles while no connection arrives, up to [`ACCEPT_POLL_MAX`].
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
-/// How long [`ServerHandle::shutdown`] waits for live sessions to drain
-/// before abandoning them (they die with the process; a session blocked
-/// on a read holds no server lock).
+/// Idle-backoff ceiling for the accept loop — also its worst-case
+/// shutdown reaction latency.
+const ACCEPT_POLL_MAX: Duration = Duration::from_millis(64);
+/// How long [`ServerHandle::shutdown`] waits for live sessions to finish
+/// their in-flight request after being woken and half-closed.
 const SHUTDOWN_DRAIN: Duration = Duration::from_secs(2);
+
+/// Which I/O core serves sessions (the application layer is shared).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServingCore {
+    /// Readiness-driven reactor + fixed worker pool with bounded
+    /// per-session queues, backpressure, and admission control.
+    #[default]
+    WorkerPool,
+    /// One blocking thread per connection (the PR 7 core, kept as the
+    /// comparison baseline).
+    ThreadPerSession,
+}
+
+impl ServingCore {
+    /// The core requested by `CO_SERVER_CORE`: `pool`/`worker-pool` or
+    /// `threaded`/`thread-per-session`; unset or unrecognized mean
+    /// [`ServingCore::WorkerPool`] (use [`ServerConfig::from_env`] for
+    /// the warning on unrecognized values).
+    pub fn from_env() -> ServingCore {
+        std::env::var("CO_SERVER_CORE")
+            .ok()
+            .and_then(|v| ServingCore::parse(&v))
+            .unwrap_or_default()
+    }
+
+    fn parse(v: &str) -> Option<ServingCore> {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "pool" | "worker-pool" | "workers" => Some(ServingCore::WorkerPool),
+            "threaded" | "thread-per-session" | "threads" => Some(ServingCore::ThreadPerSession),
+            _ => None,
+        }
+    }
+}
 
 /// Listener configuration. [`ServerConfig::from_env`] reads the knobs
 /// documented at the crate root.
@@ -88,75 +155,241 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Per-frame body cap in bytes, enforced before allocation.
     pub max_frame_len: u64,
+    /// Which I/O core serves sessions. Defaults to the environment's
+    /// choice ([`ServingCore::from_env`]) so a whole test suite can be
+    /// re-run against either core without code changes.
+    pub core: ServingCore,
+    /// Worker threads for the pool core; `0` = auto
+    /// (`max(2 × available_parallelism, 4)` — oversubscribed because a
+    /// worker running an `advance` parks on the engine's writer mutex,
+    /// and writers must never be able to occupy the whole pool).
+    pub workers: usize,
+    /// Per-session queued-request bound. At the bound the reactor stops
+    /// reading that socket: kernel buffer + TCP window push back to the
+    /// client instead of the server buffering unboundedly.
+    pub session_queue: usize,
+    /// Server-wide admitted-request cap; requests arriving beyond it get
+    /// a typed [`ErrorCode::Overloaded`] rejection (no engine work).
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
+    /// Baseline knob values, with the `CO_SERVER_*` environment applied
+    /// on top (silently — [`ServerConfig::from_env`] is the constructor
+    /// that warns about rejected values). Reading the environment here
+    /// mirrors the engine's `Default` honoring `CO_ENGINE_THREADS`, and
+    /// lets a whole test suite be re-run against either core or any knob
+    /// setting without code changes.
     fn default() -> ServerConfig {
-        ServerConfig {
-            addr: "127.0.0.1:0".to_owned(),
-            max_sessions: 1024,
-            max_frame_len: DEFAULT_MAX_FRAME_LEN,
-        }
+        ServerConfig::from_vars(|key| std::env::var(key).ok()).0
     }
 }
 
 impl ServerConfig {
-    /// Configuration from `CO_SERVER_ADDR`, `CO_SERVER_MAX_SESSIONS`, and
-    /// `CO_SERVER_MAX_FRAME`; unset or unparsable variables keep the
-    /// defaults.
+    /// Configuration from the `CO_SERVER_*` environment. A variable that
+    /// is set but unparsable keeps its default and prints a one-line
+    /// stderr warning naming the variable and the rejected value —
+    /// silent fallback hides typos like `CO_SERVER_MAX_SESSIONS=1k`
+    /// until the cap bites in production.
     pub fn from_env() -> ServerConfig {
-        let mut cfg = ServerConfig::default();
-        if let Ok(addr) = std::env::var("CO_SERVER_ADDR") {
+        let (config, warnings) = ServerConfig::from_vars(|key| std::env::var(key).ok());
+        for w in &warnings {
+            eprintln!("co-server: {w}");
+        }
+        config
+    }
+
+    /// [`ServerConfig::from_env`] with the variable source injected —
+    /// the testable core. Returns the configuration plus the warnings
+    /// for set-but-rejected values.
+    pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> (ServerConfig, Vec<String>) {
+        // The environment-free baseline (`Default` layers the env on top
+        // of this, so it cannot be written in terms of `Default`).
+        let mut cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_sessions: 1024,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            core: ServingCore::WorkerPool,
+            workers: 0,
+            session_queue: 16,
+            max_inflight: 1024,
+        };
+        let mut warnings = Vec::new();
+
+        if let Some(addr) = get("CO_SERVER_ADDR") {
             let addr = addr.trim();
-            if !addr.is_empty() {
+            if addr.is_empty() {
+                warnings.push(format!(
+                    "ignoring CO_SERVER_ADDR=\"\": empty address; keeping \"{}\"",
+                    cfg.addr
+                ));
+            } else {
                 cfg.addr = addr.to_owned();
             }
         }
-        if let Some(n) = std::env::var("CO_SERVER_MAX_SESSIONS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-        {
-            cfg.max_sessions = n;
+        let mut usize_knob = |key: &str, min: usize, slot: &mut usize, meaning: &str| {
+            if let Some(raw) = get(key) {
+                match raw.trim().parse::<usize>() {
+                    Ok(n) if n >= min => *slot = n,
+                    _ => warnings.push(format!(
+                        "ignoring {key}={raw:?}: not {meaning}; keeping {}",
+                        *slot
+                    )),
+                }
+            }
+        };
+        usize_knob(
+            "CO_SERVER_MAX_SESSIONS",
+            1,
+            &mut cfg.max_sessions,
+            "a positive session count",
+        );
+        usize_knob(
+            "CO_SERVER_WORKERS",
+            0,
+            &mut cfg.workers,
+            "a worker count (0 = auto)",
+        );
+        usize_knob(
+            "CO_SERVER_SESSION_QUEUE",
+            1,
+            &mut cfg.session_queue,
+            "a positive queue bound",
+        );
+        usize_knob(
+            "CO_SERVER_MAX_INFLIGHT",
+            1,
+            &mut cfg.max_inflight,
+            "a positive in-flight cap",
+        );
+        if let Some(raw) = get("CO_SERVER_MAX_FRAME") {
+            match raw.trim().parse::<u64>() {
+                Ok(n) if n >= 1 => cfg.max_frame_len = n,
+                _ => warnings.push(format!(
+                    "ignoring CO_SERVER_MAX_FRAME={raw:?}: not a positive byte count; \
+                     keeping {}",
+                    cfg.max_frame_len
+                )),
+            }
         }
-        cfg.max_frame_len = frame::max_frame_len_from_env();
-        cfg
+        if let Some(raw) = get("CO_SERVER_CORE") {
+            match ServingCore::parse(&raw) {
+                Some(core) => cfg.core = core,
+                None => warnings.push(format!(
+                    "ignoring CO_SERVER_CORE={raw:?}: expected \"pool\" or \"threaded\"; \
+                     keeping {:?}",
+                    cfg.core
+                )),
+            }
+        }
+        (cfg, warnings)
+    }
+
+    /// The worker count the pool core actually spawns: `workers`, or —
+    /// when `0` (auto) — `max(2 × available_parallelism, 4)`. Workers
+    /// are not purely CPU-bound: an `advance` parks its worker on the
+    /// engine's writer mutex for the whole fixpoint, so a pool sized
+    /// exactly to the cores would let a few concurrent writers stall
+    /// every read; modest oversubscription keeps readers flowing (and
+    /// measurably halves the open-loop p99 on small machines).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            let cores = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            (cores * 2).max(4)
+        }
     }
 }
 
-/// The serving front-end. [`Server::bind`] starts the accept loop and
+/// What an accept-loop error means for the loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AcceptDisposition {
+    /// Nothing queued (`WouldBlock`): back off and poll again.
+    Idle,
+    /// A per-connection failure (the peer reset mid-handshake, a stray
+    /// signal, fd pressure that may clear): skip it, keep accepting.
+    Transient,
+    /// The listener itself is broken: log and stop accepting — retrying
+    /// at poll frequency would spin forever on a dead socket.
+    Fatal,
+}
+
+pub(crate) fn classify_accept_error(e: &io::Error) -> AcceptDisposition {
+    match e.kind() {
+        io::ErrorKind::WouldBlock => AcceptDisposition::Idle,
+        // Peer-side failures surfaced through accept, and resource
+        // pressure that backing off can relieve.
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::Interrupted
+        | io::ErrorKind::TimedOut => AcceptDisposition::Transient,
+        _ => AcceptDisposition::Fatal,
+    }
+}
+
+/// The serving front-end. [`Server::bind`] starts the chosen core and
 /// returns a [`ServerHandle`]; there is no long-lived `Server` value.
 pub struct Server;
 
 impl Server {
-    /// Binds `config.addr` and starts accepting sessions against
-    /// `shared`. Each session runs on its own thread; reads are
-    /// snapshot-isolated per the [`co_engine::shared`] contract.
+    /// Binds `config.addr` and starts serving sessions against `shared`
+    /// on [`ServerConfig::core`]. Reads are snapshot-isolated per the
+    /// [`co_engine::shared`] contract on either core.
     pub fn bind(shared: SharedEngine, config: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
-        let accept = {
-            let shutdown = Arc::clone(&shutdown);
-            let active = Arc::clone(&active);
-            thread::Builder::new()
-                .name("co-server-accept".to_owned())
-                .spawn(move || accept_loop(listener, shared, config, shutdown, active))?
+        let (thread, wake) = match config.core {
+            ServingCore::ThreadPerSession => {
+                let registry = Arc::new(session::Registry::default());
+                let thread = {
+                    let shutdown = Arc::clone(&shutdown);
+                    let active = Arc::clone(&active);
+                    let registry = Arc::clone(&registry);
+                    thread::Builder::new()
+                        .name("co-server-accept".to_owned())
+                        .spawn(move || {
+                            accept_loop(listener, shared, config, shutdown, active, registry)
+                        })?
+                };
+                (thread, CoreWake::Threaded(registry))
+            }
+            ServingCore::WorkerPool => {
+                let waker = polling::Waker::new()?;
+                let pool_shared = Arc::new(pool::PoolShared::new(
+                    config.max_inflight,
+                    config.session_queue,
+                    waker,
+                ));
+                let thread = {
+                    let shutdown = Arc::clone(&shutdown);
+                    let active = Arc::clone(&active);
+                    let pool_shared = Arc::clone(&pool_shared);
+                    thread::Builder::new()
+                        .name("co-server-reactor".to_owned())
+                        .spawn(move || {
+                            reactor::run(listener, shared, &config, pool_shared, &shutdown, &active)
+                        })?
+                };
+                (thread, CoreWake::Pool(pool_shared))
+            }
         };
         Ok(ServerHandle {
             addr,
             shutdown,
             active,
-            accept: Some(accept),
+            thread: Some(thread),
+            wake,
         })
     }
 }
 
 /// Releases one claimed session slot on drop — even when the session
 /// thread unwinds from a panic mid-request.
-struct SlotGuard(Arc<AtomicUsize>);
+pub(crate) struct SlotGuard(pub(crate) Arc<AtomicUsize>);
 
 impl Drop for SlotGuard {
     fn drop(&mut self) {
@@ -170,12 +403,21 @@ fn accept_loop(
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
+    registry: Arc<session::Registry>,
 ) {
+    let mut idle_backoff = ACCEPT_POLL;
     while !shutdown.load(Ordering::Acquire) {
-        // Drain everything queued, then sleep one poll tick.
+        // Drain everything queued, then sleep the current idle backoff.
+        let mut accepted_any = false;
         loop {
             match listener.accept() {
                 Ok((mut stream, _peer)) => {
+                    accepted_any = true;
+                    // Nagle + delayed ACK would put ~40ms under every
+                    // small request/response round-trip; the client side
+                    // already disables it (`client.rs`), the session side
+                    // must too.
+                    let _ = stream.set_nodelay(true);
                     // Claim a session slot optimistically; hand it back if
                     // over the cap (keeps the check race-free without a lock).
                     if active.fetch_add(1, Ordering::AcqRel) >= config.max_sessions {
@@ -184,6 +426,7 @@ fn accept_loop(
                         continue;
                     }
                     let shared = shared.clone();
+                    let registry = Arc::clone(&registry);
                     // The guard owns the claimed slot: it decrements on
                     // drop, so the slot is released whether the session
                     // returns, unwinds from a panic, or the spawn itself
@@ -199,17 +442,42 @@ fn accept_loop(
                         .name("co-server-session".to_owned())
                         .spawn(move || {
                             let _slot = slot;
-                            session::serve_session(stream, shared, max_frame);
+                            session::serve_session(stream, shared, max_frame, &registry);
                         });
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                // Transient accept failures (per-connection resets, fd
-                // pressure): keep serving the sessions that exist.
-                Err(_) => break,
+                Err(e) => match classify_accept_error(&e) {
+                    AcceptDisposition::Idle => break,
+                    // Per-connection failures (peer reset mid-handshake,
+                    // fd pressure): keep serving the sessions that exist.
+                    AcceptDisposition::Transient => continue,
+                    AcceptDisposition::Fatal => {
+                        eprintln!(
+                            "co-server: listener failed fatally ({e}); accept loop \
+                             shutting down, existing sessions keep being served"
+                        );
+                        return;
+                    }
+                },
             }
         }
-        thread::sleep(ACCEPT_POLL);
+        // Exponential idle backoff: an idle server polls at 1ms only
+        // briefly, then settles at ACCEPT_POLL_MAX instead of spinning at
+        // 1kHz forever; any accepted connection snaps it back.
+        if accepted_any {
+            idle_backoff = ACCEPT_POLL;
+        }
+        thread::sleep(idle_backoff);
+        idle_backoff = (idle_backoff * 2).min(ACCEPT_POLL_MAX);
     }
+}
+
+/// How `shutdown` reaches the sessions of the running core.
+enum CoreWake {
+    /// Half-close every registered session stream so blocked reads wake.
+    Threaded(Arc<session::Registry>),
+    /// Nudge the reactor's self-pipe; it closes every socket and joins
+    /// the pool before its thread exits.
+    Pool(Arc<pool::PoolShared>),
 }
 
 /// A running server: its bound address and its shutdown lever. Dropping
@@ -218,7 +486,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
-    accept: Option<thread::JoinHandle<()>>,
+    thread: Option<thread::JoinHandle<()>>,
+    wake: CoreWake,
 }
 
 impl ServerHandle {
@@ -233,25 +502,151 @@ impl ServerHandle {
         self.active.load(Ordering::Acquire)
     }
 
-    /// Stops accepting, then waits (bounded) for live sessions to drain.
-    pub fn shutdown(mut self) {
-        self.shutdown_impl();
+    /// Stops accepting, wakes every session parked in a read (idle
+    /// sessions drain immediately — none is abandoned until process
+    /// exit), then waits (bounded) for in-flight requests to finish.
+    /// Returns the sessions still undrained at the deadline — `0` on a
+    /// clean shutdown, which tests assert.
+    pub fn shutdown(mut self) -> usize {
+        self.shutdown_impl()
     }
 
-    fn shutdown_impl(&mut self) {
+    fn shutdown_impl(&mut self) -> usize {
         self.shutdown.store(true, Ordering::Release);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        match &self.wake {
+            CoreWake::Threaded(registry) => registry.shutdown_all(),
+            CoreWake::Pool(pool_shared) => pool_shared.waker.wake(),
         }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        // The pool core drains synchronously before its thread exits; the
+        // threaded core's sessions wake on the half-close and drain here.
         let deadline = Instant::now() + SHUTDOWN_DRAIN;
         while self.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             thread::sleep(ACCEPT_POLL);
         }
+        self.active.load(Ordering::Acquire)
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown_impl();
+        let _ = self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn vars(pairs: &[(&str, &str)]) -> impl Fn(&str) -> Option<String> {
+        let map: HashMap<String, String> = pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        move |key| map.get(key).cloned()
+    }
+
+    #[test]
+    fn parsable_values_override_defaults_without_warnings() {
+        let (cfg, warnings) = ServerConfig::from_vars(vars(&[
+            ("CO_SERVER_MAX_SESSIONS", "7"),
+            ("CO_SERVER_MAX_FRAME", "4096"),
+            ("CO_SERVER_WORKERS", "3"),
+            ("CO_SERVER_SESSION_QUEUE", "2"),
+            ("CO_SERVER_MAX_INFLIGHT", "9"),
+            ("CO_SERVER_CORE", "threaded"),
+            ("CO_SERVER_ADDR", "127.0.0.1:0"),
+        ]));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(cfg.max_sessions, 7);
+        assert_eq!(cfg.max_frame_len, 4096);
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.session_queue, 2);
+        assert_eq!(cfg.max_inflight, 9);
+        assert_eq!(cfg.core, ServingCore::ThreadPerSession);
+    }
+
+    #[test]
+    fn unparsable_values_keep_defaults_and_warn_naming_the_variable() {
+        let (cfg, warnings) = ServerConfig::from_vars(vars(&[
+            ("CO_SERVER_MAX_SESSIONS", "1k"),
+            ("CO_SERVER_MAX_FRAME", "-5"),
+            ("CO_SERVER_CORE", "epoll"),
+        ]));
+        let defaults = ServerConfig {
+            core: ServingCore::WorkerPool,
+            ..ServerConfig::default()
+        };
+        assert_eq!(cfg.max_sessions, defaults.max_sessions);
+        assert_eq!(cfg.max_frame_len, defaults.max_frame_len);
+        assert_eq!(cfg.core, ServingCore::WorkerPool);
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        for (warning, var, rejected) in [
+            (&warnings[0], "CO_SERVER_MAX_SESSIONS", "1k"),
+            (&warnings[1], "CO_SERVER_MAX_FRAME", "-5"),
+            (&warnings[2], "CO_SERVER_CORE", "epoll"),
+        ] {
+            assert!(warning.contains(var), "{warning}");
+            assert!(warning.contains(rejected), "{warning}");
+        }
+    }
+
+    #[test]
+    fn zero_caps_are_rejected_but_zero_workers_means_auto() {
+        let (cfg, warnings) = ServerConfig::from_vars(vars(&[
+            ("CO_SERVER_MAX_SESSIONS", "0"),
+            ("CO_SERVER_SESSION_QUEUE", "0"),
+            ("CO_SERVER_MAX_INFLIGHT", "0"),
+            ("CO_SERVER_WORKERS", "0"),
+        ]));
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        assert_eq!(cfg.max_sessions, 1024);
+        assert_eq!(cfg.session_queue, 16);
+        assert_eq!(cfg.max_inflight, 1024);
+        assert_eq!(cfg.workers, 0);
+        assert!(cfg.resolved_workers() >= 4, "auto floors at four workers");
+    }
+
+    #[test]
+    fn unset_environment_is_silent_defaults() {
+        let (cfg, warnings) = ServerConfig::from_vars(|_| None);
+        assert!(warnings.is_empty());
+        assert_eq!(cfg.max_sessions, 1024);
+        assert_eq!(cfg.core, ServingCore::WorkerPool);
+    }
+
+    #[test]
+    fn accept_errors_classify_idle_transient_fatal() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            classify_accept_error(&Error::from(ErrorKind::WouldBlock)),
+            AcceptDisposition::Idle
+        );
+        for transient in [
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::Interrupted,
+            ErrorKind::TimedOut,
+        ] {
+            assert_eq!(
+                classify_accept_error(&Error::from(transient)),
+                AcceptDisposition::Transient,
+                "{transient:?}"
+            );
+        }
+        for fatal in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::InvalidInput,
+        ] {
+            assert_eq!(
+                classify_accept_error(&Error::from(fatal)),
+                AcceptDisposition::Fatal,
+                "{fatal:?}"
+            );
+        }
     }
 }

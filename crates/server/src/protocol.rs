@@ -13,6 +13,9 @@
 //! is a typed [`ProtocolError`].
 
 use crate::ProtocolError;
+use co_engine::{EngineError, PinnedDb, SharedEngine};
+use co_object::{store, NodeId, Object};
+use co_parser::{parse_formula, parse_program};
 use co_wire::codec::{put_str, put_varint, Cursor};
 use co_wire::WireError;
 
@@ -68,6 +71,10 @@ pub enum ErrorCode {
     /// The peer's previous frame was unreadable (the rendered
     /// [`ProtocolError`] is in the message; the connection closes after).
     Protocol,
+    /// The server-wide in-flight request cap was hit when this request
+    /// arrived: admission control rejected it **before** any engine work.
+    /// The session stays open — back off and retry.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -77,6 +84,7 @@ impl ErrorCode {
             ErrorCode::Engine => 2,
             ErrorCode::SessionLimit => 3,
             ErrorCode::Protocol => 4,
+            ErrorCode::Overloaded => 5,
         }
     }
 
@@ -86,6 +94,7 @@ impl ErrorCode {
             2 => Ok(ErrorCode::Engine),
             3 => Ok(ErrorCode::SessionLimit),
             4 => Ok(ErrorCode::Protocol),
+            5 => Ok(ErrorCode::Overloaded),
             other => Err(ProtocolError::Malformed {
                 detail: format!("unknown error code {other}"),
             }),
@@ -164,6 +173,141 @@ pub enum Response {
         /// A human-readable rendering (parse diagnostics, guard reason…).
         message: String,
     },
+}
+
+/// The per-session serving state: everything a request needs beyond its
+/// own fields. Both serving cores — thread-per-session and the
+/// reactor/worker-pool — drive the same [`handle`] against one of these,
+/// which is what carries the MVCC contract (and every differential proof
+/// built on it) across the I/O-layer rewrite unchanged.
+pub struct SessionState {
+    shared: SharedEngine,
+    /// The snapshot pinned by a `Snapshot` request, if any. While held,
+    /// every `Query`/`Eval` runs against this frozen version.
+    pinned: Option<PinnedDb>,
+}
+
+impl SessionState {
+    /// Fresh state for a newly accepted session: nothing pinned.
+    pub fn new(shared: SharedEngine) -> SessionState {
+        SessionState {
+            shared,
+            pinned: None,
+        }
+    }
+
+    /// The snapshot a read-only request runs against: the session's pin,
+    /// or a fresh pin of the instantaneous head.
+    fn read_view(&self) -> PinnedDb {
+        match &self.pinned {
+            Some(p) => p.clone(),
+            None => self.shared.head(),
+        }
+    }
+}
+
+fn opt_id(id: Option<NodeId>) -> Option<u64> {
+    id.map(NodeId::get)
+}
+
+/// Renders `result` as a co-wire snapshot payload with exactly one root.
+fn objects_response(version: u64, result: &Object) -> Result<Response, ProtocolError> {
+    let mut payload = Vec::new();
+    co_wire::write_snapshot(
+        &mut payload,
+        std::slice::from_ref(result),
+        b"co-server result",
+    )?;
+    Ok(Response::Objects { version, payload })
+}
+
+fn engine_error(e: EngineError) -> Response {
+    Response::Error {
+        code: ErrorCode::Engine,
+        message: e.to_string(),
+    }
+}
+
+fn parse_error(e: impl std::fmt::Display) -> Response {
+    Response::Error {
+        code: ErrorCode::Parse,
+        message: e.to_string(),
+    }
+}
+
+/// Serves one decoded request against one session's state. This is the
+/// entire application layer: the serving cores differ only in how bytes
+/// reach this function and how its response bytes leave. An `Err` means
+/// only that rendering the response failed (a wire-encode error) — every
+/// application-level failure is an ordinary [`Response::Error`].
+pub fn handle(state: &mut SessionState, request: Request) -> Result<Response, ProtocolError> {
+    match request {
+        Request::Ping => Ok(Response::Pong),
+        Request::Head => {
+            let head = state.shared.head();
+            Ok(Response::Head {
+                version: head.version(),
+                root: opt_id(head.root_id()),
+            })
+        }
+        Request::Snapshot => {
+            let pinned = state.shared.head();
+            let resp = Response::Snapshot {
+                version: pinned.version(),
+                root: opt_id(pinned.root_id()),
+            };
+            state.pinned = Some(pinned);
+            Ok(resp)
+        }
+        Request::Release => Ok(Response::Released {
+            was_pinned: state.pinned.take().is_some(),
+        }),
+        Request::Query { formula } => {
+            let f = match parse_formula(&formula) {
+                Ok(f) => f,
+                Err(e) => return Ok(parse_error(e)),
+            };
+            let view = state.read_view();
+            let result = co_calculus::interpret(&f, view.object(), state.shared.policy());
+            objects_response(view.version(), &result)
+        }
+        Request::Eval { program } => {
+            let p = match parse_program(&program) {
+                Ok(p) => p,
+                Err(e) => return Ok(parse_error(e)),
+            };
+            let view = state.read_view();
+            match state.shared.eval_db(&p, &view) {
+                Ok((db, _)) => objects_response(view.version(), &db),
+                Err(e) => Ok(engine_error(e)),
+            }
+        }
+        Request::Advance { program } => {
+            let p = match parse_program(&program) {
+                Ok(p) => p,
+                Err(e) => return Ok(parse_error(e)),
+            };
+            match state.shared.advance(&p) {
+                Ok(out) => Ok(Response::Advanced {
+                    version: out.version,
+                    root: opt_id(out.database.node_id()),
+                    iterations: out.stats.iterations,
+                }),
+                Err(e) => Ok(engine_error(e)),
+            }
+        }
+        Request::Stats => {
+            let s = store::stats();
+            Ok(Response::Stats(StatsDigest {
+                live_nodes: (s.tuple_nodes + s.set_nodes) as u64,
+                pinned_roots: s.pinned_roots as u64,
+                intern_hits: s.intern_hits,
+                intern_misses: s.intern_misses,
+                gc_sweeps: s.gc_sweeps,
+                gc_freed_nodes: s.gc_freed_nodes,
+            }))
+        }
+    }
 }
 
 const REQ_PING: u8 = 0x01;
@@ -462,6 +606,10 @@ mod tests {
             Response::Error {
                 code: ErrorCode::Parse,
                 message: "unexpected token".into(),
+            },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "server over its in-flight cap".into(),
             },
         ]
     }

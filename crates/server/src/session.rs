@@ -1,11 +1,12 @@
-//! Per-connection request loop.
+//! The thread-per-session serving core's per-connection request loop.
 //!
 //! Each accepted connection gets one session thread running
-//! [`serve_session`]: read a frame, decode the request, serve it against
-//! the shared engine, write the response frame, repeat until the peer
-//! closes. The only per-session state is the optional pinned snapshot —
-//! everything else lives in the [`SharedEngine`] — so a session is cheap
-//! enough to run thousands of.
+//! [`serve_session`]: read a frame, decode the request, serve it with
+//! [`protocol::handle`], write the response frame, repeat until the peer
+//! closes. The application layer lives entirely in
+//! [`protocol::SessionState`]/[`protocol::handle`] — shared verbatim with
+//! the reactor/worker-pool core — so a session here is nothing but
+//! blocking I/O around the same handler.
 //!
 //! Failure discipline: an unreadable frame (truncated, corrupted,
 //! malformed) gets a best-effort [`Response::Error`] with
@@ -14,176 +15,107 @@
 //! risk serving a mis-framed request. Application failures (a formula
 //! that does not parse, a diverging program) are ordinary error responses
 //! and the session continues.
+//!
+//! Shutdown: every live session registers its stream in a [`Registry`];
+//! [`crate::ServerHandle::shutdown`] calls `TcpStream::shutdown` on each,
+//! so a session parked in a blocking read wakes with a clean EOF and
+//! drains instead of being abandoned until process exit.
 
 use crate::frame::{read_frame, write_frame};
-use crate::protocol::{ErrorCode, Request, Response, StatsDigest};
+use crate::protocol::{self, ErrorCode, Request, Response, SessionState};
 use crate::ProtocolError;
-use co_engine::{EngineError, PinnedDb, SharedEngine};
-use co_object::{store, NodeId, Object};
-use co_parser::{parse_formula, parse_program};
+use co_engine::SharedEngine;
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-/// The mutable state of one session.
-struct Session {
-    shared: SharedEngine,
-    /// The snapshot pinned by a `Snapshot` request, if any. While held,
-    /// every `Query`/`Eval` runs against this frozen version.
-    pinned: Option<PinnedDb>,
+/// The live-session stream registry: shutdown's lever for waking
+/// sessions parked in blocking reads. Keys are monotonic session ids;
+/// values are stream clones whose only use is `TcpStream::shutdown`.
+#[derive(Default)]
+pub(crate) struct Registry {
+    next: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
 }
 
-fn opt_id(id: Option<NodeId>) -> Option<u64> {
-    id.map(NodeId::get)
-}
-
-/// Renders `result` as a co-wire snapshot payload with exactly one root.
-fn objects_response(version: u64, result: &Object) -> Result<Response, ProtocolError> {
-    let mut payload = Vec::new();
-    co_wire::write_snapshot(
-        &mut payload,
-        std::slice::from_ref(result),
-        b"co-server result",
-    )?;
-    Ok(Response::Objects { version, payload })
-}
-
-fn engine_error(e: EngineError) -> Response {
-    Response::Error {
-        code: ErrorCode::Engine,
-        message: e.to_string(),
-    }
-}
-
-fn parse_error(e: impl std::fmt::Display) -> Response {
-    Response::Error {
-        code: ErrorCode::Parse,
-        message: e.to_string(),
-    }
-}
-
-impl Session {
-    /// The snapshot a read-only request runs against: the session's pin,
-    /// or a fresh pin of the instantaneous head.
-    fn read_view(&self) -> PinnedDb {
-        match &self.pinned {
-            Some(p) => p.clone(),
-            None => self.shared.head(),
-        }
+impl Registry {
+    /// Registers a session's stream, returning the ticket that
+    /// deregisters it.
+    fn register(&self, stream: TcpStream) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().unwrap().insert(id, stream);
+        id
     }
 
-    fn serve(&mut self, request: Request) -> Result<Response, ProtocolError> {
-        match request {
-            Request::Ping => Ok(Response::Pong),
-            Request::Head => {
-                let head = self.shared.head();
-                Ok(Response::Head {
-                    version: head.version(),
-                    root: opt_id(head.root_id()),
-                })
-            }
-            Request::Snapshot => {
-                let pinned = self.shared.head();
-                let resp = Response::Snapshot {
-                    version: pinned.version(),
-                    root: opt_id(pinned.root_id()),
-                };
-                self.pinned = Some(pinned);
-                Ok(resp)
-            }
-            Request::Release => Ok(Response::Released {
-                was_pinned: self.pinned.take().is_some(),
-            }),
-            Request::Query { formula } => {
-                let f = match parse_formula(&formula) {
-                    Ok(f) => f,
-                    Err(e) => return Ok(parse_error(e)),
-                };
-                let view = self.read_view();
-                let result = co_calculus::interpret(&f, view.object(), self.shared.policy());
-                objects_response(view.version(), &result)
-            }
-            Request::Eval { program } => {
-                let p = match parse_program(&program) {
-                    Ok(p) => p,
-                    Err(e) => return Ok(parse_error(e)),
-                };
-                let view = self.read_view();
-                match self.shared.eval_db(&p, &view) {
-                    Ok((db, _)) => objects_response(view.version(), &db),
-                    Err(e) => Ok(engine_error(e)),
-                }
-            }
-            Request::Advance { program } => {
-                let p = match parse_program(&program) {
-                    Ok(p) => p,
-                    Err(e) => return Ok(parse_error(e)),
-                };
-                match self.shared.advance(&p) {
-                    Ok(out) => Ok(Response::Advanced {
-                        version: out.version,
-                        root: opt_id(out.database.node_id()),
-                        iterations: out.stats.iterations,
-                    }),
-                    Err(e) => Ok(engine_error(e)),
-                }
-            }
-            Request::Stats => {
-                let s = store::stats();
-                Ok(Response::Stats(StatsDigest {
-                    live_nodes: (s.tuple_nodes + s.set_nodes) as u64,
-                    pinned_roots: s.pinned_roots as u64,
-                    intern_hits: s.intern_hits,
-                    intern_misses: s.intern_misses,
-                    gc_sweeps: s.gc_sweeps,
-                    gc_freed_nodes: s.gc_freed_nodes,
-                }))
-            }
+    fn deregister(&self, id: u64) {
+        self.streams.lock().unwrap().remove(&id);
+    }
+
+    /// Half-closes every registered stream: blocked `read`s return EOF,
+    /// sessions run their clean-close path and drain. Idempotent.
+    pub(crate) fn shutdown_all(&self) {
+        for stream in self.streams.lock().unwrap().values() {
+            let _ = stream.shutdown(Shutdown::Both);
         }
     }
 }
 
 /// Runs the request loop for one accepted connection until the peer
-/// closes cleanly, the stream fails, or a frame is unreadable.
-pub(crate) fn serve_session(stream: TcpStream, shared: SharedEngine, max_frame: u64) {
+/// closes cleanly, the stream fails, a frame is unreadable, or server
+/// shutdown closes the socket under it.
+pub(crate) fn serve_session(
+    stream: TcpStream,
+    shared: SharedEngine,
+    max_frame: u64,
+    registry: &Registry,
+) {
+    let registered = match stream.try_clone() {
+        Ok(clone) => registry.register(clone),
+        Err(_) => return,
+    };
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
-        Err(_) => return,
+        Err(_) => {
+            registry.deregister(registered);
+            return;
+        }
     });
     let mut writer = BufWriter::new(stream);
-    let mut session = Session {
-        shared,
-        pinned: None,
-    };
+    let mut state = SessionState::new(shared);
     loop {
         let body = match read_frame(&mut reader, max_frame) {
             Ok(Some(body)) => body,
-            // Clean close at a frame boundary: the normal end of a session.
-            Ok(None) => return,
+            // Clean close at a frame boundary: the normal end of a session
+            // (peer hangup, or shutdown's half-close).
+            Ok(None) => break,
             Err(e) => {
                 send_protocol_error(&mut writer, &e);
-                return;
+                break;
             }
         };
         let response = match Request::decode(&body) {
-            Ok(request) => match session.serve(request) {
+            Ok(request) => match protocol::handle(&mut state, request) {
                 Ok(response) => response,
                 // Only rendering the response can fail here; report and
                 // close rather than leave the peer waiting.
                 Err(e) => {
                     send_protocol_error(&mut writer, &e);
-                    return;
+                    break;
                 }
             },
             Err(e) => {
                 send_protocol_error(&mut writer, &e);
-                return;
+                break;
             }
         };
         if write_frame(&mut writer, &response.encode()).is_err() {
             // The peer vanished mid-reply; nothing left to tell it.
-            return;
+            break;
         }
     }
+    registry.deregister(registered);
 }
 
 /// Best-effort typed report before closing a poisoned connection: the

@@ -154,6 +154,13 @@ fn soak_mixed_requests_with_gc_every_round() {
     assert_eq!(digest.live_nodes, (now.tuple_nodes + now.set_nodes) as u64);
     assert_eq!(digest.gc_freed_nodes, now.gc_freed_nodes);
 
+    // Shutdown must wake the audit session out of its blocked read (it is
+    // idle — no request in flight) and drain it: the session counter hits
+    // zero instead of leaking the slot until process exit.
+    assert_eq!(
+        handle.shutdown(),
+        0,
+        "shutdown must wake and drain idle sessions"
+    );
     drop(audit);
-    handle.shutdown();
 }

@@ -1,0 +1,249 @@
+//! Offline shim: readiness notification for the serving layer, built on
+//! nothing but `poll(2)` and `pipe(2)`.
+//!
+//! The serving layer's reactor needs exactly three primitives: wait for
+//! readability/writability on a set of fds ([`poll`]), wait on a single
+//! fd with a timeout ([`wait`]), and a way for another thread to wake a
+//! parked reactor ([`Waker`], the classic self-pipe trick). None of that
+//! needs an async runtime or the `libc` crate — the symbols are declared
+//! by hand against the C library the Rust standard library already links
+//! — so this shim stays a few hundred lines of `extern "C"` and keeps the
+//! workspace fully offline. Unix-only, like the sockets it watches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::io;
+use std::os::raw::{c_int, c_short, c_ulong, c_void};
+use std::os::unix::io::RawFd;
+
+/// The fd is readable (or a peer hung up with data still buffered).
+pub const POLLIN: i16 = 0x001;
+/// The fd is writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// An error condition (always polled, never requested).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (always polled, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The fd is not open (always polled, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// `struct pollfd` exactly as `poll(2)` wants it.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+struct RawPollFd {
+    fd: c_int,
+    events: c_short,
+    revents: c_short,
+}
+
+extern "C" {
+    fn poll(fds: *mut RawPollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+}
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+
+/// One entry in a [`poll`] set: an fd, the events of interest, and — after
+/// the call — the events that fired.
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    raw: RawPollFd,
+}
+
+impl PollFd {
+    /// Watches `fd` for `events` (`POLLIN` and/or `POLLOUT`).
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            raw: RawPollFd {
+                fd,
+                events: events as c_short,
+                revents: 0,
+            },
+        }
+    }
+
+    /// The fd this entry watches.
+    pub fn fd(&self) -> RawFd {
+        self.raw.fd
+    }
+
+    /// The events that fired in the last [`poll`] call.
+    pub fn revents(&self) -> i16 {
+        self.raw.revents
+    }
+
+    /// Did readability (or a hangup, which a read will surface as EOF)
+    /// fire?
+    pub fn readable(&self) -> bool {
+        self.revents() & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Did writability fire?
+    pub fn writable(&self) -> bool {
+        self.revents() & (POLLOUT | POLLERR) != 0
+    }
+
+    /// Did the kernel flag the entry as errored, hung up, or invalid?
+    pub fn failed(&self) -> bool {
+        self.revents() & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// Waits for readiness on `fds`, blocking at most `timeout_ms`
+/// milliseconds (`-1` = forever, `0` = just check). Returns how many
+/// entries have nonzero `revents`. `EINTR` is retried internally — a
+/// stray signal never surfaces as an error.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: PollFd is repr-compatible with struct pollfd (the one
+        // repr(C) field), and the slice's length is passed alongside it.
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr().cast::<RawPollFd>(),
+                fds.len() as c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            continue;
+        }
+        return Err(err);
+    }
+}
+
+/// Waits for `events` on a single `fd`, at most `timeout_ms` ms. Returns
+/// `true` if the fd became ready (for any reason, including error/hangup
+/// — the following read/write will surface the failure as `io::Error`),
+/// `false` on timeout.
+pub fn wait(fd: RawFd, events: i16, timeout_ms: i32) -> io::Result<bool> {
+    let mut set = [PollFd::new(fd, events)];
+    Ok(poll_fds(&mut set, timeout_ms)? > 0)
+}
+
+/// The self-pipe trick: a nonblocking pipe whose read end sits in the
+/// reactor's poll set and whose write end any thread can nudge to wake a
+/// parked [`poll_fds`] call. Writes when the pipe is already full are
+/// fine — the reactor is provably waking anyway.
+#[derive(Debug)]
+pub struct Waker {
+    read_fd: c_int,
+    write_fd: c_int,
+}
+
+// The fds are plain integers used through atomic syscalls.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Creates the pipe pair, both ends nonblocking.
+    pub fn new() -> io::Result<Waker> {
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: pipe writes exactly two fds into the array.
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let waker = Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        };
+        for fd in fds {
+            // SAFETY: plain fcntl on fds this function just created.
+            let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+            if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok(waker)
+    }
+
+    /// The fd to include (with [`POLLIN`]) in the reactor's poll set.
+    pub fn poll_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Wakes the reactor. Best-effort and non-blocking: a full pipe means
+    /// wakeups are already pending, which is all a wake needs.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: one-byte write to a pipe fd this Waker owns.
+        unsafe {
+            let _ = write(self.write_fd, (&byte as *const u8).cast::<c_void>(), 1);
+        }
+    }
+
+    /// Drains every pending wake byte (call once per reactor iteration
+    /// when the read end polls readable).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: bounded read into a local buffer from an owned fd.
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: closing fds this Waker owns exactly once.
+        unsafe {
+            let _ = close(self.read_fd);
+            let _ = close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn waker_wakes_a_parked_poll_and_drains() {
+        let waker = Waker::new().unwrap();
+        // Nothing pending: a zero-timeout poll sees no readiness.
+        let mut set = [PollFd::new(waker.poll_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut set, 0).unwrap(), 0);
+
+        // A wake from another thread unparks a blocking poll promptly.
+        let fd = waker.poll_fd();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                waker.wake();
+            });
+            let t = Instant::now();
+            assert!(wait(fd, POLLIN, 5_000).unwrap(), "wake must unpark");
+            assert!(t.elapsed() < Duration::from_secs(4), "woke, not timed out");
+        });
+
+        // Drained, the pipe polls idle again; repeated wakes never block.
+        waker.drain();
+        assert_eq!(poll_fds(&mut set, 0).unwrap(), 0);
+        for _ in 0..10_000 {
+            waker.wake();
+        }
+        waker.drain();
+    }
+
+    #[test]
+    fn wait_times_out_when_nothing_fires() {
+        let waker = Waker::new().unwrap();
+        let t = Instant::now();
+        assert!(!wait(waker.poll_fd(), POLLIN, 30).unwrap());
+        assert!(t.elapsed() >= Duration::from_millis(25));
+    }
+}

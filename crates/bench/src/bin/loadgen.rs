@@ -24,6 +24,26 @@
 //! pinned snapshot; one session in 32 doubles as a writer committing
 //! fresh facts, so reads race commits the entire run.
 //!
+//! ## Server-side percentiles (PR 9)
+//!
+//! Client-observed latency conflates queueing, handling, and the wire.
+//! Each core run now also fetches the server's co-obs registry
+//! ([`Client::metrics`]) before and after the measured window and diffs
+//! the two snapshots ([`co_obs::Snapshot::minus`]), so the BENCH file
+//! carries the *server-side* `server.queue_wait_ns` / `server.handle_ns`
+//! p50/p99 next to the client-observed numbers — the decomposition that
+//! says whether a fat tail is queue wait or handler time. Client
+//! latencies themselves go through the same shared
+//! [`co_obs::Histogram`] (log-bucketed, ~3% relative error, exact max)
+//! instead of the old hand-rolled sorted vec; recording is
+//! [`co_obs::Histogram::record_always`], so the client side keeps
+//! measuring even while the run has server metrics gated off.
+//!
+//! A final **overhead pass** re-runs the pool core with the metric gate
+//! off (`co_obs::set_metrics_enabled(false)`) and emits a
+//! `metrics_overhead/` row comparing client query p99 with metrics on
+//! vs off — the "observability is effectively free" receipt.
+//!
 //! ## Knobs
 //!
 //! Defaults in parentheses: `CO_LOADGEN_SESSIONS` (256),
@@ -33,14 +53,16 @@
 //! saturation knee, where queueing discipline decides the tail),
 //! `CO_LOADGEN_DIST` (`poisson`; or `uniform`),
 //! `CO_LOADGEN_CORES` (`both`; or `pool` / `threaded`), `CO_LOADGEN_OUT`
-//! (`BENCH_pr8.json`). Results append as JSON records shaped like the
-//! criterion-shim BENCH files: per core, one `mixed/` summary row plus
-//! per-class latency rows, each stamped with `cores` and the `CO_*`
-//! environment.
+//! (`BENCH_pr9.json`). Results append as JSON records shaped like the
+//! criterion-shim BENCH files: per core, one `mixed/` summary row
+//! (including the server's request ledger for the window), client- and
+//! server-side latency rows, and the overhead row, each stamped with
+//! `cores` and the `CO_*` environment.
 //!
 //! Run with `cargo run --release -p co-bench --bin loadgen`.
 
 use co_engine::{Engine, SharedEngine};
+use co_obs::HistogramSnapshot;
 use co_server::{Client, Server, ServerConfig, ServingCore};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -129,42 +151,24 @@ fn schedule(id: usize, slots: usize, rate: f64, dist: Dist) -> Vec<Duration> {
         .collect()
 }
 
-/// Latencies for one request class, in nanoseconds.
-#[derive(Default)]
-struct Series {
-    ns: Vec<u64>,
-}
-
-impl Series {
-    fn merge(&mut self, other: Series) {
-        self.ns.extend(other.ns);
-    }
-
-    fn percentile(&self, p: f64) -> u64 {
-        debug_assert!(self.ns.windows(2).all(|w| w[0] <= w[1]));
-        if self.ns.is_empty() {
-            return 0;
-        }
-        let rank = ((self.ns.len() as f64 - 1.0) * p).round() as usize;
-        self.ns[rank.min(self.ns.len() - 1)]
-    }
-
-    fn row(&mut self, id: &str, context: &str) -> String {
-        self.ns.sort_unstable();
-        format!(
-            "  {{\"bench\": \"server_loadgen\", \"id\": \"{id}\", \"requests\": {}, \
-             \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, {context}}}",
-            self.ns.len(),
-            self.percentile(0.50),
-            self.percentile(0.99),
-            self.ns.last().copied().unwrap_or(0),
-        )
-    }
+/// One BENCH latency row from a histogram snapshot: the shared co-obs
+/// quantile extraction replaces the old per-class sorted vec (exact-rank
+/// percentiles become ≤3.2%-error bucket midpoints; `max` stays exact).
+fn hist_row(h: &HistogramSnapshot, id: &str, context: &str) -> String {
+    format!(
+        "  {{\"bench\": \"server_loadgen\", \"id\": \"{id}\", \"requests\": {}, \
+         \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, {context}}}",
+        h.count,
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+        h.quantile(1.0),
+    )
 }
 
 struct SessionResult {
-    queries: Series,
-    advances: Series,
+    queries: HistogramSnapshot,
+    advances: HistogramSnapshot,
     /// Slots whose actual send lagged their intended time (the open-loop
     /// generator fell behind; their latencies still start at the intent).
     late_sends: usize,
@@ -184,8 +188,11 @@ fn session(
     start.wait();
     let t0 = Instant::now();
 
-    let mut queries = Series::default();
-    let mut advances = Series::default();
+    // Session-local (unregistered) histograms; `record_always` bypasses
+    // the CO_METRICS gate so the overhead pass still measures the client
+    // side while the *server's* metrics are off.
+    let queries = co_obs::Histogram::new();
+    let advances = co_obs::Histogram::new();
     let mut late_sends = 0;
     for (slot, intended) in arrivals.into_iter().enumerate() {
         // Wait for the intended send time — but never *skip* a late slot:
@@ -199,15 +206,13 @@ fn session(
         if is_writer && slot % 4 == 3 {
             let fact = format!("[r1: {{[a: w{id}x{slot}, b: w]}}].");
             client.advance(&fact).expect("advance");
-            advances
-                .ns
-                .push((t0.elapsed() - intended).as_nanos() as u64);
+            advances.record_always((t0.elapsed() - intended).as_nanos() as u64);
         } else {
             // Selective point query against the frozen snapshot: one join
             // class out of eight.
             let formula = format!("[r1: {{[a: X, b: {}]}}]", (id + slot) % 8);
             let (v, result) = client.query(&formula).expect("query");
-            queries.ns.push((t0.elapsed() - intended).as_nanos() as u64);
+            queries.record_always((t0.elapsed() - intended).as_nanos() as u64);
             assert_eq!(v, version, "pinned reads must stay at their version");
             assert!(
                 result.dot("r1").as_set().is_some(),
@@ -216,8 +221,8 @@ fn session(
         }
     }
     SessionResult {
-        queries,
-        advances,
+        queries: queries.snapshot(),
+        advances: advances.snapshot(),
         late_sends,
     }
 }
@@ -228,8 +233,12 @@ struct CoreReport {
     wall: Duration,
     total: usize,
     late_sends: usize,
-    queries: Series,
-    advances: Series,
+    queries: HistogramSnapshot,
+    advances: HistogramSnapshot,
+    /// The server's co-obs registry delta for exactly this run's window
+    /// (after-snapshot minus before-snapshot, both fetched over the
+    /// wire): queue-wait/handle histograms plus the request ledger.
+    server: co_obs::Snapshot,
 }
 
 /// Runs the full open-loop experiment against one serving core.
@@ -252,6 +261,14 @@ fn run_core(
     let handle = Server::bind(shared, config).expect("bind");
     let addr = handle.addr();
 
+    // Server-side baseline: the registry is process-global and
+    // cumulative, so the run's contribution is isolated by diffing
+    // snapshots taken just around the measured window.
+    let metrics_before = Client::connect(addr)
+        .expect("metrics client")
+        .metrics()
+        .expect("metrics baseline");
+
     // All sessions connect and pin before the barrier drops.
     let start = Arc::new(Barrier::new(sessions + 1));
     let workers: Vec<_> = (0..sessions)
@@ -273,18 +290,22 @@ fn run_core(
     eprintln!("loadgen[{core_name}]: {concurrent} concurrent sessions live, measuring…");
 
     let t0 = Instant::now();
-    let mut queries = Series::default();
-    let mut advances = Series::default();
+    let mut queries = HistogramSnapshot::default();
+    let mut advances = HistogramSnapshot::default();
     let mut late_sends = 0;
     for w in workers {
         let r = w.join().expect("session thread");
-        queries.merge(r.queries);
-        advances.merge(r.advances);
+        queries.merge(&r.queries);
+        advances.merge(&r.advances);
         late_sends += r.late_sends;
     }
     let wall = t0.elapsed();
+    let metrics_after = Client::connect(addr)
+        .expect("metrics client")
+        .metrics()
+        .expect("metrics after");
     assert_eq!(handle.shutdown(), 0, "sessions must drain at shutdown");
-    let total = queries.ns.len() + advances.ns.len();
+    let total = (queries.count + advances.count) as usize;
     CoreReport {
         core_name,
         concurrent,
@@ -293,6 +314,7 @@ fn run_core(
         late_sends,
         queries,
         advances,
+        server: metrics_after.minus(&metrics_before),
     }
 }
 
@@ -301,7 +323,7 @@ fn main() {
     let requests = env_usize("CO_LOADGEN_REQUESTS", 32);
     let offered_rps = env_usize("CO_LOADGEN_RPS", 4000) as f64;
     let dist = Dist::from_env();
-    let out = std::env::var("CO_LOADGEN_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_owned());
+    let out = std::env::var("CO_LOADGEN_OUT").unwrap_or_else(|_| "BENCH_pr9.json".to_owned());
     let rate_per_session = offered_rps / sessions as f64;
 
     let cores: Vec<(ServingCore, &str)> = match std::env::var("CO_LOADGEN_CORES").as_deref() {
@@ -316,56 +338,134 @@ fn main() {
     let context = machine_context_json();
     let mut rows: Vec<String> = Vec::new();
     let mut reports: Vec<CoreReport> = Vec::new();
-    for (core, name) in cores {
-        let mut r = run_core(core, name, sessions, requests, rate_per_session, dist);
+    for (core, name) in &cores {
+        let r = run_core(*core, name, sessions, requests, rate_per_session, dist);
         let throughput = r.total as f64 / r.wall.as_secs_f64();
+        let ledger = |c: &str| r.server.counter(c).unwrap_or(0);
         rows.push(format!(
             "  {{\"bench\": \"server_loadgen\", \"id\": \"mixed/{name}/{sessions}_sessions\", \
              \"core\": \"{name}\", \"sessions\": {sessions}, \
              \"concurrent_sessions\": {}, \"requests\": {}, \
              \"offered_rps\": {offered_rps:.1}, \"dist\": \"{}\", \
              \"late_sends\": {}, \"wall_ms\": {:.1}, \"throughput_rps\": {throughput:.1}, \
-             {context}}}",
+             \"server_decoded\": {}, \"server_handled\": {}, \"server_rejected\": {}, \
+             \"server_rejected_overloaded\": {}, \"server_backpressure_pauses\": {}, \
+             \"server_write_stall_waits\": {}, {context}}}",
             r.concurrent,
             r.total,
             dist.name(),
             r.late_sends,
             r.wall.as_secs_f64() * 1e3,
+            ledger("server.requests_decoded"),
+            ledger("server.requests_handled"),
+            ledger("server.requests_rejected"),
+            ledger("server.rejected_overloaded"),
+            ledger("server.backpressure_pauses"),
+            ledger("server.write_stall_waits"),
         ));
-        rows.push(r.queries.row(
+        rows.push(hist_row(
+            &r.queries,
             &format!("query_latency/{name}/{sessions}_sessions"),
             &context,
         ));
-        rows.push(r.advances.row(
+        rows.push(hist_row(
+            &r.advances,
             &format!("advance_latency/{name}/{sessions}_sessions"),
             &context,
         ));
+        // The server-side decomposition: where the client-observed tail
+        // actually went (waiting in the session queue vs being handled).
+        for (metric, label) in [
+            ("server.queue_wait_ns", "server_queue_wait"),
+            ("server.handle_ns", "server_handle"),
+            ("server.write_ns", "server_write"),
+        ] {
+            let h = r.server.histogram(metric).cloned().unwrap_or_default();
+            rows.push(hist_row(
+                &h,
+                &format!("{label}/{name}/{sessions}_sessions"),
+                &context,
+            ));
+        }
         eprintln!(
             "loadgen[{name}]: {} requests over {} sessions in {:.2}s → {:.0} req/s \
-             (offered {offered_rps:.0} {}), query p50 {} µs, p99 {} µs, {} late sends",
+             (offered {offered_rps:.0} {}), query p50 {} µs, p99 {} µs, {} late sends; \
+             server queue-wait p99 {} µs, handle p99 {} µs",
             r.total,
             r.concurrent,
             r.wall.as_secs_f64(),
             throughput,
             dist.name(),
-            r.queries.percentile(0.50) / 1_000,
-            r.queries.percentile(0.99) / 1_000,
+            r.queries.quantile(0.50) / 1_000,
+            r.queries.quantile(0.99) / 1_000,
             r.late_sends,
+            r.server
+                .histogram("server.queue_wait_ns")
+                .map_or(0, |h| h.quantile(0.99) / 1_000),
+            r.server
+                .histogram("server.handle_ns")
+                .map_or(0, |h| h.quantile(0.99) / 1_000),
         );
         reports.push(r);
     }
 
     if let [threaded, pool] = &reports[..] {
-        let (tp99, pp99) = (
-            threaded.queries.percentile(0.99),
-            pool.queries.percentile(0.99),
-        );
+        let (tp99, pp99) = (threaded.queries.quantile(0.99), pool.queries.quantile(0.99));
         eprintln!(
             "loadgen: open-loop query p99 at equal offered load: {} {} µs vs {} {} µs",
             threaded.core_name,
             tp99 / 1_000,
             pool.core_name,
             pp99 / 1_000,
+        );
+    }
+
+    // The overhead pass: a dedicated back-to-back pool-core pair —
+    // metric gate off, then on — *after* the main runs have warmed the
+    // process, so the comparison isolates what the relaxed-atomic
+    // recording costs the request path rather than run-order effects.
+    // Client histograms use `record_always`, so only the server's
+    // instruments go quiet in the off run.
+    if reports.iter().any(|r| r.core_name == "pool") {
+        let pool_run = || {
+            run_core(
+                ServingCore::WorkerPool,
+                "pool",
+                sessions,
+                requests,
+                rate_per_session,
+                dist,
+            )
+        };
+        co_obs::set_metrics_enabled(false);
+        let off = pool_run();
+        co_obs::set_metrics_enabled(true);
+        let on = pool_run();
+        let (on_p99, off_p99) = (on.queries.quantile(0.99), off.queries.quantile(0.99));
+        let (on_p50, off_p50) = (on.queries.quantile(0.50), off.queries.quantile(0.50));
+        let pct = |on_ns: u64, off_ns: u64| {
+            if off_ns == 0 {
+                0.0
+            } else {
+                (on_ns as f64 - off_ns as f64) * 100.0 / off_ns as f64
+            }
+        };
+        let (p99_pct, p50_pct) = (pct(on_p99, off_p99), pct(on_p50, off_p50));
+        rows.push(format!(
+            "  {{\"bench\": \"server_loadgen\", \
+             \"id\": \"metrics_overhead/pool/{sessions}_sessions\", \
+             \"metrics_on_p50_ns\": {on_p50}, \"metrics_off_p50_ns\": {off_p50}, \
+             \"overhead_p50_pct\": {p50_pct:.2}, \
+             \"metrics_on_p99_ns\": {on_p99}, \"metrics_off_p99_ns\": {off_p99}, \
+             \"overhead_p99_pct\": {p99_pct:.2}, {context}}}"
+        ));
+        eprintln!(
+            "loadgen: metrics-on query p50/p99 {}/{} µs vs metrics-off {}/{} µs \
+             ({p50_pct:+.2}% / {p99_pct:+.2}%)",
+            on_p50 / 1_000,
+            on_p99 / 1_000,
+            off_p50 / 1_000,
+            off_p99 / 1_000,
         );
     }
 

@@ -1,0 +1,43 @@
+//! Validates a `CO_TRACE` capture file: every line must be one
+//! well-formed JSON object with the span shape (`ts_us` first, then
+//! `event`). CI points a full test-suite run's `CO_TRACE` at a file and
+//! then runs `tracecheck <file>` — the executable form of the "with
+//! tracing on, the suite emits *only* valid JSON lines" guarantee.
+//!
+//! Exit status: 0 with a one-line summary on success; 1 naming the first
+//! offending line otherwise. An empty file fails too — it means the
+//! suite never actually traced, which would make the check vacuous.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: tracecheck <trace-file.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("tracecheck: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if let Err(e) = co_obs::json::parse(line) {
+            eprintln!("tracecheck: {path}:{}: invalid JSON ({e}): {line}", i + 1);
+            return ExitCode::FAILURE;
+        }
+        if !line.starts_with("{\"ts_us\":") || !line.contains("\"event\":") {
+            eprintln!("tracecheck: {path}:{}: not a span line: {line}", i + 1);
+            return ExitCode::FAILURE;
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        eprintln!("tracecheck: {path} is empty — the traced run emitted nothing");
+        return ExitCode::FAILURE;
+    }
+    println!("tracecheck: {lines} valid JSON span lines in {path}");
+    ExitCode::SUCCESS
+}

@@ -36,6 +36,55 @@ use threadpool::ThreadPool;
 /// delta (`new_marks == u64::MAX`) and are never skipped.
 pub const SMALL_DELTA_FANOUT_THRESHOLD: u64 = 4;
 
+/// Registry instruments shared by every engine in the process: one
+/// `engine.rounds` tick and one `engine.match_ns` / `engine.merge_ns`
+/// observation per fixpoint round (resolved once — the per-round cost is
+/// two `Instant` reads and three relaxed atomics).
+struct EngineInstruments {
+    rounds: Arc<co_obs::Counter>,
+    match_ns: Arc<co_obs::Histogram>,
+    merge_ns: Arc<co_obs::Histogram>,
+}
+
+fn engine_instruments() -> &'static EngineInstruments {
+    static CELL: std::sync::OnceLock<EngineInstruments> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| EngineInstruments {
+        rounds: co_obs::counter("engine.rounds"),
+        match_ns: co_obs::histogram("engine.match_ns"),
+        merge_ns: co_obs::histogram("engine.merge_ns"),
+    })
+}
+
+/// One `engine.round` span per iteration when `CO_TRACE` is on:
+/// `delta_marks` is the round's new-mark count (`u64::MAX` for an
+/// all-`New` naive/first round), the `_ns` fields split the round into
+/// body matching, head merge + delta computation, and the GC sweep (0
+/// when none fired).
+#[allow(clippy::too_many_arguments)]
+fn emit_round_span(
+    iteration: u64,
+    delta_marks: u64,
+    match_ns: u64,
+    merge_ns: u64,
+    gc_ns: u64,
+    size: u64,
+    changed: bool,
+) {
+    use co_obs::FieldValue as F;
+    co_obs::emit(
+        "engine.round",
+        &[
+            ("iteration", F::U64(iteration)),
+            ("delta_marks", F::U64(delta_marks)),
+            ("match_ns", F::U64(match_ns)),
+            ("merge_ns", F::U64(merge_ns)),
+            ("gc_ns", F::U64(gc_ns)),
+            ("size", F::U64(size)),
+            ("changed", F::Bool(changed)),
+        ],
+    );
+}
+
 /// Fixpoint iteration strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Strategy {
@@ -451,6 +500,12 @@ impl Engine {
                 GcCadence::EveryRounds(_) => store::pin(&current),
             };
 
+            let round_marks = match (strategy, &delta) {
+                (Strategy::SemiNaive, Some(d)) => d.new_marks(),
+                _ => all_new.new_marks(),
+            };
+            let match_start = Instant::now();
+
             // Match every rule body — sequentially or fanned out over the
             // pool — into one substitution list per rule, in rule order.
             let per_rule = match &pool {
@@ -498,6 +553,9 @@ impl Engine {
                 ),
             };
 
+            let match_elapsed = match_start.elapsed();
+            let merge_start = Instant::now();
+
             // Collect head contributions; union them in one bulk pass
             // (quadratic-accumulation matters at scale).
             let mut contributions: Vec<Object> = Vec::new();
@@ -536,7 +594,24 @@ impl Engine {
                 });
             }
 
+            let instruments = engine_instruments();
+            instruments.rounds.inc();
+            instruments.match_ns.record_duration(match_elapsed);
+
             if !changed {
+                let merge_elapsed = merge_start.elapsed();
+                instruments.merge_ns.record_duration(merge_elapsed);
+                if co_obs::trace_enabled() {
+                    emit_round_span(
+                        iteration,
+                        round_marks,
+                        match_elapsed.as_nanos() as u64,
+                        merge_elapsed.as_nanos() as u64,
+                        0,
+                        size as u64,
+                        false,
+                    );
+                }
                 stats.elapsed = start.elapsed();
                 return Ok(RunOutcome {
                     database: current,
@@ -559,16 +634,32 @@ impl Engine {
             // generation into garbage this round's collection reclaims.
             drop(round_root);
             current = next;
+            let merge_elapsed = merge_start.elapsed();
+            instruments.merge_ns.record_duration(merge_elapsed);
+            let mut gc_elapsed = std::time::Duration::ZERO;
             if self.gc.fires_after(iteration) {
                 // Pin the new database, sweep, and account for it. The
                 // superseded generation and this round's match
                 // intermediates are the garbage being reclaimed; `current`
                 // (pinned), the trace, and anything the caller holds are
                 // reachable and therefore untouchable.
+                let gc_start = Instant::now();
                 let _db_root = store::pin(&current);
                 let swept = store::collect();
+                gc_elapsed = gc_start.elapsed();
                 stats.gc_sweeps += 1;
                 stats.gc_freed_nodes += swept.freed_nodes() as u64;
+            }
+            if co_obs::trace_enabled() {
+                emit_round_span(
+                    iteration,
+                    round_marks,
+                    match_elapsed.as_nanos() as u64,
+                    merge_elapsed.as_nanos() as u64,
+                    gc_elapsed.as_nanos() as u64,
+                    size as u64,
+                    true,
+                );
             }
         }
     }

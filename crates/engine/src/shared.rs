@@ -224,7 +224,23 @@ impl SharedEngine {
         let base = self.head();
         let engine = self.inner.template.with_program(program.clone());
         let out = engine.run(base.object())?;
-        Ok(self.commit(out.database, out.stats))
+        let outcome = self.commit(out.database, out.stats);
+        if co_obs::trace_enabled() {
+            use co_obs::FieldValue as F;
+            co_obs::emit(
+                "engine.advance",
+                &[
+                    ("version", F::U64(outcome.version)),
+                    ("iterations", F::U64(outcome.stats.iterations)),
+                    (
+                        "elapsed_ns",
+                        F::U64(outcome.stats.elapsed.as_nanos() as u64),
+                    ),
+                    ("gc_sweeps", F::U64(outcome.stats.gc_sweeps)),
+                ],
+            );
+        }
+        Ok(outcome)
     }
 
     /// Commits `union(head, delta)` as the new head without running a

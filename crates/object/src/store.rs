@@ -1260,8 +1260,42 @@ pub fn collect() -> SweepStats {
     collect_locked()
 }
 
-/// The body of [`collect`]; the caller holds [`GC_GATE`].
+/// The body of [`collect`]; the caller holds [`GC_GATE`]. Every sweep —
+/// explicit or high-water-triggered — records its stop-the-world pause
+/// into the `store.gc_pause_ns` registry histogram and, when `CO_TRACE`
+/// is on, emits a `store.gc_sweep` span with the pause and yield.
 fn collect_locked() -> SweepStats {
+    fn pause_histogram() -> &'static std::sync::Arc<co_obs::Histogram> {
+        static CELL: std::sync::OnceLock<std::sync::Arc<co_obs::Histogram>> =
+            std::sync::OnceLock::new();
+        CELL.get_or_init(|| co_obs::histogram("store.gc_pause_ns"))
+    }
+    let start = std::time::Instant::now();
+    let stats = collect_locked_inner();
+    let pause = start.elapsed();
+    pause_histogram().record_duration(pause);
+    if co_obs::trace_enabled() {
+        co_obs::emit(
+            "store.gc_sweep",
+            &[
+                ("pause_ns", co_obs::FieldValue::U64(pause.as_nanos() as u64)),
+                ("examined", co_obs::FieldValue::U64(stats.examined as u64)),
+                (
+                    "freed_nodes",
+                    co_obs::FieldValue::U64(stats.freed_nodes() as u64),
+                ),
+                ("passes", co_obs::FieldValue::U64(stats.passes as u64)),
+                (
+                    "pinned_roots",
+                    co_obs::FieldValue::U64(stats.pinned_roots as u64),
+                ),
+            ],
+        );
+    }
+    stats
+}
+
+fn collect_locked_inner() -> SweepStats {
     // Flush this thread's L1 and schedule every other thread's flush (they
     // self-flush on their next intern, bounding cross-sweep retention).
     L1_FLUSH_EPOCH.fetch_add(1, Ordering::Release);

@@ -1,0 +1,326 @@
+//! A minimal JSON helper: string escaping for the emitter and a strict
+//! validating parser for consumers that need to assert "this line is
+//! JSON" without a serialization dependency (the CI trace check, the
+//! emitter's own tests).
+
+use std::fmt;
+
+/// Appends `s` to `out` as a JSON string literal (with quotes),
+/// escaping quotes, backslashes, and control characters.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders an `f64` as a JSON number (`null` for NaN/infinity, which
+/// JSON cannot represent).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+        // `{}` on a whole f64 prints no decimal point; keep it a number
+        // either way (JSON allows integers), so nothing more to do.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Where [`parse`] rejected the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// What the parser expected there.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid JSON at byte {}: expected {}",
+            self.at, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const MAX_DEPTH: usize = 128;
+
+/// Validates that `input` is exactly one JSON value (object, array,
+/// string, number, `true`, `false`, or `null`) with nothing but
+/// whitespace around it. Structural validation only — no tree is built.
+pub fn parse(input: &str) -> Result<(), ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError {
+            at: pos,
+            expected: "end of input",
+        });
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b' ' | b'\t' | b'\n' | b'\r') = bytes.get(*pos) {
+        *pos += 1;
+    }
+}
+
+fn value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), ParseError> {
+    if depth > MAX_DEPTH {
+        return Err(ParseError {
+            at: *pos,
+            expected: "shallower nesting",
+        });
+    }
+    match bytes.get(*pos) {
+        Some(b'{') => object(bytes, pos, depth),
+        Some(b'[') => array(bytes, pos, depth),
+        Some(b'"') => string(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(bytes, pos),
+        _ => Err(ParseError {
+            at: *pos,
+            expected: "a JSON value",
+        }),
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), ParseError> {
+    *pos += 1; // {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        skip_ws(bytes, pos);
+        value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => {
+                return Err(ParseError {
+                    at: *pos,
+                    expected: "',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), ParseError> {
+    *pos += 1; // [
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => {
+                return Err(ParseError {
+                    at: *pos,
+                    expected: "',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), ParseError> {
+    expect(bytes, pos, b'"')?;
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(c) if c.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(ParseError {
+                                        at: *pos,
+                                        expected: "four hex digits",
+                                    })
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            at: *pos,
+                            expected: "a valid escape",
+                        })
+                    }
+                }
+            }
+            Some(c) if *c >= 0x20 => *pos += 1,
+            _ => {
+                return Err(ParseError {
+                    at: *pos,
+                    expected: "a string character or closing quote",
+                })
+            }
+        }
+    }
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), ParseError> {
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    digits(bytes, pos)?;
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        digits(bytes, pos)?;
+    }
+    if let Some(b'e' | b'E') = bytes.get(*pos) {
+        *pos += 1;
+        if let Some(b'+' | b'-') = bytes.get(*pos) {
+            *pos += 1;
+        }
+        digits(bytes, pos)?;
+    }
+    Ok(())
+}
+
+fn digits(bytes: &[u8], pos: &mut usize) -> Result<(), ParseError> {
+    let start = *pos;
+    while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(ParseError {
+            at: *pos,
+            expected: "a digit",
+        });
+    }
+    Ok(())
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), ParseError> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(ParseError {
+            at: *pos,
+            expected: match want {
+                b':' => "':'",
+                b'"' => "'\"'",
+                _ => "a structural character",
+            },
+        })
+    }
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, word: &'static [u8]) -> Result<(), ParseError> {
+    if bytes.len() >= *pos + word.len() && &bytes[*pos..*pos + word.len()] == word {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(ParseError {
+            at: *pos,
+            expected: "a JSON literal",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_lines() {
+        for line in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e+3",
+            r#"{"ts_us":1,"event":"x","nested":{"a":[1,2,{"b":"c"}]},"ok":true}"#,
+            r#""plain \"escaped\" string é""#,
+            "  {\"a\":1}  ",
+        ] {
+            assert_eq!(parse(line), Ok(()), "{line}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_lines() {
+        for line in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "{'a':1}",
+            "{\"a\":01e}",
+        ] {
+            assert!(parse(line).is_err(), "{line:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn escaping_roundtrips_through_the_parser() {
+        let mut out = String::new();
+        escape_into(&mut out, "he said \"hi\"\n\ttab\\slash\u{1}");
+        assert_eq!(parse(&out), Ok(()));
+        let mut obj = String::from("{");
+        escape_into(&mut obj, "key");
+        obj.push(':');
+        push_f64(&mut obj, 1.5);
+        obj.push(',');
+        escape_into(&mut obj, "nan");
+        obj.push(':');
+        push_f64(&mut obj, f64::NAN);
+        obj.push('}');
+        assert_eq!(parse(&obj), Ok(()));
+    }
+}

@@ -220,4 +220,16 @@ impl Client {
             resp => Err(ClientError::Unexpected(resp)),
         }
     }
+
+    /// The server's whole co-obs metric registry as a typed snapshot:
+    /// every counter, gauge, and histogram (request-lifecycle
+    /// histograms, ledger counters, engine/store/wire timings). Fetch
+    /// once before and once after a run and diff with
+    /// [`co_obs::Snapshot::minus`] to isolate the run's contribution.
+    pub fn metrics(&mut self) -> Result<co_obs::Snapshot, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            resp => Err(ClientError::Unexpected(resp)),
+        }
+    }
 }

@@ -70,11 +70,25 @@
 //! | `CO_SERVER_MAX_INFLIGHT` | `1024` | server-wide admitted-request cap; beyond it requests get a typed `Overloaded` rejection |
 //! | `CO_SERVER_MAX_SESSIONS` | `1024` | concurrent sessions before new connections are rejected with a typed `SessionLimit` error |
 //! | `CO_SERVER_MAX_FRAME` | 16 MiB | per-frame body cap, enforced before allocation |
+//! | `CO_METRICS` | on | `0`/`off`/`false` disable the co-obs metric registry (counters/histograms become no-ops; the `Request::Metrics` frame still answers, with frozen values) |
+//! | `CO_TRACE` | off | `1`/`stderr` emit JSON-lines spans to stderr; any other value is an append-mode file path |
 //!
-//! A set-but-unparsable value keeps the default **and prints a one-line
-//! stderr warning** naming the variable and the rejected value. Engine
-//! knobs (`CO_ENGINE_THREADS`, `CO_GC_EVERY_ROUND`, …) apply unchanged —
-//! the serving layer adds no semantics of its own.
+//! A set-but-unparsable value keeps the default **and emits a one-line
+//! structured warning** (a single JSON line through the co-obs event
+//! emitter — stderr unless `CO_TRACE` routes it to a file) naming the
+//! variable and the rejected value. Engine knobs (`CO_ENGINE_THREADS`,
+//! `CO_GC_EVERY_ROUND`, …) apply unchanged — the serving layer adds no
+//! semantics of its own.
+//!
+//! ## Observability
+//!
+//! Every request on either core is stamped through its lifecycle
+//! (decoded → enqueued → dequeued → handled → written) into the global
+//! [`co_obs`] registry: `server.queue_wait_ns` / `server.handle_ns` /
+//! `server.write_ns` histograms plus the decode/handle/reject ledger
+//! counters (see the `obs` module docs for the exact invariants). The
+//! [`Request::Metrics`] frame returns the whole registry as a typed
+//! [`co_obs::Snapshot`]; [`Client::metrics`] fetches it.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -82,6 +96,7 @@
 mod client;
 mod error;
 pub mod frame;
+pub(crate) mod obs;
 mod pool;
 pub mod protocol;
 mod reactor;
@@ -173,6 +188,44 @@ pub struct ServerConfig {
     pub max_inflight: usize,
 }
 
+/// A set-but-rejected configuration variable, reported by
+/// [`ServerConfig::from_vars`] and emitted by [`ServerConfig::from_env`]
+/// as one structured warning line through the co-obs event emitter. The
+/// fields are separate (not a pre-baked message) so the emitted JSON
+/// carries `variable` and `rejected` as machine-readable fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigWarning {
+    /// The `CO_SERVER_*` variable that was set.
+    pub variable: String,
+    /// The value that failed to parse, verbatim.
+    pub rejected: String,
+    /// Why it was rejected and which default is kept.
+    pub detail: String,
+}
+
+impl ConfigWarning {
+    fn new(variable: &str, rejected: &str, detail: String) -> ConfigWarning {
+        ConfigWarning {
+            variable: variable.to_owned(),
+            rejected: rejected.to_owned(),
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigWarning {
+    /// The human rendering, shaped like the pre-structured stderr line:
+    /// `ignoring CO_SERVER_MAX_FRAME="-5": not a positive byte count;
+    /// keeping 16777216`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ignoring {}={:?}: {}",
+            self.variable, self.rejected, self.detail
+        )
+    }
+}
+
 impl Default for ServerConfig {
     /// Baseline knob values, with the `CO_SERVER_*` environment applied
     /// on top (silently — [`ServerConfig::from_env`] is the constructor
@@ -187,14 +240,23 @@ impl Default for ServerConfig {
 
 impl ServerConfig {
     /// Configuration from the `CO_SERVER_*` environment. A variable that
-    /// is set but unparsable keeps its default and prints a one-line
-    /// stderr warning naming the variable and the rejected value —
-    /// silent fallback hides typos like `CO_SERVER_MAX_SESSIONS=1k`
-    /// until the cap bites in production.
+    /// is set but unparsable keeps its default and emits one structured
+    /// warning line (JSON, stderr by default — the `co-obs` event
+    /// emitter) naming the variable and the rejected value — silent
+    /// fallback hides typos like `CO_SERVER_MAX_SESSIONS=1k` until the
+    /// cap bites in production.
     pub fn from_env() -> ServerConfig {
         let (config, warnings) = ServerConfig::from_vars(|key| std::env::var(key).ok());
         for w in &warnings {
-            eprintln!("co-server: {w}");
+            co_obs::warn(
+                "co-server",
+                "ignoring unparsable configuration variable",
+                &[
+                    ("variable", co_obs::FieldValue::Str(&w.variable)),
+                    ("rejected", co_obs::FieldValue::Str(&w.rejected)),
+                    ("detail", co_obs::FieldValue::Str(&w.detail)),
+                ],
+            );
         }
         config
     }
@@ -202,7 +264,7 @@ impl ServerConfig {
     /// [`ServerConfig::from_env`] with the variable source injected —
     /// the testable core. Returns the configuration plus the warnings
     /// for set-but-rejected values.
-    pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> (ServerConfig, Vec<String>) {
+    pub fn from_vars(get: impl Fn(&str) -> Option<String>) -> (ServerConfig, Vec<ConfigWarning>) {
         // The environment-free baseline (`Default` layers the env on top
         // of this, so it cannot be written in terms of `Default`).
         let mut cfg = ServerConfig {
@@ -219,9 +281,10 @@ impl ServerConfig {
         if let Some(addr) = get("CO_SERVER_ADDR") {
             let addr = addr.trim();
             if addr.is_empty() {
-                warnings.push(format!(
-                    "ignoring CO_SERVER_ADDR=\"\": empty address; keeping \"{}\"",
-                    cfg.addr
+                warnings.push(ConfigWarning::new(
+                    "CO_SERVER_ADDR",
+                    "",
+                    format!("empty address; keeping \"{}\"", cfg.addr),
                 ));
             } else {
                 cfg.addr = addr.to_owned();
@@ -231,9 +294,10 @@ impl ServerConfig {
             if let Some(raw) = get(key) {
                 match raw.trim().parse::<usize>() {
                     Ok(n) if n >= min => *slot = n,
-                    _ => warnings.push(format!(
-                        "ignoring {key}={raw:?}: not {meaning}; keeping {}",
-                        *slot
+                    _ => warnings.push(ConfigWarning::new(
+                        key,
+                        &raw,
+                        format!("not {meaning}; keeping {}", *slot),
                     )),
                 }
             }
@@ -265,20 +329,20 @@ impl ServerConfig {
         if let Some(raw) = get("CO_SERVER_MAX_FRAME") {
             match raw.trim().parse::<u64>() {
                 Ok(n) if n >= 1 => cfg.max_frame_len = n,
-                _ => warnings.push(format!(
-                    "ignoring CO_SERVER_MAX_FRAME={raw:?}: not a positive byte count; \
-                     keeping {}",
-                    cfg.max_frame_len
+                _ => warnings.push(ConfigWarning::new(
+                    "CO_SERVER_MAX_FRAME",
+                    &raw,
+                    format!("not a positive byte count; keeping {}", cfg.max_frame_len),
                 )),
             }
         }
         if let Some(raw) = get("CO_SERVER_CORE") {
             match ServingCore::parse(&raw) {
                 Some(core) => cfg.core = core,
-                None => warnings.push(format!(
-                    "ignoring CO_SERVER_CORE={raw:?}: expected \"pool\" or \"threaded\"; \
-                     keeping {:?}",
-                    cfg.core
+                None => warnings.push(ConfigWarning::new(
+                    "CO_SERVER_CORE",
+                    &raw,
+                    format!("expected \"pool\" or \"threaded\"; keeping {:?}", cfg.core),
                 )),
             }
         }
@@ -589,8 +653,12 @@ mod config_tests {
             (&warnings[1], "CO_SERVER_MAX_FRAME", "-5"),
             (&warnings[2], "CO_SERVER_CORE", "epoll"),
         ] {
-            assert!(warning.contains(var), "{warning}");
-            assert!(warning.contains(rejected), "{warning}");
+            assert_eq!(warning.variable, var);
+            assert_eq!(warning.rejected, rejected);
+            let rendered = warning.to_string();
+            assert!(rendered.contains(var), "{rendered}");
+            assert!(rendered.contains(rejected), "{rendered}");
+            assert!(rendered.starts_with("ignoring "), "{rendered}");
         }
     }
 

@@ -23,6 +23,7 @@
 //!   collapsing under buffered work.
 
 use crate::frame::encode_frame;
+use crate::obs;
 use crate::protocol::{self, ErrorCode, Request, Response, SessionState};
 use crate::SlotGuard;
 use std::collections::{HashMap, VecDeque};
@@ -44,8 +45,10 @@ const WRITE_POLL: Duration = Duration::from_millis(100);
 
 /// One unit of session work.
 pub(crate) enum Job {
-    /// A verified frame body to decode and serve.
-    Frame(Vec<u8>),
+    /// A verified frame body to decode and serve. `decoded_at` is the
+    /// reactor's extraction stamp — the dequeue-side read of it is the
+    /// request's queue wait.
+    Frame { body: Vec<u8>, decoded_at: Instant },
     /// A pre-judged rejection to render (admission control, protocol
     /// failure). `close` poisons the session after the report.
     Reject {
@@ -209,11 +212,20 @@ fn drain_session(shared: &PoolShared, entry: &SessionEntry) {
             let job = entry.queue.lock().unwrap().pop_front();
             let Some(job) = job else { break };
             match job {
-                Job::Frame(body) => {
+                Job::Frame { body, decoded_at } => {
+                    let instruments = obs::instruments();
+                    let queue_wait = decoded_at.elapsed();
+                    instruments.queue_wait_ns.record_duration(queue_wait);
+                    // `None` means the request never reached the handler
+                    // (its decode failed): a rejection in the ledger.
+                    let mut handle_elapsed: Option<Duration> = None;
                     let response = match Request::decode(&body) {
                         Ok(request) => {
                             let mut state = entry.state.lock().unwrap();
-                            match protocol::handle(&mut state, request) {
+                            let handle_start = Instant::now();
+                            let handled = protocol::handle(&mut state, request);
+                            handle_elapsed = Some(handle_start.elapsed());
+                            match handled {
                                 Ok(response) => response,
                                 // Only response rendering can fail: report
                                 // and poison, like the threaded core.
@@ -234,8 +246,28 @@ fn drain_session(shared: &PoolShared, entry: &SessionEntry) {
                             }
                         }
                     };
+                    let write_start = Instant::now();
                     let sent = write_response(shared, entry, &response);
+                    let write_elapsed = write_start.elapsed();
+                    instruments.write_ns.record_duration(write_elapsed);
                     shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                    match handle_elapsed {
+                        Some(h) => {
+                            instruments.handle_ns.record_duration(h);
+                            instruments.handled();
+                        }
+                        None => instruments.rejected(),
+                    }
+                    if co_obs::trace_enabled() {
+                        obs::emit_request_span(
+                            "pool",
+                            entry.id,
+                            Some(queue_wait),
+                            handle_elapsed.unwrap_or_default(),
+                            write_elapsed,
+                            sent,
+                        );
+                    }
                     if !sent {
                         close = true;
                     }
@@ -287,12 +319,15 @@ fn drain_session(shared: &PoolShared, entry: &SessionEntry) {
 }
 
 /// Drops every remaining queued job on a session being abandoned,
-/// keeping the in-flight ledger balanced.
-fn abandon_remaining(shared: &PoolShared, entry: &SessionEntry) {
+/// keeping the in-flight ledgers (admission control's and the metrics
+/// registry's) balanced: an abandoned frame was decoded but will never
+/// be handled, so it counts as rejected.
+pub(crate) fn abandon_remaining(shared: &PoolShared, entry: &SessionEntry) {
     let mut queue = entry.queue.lock().unwrap();
     for job in queue.drain(..) {
-        if matches!(job, Job::Frame(_)) {
+        if matches!(job, Job::Frame { .. }) {
             shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            obs::instruments().rejected();
         }
     }
 }
@@ -316,6 +351,7 @@ fn write_response(shared: &PoolShared, entry: &SessionEntry, response: &Response
                 if Instant::now() >= deadline {
                     return false;
                 }
+                obs::instruments().write_stall_waits.inc();
                 let ready = polling::wait(
                     entry.stream.as_raw_fd(),
                     polling::POLLOUT,

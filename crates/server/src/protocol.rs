@@ -16,7 +16,7 @@ use crate::ProtocolError;
 use co_engine::{EngineError, PinnedDb, SharedEngine};
 use co_object::{store, NodeId, Object};
 use co_parser::{parse_formula, parse_program};
-use co_wire::codec::{put_str, put_varint, Cursor};
+use co_wire::codec::{put_str, put_varint, put_varint_i64, Cursor};
 use co_wire::WireError;
 
 /// What a client asks of the server.
@@ -57,6 +57,15 @@ pub enum Request {
     },
     /// A digest of the shared store's ledgers ([`Response::Stats`]).
     Stats,
+    /// The server's full observability registry — every counter, gauge,
+    /// and histogram the process has published — as a typed
+    /// [`co_obs::Snapshot`] ([`Response::Metrics`]). The wide-spectrum
+    /// sibling of [`Request::Stats`]: where `Stats` digests the object
+    /// store's ledgers, `Metrics` carries request-lifecycle histograms
+    /// (queue wait, handle, write), engine round timings, GC pauses, and
+    /// wire codec costs, diffable client-side via
+    /// [`co_obs::Snapshot::minus`].
+    Metrics,
 }
 
 /// Application-level failure categories carried by [`Response::Error`].
@@ -165,6 +174,9 @@ pub enum Response {
     },
     /// The store-ledger digest.
     Stats(StatsDigest),
+    /// The process-wide observability registry at the moment the request
+    /// was served.
+    Metrics(co_obs::Snapshot),
     /// An application-level failure; the session stays open except after
     /// [`ErrorCode::Protocol`] / [`ErrorCode::SessionLimit`].
     Error {
@@ -307,6 +319,7 @@ pub fn handle(state: &mut SessionState, request: Request) -> Result<Response, Pr
                 gc_freed_nodes: s.gc_freed_nodes,
             }))
         }
+        Request::Metrics => Ok(Response::Metrics(co_obs::global().snapshot())),
     }
 }
 
@@ -318,6 +331,7 @@ const REQ_QUERY: u8 = 0x05;
 const REQ_EVAL: u8 = 0x06;
 const REQ_ADVANCE: u8 = 0x07;
 const REQ_STATS: u8 = 0x08;
+const REQ_METRICS: u8 = 0x09;
 
 const RESP_PONG: u8 = 0x81;
 const RESP_HEAD: u8 = 0x82;
@@ -326,6 +340,7 @@ const RESP_RELEASED: u8 = 0x84;
 const RESP_OBJECTS: u8 = 0x85;
 const RESP_ADVANCED: u8 = 0x86;
 const RESP_STATS: u8 = 0x87;
+const RESP_METRICS: u8 = 0x88;
 const RESP_ERROR: u8 = 0xEF;
 
 /// Field-level decode failures surface through the shared cursor; keep
@@ -369,6 +384,114 @@ fn finish<T>(value: T, c: &Cursor<'_>) -> Result<T, ProtocolError> {
     Ok(value)
 }
 
+/// Encodes a registry snapshot: three `(count, entries…)` sections
+/// (counters, gauges, histograms), every integer a varint, every name a
+/// length-prefixed string. Histogram buckets are `(index, count)` pairs
+/// in strictly increasing index order with nonzero counts — the
+/// canonical form [`co_obs::Histogram::snapshot`] produces — and the
+/// decoder enforces exactly that, so a decoded snapshot re-encodes
+/// verbatim and a corrupt one is a typed error.
+fn encode_snapshot(b: &mut Vec<u8>, s: &co_obs::Snapshot) {
+    put_varint(b, s.counters.len() as u64);
+    for (name, value) in &s.counters {
+        put_str(b, name);
+        put_varint(b, *value);
+    }
+    put_varint(b, s.gauges.len() as u64);
+    for (name, value) in &s.gauges {
+        put_str(b, name);
+        put_varint_i64(b, *value);
+    }
+    put_varint(b, s.histograms.len() as u64);
+    for (name, h) in &s.histograms {
+        put_str(b, name);
+        put_varint(b, h.count);
+        put_varint(b, h.sum);
+        put_varint(b, h.min);
+        put_varint(b, h.max);
+        put_varint(b, h.buckets.len() as u64);
+        for &(index, count) in &h.buckets {
+            put_varint(b, u64::from(index));
+            put_varint(b, count);
+        }
+    }
+}
+
+fn decode_snapshot(c: &mut Cursor<'_>) -> Result<co_obs::Snapshot, ProtocolError> {
+    /// Declared-count sanity bound: every entry costs at least one body
+    /// byte, so a count beyond `remaining` is malformed without
+    /// allocating for it.
+    fn len(c: &mut Cursor<'_>, context: &'static str) -> Result<usize, ProtocolError> {
+        let n = c.varint(context).map_err(field)?;
+        if n > c.remaining() as u64 {
+            return Err(ProtocolError::Malformed {
+                detail: format!("{context} count {n} exceeds the body"),
+            });
+        }
+        Ok(n as usize)
+    }
+    let mut counters = Vec::with_capacity(len(c, "metrics counter count")?);
+    for _ in 0..counters.capacity() {
+        let name = c.str("metrics counter name").map_err(field)?.to_owned();
+        let value = c.varint("metrics counter value").map_err(field)?;
+        counters.push((name, value));
+    }
+    let mut gauges = Vec::with_capacity(len(c, "metrics gauge count")?);
+    for _ in 0..gauges.capacity() {
+        let name = c.str("metrics gauge name").map_err(field)?.to_owned();
+        let value = c.varint_i64("metrics gauge value").map_err(field)?;
+        gauges.push((name, value));
+    }
+    let mut histograms = Vec::with_capacity(len(c, "metrics histogram count")?);
+    for _ in 0..histograms.capacity() {
+        let name = c.str("metrics histogram name").map_err(field)?.to_owned();
+        let count = c.varint("metrics histogram count").map_err(field)?;
+        let sum = c.varint("metrics histogram sum").map_err(field)?;
+        let min = c.varint("metrics histogram min").map_err(field)?;
+        let max = c.varint("metrics histogram max").map_err(field)?;
+        let n_buckets = len(c, "metrics bucket count")?;
+        let mut buckets = Vec::with_capacity(n_buckets);
+        let mut prev: Option<u32> = None;
+        for _ in 0..n_buckets {
+            let index = c.varint("metrics bucket index").map_err(field)?;
+            let index = u32::try_from(index)
+                .ok()
+                .filter(|&i| (i as usize) < co_obs::NUM_BUCKETS)
+                .ok_or_else(|| ProtocolError::Malformed {
+                    detail: format!("histogram bucket index {index} out of range"),
+                })?;
+            if prev.is_some_and(|p| p >= index) {
+                return Err(ProtocolError::Malformed {
+                    detail: format!("histogram bucket index {index} not increasing"),
+                });
+            }
+            prev = Some(index);
+            let bucket_count = c.varint("metrics bucket value").map_err(field)?;
+            if bucket_count == 0 {
+                return Err(ProtocolError::Malformed {
+                    detail: "zero-count histogram bucket".to_owned(),
+                });
+            }
+            buckets.push((index, bucket_count));
+        }
+        histograms.push((
+            name,
+            co_obs::HistogramSnapshot {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            },
+        ));
+    }
+    Ok(co_obs::Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 impl Request {
     /// Encodes this request as a frame body.
     pub fn encode(&self) -> Vec<u8> {
@@ -391,6 +514,7 @@ impl Request {
                 put_str(&mut b, program);
             }
             Request::Stats => b.push(REQ_STATS),
+            Request::Metrics => b.push(REQ_METRICS),
         }
         b
     }
@@ -414,6 +538,7 @@ impl Request {
                 program: c.str("advance program").map_err(field)?.to_owned(),
             },
             REQ_STATS => Request::Stats,
+            REQ_METRICS => Request::Metrics,
             kind => {
                 return Err(ProtocolError::BadKind {
                     kind,
@@ -473,6 +598,10 @@ impl Response {
                 ] {
                     put_varint(&mut b, v);
                 }
+            }
+            Response::Metrics(snapshot) => {
+                b.push(RESP_METRICS);
+                encode_snapshot(&mut b, snapshot);
             }
             Response::Error { code, message } => {
                 b.push(RESP_ERROR);
@@ -536,6 +665,7 @@ impl Response {
                     gc_freed_nodes: vals[5],
                 })
             }
+            RESP_METRICS => Response::Metrics(decode_snapshot(&mut c)?),
             RESP_ERROR => Response::Error {
                 code: ErrorCode::from_code(c.u8("error code").map_err(field)?)?,
                 message: c.str("error message").map_err(field)?.to_owned(),
@@ -571,7 +701,30 @@ mod tests {
                 program: "[doa: {X}] :- [family: {[name: X]}].".into(),
             },
             Request::Stats,
+            Request::Metrics,
         ]
+    }
+
+    /// A representative registry snapshot: counters, a negative gauge,
+    /// and a histogram whose buckets exercise the canonical-form checks.
+    fn metrics_snapshot() -> co_obs::Snapshot {
+        co_obs::Snapshot {
+            counters: vec![
+                ("server.requests_decoded".into(), 12345),
+                ("server.requests_handled".into(), 12000),
+            ],
+            gauges: vec![("server.inflight".into(), -2)],
+            histograms: vec![(
+                "server.handle_ns".into(),
+                co_obs::HistogramSnapshot {
+                    count: 3,
+                    sum: 1_000_100,
+                    min: 50,
+                    max: 1_000_000,
+                    buckets: vec![(50, 1), (160, 1), (921, 1)],
+                },
+            )],
+        }
     }
 
     fn response_corpus() -> Vec<Response> {
@@ -603,6 +756,8 @@ mod tests {
                 gc_sweeps: 2,
                 gc_freed_nodes: 123,
             }),
+            Response::Metrics(metrics_snapshot()),
+            Response::Metrics(co_obs::Snapshot::default()),
             Response::Error {
                 code: ErrorCode::Parse,
                 message: "unexpected token".into(),

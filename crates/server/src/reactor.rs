@@ -24,6 +24,7 @@
 //! no session is ever abandoned inside a blocked read.
 
 use crate::frame::FrameDecoder;
+use crate::obs;
 use crate::pool::{Job, PoolShared, SessionEntry, WorkerPool};
 use crate::protocol::{ErrorCode, SessionState};
 use crate::{classify_accept_error, AcceptDisposition, ServerConfig, SlotGuard};
@@ -97,6 +98,7 @@ pub(crate) fn run(
                 tokens.push(Token::Session(*id));
             }
         }
+        obs::instruments().reactor_polls.inc();
         if polling::poll_fds(&mut fds, POLL_TIMEOUT_MS).is_err() {
             // EINTR is retried inside the shim; anything else here means
             // the fd set itself is broken — re-check shutdown and retry.
@@ -184,12 +186,7 @@ fn remove_session(pool_shared: &PoolShared, conns: &mut HashMap<u64, Conn>, id: 
         // never be drained again — drop the jobs and balance the ledger.
         // A still-scheduled session's worker does this itself.
         if !entry.scheduled.load(Ordering::Acquire) {
-            let mut queue = entry.queue.lock().unwrap();
-            for job in queue.drain(..) {
-                if matches!(job, Job::Frame(_)) {
-                    pool_shared.inflight.fetch_sub(1, Ordering::AcqRel);
-                }
-            }
+            crate::pool::abandon_remaining(pool_shared, &entry);
         }
     }
 }
@@ -240,6 +237,7 @@ fn accept_burst(
                     state: Mutex::new(SessionState::new(shared_engine.clone())),
                     _slot: SlotGuard(Arc::clone(active)),
                 });
+                obs::instruments().sessions_accepted.inc();
                 pool_shared
                     .sessions
                     .lock()
@@ -260,9 +258,11 @@ fn accept_burst(
                 AcceptDisposition::Idle => return true,
                 AcceptDisposition::Transient => continue,
                 AcceptDisposition::Fatal => {
-                    eprintln!(
-                        "co-server: listener failed fatally ({e}); no further sessions \
-                         will be accepted, existing sessions keep being served"
+                    co_obs::warn(
+                        "co-server",
+                        "listener failed fatally; no further sessions will be accepted, \
+                         existing sessions keep being served",
+                        &[("error", co_obs::FieldValue::Str(&e.to_string()))],
                     );
                     return false;
                 }
@@ -316,8 +316,15 @@ fn extract_frames(pool_shared: &PoolShared, conn: &mut Conn) {
     loop {
         match conn.decoder.next_frame() {
             Ok(Some(body)) => {
+                let instruments = obs::instruments();
+                // Lifecycle stamp: a complete frame left the socket. An
+                // admission-control rejection is still a *decoded*
+                // request — it enters and immediately leaves the ledger.
+                instruments.decoded();
                 let over = pool_shared.inflight.load(Ordering::Acquire) >= pool_shared.max_inflight;
                 let job = if over {
+                    instruments.rejected();
+                    instruments.rejected_overloaded.inc();
                     Job::Reject {
                         code: ErrorCode::Overloaded,
                         message: format!(
@@ -328,7 +335,10 @@ fn extract_frames(pool_shared: &PoolShared, conn: &mut Conn) {
                     }
                 } else {
                     pool_shared.inflight.fetch_add(1, Ordering::AcqRel);
-                    Job::Frame(body)
+                    Job::Frame {
+                        body,
+                        decoded_at: std::time::Instant::now(),
+                    }
                 };
                 let len = {
                     let mut queue = conn.entry.queue.lock().unwrap();
@@ -353,6 +363,7 @@ fn extract_frames(pool_shared: &PoolShared, conn: &mut Conn) {
                         // Frames already buffered in the decoder stay
                         // there until the resume — the bound is on queued
                         // work.
+                        obs::instruments().backpressure_pauses.inc();
                         return;
                     }
                 }

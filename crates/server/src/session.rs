@@ -22,6 +22,7 @@
 //! drains instead of being abandoned until process exit.
 
 use crate::frame::{read_frame, write_frame};
+use crate::obs;
 use crate::protocol::{self, ErrorCode, Request, Response, SessionState};
 use crate::ProtocolError;
 use co_engine::SharedEngine;
@@ -84,6 +85,7 @@ pub(crate) fn serve_session(
     });
     let mut writer = BufWriter::new(stream);
     let mut state = SessionState::new(shared);
+    let instruments = obs::instruments();
     loop {
         let body = match read_frame(&mut reader, max_frame) {
             Ok(Some(body)) => body,
@@ -95,22 +97,50 @@ pub(crate) fn serve_session(
                 break;
             }
         };
-        let response = match Request::decode(&body) {
-            Ok(request) => match protocol::handle(&mut state, request) {
-                Ok(response) => response,
-                // Only rendering the response can fail here; report and
-                // close rather than leave the peer waiting.
-                Err(e) => {
-                    send_protocol_error(&mut writer, &e);
-                    break;
-                }
-            },
+        // Lifecycle stamp: the frame is decoded. There is no queue on
+        // this core — handling starts immediately — but the same stamp
+        // points are taken so both cores' histograms stay comparable.
+        instruments.decoded();
+        let decoded_at = std::time::Instant::now();
+        let request = match Request::decode(&body) {
+            Ok(request) => request,
             Err(e) => {
+                instruments.rejected();
                 send_protocol_error(&mut writer, &e);
                 break;
             }
         };
-        if write_frame(&mut writer, &response.encode()).is_err() {
+        let queue_wait = decoded_at.elapsed();
+        instruments.queue_wait_ns.record_duration(queue_wait);
+        let handle_start = std::time::Instant::now();
+        let response = match protocol::handle(&mut state, request) {
+            Ok(response) => response,
+            // Only rendering the response can fail here; report and
+            // close rather than leave the peer waiting.
+            Err(e) => {
+                instruments.handled();
+                send_protocol_error(&mut writer, &e);
+                break;
+            }
+        };
+        let handle_elapsed = handle_start.elapsed();
+        instruments.handle_ns.record_duration(handle_elapsed);
+        let write_start = std::time::Instant::now();
+        let write_ok = write_frame(&mut writer, &response.encode()).is_ok();
+        let write_elapsed = write_start.elapsed();
+        instruments.write_ns.record_duration(write_elapsed);
+        instruments.handled();
+        if co_obs::trace_enabled() {
+            obs::emit_request_span(
+                "threaded",
+                registered,
+                Some(queue_wait),
+                handle_elapsed,
+                write_elapsed,
+                write_ok,
+            );
+        }
+        if !write_ok {
             // The peer vanished mid-reply; nothing left to tell it.
             break;
         }

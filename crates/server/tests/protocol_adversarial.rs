@@ -42,6 +42,7 @@ fn corpus() -> Vec<Vec<u8>> {
         }
         .encode(),
         Request::Stats.encode(),
+        Request::Metrics.encode(),
         Response::Pong.encode(),
         Response::Head {
             version: 42,
@@ -66,6 +67,24 @@ fn corpus() -> Vec<Vec<u8>> {
             intern_misses: 50,
             gc_sweeps: 1,
             gc_freed_nodes: 5,
+        })
+        .encode(),
+        Response::Metrics(co_obs::Snapshot {
+            counters: vec![
+                ("server.requests_decoded".into(), 12345),
+                ("server.requests_handled".into(), 12000),
+            ],
+            gauges: vec![("server.inflight".into(), -2)],
+            histograms: vec![(
+                "server.handle_ns".into(),
+                co_obs::HistogramSnapshot {
+                    count: 3,
+                    sum: 1_000_100,
+                    min: 50,
+                    max: 1_000_000,
+                    buckets: vec![(50, 1), (160, 1), (921, 1)],
+                },
+            )],
         })
         .encode(),
         Response::Error {

@@ -436,10 +436,42 @@ impl Encoder<'_> {
     }
 }
 
+/// The crate's registry instruments, resolved once: every snapshot
+/// encode/decode lands in `wire.encode_ns` / `wire.decode_ns` (one
+/// observation per layer), so serving-side stalls can be attributed to
+/// serialization from a [`co_obs::Snapshot`] alone.
+struct WireInstruments {
+    encode_ns: std::sync::Arc<co_obs::Histogram>,
+    decode_ns: std::sync::Arc<co_obs::Histogram>,
+}
+
+fn wire_instruments() -> &'static WireInstruments {
+    static CELL: std::sync::OnceLock<WireInstruments> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| WireInstruments {
+        encode_ns: co_obs::histogram("wire.encode_ns"),
+        decode_ns: co_obs::histogram("wire.decode_ns"),
+    })
+}
+
 /// The shared writer: encodes `roots` (plus `meta`) as one layer — full
 /// when `base` is `None`, a delta against `base` otherwise — and returns
 /// the stats plus a handle onto the written snapshot (base included).
 fn write_snapshot_impl<W: Write>(
+    w: W,
+    roots: &[Object],
+    meta: &[u8],
+    base: Option<&SnapshotHandle>,
+    columnar: bool,
+) -> Result<(WriteStats, SnapshotHandle), WireError> {
+    let start = std::time::Instant::now();
+    let out = write_snapshot_inner(w, roots, meta, base, columnar);
+    wire_instruments()
+        .encode_ns
+        .record_duration(start.elapsed());
+    out
+}
+
+fn write_snapshot_inner<W: Write>(
     mut w: W,
     roots: &[Object],
     meta: &[u8],
@@ -1058,6 +1090,20 @@ struct Layer {
 /// restored layer (`None` when this is the first); a version-2 layer's
 /// declared base link is verified against it and `nodes.len()`.
 fn read_layer<R: Read>(
+    r: R,
+    nodes: &mut Vec<Object>,
+    base_checksum: Option<u64>,
+    first: bool,
+) -> Result<Layer, WireError> {
+    let start = std::time::Instant::now();
+    let out = read_layer_inner(r, nodes, base_checksum, first);
+    wire_instruments()
+        .decode_ns
+        .record_duration(start.elapsed());
+    out
+}
+
+fn read_layer_inner<R: Read>(
     mut r: R,
     nodes: &mut Vec<Object>,
     base_checksum: Option<u64>,

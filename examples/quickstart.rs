@@ -181,4 +181,26 @@ fn main() {
     );
     std::fs::remove_file(&path).ok();
     std::fs::remove_file(&delta_path).ok();
+
+    // -----------------------------------------------------------------
+    // 9. Observability: everything above also recorded itself into the
+    //    global co-obs registry — engine rounds, match/merge timings, GC
+    //    pauses, wire encode/decode. One snapshot reads it all; the same
+    //    registry is what a server returns for a `metrics` request and
+    //    what the REPL's `metrics` command prints. (Set CO_TRACE=stderr
+    //    to also stream per-round spans as JSON lines, and CO_METRICS=0
+    //    to make every instrument a no-op.)
+    // -----------------------------------------------------------------
+    let metrics = complex_objects::obs::global().snapshot();
+    let rounds = metrics.counter("engine.rounds").expect("engine ran above");
+    assert!(rounds >= 2, "the fixpoint runs took at least two rounds");
+    let match_ns = metrics
+        .histogram("engine.match_ns")
+        .expect("per-round match timings");
+    assert_eq!(
+        match_ns.count, rounds,
+        "one match-phase observation per round"
+    );
+    assert!(match_ns.quantile(0.99) <= match_ns.max);
+    println!("\nthe process's own story, from the metrics registry:\n{metrics}");
 }

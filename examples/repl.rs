@@ -36,6 +36,8 @@ commands:
   policy strict|literal   choose the match policy (default strict)
   clear              drop all rules
   stats              database size/depth + object-store counters
+  metrics            dump the co-obs registry (counters, gauges, latency
+                     histograms with p50/p90/p99) accumulated this session
   gc                 sweep the object store (the database stays pinned)
   save <path>        full checkpoint of database + rules + policy
   save --delta <path>   checkpoint only what changed since the last save
@@ -73,6 +75,16 @@ impl Session {
                 measure::depth(&self.db),
                 complex_objects::object::store::stats(),
             ),
+            "metrics" => {
+                // The global co-obs registry: every engine run, GC sweep,
+                // and wire encode this process did so far.
+                let snapshot = complex_objects::obs::global().snapshot();
+                if snapshot.is_empty() {
+                    println!("(no metrics recorded yet — run something first)");
+                } else {
+                    print!("{snapshot}");
+                }
+            }
             "gc" => {
                 // The session database is reachable (we hold it), but pin
                 // it anyway: explicitness is the point of the command.

@@ -56,6 +56,12 @@
 //!   snapshot (bit-identical to a single-threaded run quiesced at that
 //!   version) while writers advance the head, and results ship back as
 //!   checksummed co-wire frames.
+//! - [`obs`] (`crates/obs`, `co_obs`) — the dependency-light
+//!   observability core every layer above records into: atomic
+//!   counters/gauges, log-bucketed mergeable histograms (p50/p99 from
+//!   lock-free recording), a named global registry snapshottable over
+//!   the wire (`server::Request::Metrics`), and a JSON-lines span
+//!   emitter gated by `CO_TRACE`.
 //!
 //! Two more pieces are not re-exported: `crates/bench` (`co_bench`,
 //! workload builders, experiment binaries, and the criterion benches) and
@@ -87,6 +93,7 @@
 pub use co_calculus as calculus;
 pub use co_engine as engine;
 pub use co_object as object;
+pub use co_obs as obs;
 pub use co_parser as parser;
 pub use co_relational as relational;
 pub use co_schema as schema;

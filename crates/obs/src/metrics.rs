@@ -212,6 +212,10 @@ impl Histogram {
     /// A consistent-enough copy for reporting. Buckets are read after
     /// the totals, so a racing `record` can only make `buckets` sum to
     /// slightly more than `count` — never less than what was recorded.
+    /// `record_always` bumps `count` before `min`/`max`, so a racing
+    /// read can observe `count > 0` while `min` is still the `u64::MAX`
+    /// sentinel (or above the not-yet-stored `max`); `min` is pinned to
+    /// `max` here so every snapshot satisfies `min <= max`.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
         let sum = self.sum.load(Ordering::Relaxed);
@@ -229,7 +233,7 @@ impl Histogram {
         HistogramSnapshot {
             count,
             sum,
-            min: if count == 0 { 0 } else { min },
+            min: if count == 0 { 0 } else { min.min(max) },
             max,
             buckets,
         }
@@ -276,7 +280,10 @@ impl HistogramSnapshot {
         for &(index, n) in &self.buckets {
             seen += n;
             if seen >= target {
-                return bucket_representative(index as usize).clamp(self.min, self.max);
+                // `min.min(max)` keeps the clamp bounds ordered even on
+                // a snapshot built by hand with `min > max` — `clamp`
+                // panics on inverted bounds.
+                return bucket_representative(index as usize).clamp(self.min.min(self.max), self.max);
             }
         }
         self.max
@@ -414,6 +421,22 @@ mod tests {
         assert_eq!(delta.count, sb.count);
         assert_eq!(delta.sum, sb.sum);
         assert_eq!(delta.buckets, sb.buckets);
+    }
+
+    #[test]
+    fn quantile_tolerates_inverted_min_max() {
+        // A torn snapshot (count bumped before min/max in
+        // `record_always`) or a hand-built one can carry `min > max`;
+        // `quantile` must not panic in `clamp` on it.
+        let s = HistogramSnapshot {
+            count: 1,
+            sum: 50,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![(50, 1)],
+        };
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(1.0), 0);
     }
 
     #[test]

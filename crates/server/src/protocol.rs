@@ -386,11 +386,14 @@ fn finish<T>(value: T, c: &Cursor<'_>) -> Result<T, ProtocolError> {
 
 /// Encodes a registry snapshot: three `(count, entries…)` sections
 /// (counters, gauges, histograms), every integer a varint, every name a
-/// length-prefixed string. Histogram buckets are `(index, count)` pairs
-/// in strictly increasing index order with nonzero counts — the
-/// canonical form [`co_obs::Histogram::snapshot`] produces — and the
-/// decoder enforces exactly that, so a decoded snapshot re-encodes
-/// verbatim and a corrupt one is a typed error.
+/// length-prefixed string. The canonical form — what the registry and
+/// [`co_obs::Histogram::snapshot`] produce — has names in strictly
+/// increasing order within each section, histogram buckets as
+/// `(index, count)` pairs in strictly increasing index order with
+/// nonzero counts, and `min <= max` whenever `count > 0`. The decoder
+/// enforces exactly that, so a decoded snapshot re-encodes verbatim,
+/// its `binary_search`-based lookups and merges are sound, and a
+/// corrupt frame is a typed error.
 fn encode_snapshot(b: &mut Vec<u8>, s: &co_obs::Snapshot) {
     put_varint(b, s.counters.len() as u64);
     for (name, value) in &s.counters {
@@ -418,39 +421,77 @@ fn encode_snapshot(b: &mut Vec<u8>, s: &co_obs::Snapshot) {
 }
 
 fn decode_snapshot(c: &mut Cursor<'_>) -> Result<co_obs::Snapshot, ProtocolError> {
-    /// Declared-count sanity bound: every entry costs at least one body
-    /// byte, so a count beyond `remaining` is malformed without
-    /// allocating for it.
-    fn len(c: &mut Cursor<'_>, context: &'static str) -> Result<usize, ProtocolError> {
+    /// Declared-count sanity bound: an entry of this kind costs at
+    /// least `min_entry_bytes` encoded bytes (name length prefix +
+    /// value varints), so a count the remaining body cannot possibly
+    /// hold is malformed without allocating for it.
+    fn len(
+        c: &mut Cursor<'_>,
+        min_entry_bytes: u64,
+        context: &'static str,
+    ) -> Result<usize, ProtocolError> {
         let n = c.varint(context).map_err(field)?;
-        if n > c.remaining() as u64 {
+        if n > c.remaining() as u64 / min_entry_bytes {
             return Err(ProtocolError::Malformed {
                 detail: format!("{context} count {n} exceeds the body"),
             });
         }
         Ok(n as usize)
     }
-    let mut counters = Vec::with_capacity(len(c, "metrics counter count")?);
-    for _ in 0..counters.capacity() {
+    /// Initial reservation cap: the byte bound above still allows a
+    /// crafted count to reserve far more memory than the frame itself
+    /// occupies, so reserve modestly and let the `Vec` grow only as
+    /// entries actually decode.
+    const RESERVE_CAP: usize = 1024;
+    /// Names within a section must be strictly increasing — the order
+    /// the registry emits and the one `Snapshot`'s `binary_search`
+    /// lookups and `merge_with` require.
+    fn check_order(prev: &Option<String>, name: &str) -> Result<(), ProtocolError> {
+        if prev.as_deref().is_some_and(|p| p >= name) {
+            return Err(ProtocolError::Malformed {
+                detail: format!("metrics name {name:?} not in sorted order"),
+            });
+        }
+        Ok(())
+    }
+    let n_counters = len(c, 2, "metrics counter count")?;
+    let mut counters = Vec::with_capacity(n_counters.min(RESERVE_CAP));
+    let mut prev: Option<String> = None;
+    for _ in 0..n_counters {
         let name = c.str("metrics counter name").map_err(field)?.to_owned();
+        check_order(&prev, &name)?;
         let value = c.varint("metrics counter value").map_err(field)?;
+        prev = Some(name.clone());
         counters.push((name, value));
     }
-    let mut gauges = Vec::with_capacity(len(c, "metrics gauge count")?);
-    for _ in 0..gauges.capacity() {
+    let n_gauges = len(c, 2, "metrics gauge count")?;
+    let mut gauges = Vec::with_capacity(n_gauges.min(RESERVE_CAP));
+    let mut prev: Option<String> = None;
+    for _ in 0..n_gauges {
         let name = c.str("metrics gauge name").map_err(field)?.to_owned();
+        check_order(&prev, &name)?;
         let value = c.varint_i64("metrics gauge value").map_err(field)?;
+        prev = Some(name.clone());
         gauges.push((name, value));
     }
-    let mut histograms = Vec::with_capacity(len(c, "metrics histogram count")?);
-    for _ in 0..histograms.capacity() {
+    let n_histograms = len(c, 6, "metrics histogram count")?;
+    let mut histograms = Vec::with_capacity(n_histograms.min(RESERVE_CAP));
+    let mut prev: Option<String> = None;
+    for _ in 0..n_histograms {
         let name = c.str("metrics histogram name").map_err(field)?.to_owned();
+        check_order(&prev, &name)?;
+        prev = Some(name.clone());
         let count = c.varint("metrics histogram count").map_err(field)?;
         let sum = c.varint("metrics histogram sum").map_err(field)?;
         let min = c.varint("metrics histogram min").map_err(field)?;
         let max = c.varint("metrics histogram max").map_err(field)?;
-        let n_buckets = len(c, "metrics bucket count")?;
-        let mut buckets = Vec::with_capacity(n_buckets);
+        if count > 0 && min > max {
+            return Err(ProtocolError::Malformed {
+                detail: format!("histogram min {min} exceeds max {max}"),
+            });
+        }
+        let n_buckets = len(c, 2, "metrics bucket count")?;
+        let mut buckets = Vec::with_capacity(n_buckets.min(RESERVE_CAP));
         let mut prev: Option<u32> = None;
         for _ in 0..n_buckets {
             let index = c.varint("metrics bucket index").map_err(field)?;

@@ -98,10 +98,14 @@ pub(crate) fn serve_session(
             }
         };
         // Lifecycle stamp: the frame is decoded. There is no queue on
-        // this core — handling starts immediately — but the same stamp
-        // points are taken so both cores' histograms stay comparable.
+        // this core — handling starts immediately — so the queue-wait
+        // sample is taken right away (before `Request::decode`, exactly
+        // like the pool core measures reactor-enqueue→worker-dequeue
+        // before decoding): it reads ~0 rather than decode time.
         instruments.decoded();
         let decoded_at = std::time::Instant::now();
+        let queue_wait = decoded_at.elapsed();
+        instruments.queue_wait_ns.record_duration(queue_wait);
         let request = match Request::decode(&body) {
             Ok(request) => request,
             Err(e) => {
@@ -110,8 +114,6 @@ pub(crate) fn serve_session(
                 break;
             }
         };
-        let queue_wait = decoded_at.elapsed();
-        instruments.queue_wait_ns.record_duration(queue_wait);
         let handle_start = std::time::Instant::now();
         let response = match protocol::handle(&mut state, request) {
             Ok(response) => response,

@@ -189,6 +189,22 @@ fn corrupt_metrics_frames_are_typed_errors() {
             },
         )],
     };
+    let min_above_max = {
+        let mut s = snapshot_with_buckets(vec![(50, 1)]);
+        s.histograms[0].1.min = 100;
+        s.histograms[0].1.max = 1;
+        s
+    };
+    let counters_unsorted = co_obs::Snapshot {
+        counters: vec![("server.z".into(), 1), ("server.a".into(), 2)],
+        gauges: vec![],
+        histograms: vec![],
+    };
+    let gauges_duplicated = co_obs::Snapshot {
+        counters: vec![],
+        gauges: vec![("server.inflight".into(), 1), ("server.inflight".into(), 2)],
+        histograms: vec![],
+    };
     let cases: Vec<(&str, co_obs::Snapshot)> = vec![
         (
             "bucket index out of range",
@@ -199,6 +215,9 @@ fn corrupt_metrics_frames_are_typed_errors() {
             snapshot_with_buckets(vec![(160, 1), (50, 1)]),
         ),
         ("zero-count bucket", snapshot_with_buckets(vec![(50, 0)])),
+        ("histogram min above max", min_above_max),
+        ("counter names not sorted", counters_unsorted),
+        ("duplicate gauge names", gauges_duplicated),
     ];
     for (what, snapshot) in cases {
         let bytes = Response::Metrics(snapshot).encode();

@@ -131,6 +131,15 @@ pub enum Parallelism {
 /// `tests/gc_soak.rs`). The engine pins its round snapshot as a GC root
 /// before fanning work out, so a sweep can never free the database under
 /// evaluation.
+///
+/// The cadence decides *when* the engine requests a sweep; *how* the
+/// sweep runs is the store's affair. Under `CO_GC_PAUSE_BUDGET_US` the
+/// cycle is sliced so interner locks are never held longer than the
+/// budget, and when the dedicated collector thread is on
+/// (`CO_GC_COLLECTOR=1`) the engine's `store::collect` call delegates to
+/// it — still synchronous (the call returns after a full cycle), so
+/// `gc_sweeps`/`gc_freed_nodes` accounting and the differential oracle
+/// are unchanged in either mode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum GcCadence {
     /// Never collect during a run: the seed behaviour, right for short

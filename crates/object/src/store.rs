@@ -302,9 +302,14 @@ fn shard_of(hash: u64) -> &'static Shard {
     &shards()[(hash >> (64 - SHARD_COUNT.trailing_zeros())) as usize]
 }
 
+/// The never-rewound id source. Kept at module scope (not inside
+/// [`next_id`]) so an incremental sweep can read the current value as its
+/// **sweep-epoch floor**: nodes with `id >= floor` were interned after the
+/// cycle began and are never candidates for that cycle.
+static NODE_ID_COUNTER: AtomicU64 = AtomicU64::new(1);
+
 fn next_id() -> NodeId {
-    static COUNTER: AtomicU64 = AtomicU64::new(1);
-    NodeId(COUNTER.fetch_add(1, Ordering::Relaxed))
+    NodeId(NODE_ID_COUNTER.fetch_add(1, Ordering::Relaxed))
 }
 
 // A tiny direct-mapped thread-local L1 in front of the sharded store:
@@ -1060,6 +1065,9 @@ pub struct SweepStats {
     /// Mark/sweep passes run (> 1 when dropping memo values released
     /// further nodes).
     pub passes: u32,
+    /// Budgeted slices the cycle ran in (1 when the cycle fit its pause
+    /// budget, or when slicing is off — see [`gc_pause_budget_us`]).
+    pub slices: u32,
     /// Distinct node ids pinned by [`Root`] guards at sweep time.
     pub pinned_roots: usize,
 }
@@ -1075,13 +1083,14 @@ impl std::fmt::Display for SweepStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "sweep: freed {} of {} nodes ({} tuples, {} sets) in {} passes, \
+            "sweep: freed {} of {} nodes ({} tuples, {} sets) in {} passes / {} slices, \
              {} memo entries swept, {} columnar arenas swept, {} pinned roots",
             self.freed_nodes(),
             self.examined,
             self.freed_tuples,
             self.freed_sets,
             self.passes,
+            self.slices,
             self.memo_entries_swept,
             self.columnar_entries_swept,
             self.pinned_roots,
@@ -1096,14 +1105,31 @@ static GC_FREED_NODES: AtomicU64 = AtomicU64::new(0);
 /// Cumulative automatic high-water-mark collections (see
 /// [`StoreStats::gc_auto_triggers`]).
 static GC_AUTO_TRIGGERS: AtomicU64 = AtomicU64::new(0);
+/// Cumulative budgeted sweep slices (see [`StoreStats::gc_slices`]).
+static GC_SLICES: AtomicU64 = AtomicU64::new(0);
 /// Live interned nodes (tuples + sets): incremented on every intern miss,
 /// decremented per freed node by [`collect`]. The O(1) gauge the
 /// high-water trigger reads on the intern path.
 static LIVE_NODES: AtomicU64 = AtomicU64::new(0);
 
+/// Live interned nodes right now — the O(1) gauge the high-water trigger
+/// and the collector thread pace themselves off. Monotone between sweeps;
+/// drops by exactly the freed-node count of each [`collect`] cycle.
+pub fn live_nodes() -> u64 {
+    LIVE_NODES.load(Ordering::Relaxed)
+}
+
 /// One collector at a time; others queue behind the same mutex (automatic
 /// triggers skip instead of queuing — see [`maybe_auto_collect`]).
 static GC_GATE: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+/// Set when a thread crossed the high-water mark while the [`GC_GATE`] was
+/// held (or to wake the collector thread). The gate holder — or the
+/// collector — re-checks and clears it, so a crossing observed during a
+/// sweep is absorbed instead of silently dropped (the pre-PR-10 bug: a
+/// failed `try_lock` re-armed nothing, so the mark could be overshot
+/// unboundedly while an explicit sweep was parked).
+static GC_NUDGE_PENDING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 // ---------------------------------------------------------------------------
 // Size-triggered collection: the high-water mark
@@ -1175,6 +1201,254 @@ pub fn set_gc_high_water(nodes: u64) {
     GC_NEXT_AUTO.store(if nodes == 0 { u64::MAX } else { nodes }, Ordering::Relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// Pause budget: incremental (sliced) sweeps
+// ---------------------------------------------------------------------------
+
+/// Sentinel meaning "pause budget not yet initialized from the
+/// environment".
+const GC_PAUSE_BUDGET_UNSET: u64 = u64::MAX;
+
+/// Default per-slice pause budget in microseconds (~2ms): long enough to
+/// amortize the slice bookkeeping, short enough that a request thread
+/// parked behind a shard lock never waits a full stop-the-world sweep.
+pub const GC_PAUSE_BUDGET_DEFAULT_US: u64 = 2_000;
+
+/// The configured per-slice pause budget in µs (`0` = unbudgeted: one
+/// stop-the-world slice, the pre-PR-10 behaviour).
+static GC_PAUSE_BUDGET_US: AtomicU64 = AtomicU64::new(GC_PAUSE_BUDGET_UNSET);
+
+/// The per-slice GC pause budget in microseconds. A [`collect`] cycle
+/// sweeps the interner in **slices**: once a slice has run for this long,
+/// the sweep releases every lock it holds, records the slice's pause into
+/// the `store.gc_pause_ns` histogram, yields, and resumes — so an intern
+/// call never waits on a shard lock for more than about one budget, no
+/// matter how large the store is. `0` disables slicing (single
+/// stop-the-world slice per cycle).
+///
+/// Initialized lazily from the `CO_GC_PAUSE_BUDGET_US` environment
+/// variable (default [`GC_PAUSE_BUDGET_DEFAULT_US`]); override at runtime
+/// with [`set_gc_pause_budget_us`].
+pub fn gc_pause_budget_us() -> u64 {
+    match GC_PAUSE_BUDGET_US.load(Ordering::Relaxed) {
+        GC_PAUSE_BUDGET_UNSET => {
+            let us = std::env::var("CO_GC_PAUSE_BUDGET_US")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(GC_PAUSE_BUDGET_DEFAULT_US);
+            // Only initialize from UNSET: a concurrent explicit
+            // `set_gc_pause_budget_us` must not be clobbered.
+            match GC_PAUSE_BUDGET_US.compare_exchange(
+                GC_PAUSE_BUDGET_UNSET,
+                us,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => us,
+                Err(set_concurrently) => set_concurrently,
+            }
+        }
+        us => us,
+    }
+}
+
+/// Overrides the per-slice pause budget at runtime (`0` = unbudgeted
+/// stop-the-world slices). Takes effect at the next [`collect`] cycle.
+pub fn set_gc_pause_budget_us(us: u64) {
+    GC_PAUSE_BUDGET_US.store(
+        if us == GC_PAUSE_BUDGET_UNSET {
+            us - 1
+        } else {
+            us
+        },
+        Ordering::Relaxed,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The collector thread
+// ---------------------------------------------------------------------------
+
+/// Collector-thread switch: 0 = uninitialised, 1 = off, 2 = on.
+static GC_COLLECTOR_STATE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Whether the dedicated collector thread owns garbage collection.
+///
+/// With the collector on, the intern-path high-water trigger becomes a
+/// cheap nudge (one atomic swap, at most one condvar notify) instead of an
+/// inline sweep, and explicit [`collect`] calls are serviced *on* the
+/// collector thread (the caller blocks for the result, so semantics and
+/// [`SweepStats`] are unchanged — only the pause moves off request
+/// threads). The thread also paces itself off the live-node gauge every
+/// ~20ms, so a crossing that happened while the gate was busy — or right
+/// before interning went quiet — is absorbed instead of lost.
+///
+/// Initialized lazily from the `CO_GC_COLLECTOR` environment variable
+/// (`1`/`on`/`true` enable); override at runtime with
+/// [`set_gc_collector`].
+pub fn gc_collector_enabled() -> bool {
+    match GC_COLLECTOR_STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = matches!(
+                std::env::var("CO_GC_COLLECTOR").as_deref(),
+                Ok("1") | Ok("on") | Ok("true")
+            );
+            // Only initialize from the unset sentinel: a concurrent
+            // explicit `set_gc_collector` must win over the env default.
+            let _ = GC_COLLECTOR_STATE.compare_exchange(
+                0,
+                if on { 2 } else { 1 },
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            gc_collector_enabled()
+        }
+    }
+}
+
+/// Turns the dedicated collector thread on or off at runtime. The thread
+/// is spawned on first enablement and lives for the process (turning the
+/// collector off merely routes collection back inline; an idle collector
+/// thread costs one ~20ms-interval timed wait). Pending synchronous
+/// requests are always served, even across a disable.
+pub fn set_gc_collector(on: bool) {
+    GC_COLLECTOR_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    if on {
+        let _ = collector(); // make sure the thread exists before the first nudge
+    }
+}
+
+/// The collector thread's request ledger: explicit [`collect`] calls take
+/// a ticket (`requested`) and wait until `completed` catches up; the
+/// cycle's [`SweepStats`] travel back through `last`.
+#[derive(Default)]
+struct CollectorShared {
+    requested: u64,
+    completed: u64,
+    last: SweepStats,
+}
+
+struct Collector {
+    state: std::sync::Mutex<CollectorShared>,
+    /// Wakes the collector thread (new ticket or high-water nudge).
+    work: std::sync::Condvar,
+    /// Wakes ticket holders when `completed` advances.
+    done: std::sync::Condvar,
+}
+
+/// The collector singleton; spawns the thread on first access.
+fn collector() -> &'static Collector {
+    static CELL: OnceLock<&'static Collector> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let c: &'static Collector = Box::leak(Box::new(Collector {
+            state: std::sync::Mutex::new(CollectorShared::default()),
+            work: std::sync::Condvar::new(),
+            done: std::sync::Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("co-gc-collector".to_owned())
+            .spawn(move || collector_loop(c))
+            .expect("spawn the gc collector thread");
+        c
+    })
+}
+
+/// Leaves a wake-up for the collector thread: one atomic swap when a nudge
+/// is already queued, one mutex/notify round-trip otherwise. Never sweeps
+/// and never blocks on the GC gate — this is all the intern path pays.
+fn nudge_collector() {
+    if GC_NUDGE_PENDING.swap(true, Ordering::AcqRel) {
+        return; // a nudge is already queued; the collector will see it
+    }
+    let _s = collector().state.lock().unwrap_or_else(|e| e.into_inner());
+    collector().work.notify_all();
+}
+
+/// Runs one full collection cycle on the collector thread, blocking the
+/// caller until it completes; returns that cycle's stats. Semantically
+/// identical to an inline [`collect`] — the caller's thread-local L1 is
+/// flushed *here* (the collector cannot reach it), so the caller's own
+/// dropped transients are reclaimable by the cycle it waits for.
+fn collect_via_collector() -> SweepStats {
+    flush_thread_caches();
+    let c = collector();
+    let mut s = c.state.lock().unwrap_or_else(|e| e.into_inner());
+    s.requested += 1;
+    let ticket = s.requested;
+    c.work.notify_all();
+    while s.completed < ticket {
+        s = c.done.wait(s).unwrap_or_else(|e| e.into_inner());
+    }
+    s.last
+}
+
+/// The collector thread: serves explicit tickets, absorbs high-water
+/// nudges, and re-checks the live-node gauge on a ~20ms pacing tick (so a
+/// crossing that raced a busy gate — or happened just before interning
+/// went quiet — still gets its sweep).
+fn collector_loop(c: &'static Collector) {
+    const PACING: std::time::Duration = std::time::Duration::from_millis(20);
+    let gauge_due = || {
+        let hw = gc_high_water();
+        hw != 0
+            && gc_collector_enabled()
+            && LIVE_NODES.load(Ordering::Relaxed) >= GC_NEXT_AUTO.load(Ordering::Relaxed)
+    };
+    loop {
+        let (target, served) = {
+            let mut s = c.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if s.requested > s.completed
+                    || GC_NUDGE_PENDING.load(Ordering::Acquire)
+                    || gauge_due()
+                {
+                    break;
+                }
+                let (guard, _timeout) = c
+                    .work
+                    .wait_timeout(s, PACING)
+                    .unwrap_or_else(|e| e.into_inner());
+                s = guard;
+            }
+            (s.requested, s.completed)
+        };
+        let nudged = GC_NUDGE_PENDING.swap(false, Ordering::AcqRel);
+        let explicit = target > served;
+        // A nudge only *causes* a sweep while automatic collection is
+        // still armed and the collector still owns it: a stale nudge left
+        // behind after the mark (or the collector) was turned off must be
+        // absorbed without sweeping, or a disabled collector would keep
+        // running cycles concurrently with whoever took over.
+        let auto_due = (nudged || gauge_due()) && gc_collector_enabled() && gc_high_water() != 0;
+        if !explicit && !auto_due {
+            continue;
+        }
+        if auto_due {
+            GC_AUTO_TRIGGERS.fetch_add(1, Ordering::Relaxed);
+        }
+        // Autonomous (gauge/nudge-driven) sweeps pace themselves —
+        // sleeping between slices (see `Slicer`) — so background
+        // collection never monopolizes a core against the serving
+        // threads. Explicit tickets have a caller parked in
+        // `collect_via_collector`; those cycles run unpaced, like inline
+        // `collect()` always did.
+        let stats = {
+            let _gate = GC_GATE.lock();
+            collect_locked(!explicit)
+        };
+        let hw = gc_high_water();
+        if hw != 0 {
+            rearm_after_sweep(hw);
+        }
+        let mut s = c.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.completed = target;
+        s.last = stats;
+        c.done.notify_all();
+    }
+}
+
 /// Intern-path check: fires an automatic collection when the live-node
 /// count has crossed the armed threshold. One relaxed load when idle or
 /// below the mark.
@@ -1187,18 +1461,38 @@ fn maybe_auto_collect() {
     auto_collect(hw);
 }
 
-/// The cold path of [`maybe_auto_collect`]: runs one sweep unless a
-/// collection is already in flight (in which case that one is doing our
-/// work and we skip rather than queue interners behind the gate).
+/// The cold path of [`maybe_auto_collect`]. With the collector thread on,
+/// this is a cheap nudge and the interner keeps going; inline, it runs one
+/// sweep unless a collection is already in flight — in which case the
+/// crossing is *recorded* ([`GC_NUDGE_PENDING`]) for the gate holder to
+/// re-check on release, never silently dropped.
 #[cold]
 fn auto_collect(hw: u64) {
-    let Some(_gate) = GC_GATE.try_lock() else {
+    if gc_collector_enabled() {
+        nudge_collector();
         return;
-    };
-    GC_AUTO_TRIGGERS.fetch_add(1, Ordering::Relaxed);
-    let _ = collect_locked();
-    // Hysteresis: normally re-arm at the mark; when the surviving working
-    // set already exceeds it, arm half a mark above the survivors instead.
+    }
+    {
+        let Some(_gate) = GC_GATE.try_lock() else {
+            // A sweep is already in flight; it will reclaim for us. Record
+            // the crossing so the holder re-checks once the gate frees —
+            // a silent skip would let the mark be overshot unboundedly
+            // while an explicit sweep is parked.
+            GC_NUDGE_PENDING.store(true, Ordering::Release);
+            return;
+        };
+        GC_AUTO_TRIGGERS.fetch_add(1, Ordering::Relaxed);
+        let _ = collect_locked(false);
+        rearm_after_sweep(hw);
+        // This sweep absorbs any crossing recorded while it ran.
+        GC_NUDGE_PENDING.store(false, Ordering::Release);
+    }
+    recheck_after_gate_release();
+}
+
+/// Hysteresis: normally re-arm at the mark; when the surviving working
+/// set already exceeds it, arm half a mark above the survivors instead.
+fn rearm_after_sweep(hw: u64) {
     let live = LIVE_NODES.load(Ordering::Relaxed);
     let next = if live >= hw {
         live.saturating_add(hw / 2)
@@ -1206,6 +1500,32 @@ fn auto_collect(hw: u64) {
         hw
     };
     GC_NEXT_AUTO.store(next, Ordering::Relaxed);
+}
+
+/// After releasing [`GC_GATE`]: absorb a high-water crossing that was
+/// recorded while we held it (the recording thread skipped its sweep
+/// rather than queue behind ours).
+fn recheck_after_gate_release() {
+    if GC_NUDGE_PENDING.swap(false, Ordering::AcqRel) {
+        maybe_auto_collect();
+    }
+}
+
+/// Runs `f` with garbage collection paused: no sweep — explicit,
+/// automatic, or collector-thread — can start until `f` returns. On
+/// release, a high-water crossing observed during the pause is absorbed
+/// immediately (the regression the pre-PR-10 `try_lock` skip missed).
+///
+/// `f` must not call [`collect`] (it would deadlock behind its own
+/// pause). Intended for latency-critical sections and for tests that need
+/// a deterministically parked sweep.
+pub fn with_gc_paused<R>(f: impl FnOnce() -> R) -> R {
+    let result = {
+        let _gate = GC_GATE.lock();
+        f()
+    };
+    recheck_after_gate_release();
+    result
 }
 
 /// Upper bound on mark/sweep passes per [`collect`]: each extra pass only
@@ -1219,11 +1539,18 @@ const MAX_SWEEP_PASSES: u32 = 8;
 /// A node is **reachable** — and guaranteed to survive — iff something
 /// other than the store itself holds it: a live [`Object`] handle anywhere
 /// (including inside another retained node, a memo-table value, or any
-/// thread's L1 intern cache), or a pinned [`Root`]. The sweep is
-/// stop-the-world for interning (it briefly holds every shard's write
-/// lock), processes candidates deepest-first so a dead parent releases its
-/// children within the same pass, and re-runs (bounded by
+/// thread's L1 intern cache), or a pinned [`Root`]. The sweep runs in
+/// budgeted **slices** (see [`gc_pause_budget_us`]) that hold at most one
+/// shard lock at a time and release it between slices, so interning is
+/// paused for about one budget at worst — never the whole cycle. Candidates
+/// are processed deepest-first so a dead parent releases its children
+/// within the same pass, and the cycle re-runs (bounded by
 /// `MAX_SWEEP_PASSES`) when purging memo values released more nodes.
+///
+/// With the collector thread on ([`gc_collector_enabled`]) the cycle is
+/// executed on that thread; this call still blocks until it completes and
+/// returns the same [`SweepStats`], so explicit collection keeps its
+/// synchronous semantics in both modes.
 ///
 /// Two invariants make this safe to run at any quiescent or concurrent
 /// point:
@@ -1256,29 +1583,201 @@ const MAX_SWEEP_PASSES: u32 = 8;
 /// assert!(store::stats().gc_sweeps > before.gc_sweeps);
 /// ```
 pub fn collect() -> SweepStats {
-    let _gate = GC_GATE.lock();
-    collect_locked()
+    if gc_collector_enabled() {
+        return collect_via_collector();
+    }
+    let stats = {
+        let _gate = GC_GATE.lock();
+        collect_locked(false)
+    };
+    recheck_after_gate_release();
+    stats
 }
 
-/// The body of [`collect`]; the caller holds [`GC_GATE`]. Every sweep —
-/// explicit or high-water-triggered — records its stop-the-world pause
-/// into the `store.gc_pause_ns` registry histogram and, when `CO_TRACE`
-/// is on, emits a `store.gc_sweep` span with the pause and yield.
-fn collect_locked() -> SweepStats {
-    fn pause_histogram() -> &'static std::sync::Arc<co_obs::Histogram> {
-        static CELL: std::sync::OnceLock<std::sync::Arc<co_obs::Histogram>> =
-            std::sync::OnceLock::new();
-        CELL.get_or_init(|| co_obs::histogram("store.gc_pause_ns"))
+/// The GC observability instruments, registered once in the global
+/// [`co_obs`] registry.
+struct GcInstruments {
+    /// Per-**slice** pause durations: how long each budgeted slice held
+    /// interner/memo locks (the time interners can actually be blocked).
+    /// With slicing off (`CO_GC_PAUSE_BUDGET_US=0`) the single sample is
+    /// the cycle's total lock-held time — the stop-the-world pause.
+    pause_ns: std::sync::Arc<co_obs::Histogram>,
+    /// Whole-cycle durations, slice yields included.
+    cycle_ns: std::sync::Arc<co_obs::Histogram>,
+    /// Cumulative slice count across all cycles.
+    slices: std::sync::Arc<co_obs::Counter>,
+}
+
+fn gc_instruments() -> &'static GcInstruments {
+    static CELL: OnceLock<GcInstruments> = OnceLock::new();
+    CELL.get_or_init(|| GcInstruments {
+        pause_ns: co_obs::histogram("store.gc_pause_ns"),
+        cycle_ns: co_obs::histogram("store.gc_cycle_ns"),
+        slices: co_obs::counter("store.gc_slices"),
+    })
+}
+
+/// Budgets one sweep cycle into slices. A slice's **pause** is the
+/// lock-held time it accumulates — the time interners can actually be
+/// blocked — not wall time, so lock-free cycle work (sorting the
+/// candidate worklist) never inflates a pause sample. The sweep brackets
+/// every lock region with [`Slicer::locked`]/[`Slicer::unlocked`], probes
+/// [`Slicer::over_budget`] inside lock-holding loops (the caller breaks
+/// out and releases when it returns true), and calls
+/// [`Slicer::breakpoint`] at lock-free points; a slice only ends at a
+/// breakpoint, so every lock is released before the yield. Each slice's
+/// pause is recorded into `store.gc_pause_ns`; with slicing off
+/// (`CO_GC_PAUSE_BUDGET_US=0`) the single sample is the cycle's total
+/// lock-held time — the stop-the-world pause.
+///
+/// A **paced** slicer additionally sleeps for twice the slice's own pause
+/// (capped at 2× budget) after each slice: a ≤33% duty cycle. The
+/// collector thread paces its autonomous sweeps so background collection
+/// never monopolizes a core against the serving threads; synchronous
+/// callers (explicit `collect()`, inline triggers) never pace — they want
+/// the cycle done.
+struct Slicer {
+    /// `None` = unbudgeted (`CO_GC_PAUSE_BUDGET_US=0`): one slice.
+    budget: Option<std::time::Duration>,
+    /// Continuous-hold cap: budget/4. The pause budget bounds a *slice's*
+    /// accumulated lock-held time, but an interner parked on a shard only
+    /// waits out the current *region* — so [`Slicer::over_budget`] also
+    /// trips when one region runs this long, forcing a release/re-acquire
+    /// mid-slice. Worst-case interner wait shrinks to ~budget/4 without
+    /// changing what a pause sample measures.
+    region_cap: std::time::Duration,
+    /// Sleep between slices (collector-thread autonomous sweeps only).
+    paced: bool,
+    /// Lock-held time accumulated in the current slice.
+    held: std::time::Duration,
+    /// Start of the lock region we are currently inside, if any.
+    region: Option<std::time::Instant>,
+    /// Calls to [`Slicer::over_budget`] since the region started (the
+    /// clock is read every 8th call, keeping the probe cheap while
+    /// bounding the unprobed window to 8 iterations — the window is part
+    /// of the pause overshoot, so it must stay well under the budget).
+    checks: u32,
+    slices: u32,
+}
+
+impl Slicer {
+    fn new(paced: bool) -> Self {
+        let us = gc_pause_budget_us();
+        Slicer {
+            budget: (us > 0).then(|| std::time::Duration::from_micros(us)),
+            region_cap: std::time::Duration::from_micros(us.max(4) / 4),
+            paced,
+            held: std::time::Duration::ZERO,
+            region: None,
+            checks: 0,
+            slices: 0,
+        }
     }
+
+    /// The sweep just acquired a shard or memo lock.
+    fn locked(&mut self) {
+        // Re-phase the probe counter so the first clock read of a fresh
+        // region comes after at most 8 iterations, not up to a full
+        // window into it.
+        self.checks = 0;
+        self.region = Some(std::time::Instant::now());
+    }
+
+    /// The sweep just released it.
+    fn unlocked(&mut self) {
+        if let Some(start) = self.region.take() {
+            self.held += start.elapsed();
+        }
+    }
+
+    /// Lock-held time charged to the current slice so far.
+    fn spent(&self) -> std::time::Duration {
+        self.held
+            + self
+                .region
+                .map_or(std::time::Duration::ZERO, |start| start.elapsed())
+    }
+
+    /// Cheap in-lock probe: true once the current slice has used its
+    /// budget *or* the current lock region has run past the
+    /// continuous-hold cap. The caller must release its locks and reach a
+    /// [`Slicer::breakpoint`] — which only ends the slice when the full
+    /// budget is spent; a cap-tripped region just re-acquires and resumes.
+    fn over_budget(&mut self) -> bool {
+        let Some(budget) = self.budget else {
+            return false;
+        };
+        self.checks = self.checks.wrapping_add(1);
+        if self.checks & 7 != 0 {
+            return false;
+        }
+        self.spent() >= budget
+            || self
+                .region
+                .is_some_and(|start| start.elapsed() >= self.region_cap)
+    }
+
+    /// Lock-free point: ends the slice here if the budget is spent.
+    fn breakpoint(&mut self) {
+        debug_assert!(self.region.is_none(), "breakpoint inside a lock region");
+        if let Some(budget) = self.budget {
+            if self.held >= budget {
+                self.end_slice();
+            }
+        }
+    }
+
+    /// Ends the current slice: records its pause, yields so interners
+    /// parked behind the just-released shard locks get scheduled (a paced
+    /// slicer sleeps instead — see the duty-cycle note on [`Slicer`]),
+    /// then zeroes the next slice's ledger.
+    fn end_slice(&mut self) {
+        let pause = self.spent();
+        self.record_slice();
+        match (self.paced, self.budget) {
+            // Sleep 2× the slice's own pause (capped at 2× budget): a ≤33%
+            // duty cycle. Besides ceding the core to serving threads
+            // two-thirds of the time, the regular sleep keeps the
+            // collector's scheduler vruntime low, so it is far less likely
+            // to be *preempted while holding a shard lock* — which would
+            // stretch the next pause sample past the budget.
+            (true, Some(budget)) => std::thread::sleep((2 * pause).min(2 * budget)),
+            _ => std::thread::yield_now(),
+        }
+        self.held = std::time::Duration::ZERO;
+    }
+
+    fn record_slice(&mut self) {
+        gc_instruments().pause_ns.record_duration(self.spent());
+        gc_instruments().slices.inc();
+        GC_SLICES.fetch_add(1, Ordering::Relaxed);
+        self.slices += 1;
+    }
+
+    /// Records the cycle's final (in-progress) slice and returns the total
+    /// slice count.
+    fn finish(mut self) -> u32 {
+        self.record_slice();
+        self.slices
+    }
+}
+
+/// The body of [`collect`]; the caller holds [`GC_GATE`]. Records each
+/// slice's pause into the `store.gc_pause_ns` registry histogram, the
+/// whole cycle into `store.gc_cycle_ns`, and — when `CO_TRACE` is on —
+/// emits a `store.gc_sweep` span for the cycle. `paced` selects the
+/// collector thread's ≤50% duty cycle between slices (see [`Slicer`]).
+fn collect_locked(paced: bool) -> SweepStats {
     let start = std::time::Instant::now();
-    let stats = collect_locked_inner();
-    let pause = start.elapsed();
-    pause_histogram().record_duration(pause);
+    let stats = collect_locked_inner(paced);
+    let cycle = start.elapsed();
+    gc_instruments().cycle_ns.record_duration(cycle);
     if co_obs::trace_enabled() {
         co_obs::emit(
             "store.gc_sweep",
             &[
-                ("pause_ns", co_obs::FieldValue::U64(pause.as_nanos() as u64)),
+                ("cycle_ns", co_obs::FieldValue::U64(cycle.as_nanos() as u64)),
+                ("slices", co_obs::FieldValue::U64(stats.slices as u64)),
                 ("examined", co_obs::FieldValue::U64(stats.examined as u64)),
                 (
                     "freed_nodes",
@@ -1295,90 +1794,168 @@ fn collect_locked() -> SweepStats {
     stats
 }
 
-fn collect_locked_inner() -> SweepStats {
+/// One sweep cycle, in budgeted slices (see [`Slicer`]). The incremental
+/// design and why it is still sound:
+///
+/// - **Sweep-epoch floor**: the cycle snapshots [`NODE_ID_COUNTER`] at
+///   entry; any node with `id >= floor` was interned after the cycle began
+///   and is never a candidate, so a value interned into an already-swept
+///   shard mid-cycle cannot be freed by this cycle.
+/// - **No resurrection, per shard**: a node is only removed while its own
+///   shard's write lock is held and its `Arc` strong count is 1. Every
+///   clone source is itself a strong reference (count ≥ 2), and interning
+///   equal content routes through the very lock we hold — holding the
+///   other 15 shards' locks (the pre-PR-10 design) added nothing to this
+///   argument, which is what makes per-shard-lock slicing sound.
+/// - **Deepest-first across slices**: candidates are gathered globally and
+///   sorted by `(depth desc, shard)`, and slices never reorder them — a
+///   parent (strictly deeper than its children) always drops before its
+///   children are examined, preserving single-pass completeness and the
+///   [`MAX_SWEEP_PASSES`] bound.
+/// - **Pins**: the pinned-id snapshot is taken once per pass; a node
+///   pinned *after* the snapshot is safe anyway because a [`Root`] holds a
+///   strong reference, which the count check sees.
+fn collect_locked_inner(paced: bool) -> SweepStats {
     // Flush this thread's L1 and schedule every other thread's flush (they
     // self-flush on their next intern, bounding cross-sweep retention).
     L1_FLUSH_EPOCH.fetch_add(1, Ordering::Release);
     TL_SEEN_EPOCH.with(|seen| seen.set(L1_FLUSH_EPOCH.load(Ordering::Acquire)));
     flush_thread_caches();
 
-    // Stop the world for interning: hold every shard's write lock for the
-    // whole sweep (lock order is fixed — only `collect` takes several).
+    // The sweep-epoch floor: nodes interned from here on are not ours.
+    let id_floor = NODE_ID_COUNTER.load(Ordering::Relaxed);
     let all = shards();
-    let mut guards: Vec<parking_lot::RwLockWriteGuard<'_, ShardMaps>> =
-        all.iter().map(|s| s.write()).collect();
-
-    let pinned: FxHashSet<NodeId> = pin_registry().lock().keys().copied().collect();
-    let mut stats = SweepStats {
-        pinned_roots: pinned.len(),
-        ..SweepStats::default()
-    };
-    stats.examined = guards
-        .iter()
-        .map(|g| {
-            g.tuples.values().map(Vec::len).sum::<usize>()
-                + g.sets.values().map(Vec::len).sum::<usize>()
-        })
-        .sum();
+    let mut slicer = Slicer::new(paced);
+    let mut stats = SweepStats::default();
 
     while stats.passes < MAX_SWEEP_PASSES {
         stats.passes += 1;
-        // Candidates: every unpinned node, deepest-first, so parents drop
-        // before their children are examined (a parent's depth strictly
-        // exceeds its children's). Liveness is re-checked at removal time.
-        let mut candidates: Vec<(u64, usize, bool, u64, NodeId)> = Vec::new();
-        for (si, guard) in guards.iter().enumerate() {
-            for (hash, bucket) in &guard.tuples {
-                for node in bucket {
-                    if !pinned.contains(&node.id) {
-                        candidates.push((node.meta.depth, si, false, *hash, node.id));
-                    }
-                }
-            }
-            for (hash, bucket) in &guard.sets {
-                for node in bucket {
-                    if !pinned.contains(&node.id) {
-                        candidates.push((node.meta.depth, si, true, *hash, node.id));
-                    }
-                }
-            }
+        let pinned: FxHashSet<NodeId> = pin_registry().lock().keys().copied().collect();
+        if stats.passes == 1 {
+            stats.pinned_roots = pinned.len();
         }
-        candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
-
-        let mut freed: FxHashSet<NodeId> = FxHashSet::default();
-        for (_, si, is_set, hash, id) in candidates {
-            let guard = &mut guards[si];
-            let mut removed = false;
-            if is_set {
-                if let Some(bucket) = guard.sets.get_mut(&hash) {
-                    if let Some(ix) = bucket.iter().position(|n| n.id == id) {
-                        // Strong count 1 = only the store's own reference.
-                        if Arc::strong_count(&bucket[ix]) == 1 {
-                            bucket.swap_remove(ix);
-                            if bucket.is_empty() {
-                                guard.sets.remove(&hash);
+        // Gather candidates: every unpinned, pre-floor node. A big shard
+        // cannot be scanned under one lock hold without blowing the
+        // budget, so each shard's scan is **resumable**: snapshot its
+        // bucket keys under a brief lock — buckets are only ever *added*
+        // while this sweep holds the gate (removal is ours alone), so the
+        // key list is a stable cursor — then walk the keys in budgeted
+        // chunks, releasing the lock between them. Buckets added after
+        // the snapshot hold only post-floor nodes, which are out of scope
+        // for this cycle anyway. Liveness is re-checked at removal time
+        // under the write lock.
+        // Pre-sized to the store's id count (O(1) per shard): a doubling
+        // realloc of a 100k-entry worklist inside a gather region would
+        // add milliseconds to that slice's pause.
+        let expected: usize = all.iter().map(|s| s.read().ids.len()).sum();
+        let mut candidates: Vec<(u64, usize, bool, u64, NodeId)> = Vec::with_capacity(expected);
+        let mut live_seen = 0usize;
+        for (si, shard) in all.iter().enumerate() {
+            let (tuple_keys, set_keys) = {
+                let guard = shard.read();
+                slicer.locked();
+                let keys = (
+                    guard.tuples.keys().copied().collect::<Vec<u64>>(),
+                    guard.sets.keys().copied().collect::<Vec<u64>>(),
+                );
+                drop(guard);
+                slicer.unlocked();
+                keys
+            };
+            slicer.breakpoint();
+            // One chunked scan per map; the two maps' bucket types differ,
+            // so the macro stamps the same resumable loop for each.
+            macro_rules! chunked_scan {
+                ($keys:expr, $map:ident, $is_set:expr) => {
+                    let keys = $keys;
+                    let mut k = 0usize;
+                    while k < keys.len() {
+                        let guard = shard.read();
+                        slicer.locked();
+                        while k < keys.len() && !slicer.over_budget() {
+                            let hash = keys[k];
+                            k += 1;
+                            let Some(bucket) = guard.$map.get(&hash) else {
+                                continue;
+                            };
+                            live_seen += bucket.len();
+                            for node in bucket {
+                                if node.id.0 < id_floor && !pinned.contains(&node.id) {
+                                    candidates.push((node.meta.depth, si, $is_set, hash, node.id));
+                                }
                             }
-                            removed = true;
-                            stats.freed_sets += 1;
+                        }
+                        drop(guard);
+                        slicer.unlocked();
+                        slicer.breakpoint();
+                    }
+                };
+            }
+            chunked_scan!(tuple_keys, tuples, false);
+            chunked_scan!(set_keys, sets, true);
+        }
+        if stats.passes == 1 {
+            stats.examined = live_seen;
+        }
+        // Deepest-first globally; shard as tiebreak so equal-depth runs
+        // batch under one write-lock acquisition.
+        candidates.sort_unstable_by_key(|c| (std::cmp::Reverse(c.0), c.1));
+
+        // Pre-sized to the candidate count: a rehash of a 100k-id set
+        // inside a shard-lock region would blow any pause budget.
+        let mut freed: FxHashSet<NodeId> =
+            FxHashSet::with_capacity_and_hasher(candidates.len(), Default::default());
+        let mut i = 0usize;
+        while i < candidates.len() {
+            let run_shard = candidates[i].1;
+            {
+                let mut guard = all[run_shard].write();
+                slicer.locked();
+                while i < candidates.len() && candidates[i].1 == run_shard {
+                    if slicer.over_budget() {
+                        break;
+                    }
+                    let (_, _, is_set, hash, id) = candidates[i];
+                    i += 1;
+                    let mut removed = false;
+                    if is_set {
+                        if let Some(bucket) = guard.sets.get_mut(&hash) {
+                            if let Some(ix) = bucket.iter().position(|n| n.id == id) {
+                                // Strong count 1 = only the store's own
+                                // reference.
+                                if Arc::strong_count(&bucket[ix]) == 1 {
+                                    bucket.swap_remove(ix);
+                                    if bucket.is_empty() {
+                                        guard.sets.remove(&hash);
+                                    }
+                                    removed = true;
+                                    stats.freed_sets += 1;
+                                }
+                            }
+                        }
+                    } else if let Some(bucket) = guard.tuples.get_mut(&hash) {
+                        if let Some(ix) = bucket.iter().position(|n| n.id == id) {
+                            if Arc::strong_count(&bucket[ix]) == 1 {
+                                bucket.swap_remove(ix);
+                                if bucket.is_empty() {
+                                    guard.tuples.remove(&hash);
+                                }
+                                removed = true;
+                                stats.freed_tuples += 1;
+                            }
                         }
                     }
-                }
-            } else if let Some(bucket) = guard.tuples.get_mut(&hash) {
-                if let Some(ix) = bucket.iter().position(|n| n.id == id) {
-                    if Arc::strong_count(&bucket[ix]) == 1 {
-                        bucket.swap_remove(ix);
-                        if bucket.is_empty() {
-                            guard.tuples.remove(&hash);
-                        }
-                        removed = true;
-                        stats.freed_tuples += 1;
+                    if removed {
+                        guard.ids.remove(&id);
+                        freed.insert(id);
                     }
                 }
             }
-            if removed {
-                guard.ids.remove(&id);
-                freed.insert(id);
-            }
+            // Write lock released: end the slice here if the budget is
+            // spent (interners parked on this shard get in), then resume —
+            // possibly re-acquiring the same shard for the rest of its run.
+            slicer.unlocked();
+            slicer.breakpoint();
         }
 
         LIVE_NODES.fetch_sub(freed.len() as u64, Ordering::Relaxed);
@@ -1387,14 +1964,29 @@ fn collect_locked_inner() -> SweepStats {
         }
         // Memo entries keyed by a freed id are unreachable garbage (the id
         // never comes back); dropping them may release the values' nodes,
-        // which the next pass collects.
-        stats.memo_entries_swept += LE_MEMO.purge_freed(&freed)
-            + UNION_MEMO.purge_freed(&freed)
-            + INTERSECT_MEMO.purge_freed(&freed);
+        // which the next pass collects. Purge granularity is one memo
+        // table per breakpoint — tables lock internally per shard, so the
+        // whole purge is charged as lock-held time.
+        slicer.locked();
+        stats.memo_entries_swept += LE_MEMO.purge_freed(&freed);
+        slicer.unlocked();
+        slicer.breakpoint();
+        slicer.locked();
+        stats.memo_entries_swept += UNION_MEMO.purge_freed(&freed);
+        slicer.unlocked();
+        slicer.breakpoint();
+        slicer.locked();
+        stats.memo_entries_swept += INTERSECT_MEMO.purge_freed(&freed);
+        slicer.unlocked();
+        slicer.breakpoint();
         // The columnar arena cache is keyed by set ids the same way.
+        slicer.locked();
         stats.columnar_entries_swept += crate::columnar::purge_freed(&freed);
+        slicer.unlocked();
+        slicer.breakpoint();
     }
 
+    stats.slices = slicer.finish();
     GC_SWEEPS.fetch_add(1, Ordering::Relaxed);
     GC_FREED_NODES.fetch_add(stats.freed_nodes() as u64, Ordering::Relaxed);
     stats
@@ -1492,6 +2084,12 @@ pub struct StoreStats {
     /// Of [`StoreStats::gc_sweeps`], the collections fired automatically
     /// by the high-water mark (see [`set_gc_high_water`]).
     pub gc_auto_triggers: u64,
+    /// Budgeted sweep slices run by all cycles since process start (equals
+    /// [`StoreStats::gc_sweeps`] when every cycle fit its pause budget).
+    pub gc_slices: u64,
+    /// Live interned nodes per the O(1) gauge ([`live_nodes`]); tracks
+    /// `tuple_nodes + set_nodes` exactly between sweeps.
+    pub live_nodes: u64,
     /// Distinct node ids currently pinned by live [`Root`] guards.
     pub pinned_roots: usize,
     /// Per-shard interner counters, indexed by shard.
@@ -1526,6 +2124,8 @@ pub fn stats() -> StoreStats {
     s.gc_sweeps = GC_SWEEPS.load(Ordering::Relaxed);
     s.gc_freed_nodes = GC_FREED_NODES.load(Ordering::Relaxed);
     s.gc_auto_triggers = GC_AUTO_TRIGGERS.load(Ordering::Relaxed);
+    s.gc_slices = GC_SLICES.load(Ordering::Relaxed);
+    s.live_nodes = live_nodes();
     s.pinned_roots = pinned_roots();
     s
 }
@@ -1556,8 +2156,13 @@ impl std::fmt::Display for StoreStats {
         }
         writeln!(
             f,
-            "  gc: {} sweeps ({} auto), {} nodes freed, {} pinned roots",
-            self.gc_sweeps, self.gc_auto_triggers, self.gc_freed_nodes, self.pinned_roots
+            "  gc: {} sweeps ({} auto, {} slices), {} nodes freed, {} live, {} pinned roots",
+            self.gc_sweeps,
+            self.gc_auto_triggers,
+            self.gc_slices,
+            self.gc_freed_nodes,
+            self.live_nodes,
+            self.pinned_roots
         )?;
         Ok(())
     }

@@ -5,11 +5,36 @@
 //! These tests drive process-global store state (the mark, the live-node
 //! gauge), so they serialize on a local mutex and always restore the
 //! disabled default before finishing.
+//!
+//! They also pin collection **inline** (collector thread off) for their
+//! duration: the assertions count synchronous trigger→sweep causality on
+//! the interning thread, which an asynchronously-paced collector
+//! deliberately decouples. Collector-mode trigger behaviour is covered by
+//! `gc_incremental.rs`.
 
 use co_object::{obj, store, Object};
 use std::sync::Mutex;
 
 static GATE: Mutex<()> = Mutex::new(());
+
+/// Restores the collector-thread mode it captured at construction.
+struct CollectorMode(bool);
+
+impl CollectorMode {
+    /// Pins collection inline, returning a guard that restores the
+    /// previous mode on drop (even on panic).
+    fn pin_inline() -> Self {
+        let was = store::gc_collector_enabled();
+        store::set_gc_collector(false);
+        CollectorMode(was)
+    }
+}
+
+impl Drop for CollectorMode {
+    fn drop(&mut self) {
+        store::set_gc_collector(self.0);
+    }
+}
 
 /// Runs `f` with the high-water mark set to `live + headroom`, restoring
 /// the disabled default afterwards (even on panic, via a drop guard).
@@ -37,6 +62,7 @@ fn churn(salt: i64, n: i64) {
 #[test]
 fn crossing_the_mark_triggers_a_collection() {
     let _gate = GATE.lock().unwrap();
+    let _inline = CollectorMode::pin_inline();
     let before = store::stats();
     with_high_water(256, |_| {
         // Far more transient garbage than the headroom: the trigger must
@@ -64,6 +90,7 @@ fn crossing_the_mark_triggers_a_collection() {
 #[test]
 fn disabled_mark_never_triggers() {
     let _gate = GATE.lock().unwrap();
+    let _inline = CollectorMode::pin_inline();
     store::set_gc_high_water(0);
     let before = store::stats();
     churn(2, 2_000);
@@ -77,6 +104,7 @@ fn disabled_mark_never_triggers() {
 #[test]
 fn reachable_objects_survive_automatic_sweeps() {
     let _gate = GATE.lock().unwrap();
+    let _inline = CollectorMode::pin_inline();
     // A working set we keep holding across the auto sweeps.
     let kept: Vec<Object> = (0..128)
         .map(|i| obj!([gc_hw_kept: (i), v: {(i), (i + 1), (i + 2)}]))
@@ -102,6 +130,7 @@ fn reachable_objects_survive_automatic_sweeps() {
 #[test]
 fn trigger_rearms_at_the_mark_when_survivors_fit_below_it() {
     let _gate = GATE.lock().unwrap();
+    let _inline = CollectorMode::pin_inline();
     // A big held working set, so a buggy hysteresis that always re-arms
     // half a mark above the *survivors* would push the next trigger
     // thousands of nodes past the configured mark. With survivors below
@@ -127,8 +156,53 @@ fn trigger_rearms_at_the_mark_when_survivors_fit_below_it() {
 }
 
 #[test]
+fn crossing_during_a_parked_sweep_is_not_dropped() {
+    let _gate = GATE.lock().unwrap();
+    let _inline = CollectorMode::pin_inline();
+    // Regression (PR 10): crossing the high-water mark while the GC gate
+    // was held used to hit `try_lock`, fail, and silently do nothing — no
+    // sweep, no re-arm — so the mark could be overshot unboundedly for as
+    // long as an explicit collection stayed parked. The crossing must now
+    // be recorded and absorbed the moment the gate frees.
+    store::collect(); // start from a garbage-free store
+    let before = store::stats();
+    with_high_water(200, |mark| {
+        // Park the gate (as a long explicit sweep would) and blow through
+        // the mark while it is held: every crossing lands on the occupied
+        // gate's try_lock path.
+        store::with_gc_paused(|| {
+            churn(6, 2_000); // ≈ 4000 transients vs 200 headroom
+            assert_eq!(
+                store::stats().gc_auto_triggers,
+                before.gc_auto_triggers,
+                "no sweep can run while the gate is paused"
+            );
+            assert!(
+                store::live_nodes() > mark,
+                "the churn must actually overshoot the mark while parked"
+            );
+        });
+        // `with_gc_paused` re-checks the gauge on release: the recorded
+        // crossing fires its sweep right here, on this thread.
+    });
+    let after = store::stats();
+    assert!(
+        after.gc_auto_triggers > before.gc_auto_triggers,
+        "a crossing recorded while the gate was held must trigger a sweep \
+         when it frees, got {} -> {}",
+        before.gc_auto_triggers,
+        after.gc_auto_triggers
+    );
+    assert!(
+        after.gc_freed_nodes > before.gc_freed_nodes,
+        "the absorbed trigger must reclaim the parked churn"
+    );
+}
+
+#[test]
 fn oversized_working_set_does_not_collect_per_intern() {
     let _gate = GATE.lock().unwrap();
+    let _inline = CollectorMode::pin_inline();
     // Hold a working set bigger than the mark: after the first auto sweep
     // the survivors still exceed it, so hysteresis must re-arm the trigger
     // half a mark higher instead of sweeping on every subsequent intern.

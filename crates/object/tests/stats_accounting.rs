@@ -120,6 +120,8 @@ fn counters_reconcile_and_display_is_pinned() {
         gc_sweeps: 2,
         gc_freed_nodes: 7,
         gc_auto_triggers: 1,
+        gc_slices: 3,
+        live_nodes: 15,
         pinned_roots: 1,
         shards: [ShardStats::default(); SHARD_COUNT],
     }
@@ -130,7 +132,7 @@ store: 12 tuple nodes, 3 set nodes across 16 shards
   memo ≤: 5 entries, 10 hits, 9 misses, 3 evicted, 2 retained, 1 swept, 0 epoch clears
   memo ∪: 0 entries, 0 hits, 0 misses, 0 evicted, 0 retained, 0 swept, 0 epoch clears
   memo ∩: 0 entries, 0 hits, 0 misses, 0 evicted, 0 retained, 0 swept, 0 epoch clears
-  gc: 2 sweeps (1 auto), 7 nodes freed, 1 pinned roots
+  gc: 2 sweeps (1 auto, 3 slices), 7 nodes freed, 15 live, 1 pinned roots
 ";
     assert_eq!(rendered, expected);
 
@@ -141,12 +143,13 @@ store: 12 tuple nodes, 3 set nodes across 16 shards
         memo_entries_swept: 3,
         columnar_entries_swept: 1,
         passes: 2,
+        slices: 3,
         pinned_roots: 1,
     }
     .to_string();
     assert_eq!(
         sweep_line,
-        "sweep: freed 6 of 10 nodes (4 tuples, 2 sets) in 2 passes, \
+        "sweep: freed 6 of 10 nodes (4 tuples, 2 sets) in 2 passes / 3 slices, \
          3 memo entries swept, 1 columnar arenas swept, 1 pinned roots"
     );
 

@@ -283,7 +283,8 @@ impl HistogramSnapshot {
                 // `min.min(max)` keeps the clamp bounds ordered even on
                 // a snapshot built by hand with `min > max` — `clamp`
                 // panics on inverted bounds.
-                return bucket_representative(index as usize).clamp(self.min.min(self.max), self.max);
+                return bucket_representative(index as usize)
+                    .clamp(self.min.min(self.max), self.max);
             }
         }
         self.max
@@ -336,8 +337,17 @@ impl HistogramSnapshot {
 
     /// The observations recorded since `earlier` (a previous snapshot of
     /// the same histogram): bucket-wise saturating subtraction. `count`,
-    /// `sum`, and the buckets are exact deltas; `min`/`max` stay the
-    /// cumulative values (a window-local extreme is not recoverable).
+    /// `sum`, and the buckets are exact deltas.
+    ///
+    /// `min`/`max` are derived from the delta's occupied bucket bounds, so
+    /// they are **window-local estimates** with the histogram's usual
+    /// ≤3.2% bucket-resolution error (one sub-bucket; exact below 32) —
+    /// never the cumulative extremes. Before this fix the cumulative
+    /// `min`/`max` leaked through, so every windowed report inherited the
+    /// process-lifetime extremes of earlier windows. The cumulative `max`
+    /// still *caps* the estimate (it is a valid upper bound for any
+    /// window), which makes the last occupied bucket's estimate exact when
+    /// the cumulative maximum itself landed in this window.
     pub fn minus(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
         let mut old: std::collections::BTreeMap<u32, u64> =
             earlier.buckets.iter().copied().collect();
@@ -349,11 +359,19 @@ impl HistogramSnapshot {
                 (d > 0).then_some((i, d))
             })
             .collect();
+        let (min, max) = match (buckets.first(), buckets.last()) {
+            (Some(&(first, _)), Some(&(last, _))) => {
+                let low = bucket_bounds(first as usize).0.max(self.min);
+                let high = bucket_bounds(last as usize).1.min(self.max);
+                (low, high)
+            }
+            _ => (0, 0), // empty window: no observations, no extremes
+        };
         HistogramSnapshot {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
-            min: self.min,
-            max: self.max,
+            min,
+            max,
             buckets,
         }
     }
@@ -421,6 +439,43 @@ mod tests {
         assert_eq!(delta.count, sb.count);
         assert_eq!(delta.sum, sb.sum);
         assert_eq!(delta.buckets, sb.buckets);
+    }
+
+    #[test]
+    fn windowed_minus_never_inherits_a_previous_windows_extreme() {
+        // Regression (PR 10): `minus` used to copy the cumulative
+        // `min`/`max` into the delta, so every windowed report carried the
+        // process-lifetime extremes — BENCH_pr9's pool rows all showed the
+        // threaded run's 251ms max. A window's extremes must come from its
+        // own delta buckets.
+        let h = Histogram::new();
+        // Window 1: one huge and one tiny outlier.
+        h.record_always(1);
+        h.record_always(250_000_000);
+        let s1 = h.snapshot();
+        let w1 = s1.minus(&HistogramSnapshot::default());
+        assert_eq!(w1.min, 1);
+        assert_eq!(w1.max, 250_000_000); // capped by cumulative max: exact
+                                         // Window 2: everything lands strictly inside window 1's extremes.
+        for v in [5_000u64, 6_000, 7_000] {
+            h.record_always(v);
+        }
+        let s2 = h.snapshot();
+        let w2 = s2.minus(&s1);
+        assert_eq!(w2.count, 3);
+        assert!(
+            w2.max < 250_000_000 && w2.min > 1,
+            "window 2 inherited window 1's extremes: min={} max={}",
+            w2.min,
+            w2.max
+        );
+        // Bucket-resolution bound: the estimates are within one
+        // sub-bucket (≤3.2%) of the true window extremes.
+        assert!(w2.min <= 5_000 && 5_000_f64 <= w2.min as f64 * 1.032 + 1.0);
+        assert!(w2.max >= 7_000 && w2.max as f64 <= 7_000.0 * 1.032 + 1.0);
+        // An empty window reports no extremes at all.
+        let w3 = h.snapshot().minus(&s2);
+        assert_eq!((w3.count, w3.min, w3.max), (0, 0, 0));
     }
 
     #[test]

@@ -151,7 +151,9 @@ impl Snapshot {
     /// What happened between `earlier` (a prior snapshot of the same
     /// registry) and this one: counters and histogram counts subtract
     /// exactly; gauges keep this snapshot's level (levels are not
-    /// subtractable); histogram `min`/`max` stay cumulative.
+    /// subtractable); histogram `min`/`max` are window-local estimates
+    /// from the delta's occupied buckets (≤3.2% bucket resolution — see
+    /// [`HistogramSnapshot::minus`]).
     pub fn minus(&self, earlier: &Snapshot) -> Snapshot {
         let counters = self
             .counters

@@ -401,6 +401,13 @@ impl Server {
     /// on [`ServerConfig::core`]. Reads are snapshot-isolated per the
     /// [`co_engine::shared`] contract on either core.
     pub fn bind(shared: SharedEngine, config: ServerConfig) -> io::Result<ServerHandle> {
+        // Warm the dedicated GC collector thread (when `CO_GC_COLLECTOR`
+        // enables it) before any session exists: the thread is otherwise
+        // spawned lazily by the first high-water nudge, which would put
+        // a thread-spawn syscall on a request's intern path.
+        if co_object::store::gc_collector_enabled() {
+            co_object::store::set_gc_collector(true);
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
